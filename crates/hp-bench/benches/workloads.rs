@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the six real task kernels — the host-side
+//! counterpart of the simulator's calibrated service times (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hp_workloads::service::{run_task_once, WorkloadKind};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_kernels");
+    g.sample_size(20);
+    for kind in WorkloadKind::ALL {
+        let name = match kind {
+            WorkloadKind::PacketEncap => "packet_encapsulation",
+            WorkloadKind::CryptoForward => "crypto_forwarding",
+            WorkloadKind::PacketSteering => "packet_steering",
+            WorkloadKind::ErasureCoding => "erasure_coding",
+            WorkloadKind::RaidProtection => "raid_protection",
+            WorkloadKind::RequestDispatch => "request_dispatching",
+        };
+        g.bench_function(name, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let sink = run_task_once(black_box(kind), i);
+                i = i.wrapping_add(1);
+                black_box(sink)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

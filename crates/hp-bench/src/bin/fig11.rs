@@ -1,0 +1,72 @@
+//! Figure 11 — work proportionality (§V-D).
+//!
+//! (a) IPC of a packet-encapsulation data-plane core vs load, split into
+//!     useful work and useless spinning for the spinning baseline, against
+//!     HyperPlane's load-proportional IPC.
+//! (b) IPC of an SMT co-runner (matrix multiply) sharing the core with the
+//!     data plane, vs load.
+
+use hp_bench::{experiment, f2, f3, HarnessOpts, Table};
+use hp_sdp::config::Notifier;
+use hp_sdp::runner;
+use hp_sdp::telemetry::SmtCoRunner;
+use hp_traffic::shape::TrafficShape;
+use hp_workloads::service::WorkloadKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let loads = opts.thin(&[0.02, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 0.95]);
+
+    let base = {
+        let mut cfg = experiment(
+            &opts,
+            WorkloadKind::PacketEncap,
+            TrafficShape::FullyBalanced,
+            100,
+        );
+        cfg.target_completions = opts.completions(10_000);
+        cfg
+    };
+    // 100% load = the spinning data plane's own saturation (the paper's
+    // x-axis is load on the data plane).
+    let spin_peak = runner::peak_throughput(&base).throughput_tps;
+    let smt = SmtCoRunner::default();
+
+    let mut table = Table::new(
+        "Fig 11(a): IPC breakdown vs load — packet encapsulation, 1 core",
+        &["load%", "spin_useful", "spin_spin", "spin_total", "hp_total"],
+    );
+    let mut co_table = Table::new(
+        "Fig 11(b): SMT co-runner IPC vs data-plane load",
+        &["load%", "with_spinning", "with_hyperplane"],
+    );
+
+    for &load in &loads {
+        let spin = runner::run_at_load(&base, spin_peak, load);
+        let hp = runner::run_at_load(
+            &base.clone().with_notifier(Notifier::hyperplane()),
+            spin_peak,
+            load,
+        );
+        let st = spin.aggregate_telemetry();
+        let ht = hp.aggregate_telemetry();
+        table.row(vec![
+            format!("{:.1}", load * 100.0),
+            f3(st.useful_ipc()),
+            f3(st.spin_ipc()),
+            f3(st.ipc()),
+            f3(ht.ipc()),
+        ]);
+        co_table.row(vec![
+            format!("{:.1}", load * 100.0),
+            f2(spin.co_runner_ipc(&smt)),
+            f2(hp.co_runner_ipc(&smt)),
+        ]);
+    }
+    table.print(&opts);
+    co_table.print(&opts);
+
+    println!("\nExpected shape (paper): spinning IPC is highest at 0% load (all useless)");
+    println!("and decreases with load; HyperPlane IPC grows ~linearly with load.");
+    println!("Co-runner IPC rises with load under spinning, falls under HyperPlane.");
+}

@@ -1,0 +1,139 @@
+//! Deep-dive report for a single configuration: run one experiment and
+//! print everything the telemetry knows — throughput, latency percentiles
+//! and CDF, notification-latency breakdown, per-core IPC/halt residency,
+//! power, co-runner IPC, and cache behaviour.
+//!
+//! ```sh
+//! cargo run --release -p hp-bench --bin inspect -- \
+//!     --workload crypto --shape sq --queues 500 --notifier hyperplane --load 60
+//! ```
+
+use hp_bench::plot::{AsciiChart, Series};
+use hp_bench::{HarnessOpts, Table};
+use hp_sdp::config::{ExperimentConfig, Notifier};
+use hp_sdp::power::PowerModel;
+use hp_sdp::runner;
+use hp_sdp::telemetry::SmtCoRunner;
+use hp_traffic::shape::TrafficShape;
+use hp_workloads::service::WorkloadKind;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn parse_workload(s: &str) -> WorkloadKind {
+    match s {
+        "encap" | "packet" => WorkloadKind::PacketEncap,
+        "crypto" => WorkloadKind::CryptoForward,
+        "steering" => WorkloadKind::PacketSteering,
+        "erasure" => WorkloadKind::ErasureCoding,
+        "raid" => WorkloadKind::RaidProtection,
+        "dispatch" => WorkloadKind::RequestDispatch,
+        other => panic!("unknown workload {other} (encap|crypto|steering|erasure|raid|dispatch)"),
+    }
+}
+
+fn parse_shape(s: &str) -> TrafficShape {
+    match s {
+        "fb" => TrafficShape::FullyBalanced,
+        "pc" => TrafficShape::ProportionallyConcentrated,
+        "nc" => TrafficShape::NonproportionallyConcentrated,
+        "sq" => TrafficShape::SingleQueue,
+        other => panic!("unknown shape {other} (fb|pc|nc|sq)"),
+    }
+}
+
+fn parse_notifier(s: &str) -> Notifier {
+    match s {
+        "spinning" | "spin" => Notifier::Spinning,
+        "interrupt" | "irq" => Notifier::Interrupt,
+        "hyperplane" | "hp" => Notifier::hyperplane(),
+        "hyperplane-c1" | "c1" => Notifier::hyperplane_power_opt(),
+        other => panic!("unknown notifier {other} (spin|irq|hp|c1)"),
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let workload = parse_workload(&arg("--workload").unwrap_or_else(|| "encap".into()));
+    let shape = parse_shape(&arg("--shape").unwrap_or_else(|| "sq".into()));
+    let queues: u32 = arg("--queues").unwrap_or_else(|| "500".into()).parse().expect("queue count");
+    let notifier = parse_notifier(&arg("--notifier").unwrap_or_else(|| "hyperplane".into()));
+    let load_pct: f64 = arg("--load").unwrap_or_else(|| "60".into()).parse().expect("load %");
+    let cores: usize = arg("--cores").unwrap_or_else(|| "1".into()).parse().expect("core count");
+    let cluster: usize =
+        arg("--cluster").unwrap_or_else(|| cores.to_string()).parse().expect("cluster size");
+
+    let mut cfg = ExperimentConfig::new(workload, shape, queues)
+        .with_notifier(notifier)
+        .with_cores(cores, cluster);
+    cfg.target_completions = opts.completions(20_000);
+
+    println!(
+        "inspect: {} / {} / {} queues / {} / {} core(s), cluster {} / {:.0}% load",
+        workload,
+        shape.label(),
+        queues,
+        notifier.label(),
+        cores,
+        cluster,
+        load_pct
+    );
+
+    let peak = runner::peak_throughput(&cfg);
+    println!("\npeak sustainable throughput: {:.3} Mtasks/s", peak.throughput_mtps());
+
+    let r = runner::run_at_load(&cfg, peak.throughput_tps, (load_pct / 100.0).clamp(0.01, 1.0));
+
+    let mut t = Table::new("Latency (us)", &["metric", "value"]);
+    t.row(vec!["mean".into(), format!("{:.2}", r.mean_latency_us())]);
+    for p in [50.0, 90.0, 99.0, 99.9] {
+        t.row(vec![format!("p{p}"), format!("{:.2}", r.latency_percentile_us(p))]);
+    }
+    t.row(vec!["mean notification (arrival->dequeue)".into(), format!("{:.2}", r.mean_notification_us())]);
+    t.row(vec!["p99 notification".into(), format!("{:.2}", r.notification_percentile_us(99.0))]);
+    t.print(&opts);
+
+    let mut t = Table::new(
+        "Per-core telemetry",
+        &["core", "IPC", "useful", "spin", "background", "halt%", "completions", "spurious"],
+    );
+    for (i, c) in r.per_core.iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            format!("{:.3}", c.ipc()),
+            format!("{:.3}", c.useful_ipc()),
+            format!("{:.3}", c.spin_ipc()),
+            format!("{:.3}", c.background_ipc()),
+            format!("{:.1}", c.halt_fraction() * 100.0),
+            c.completions.to_string(),
+            c.spurious.to_string(),
+        ]);
+    }
+    t.print(&opts);
+
+    let mem = r.mem_stats();
+    let mut t = Table::new("Memory system (DP cores)", &["metric", "value"]);
+    t.row(vec!["accesses".into(), mem.total().to_string()]);
+    t.row(vec!["L1 hit %".into(), format!("{:.1}", (1.0 - mem.l1_miss_ratio()) * 100.0)]);
+    t.row(vec!["LLC hits".into(), mem.llc_hits.to_string()]);
+    t.row(vec!["remote-L1 transfers".into(), mem.remote_hits.to_string()]);
+    t.row(vec!["DRAM fetches".into(), mem.dram_fetches.to_string()]);
+    t.print(&opts);
+
+    println!(
+        "\npower: {:.1}% of peak core   co-runner IPC: {:.2}   drops: {}",
+        r.average_power_fraction(&PowerModel::default()) * 100.0,
+        r.co_runner_ipc(&SmtCoRunner::default()),
+        r.drops
+    );
+
+    let cdf: Vec<(f64, f64)> = r.latency_cdf_us();
+    print!(
+        "{}",
+        AsciiChart::new("latency CDF (us -> fraction)")
+            .series(Series::new("cdf", cdf))
+            .render()
+    );
+}

@@ -1,0 +1,459 @@
+//! The ready set: ready/mask bit vectors plus a Programmable Priority
+//! Arbiter (PPA) implementing the service policies (§IV-B of the paper).
+//!
+//! Two functionally identical PPA models are provided:
+//!
+//! * [`PpaKind::Ripple`] — the bit-slice ripple-priority design of the
+//!   paper's Fig. 7: linear gate depth, with the wrap-around handled by
+//!   scanning circularly.
+//! * [`PpaKind::BrentKung`] — the modern design the paper actually builds:
+//!   thermometer coding of the priority vector plus a Brent–Kung
+//!   parallel-prefix network (logarithmic gate depth), eliminating the
+//!   combinational loop.
+//!
+//! Both must select the same QID on every input — a property the test
+//! suite checks exhaustively and by randomized search.
+
+use hp_queues::sim::QueueId;
+
+/// Which PPA hardware model computes the select vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PpaKind {
+    /// Linear ripple-priority chain (Fig. 7).
+    Ripple,
+    /// Thermometer-coded Brent–Kung parallel-prefix network.
+    #[default]
+    BrentKung,
+}
+
+impl PpaKind {
+    /// Estimated gate levels on the critical path for an `n`-bit arbiter.
+    ///
+    /// Ripple priority propagates through every bit slice (≈2 gates per
+    /// slice, doubled by the wrap-around unroll); Brent–Kung needs an
+    /// up-sweep and a down-sweep of `ceil(log2 n)` levels each plus the
+    /// thermometer mask and grant AND.
+    pub fn gate_levels(self, n: usize) -> u32 {
+        match self {
+            PpaKind::Ripple => (2 * n.max(1) * 2) as u32,
+            PpaKind::BrentKung => {
+                let log = usize::BITS - n.next_power_of_two().leading_zeros() - 1;
+                2 * log + 3
+            }
+        }
+    }
+}
+
+/// Ripple-priority circular scan: first set bit of `req` at or after
+/// `priority_pos`, wrapping.
+fn ripple_select(req: &[bool], priority_pos: usize) -> Option<usize> {
+    let n = req.len();
+    (0..n).map(|i| (priority_pos + i) % n).find(|&idx| req[idx])
+}
+
+/// Exclusive prefix-OR via the Brent–Kung (Blelloch) network. Returns the
+/// exclusive scan and the number of combine levels used.
+fn brent_kung_exclusive_prefix_or(x: &[bool]) -> (Vec<bool>, u32) {
+    let n = x.len().next_power_of_two().max(1);
+    let mut a = vec![false; n];
+    a[..x.len()].copy_from_slice(x);
+    let mut levels = 0u32;
+    // Up-sweep (reduce).
+    let mut d = 1;
+    while d < n {
+        let mut i = 2 * d - 1;
+        while i < n {
+            a[i] |= a[i - d];
+            i += 2 * d;
+        }
+        levels += 1;
+        d *= 2;
+    }
+    // Down-sweep (exclusive scan with OR identity = false).
+    a[n - 1] = false;
+    let mut d = n / 2;
+    while d >= 1 {
+        let mut i = 2 * d - 1;
+        while i < n {
+            let t = a[i - d];
+            a[i - d] = a[i];
+            a[i] |= t;
+            i += 2 * d;
+        }
+        levels += 1;
+        d /= 2;
+    }
+    a.truncate(x.len());
+    (a, levels)
+}
+
+/// Brent–Kung select: thermometer-mask the requests at/after the priority
+/// position, isolate the lowest set bit with a prefix-OR network, and fall
+/// back to the unmasked vector for wrap-around.
+fn brent_kung_select(req: &[bool], priority_pos: usize) -> Option<usize> {
+    let n = req.len();
+    if n == 0 {
+        return None;
+    }
+    // Thermometer code of the one-hot priority vector: t[i] = i >= pos.
+    let masked: Vec<bool> = (0..n).map(|i| req[i] && i >= priority_pos).collect();
+    let pick = |bits: &[bool]| -> Option<usize> {
+        let (prefix, _levels) = brent_kung_exclusive_prefix_or(bits);
+        (0..bits.len()).find(|&i| bits[i] && !prefix[i])
+    };
+    pick(&masked).or_else(|| pick(req))
+}
+
+/// Service policies supported by the ready set (§IV-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServicePolicy {
+    /// Each grant rotates priority past the granted QID.
+    RoundRobin,
+    /// Each QID may be granted up to its weight consecutively.
+    WeightedRoundRobin {
+        /// Per-QID weights (must match the ready-set size; weight 0 is
+        /// treated as 1).
+        weights: Vec<u32>,
+    },
+    /// Lower-numbered QIDs always win (starvation-prone; provided for
+    /// completeness as in the paper).
+    StrictPriority,
+}
+
+/// Lifetime statistics of the ready set.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReadySetStats {
+    /// Successful selections.
+    pub grants: u64,
+    /// Selections that found no ready QID.
+    pub empty_polls: u64,
+    /// Activations (ready-bit sets).
+    pub activations: u64,
+}
+
+/// The ready set: tracks ready QIDs and arbitrates the next one to serve.
+///
+/// # Examples
+///
+/// ```
+/// use hp_core::ready_set::{PpaKind, ReadySet, ServicePolicy};
+/// use hp_queues::sim::QueueId;
+///
+/// let mut rs = ReadySet::new(8, ServicePolicy::RoundRobin, PpaKind::BrentKung);
+/// rs.activate(QueueId(5));
+/// rs.activate(QueueId(2));
+/// assert_eq!(rs.select(), Some(QueueId(2)));
+/// assert_eq!(rs.select(), Some(QueueId(5)));
+/// assert_eq!(rs.select(), None);
+/// ```
+#[derive(Debug)]
+pub struct ReadySet {
+    n: usize,
+    ready: Vec<bool>,
+    mask: Vec<bool>,
+    policy: ServicePolicy,
+    ppa: PpaKind,
+    /// Next-priority position for round-robin.
+    rr_next: usize,
+    /// WRR state: QID currently holding priority and its remaining credit.
+    wrr_qid: usize,
+    wrr_credit: u32,
+    stats: ReadySetStats,
+}
+
+impl ReadySet {
+    /// Creates a ready set for `n` QIDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or if a WRR policy's weight vector length
+    /// does not equal `n`.
+    pub fn new(n: usize, policy: ServicePolicy, ppa: PpaKind) -> Self {
+        assert!(n > 0, "ready set needs at least one QID");
+        let mut wrr_credit = 0;
+        if let ServicePolicy::WeightedRoundRobin { weights } = &policy {
+            assert_eq!(weights.len(), n, "WRR weights must cover all {n} QIDs");
+            // QID 0 opens holding priority with a full credit of its weight.
+            wrr_credit = weights[0].max(1);
+        }
+        ReadySet {
+            n,
+            ready: vec![false; n],
+            mask: vec![true; n],
+            policy,
+            ppa,
+            rr_next: 0,
+            wrr_qid: 0,
+            wrr_credit,
+            stats: ReadySetStats::default(),
+        }
+    }
+
+    /// Capacity in QIDs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the capacity is zero (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The PPA implementation in use.
+    pub fn ppa_kind(&self) -> PpaKind {
+        self.ppa
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> ReadySetStats {
+        self.stats
+    }
+
+    fn check(&self, qid: QueueId) {
+        assert!((qid.0 as usize) < self.n, "{qid} out of range ({} QIDs)", self.n);
+    }
+
+    /// Sets `qid`'s ready bit (activation from the monitoring set or from
+    /// `QWAIT-RECONSIDER`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qid` is out of range.
+    pub fn activate(&mut self, qid: QueueId) {
+        self.check(qid);
+        if !self.ready[qid.0 as usize] {
+            self.stats.activations += 1;
+        }
+        self.ready[qid.0 as usize] = true;
+    }
+
+    /// Whether `qid`'s ready bit is set.
+    pub fn is_ready(&self, qid: QueueId) -> bool {
+        self.check(qid);
+        self.ready[qid.0 as usize]
+    }
+
+    /// Number of QIDs currently ready and unmasked.
+    pub fn ready_count(&self) -> usize {
+        (0..self.n).filter(|&i| self.ready[i] && self.mask[i]).count()
+    }
+
+    /// `QWAIT-ENABLE`: allow `qid` to be selected again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qid` is out of range.
+    pub fn enable(&mut self, qid: QueueId) {
+        self.check(qid);
+        self.mask[qid.0 as usize] = true;
+    }
+
+    /// `QWAIT-DISABLE`: temporarily inhibit `qid` (e.g. rate limiting /
+    /// congestion control); its ready bit is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qid` is out of range.
+    pub fn disable(&mut self, qid: QueueId) {
+        self.check(qid);
+        self.mask[qid.0 as usize] = false;
+    }
+
+    /// Whether `qid` is currently enabled.
+    pub fn is_enabled(&self, qid: QueueId) -> bool {
+        self.check(qid);
+        self.mask[qid.0 as usize]
+    }
+
+    /// Arbitrates and returns the next QID per the service policy, clearing
+    /// its ready bit. Returns `None` when no unmasked QID is ready (QWAIT
+    /// would halt the core).
+    pub fn select(&mut self) -> Option<QueueId> {
+        let req: Vec<bool> = (0..self.n).map(|i| self.ready[i] && self.mask[i]).collect();
+        let pos = match &self.policy {
+            ServicePolicy::StrictPriority => 0,
+            ServicePolicy::RoundRobin => self.rr_next,
+            ServicePolicy::WeightedRoundRobin { .. } => {
+                if self.wrr_credit > 0 {
+                    self.wrr_qid
+                } else {
+                    (self.wrr_qid + 1) % self.n
+                }
+            }
+        };
+        let idx = match self.ppa {
+            PpaKind::Ripple => ripple_select(&req, pos),
+            PpaKind::BrentKung => brent_kung_select(&req, pos),
+        };
+        let Some(idx) = idx else {
+            self.stats.empty_polls += 1;
+            return None;
+        };
+        self.ready[idx] = false;
+        match &self.policy {
+            ServicePolicy::StrictPriority => {}
+            ServicePolicy::RoundRobin => self.rr_next = (idx + 1) % self.n,
+            ServicePolicy::WeightedRoundRobin { weights } => {
+                if idx == self.wrr_qid && self.wrr_credit > 0 {
+                    self.wrr_credit -= 1;
+                } else {
+                    self.wrr_qid = idx;
+                    self.wrr_credit = weights[idx].max(1) - 1;
+                }
+            }
+        }
+        self.stats.grants += 1;
+        Some(QueueId(idx as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_or_network_matches_naive_scan() {
+        for n in [1usize, 2, 3, 7, 8, 16, 100] {
+            let x: Vec<bool> = (0..n).map(|i| (i * 7919) % 3 == 0).collect();
+            let (scan, levels) = brent_kung_exclusive_prefix_or(&x);
+            let mut acc = false;
+            for i in 0..n {
+                assert_eq!(scan[i], acc, "n={n} i={i}");
+                acc |= x[i];
+            }
+            let log = (n.next_power_of_two() as f64).log2() as u32;
+            assert_eq!(levels, 2 * log, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ripple_and_brent_kung_agree_exhaustively_small() {
+        // All 2^8 request vectors x all 8 priority positions.
+        for bits in 0u32..256 {
+            let req: Vec<bool> = (0..8).map(|i| (bits >> i) & 1 == 1).collect();
+            for pos in 0..8 {
+                assert_eq!(
+                    ripple_select(&req, pos),
+                    brent_kung_select(&req, pos),
+                    "bits={bits:#010b} pos={pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_and_brent_kung_agree_randomized_large() {
+        use hp_sim::rng::splitmix64;
+        for trial in 0..200u64 {
+            let n = 1 + (splitmix64(trial) % 1024) as usize;
+            let req: Vec<bool> =
+                (0..n).map(|i| splitmix64(trial * 10_000 + i as u64).is_multiple_of(5)).collect();
+            let pos = (splitmix64(trial + 999) % n as u64) as usize;
+            assert_eq!(ripple_select(&req, pos), brent_kung_select(&req, pos), "n={n} pos={pos}");
+        }
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        let mut rs = ReadySet::new(4, ServicePolicy::RoundRobin, PpaKind::BrentKung);
+        // Keep all queues always ready; grants must cycle 0,1,2,3,0,...
+        let mut grants = Vec::new();
+        for _ in 0..8 {
+            for q in 0..4 {
+                rs.activate(QueueId(q));
+            }
+            grants.push(rs.select().unwrap().0);
+        }
+        assert_eq!(grants, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn strict_priority_always_prefers_low_qid() {
+        let mut rs = ReadySet::new(4, ServicePolicy::StrictPriority, PpaKind::Ripple);
+        for _ in 0..5 {
+            rs.activate(QueueId(3));
+            rs.activate(QueueId(1));
+            assert_eq!(rs.select(), Some(QueueId(1)));
+            rs.activate(QueueId(1));
+        }
+        // Queue 3 starves while 1 stays ready — the paper's noted hazard.
+        assert!(rs.is_ready(QueueId(3)));
+    }
+
+    #[test]
+    fn wrr_grants_weight_consecutive_services() {
+        let mut rs = ReadySet::new(
+            3,
+            ServicePolicy::WeightedRoundRobin { weights: vec![3, 1, 1] },
+            PpaKind::BrentKung,
+        );
+        let mut grants = Vec::new();
+        for _ in 0..10 {
+            for q in 0..3 {
+                rs.activate(QueueId(q));
+            }
+            grants.push(rs.select().unwrap().0);
+        }
+        // Queue 0 should receive 3 of every 5 grants, in runs of 3.
+        assert_eq!(grants, vec![0, 0, 0, 1, 2, 0, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn wrr_passes_priority_when_queue_goes_empty() {
+        let mut rs = ReadySet::new(
+            3,
+            ServicePolicy::WeightedRoundRobin { weights: vec![10, 1, 1] },
+            PpaKind::BrentKung,
+        );
+        rs.activate(QueueId(0));
+        rs.activate(QueueId(1));
+        assert_eq!(rs.select(), Some(QueueId(0)));
+        // Queue 0 not re-activated (ran out of work): priority moves on
+        // even though credit remains.
+        assert_eq!(rs.select(), Some(QueueId(1)));
+    }
+
+    #[test]
+    fn disable_masks_ready_queue() {
+        let mut rs = ReadySet::new(4, ServicePolicy::RoundRobin, PpaKind::BrentKung);
+        rs.activate(QueueId(2));
+        rs.disable(QueueId(2));
+        assert_eq!(rs.select(), None, "disabled queue must not be granted");
+        assert!(rs.is_ready(QueueId(2)), "ready bit survives masking");
+        rs.enable(QueueId(2));
+        assert_eq!(rs.select(), Some(QueueId(2)));
+    }
+
+    #[test]
+    fn empty_select_counts_and_returns_none() {
+        let mut rs = ReadySet::new(2, ServicePolicy::RoundRobin, PpaKind::Ripple);
+        assert_eq!(rs.select(), None);
+        assert_eq!(rs.stats().empty_polls, 1);
+        assert_eq!(rs.stats().grants, 0);
+    }
+
+    #[test]
+    fn gate_levels_scale_as_documented() {
+        assert!(PpaKind::Ripple.gate_levels(1024) > 1000);
+        let bk = PpaKind::BrentKung.gate_levels(1024);
+        assert!(bk <= 25, "Brent-Kung depth for 1024 bits was {bk}");
+        assert!(PpaKind::BrentKung.gate_levels(4096) > bk);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn activate_bounds_checked() {
+        let mut rs = ReadySet::new(2, ServicePolicy::RoundRobin, PpaKind::Ripple);
+        rs.activate(QueueId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "WRR weights must cover")]
+    fn wrr_weight_length_checked() {
+        let _ = ReadySet::new(
+            3,
+            ServicePolicy::WeightedRoundRobin { weights: vec![1, 2] },
+            PpaKind::Ripple,
+        );
+    }
+}

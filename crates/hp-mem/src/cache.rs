@@ -1,0 +1,325 @@
+//! A set-associative tag array with true-LRU replacement.
+//!
+//! This models only what the timing/coherence simulation needs: presence,
+//! per-line coherence state, and LRU victims. Data contents are never
+//! modeled — the simulation operates on semantic state (queues, doorbells)
+//! held elsewhere.
+
+use crate::types::{LineAddr, LINE_BYTES};
+
+/// MESI coherence state of a line in a private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MesiState {
+    /// Modified: owned, dirty, only copy.
+    Modified,
+    /// Exclusive: owned, clean, only copy.
+    Exclusive,
+    /// Shared: read-only copy, possibly one of many.
+    Shared,
+}
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// A 32 KB 4-way private L1 (Table I).
+    pub fn l1() -> Self {
+        CacheConfig { size_bytes: 32 * 1024, ways: 4 }
+    }
+
+    /// A shared LLC sized at 1 MB per core (Table I), 16-way.
+    pub fn llc(cores: usize) -> Self {
+        CacheConfig { size_bytes: cores as u64 * 1024 * 1024, ways: 16 }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into a whole power-of-two
+    /// number of sets.
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / LINE_BYTES;
+        let sets = lines / self.ways as u64;
+        assert!(sets > 0 && sets.is_power_of_two(), "cache sets must be a positive power of two, got {sets}");
+        sets as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    state: MesiState,
+    last_used: u64,
+    valid: bool,
+}
+
+/// Outcome of inserting a line into a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insert {
+    /// Inserted into an empty way.
+    Placed,
+    /// Inserted by evicting the returned line (with its state at eviction).
+    Evicted(LineAddr, MesiState),
+}
+
+/// A set-associative tag array with true-LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use hp_mem::cache::{CacheConfig, MesiState, SetAssocCache};
+/// use hp_mem::types::LineAddr;
+///
+/// let mut c = SetAssocCache::new(CacheConfig { size_bytes: 4096, ways: 2 });
+/// c.insert(LineAddr(1), MesiState::Shared);
+/// assert_eq!(c.state(LineAddr(1)), Some(MesiState::Shared));
+/// assert!(c.state(LineAddr(2)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        SetAssocCache {
+            sets: vec![
+                vec![
+                    Way { tag: 0, state: MesiState::Shared, last_used: 0, valid: false };
+                    config.ways
+                ];
+                sets
+            ],
+            set_mask: sets as u64 - 1,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, line: LineAddr) -> u64 {
+        line.0 >> self.set_mask.trailing_ones()
+    }
+
+    /// Looks up `line`, updating LRU and hit/miss counters. Returns its
+    /// state if present.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<MesiState> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.last_used = tick;
+                self.hits += 1;
+                return Some(way.state);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Returns the state of `line` without touching LRU or counters.
+    pub fn state(&self, line: LineAddr) -> Option<MesiState> {
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        self.sets[set]
+            .iter()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| w.state)
+    }
+
+    /// Sets the coherence state of a resident line.
+    ///
+    /// Returns `false` if the line is not resident (caller decides whether
+    /// that is an error).
+    pub fn set_state(&mut self, line: LineAddr, state: MesiState) -> bool {
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.state = state;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `line` with `state`, evicting the LRU way if the set is full.
+    ///
+    /// If the line is already resident, its state is updated in place and
+    /// the call reports [`Insert::Placed`].
+    pub fn insert(&mut self, line: LineAddr, state: MesiState) -> Insert {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_of(line);
+        let tag = self.tag_of(line);
+        let shift = self.set_mask.trailing_ones();
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.state = state;
+            way.last_used = tick;
+            return Insert::Placed;
+        }
+        if let Some(way) = set.iter_mut().find(|w| !w.valid) {
+            *way = Way { tag, state, last_used: tick, valid: true };
+            return Insert::Placed;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.last_used)
+            .expect("ways > 0");
+        let evicted_line = LineAddr((victim.tag << shift) | set_idx as u64);
+        let evicted_state = victim.state;
+        *victim = Way { tag, state, last_used: tick, valid: true };
+        self.evictions += 1;
+        Insert::Evicted(evicted_line, evicted_state)
+    }
+
+    /// Invalidates `line` if resident; returns its state at invalidation.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<MesiState> {
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.valid = false;
+                return Some(way.state);
+            }
+        }
+        None
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways.
+        SetAssocCache::new(CacheConfig { size_bytes: 256, ways: 2 })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        c.insert(LineAddr(4), MesiState::Exclusive);
+        assert_eq!(c.lookup(LineAddr(4)), Some(MesiState::Exclusive));
+        let (h, m, _) = c.counters();
+        assert_eq!((h, m), (1, 0));
+    }
+
+    #[test]
+    fn miss_on_absent() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(LineAddr(9)), None);
+        let (h, m, _) = c.counters();
+        assert_eq!((h, m), (0, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (2 sets => even lines to set 0).
+        c.insert(LineAddr(0), MesiState::Shared);
+        c.insert(LineAddr(2), MesiState::Shared);
+        // Touch line 0 so line 2 is LRU.
+        c.lookup(LineAddr(0));
+        match c.insert(LineAddr(4), MesiState::Shared) {
+            Insert::Evicted(line, _) => assert_eq!(line, LineAddr(2)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.state(LineAddr(0)).is_some());
+        assert!(c.state(LineAddr(2)).is_none());
+    }
+
+    #[test]
+    fn evicted_line_address_reconstruction() {
+        let mut c = tiny();
+        c.insert(LineAddr(1), MesiState::Modified);
+        c.insert(LineAddr(3), MesiState::Shared);
+        match c.insert(LineAddr(5), MesiState::Shared) {
+            Insert::Evicted(line, state) => {
+                assert_eq!(line, LineAddr(1));
+                assert_eq!(state, MesiState::Modified);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reinsert_updates_state_in_place() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), MesiState::Shared);
+        assert_eq!(c.insert(LineAddr(0), MesiState::Modified), Insert::Placed);
+        assert_eq!(c.state(LineAddr(0)), Some(MesiState::Modified));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), MesiState::Modified);
+        assert_eq!(c.invalidate(LineAddr(0)), Some(MesiState::Modified));
+        assert_eq!(c.invalidate(LineAddr(0)), None);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn set_state_on_missing_line_returns_false() {
+        let mut c = tiny();
+        assert!(!c.set_state(LineAddr(7), MesiState::Shared));
+        c.insert(LineAddr(7), MesiState::Exclusive);
+        assert!(c.set_state(LineAddr(7), MesiState::Shared));
+        assert_eq!(c.state(LineAddr(7)), Some(MesiState::Shared));
+    }
+
+    #[test]
+    fn l1_geometry() {
+        let cfg = CacheConfig::l1();
+        assert_eq!(cfg.sets(), 128); // 32 KB / 64 B / 4 ways
+        let cfg = CacheConfig::llc(16);
+        assert_eq!(cfg.sets(), 16384); // 16 MB / 64 B / 16 ways
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let cfg = CacheConfig { size_bytes: 4096, ways: 4 }; // 64 lines
+        let mut c = SetAssocCache::new(cfg);
+        for i in 0..1000 {
+            c.insert(LineAddr(i), MesiState::Shared);
+        }
+        assert!(c.occupancy() <= 64);
+    }
+}

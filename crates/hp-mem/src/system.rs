@@ -1,0 +1,629 @@
+//! The multicore memory system: private L1s, a shared inclusive LLC, and a
+//! directory-based MESI coherence protocol.
+//!
+//! This is the substrate standing in for gem5's classic memory system. It is
+//! a *timing and transaction* model: every [`MemSystem::access`] returns the
+//! latency the access costs and whether a **GetM** (write-ownership)
+//! transaction crossed the interconnect — the signal HyperPlane's monitoring
+//! set snoops (§III-B of the paper).
+//!
+//! Fidelity notes (documented simplifications):
+//! * The directory is unbounded and keyed by line address. The paper's
+//!   monitoring set is explicitly *not* subject to directory conflict
+//!   evictions, so an unbounded directory does not change the observable
+//!   behaviour being studied.
+//! * Sharer bitmasks may be stale after silent L1 evictions of Shared lines;
+//!   invalidations sent to non-holders are harmless, as in real imprecise
+//!   directories.
+
+use crate::cache::{CacheConfig, Insert, MesiState, SetAssocCache};
+use crate::types::{AccessKind, Addr, CoreId, HitLevel, LineAddr};
+use hp_sim::time::Cycles;
+use std::collections::HashMap;
+
+/// Access latencies for each level of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Private L1 hit.
+    pub l1_hit: Cycles,
+    /// Shared LLC hit (also the directory access cost for upgrades).
+    pub llc_hit: Cycles,
+    /// Cache-to-cache transfer from a remote L1.
+    pub remote_l1: Cycles,
+    /// DRAM access.
+    pub dram: Cycles,
+}
+
+impl Default for LatencyModel {
+    /// Latencies for a contemporary server part at 2 GHz: 4 / 40 / 60 / 200
+    /// cycles.
+    fn default() -> Self {
+        LatencyModel {
+            l1_hit: Cycles(4),
+            llc_hit: Cycles(40),
+            remote_l1: Cycles(60),
+            dram: Cycles(200),
+        }
+    }
+}
+
+impl LatencyModel {
+    fn of(&self, level: HitLevel) -> Cycles {
+        match level {
+            HitLevel::L1 => self.l1_hit,
+            HitLevel::Llc => self.llc_hit,
+            HitLevel::RemoteL1 => self.remote_l1,
+            HitLevel::Memory => self.dram,
+        }
+    }
+}
+
+/// Result of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycles the access costs the issuing core.
+    pub latency: Cycles,
+    /// Where the access was satisfied.
+    pub level: HitLevel,
+    /// Set when a GetM transaction crossed the interconnect for this access
+    /// — the write-ownership event HyperPlane's monitoring set snoops.
+    pub getm: Option<LineAddr>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct DirEntry {
+    /// Core holding the line in M or E, if any.
+    owner: Option<CoreId>,
+    /// Bitmask of cores that may hold the line in S.
+    sharers: u64,
+}
+
+/// Per-core access telemetry.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CoreMemStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// Cache-to-cache transfers.
+    pub remote_hits: u64,
+    /// DRAM fetches.
+    pub dram_fetches: u64,
+}
+
+impl CoreMemStats {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.l1_hits + self.llc_hits + self.remote_hits + self.dram_fetches
+    }
+
+    /// Fraction of accesses that missed in the L1 (0.0 when no accesses).
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (t - self.l1_hits) as f64 / t as f64
+        }
+    }
+}
+
+/// The modeled multicore memory hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use hp_mem::system::{MemSystem, MemSystemConfig};
+/// use hp_mem::types::{AccessKind, Addr, CoreId, HitLevel};
+///
+/// let mut mem = MemSystem::new(MemSystemConfig::cmp(4));
+/// // Cold store: fetched from memory, and a GetM is visible on the
+/// // interconnect (this is what the monitoring set watches).
+/// let r = mem.access(CoreId(0), Addr(0x1000), AccessKind::Store);
+/// assert_eq!(r.level, HitLevel::Memory);
+/// assert!(r.getm.is_some());
+/// // Subsequent store by the owner hits in L1 silently.
+/// let r = mem.access(CoreId(0), Addr(0x1000), AccessKind::Store);
+/// assert_eq!(r.level, HitLevel::L1);
+/// assert!(r.getm.is_none());
+/// ```
+#[derive(Debug)]
+pub struct MemSystem {
+    l1s: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    directory: HashMap<u64, DirEntry>,
+    latency: LatencyModel,
+    stats: Vec<CoreMemStats>,
+    getm_count: u64,
+    invalidations: u64,
+    prefetch_degree: usize,
+    /// Last line loaded per core (stride detection).
+    last_load: Vec<Option<u64>>,
+    prefetch_fills: u64,
+}
+
+/// Configuration for [`MemSystem`].
+#[derive(Debug, Clone, Copy)]
+pub struct MemSystemConfig {
+    /// Number of cores (each gets a private L1).
+    pub cores: usize,
+    /// Private L1 geometry.
+    pub l1: CacheConfig,
+    /// Shared LLC geometry.
+    pub llc: CacheConfig,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Next-line stride prefetcher degree per core (0 disables). On a
+    /// detected +1-line load stride, the next `degree` lines are filled
+    /// into the L1 off the critical path (conservatively skipping lines
+    /// owned by another core).
+    pub prefetch_degree: usize,
+}
+
+impl MemSystemConfig {
+    /// The Table I CMP: `cores` cores, 32 KB 4-way L1s, 1 MB/core 16-way
+    /// LLC, default latencies.
+    pub fn cmp(cores: usize) -> Self {
+        assert!(cores > 0 && cores <= 64, "cores must be in 1..=64, got {cores}");
+        MemSystemConfig {
+            cores,
+            l1: CacheConfig::l1(),
+            llc: CacheConfig::llc(cores),
+            latency: LatencyModel::default(),
+            prefetch_degree: 0,
+        }
+    }
+}
+
+impl MemSystem {
+    /// Builds the hierarchy described by `config`.
+    pub fn new(config: MemSystemConfig) -> Self {
+        MemSystem {
+            l1s: (0..config.cores).map(|_| SetAssocCache::new(config.l1)).collect(),
+            llc: SetAssocCache::new(config.llc),
+            directory: HashMap::new(),
+            latency: config.latency,
+            stats: vec![CoreMemStats::default(); config.cores],
+            getm_count: 0,
+            invalidations: 0,
+            prefetch_degree: config.prefetch_degree,
+            last_load: vec![None; config.cores],
+            prefetch_fills: 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.l1s.len()
+    }
+
+    /// Per-core telemetry.
+    pub fn core_stats(&self, core: CoreId) -> CoreMemStats {
+        self.stats[core.0]
+    }
+
+    /// Total GetM transactions observed on the interconnect.
+    pub fn getm_total(&self) -> u64 {
+        self.getm_count
+    }
+
+    /// Total invalidation messages sent.
+    pub fn invalidation_total(&self) -> u64 {
+        self.invalidations
+    }
+
+    fn record(&mut self, core: CoreId, level: HitLevel) {
+        let s = &mut self.stats[core.0];
+        match level {
+            HitLevel::L1 => s.l1_hits += 1,
+            HitLevel::Llc => s.llc_hits += 1,
+            HitLevel::RemoteL1 => s.remote_hits += 1,
+            HitLevel::Memory => s.dram_fetches += 1,
+        }
+    }
+
+    /// Performs one load or store by `core` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for this system.
+    pub fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> AccessResult {
+        assert!(core.0 < self.l1s.len(), "unknown {core}");
+        let line = addr.line();
+        match kind {
+            AccessKind::Load => {
+                let r = self.load(core, line);
+                if self.prefetch_degree > 0 {
+                    let stride_hit = self.last_load[core.0] == Some(line.0.wrapping_sub(1));
+                    self.last_load[core.0] = Some(line.0);
+                    if stride_hit {
+                        for d in 1..=self.prefetch_degree as u64 {
+                            self.prefetch_fill(core, LineAddr(line.0 + d));
+                        }
+                    }
+                }
+                r
+            }
+            AccessKind::Store => self.store(core, line),
+        }
+    }
+
+    /// Off-critical-path fill of `line` into `core`'s L1 (next-line
+    /// prefetch). Conservative: never disturbs a line owned elsewhere.
+    fn prefetch_fill(&mut self, core: CoreId, line: LineAddr) {
+        if self.l1s[core.0].state(line).is_some() {
+            return;
+        }
+        if let Some(entry) = self.directory.get(&line.0) {
+            if entry.owner.is_some() {
+                return;
+            }
+        }
+        self.directory.entry(line.0).or_default().sharers |= 1 << core.0;
+        self.fill_llc(line);
+        self.fill_l1(core, line, MesiState::Shared);
+        self.prefetch_fills += 1;
+    }
+
+    /// Total prefetch fills issued.
+    pub fn prefetch_fills(&self) -> u64 {
+        self.prefetch_fills
+    }
+
+    fn load(&mut self, core: CoreId, line: LineAddr) -> AccessResult {
+        if self.l1s[core.0].lookup(line).is_some() {
+            self.record(core, HitLevel::L1);
+            return AccessResult {
+                latency: self.latency.of(HitLevel::L1),
+                level: HitLevel::L1,
+                getm: None,
+            };
+        }
+
+        let entry = self.directory.entry(line.0).or_default();
+        let level = if let Some(owner) = entry.owner {
+            if owner == core {
+                // Directory thought we owned it but the L1 evicted it
+                // silently (E) or wrote it back; treat as LLC hit.
+                entry.owner = None;
+                entry.sharers |= 1 << core.0;
+                HitLevel::Llc
+            } else {
+                // Downgrade the remote owner to Shared; cache-to-cache fill.
+                entry.owner = None;
+                entry.sharers |= (1 << owner.0) | (1 << core.0);
+                self.l1s[owner.0].set_state(line, MesiState::Shared);
+                HitLevel::RemoteL1
+            }
+        } else if self.llc.lookup(line).is_some() {
+            entry.sharers |= 1 << core.0;
+            HitLevel::Llc
+        } else {
+            entry.sharers |= 1 << core.0;
+            HitLevel::Memory
+        };
+
+        // Take exclusive (E) if we are the only holder; the silent E->M
+        // upgrade this enables is exactly why QWAIT's re-arm must issue a
+        // GetS probe (modeled by `probe_shared`).
+        let sole = {
+            let entry = self.directory.get(&line.0).expect("just inserted");
+            entry.sharers == (1 << core.0) && entry.owner.is_none()
+        };
+        let state = if sole { MesiState::Exclusive } else { MesiState::Shared };
+        if sole {
+            self.directory.get_mut(&line.0).expect("present").owner = Some(core);
+            self.directory.get_mut(&line.0).expect("present").sharers = 0;
+        }
+        self.fill_llc(line);
+        self.fill_l1(core, line, state);
+        self.record(core, level);
+        AccessResult { latency: self.latency.of(level), level, getm: None }
+    }
+
+    fn store(&mut self, core: CoreId, line: LineAddr) -> AccessResult {
+        match self.l1s[core.0].lookup(line) {
+            Some(MesiState::Modified) => {
+                self.record(core, HitLevel::L1);
+                return AccessResult {
+                    latency: self.latency.of(HitLevel::L1),
+                    level: HitLevel::L1,
+                    getm: None,
+                };
+            }
+            Some(MesiState::Exclusive) => {
+                // Silent E->M upgrade: no interconnect transaction.
+                self.l1s[core.0].set_state(line, MesiState::Modified);
+                self.record(core, HitLevel::L1);
+                return AccessResult {
+                    latency: self.latency.of(HitLevel::L1),
+                    level: HitLevel::L1,
+                    getm: None,
+                };
+            }
+            Some(MesiState::Shared) => {
+                // Upgrade: GetM invalidating other sharers; directory access.
+                self.getm_count += 1;
+                self.invalidate_others(core, line);
+                let entry = self.directory.entry(line.0).or_default();
+                entry.owner = Some(core);
+                entry.sharers = 0;
+                self.l1s[core.0].set_state(line, MesiState::Modified);
+                self.record(core, HitLevel::Llc);
+                return AccessResult {
+                    latency: self.latency.of(HitLevel::Llc),
+                    level: HitLevel::Llc,
+                    getm: Some(line),
+                };
+            }
+            None => {}
+        }
+
+        // Write miss: GetM.
+        self.getm_count += 1;
+        let remote_owner = self.directory.get(&line.0).and_then(|e| e.owner).filter(|&o| o != core);
+        let level = if let Some(owner) = remote_owner {
+            // The owner's copy may already be gone (silent E-state
+            // eviction); the invalidation message is sent regardless.
+            let _ = self.l1s[owner.0].invalidate(line);
+            self.invalidations += 1;
+            HitLevel::RemoteL1
+        } else if self.llc.lookup(line).is_some() {
+            self.invalidate_others(core, line);
+            HitLevel::Llc
+        } else {
+            self.invalidate_others(core, line);
+            HitLevel::Memory
+        };
+
+        let entry = self.directory.entry(line.0).or_default();
+        entry.owner = Some(core);
+        entry.sharers = 0;
+        self.fill_llc(line);
+        self.fill_l1(core, line, MesiState::Modified);
+        self.record(core, level);
+        AccessResult { latency: self.latency.of(level), level, getm: Some(line) }
+    }
+
+    /// Issues a GetS probe on `line` without filling any L1 — downgrades any
+    /// current owner to Shared so that the *next* store must issue a visible
+    /// GetM.
+    ///
+    /// This models the coherence read the paper's QWAIT re-arm performs
+    /// ("a coherence read transaction (i.e., GetS) is issued to ensure the
+    /// line has no owner and the writes cannot be performed locally",
+    /// §III-B).
+    pub fn probe_shared(&mut self, line: LineAddr) -> Cycles {
+        if let Some(entry) = self.directory.get_mut(&line.0) {
+            if let Some(owner) = entry.owner.take() {
+                entry.sharers |= 1 << owner.0;
+                self.l1s[owner.0].set_state(line, MesiState::Shared);
+                self.fill_llc(line);
+                return self.latency.remote_l1;
+            }
+        }
+        self.latency.llc_hit
+    }
+
+    fn invalidate_others(&mut self, core: CoreId, line: LineAddr) {
+        let sharers = self.directory.get(&line.0).map(|e| e.sharers).unwrap_or(0);
+        let owner = self.directory.get(&line.0).and_then(|e| e.owner);
+        for i in 0..self.l1s.len() {
+            let holds = (sharers >> i) & 1 == 1 || owner == Some(CoreId(i));
+            if i != core.0 && holds && self.l1s[i].invalidate(line).is_some() {
+                self.invalidations += 1;
+            }
+        }
+    }
+
+    fn fill_l1(&mut self, core: CoreId, line: LineAddr, state: MesiState) {
+        if let Insert::Evicted(victim, victim_state) = self.l1s[core.0].insert(line, state) {
+            // Writeback of M lines lands in the LLC; directory forgets the
+            // private copy either way.
+            if let Some(entry) = self.directory.get_mut(&victim.0) {
+                if entry.owner == Some(core) {
+                    entry.owner = None;
+                }
+                entry.sharers &= !(1 << core.0);
+            }
+            if victim_state == MesiState::Modified {
+                self.fill_llc(victim);
+            }
+        }
+    }
+
+    fn fill_llc(&mut self, line: LineAddr) {
+        if let Insert::Evicted(victim, _) = self.llc.insert(line, MesiState::Shared) {
+            // Inclusive LLC: back-invalidate all private copies.
+            for i in 0..self.l1s.len() {
+                if self.l1s[i].invalidate(victim).is_some() {
+                    self.invalidations += 1;
+                }
+            }
+            self.directory.remove(&victim.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(cores: usize) -> MemSystem {
+        MemSystem::new(MemSystemConfig::cmp(cores))
+    }
+
+    #[test]
+    fn cold_load_misses_to_memory_then_hits() {
+        let mut m = sys(2);
+        let r = m.access(CoreId(0), Addr(0x4000), AccessKind::Load);
+        assert_eq!(r.level, HitLevel::Memory);
+        assert_eq!(r.getm, None);
+        let r = m.access(CoreId(0), Addr(0x4000), AccessKind::Load);
+        assert_eq!(r.level, HitLevel::L1);
+        assert_eq!(r.latency, Cycles(4));
+    }
+
+    #[test]
+    fn store_then_remote_load_transfers_cache_to_cache() {
+        let mut m = sys(2);
+        m.access(CoreId(0), Addr(0x4000), AccessKind::Store);
+        let r = m.access(CoreId(1), Addr(0x4000), AccessKind::Load);
+        assert_eq!(r.level, HitLevel::RemoteL1);
+        // Both now share; a store by core 0 must issue a visible GetM.
+        let r = m.access(CoreId(0), Addr(0x4000), AccessKind::Store);
+        assert!(r.getm.is_some(), "S->M upgrade must be a visible GetM");
+    }
+
+    #[test]
+    fn exclusive_upgrade_is_silent() {
+        let mut m = sys(2);
+        // Load first (takes E), then store: silent upgrade, no GetM.
+        m.access(CoreId(0), Addr(0x8000), AccessKind::Load);
+        let r = m.access(CoreId(0), Addr(0x8000), AccessKind::Store);
+        assert_eq!(r.level, HitLevel::L1);
+        assert_eq!(r.getm, None, "E->M must be silent (motivates GetS re-arm probe)");
+    }
+
+    #[test]
+    fn probe_shared_makes_next_store_visible() {
+        let mut m = sys(2);
+        m.access(CoreId(0), Addr(0x8000), AccessKind::Store); // owner in M
+        m.probe_shared(Addr(0x8000).line()); // monitoring-set re-arm
+        let r = m.access(CoreId(0), Addr(0x8000), AccessKind::Store);
+        assert!(r.getm.is_some(), "store after GetS probe must issue GetM");
+    }
+
+    #[test]
+    fn store_invalidates_sharers() {
+        let mut m = sys(4);
+        for c in 0..4 {
+            m.access(CoreId(c), Addr(0xC000), AccessKind::Load);
+        }
+        let r = m.access(CoreId(0), Addr(0xC000), AccessKind::Store);
+        assert!(r.getm.is_some());
+        // Other cores now miss.
+        let r = m.access(CoreId(1), Addr(0xC000), AccessKind::Load);
+        assert_ne!(r.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn write_miss_to_owned_line_is_remote() {
+        let mut m = sys(2);
+        m.access(CoreId(0), Addr(0x4000), AccessKind::Store);
+        let r = m.access(CoreId(1), Addr(0x4000), AccessKind::Store);
+        assert_eq!(r.level, HitLevel::RemoteL1);
+        assert!(r.getm.is_some());
+        // Ping-pong: core 0 stores again, remote again.
+        let r = m.access(CoreId(0), Addr(0x4000), AccessKind::Store);
+        assert_eq!(r.level, HitLevel::RemoteL1);
+    }
+
+    #[test]
+    fn l1_capacity_causes_misses() {
+        let mut m = sys(1);
+        // Touch 2x the L1 line capacity (32KB / 64B = 512 lines).
+        for i in 0..1024u64 {
+            m.access(CoreId(0), Addr(i * 64), AccessKind::Load);
+        }
+        // Re-touch the first lines: they must have been evicted.
+        let r = m.access(CoreId(0), Addr(0), AccessKind::Load);
+        assert_ne!(r.level, HitLevel::L1);
+        // But they should still be in the (much larger) LLC.
+        assert_eq!(r.level, HitLevel::Llc);
+    }
+
+    #[test]
+    fn llc_capacity_causes_dram_fetches() {
+        let mut m = sys(1); // 1 MB LLC = 16384 lines
+        for i in 0..40_000u64 {
+            m.access(CoreId(0), Addr(i * 64), AccessKind::Load);
+        }
+        let r = m.access(CoreId(0), Addr(0), AccessKind::Load);
+        assert_eq!(r.level, HitLevel::Memory);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = sys(2);
+        m.access(CoreId(0), Addr(0), AccessKind::Load);
+        m.access(CoreId(0), Addr(0), AccessKind::Load);
+        let s = m.core_stats(CoreId(0));
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.dram_fetches, 1);
+        assert_eq!(s.l1_miss_ratio(), 0.5);
+        assert_eq!(m.core_stats(CoreId(1)).total(), 0);
+    }
+
+    #[test]
+    fn getm_counter_tracks_ownership_traffic() {
+        let mut m = sys(2);
+        m.access(CoreId(0), Addr(0x100), AccessKind::Store);
+        m.access(CoreId(1), Addr(0x100), AccessKind::Store);
+        m.access(CoreId(1), Addr(0x100), AccessKind::Store); // M hit, silent
+        assert_eq!(m.getm_total(), 2);
+    }
+
+    #[test]
+    fn prefetcher_turns_streams_into_l1_hits() {
+        let mut cfg = MemSystemConfig::cmp(1);
+        cfg.prefetch_degree = 4;
+        let mut m = MemSystem::new(cfg);
+        // Stream 64 sequential lines: after the stride is detected, most
+        // loads should hit prefetched lines.
+        for i in 0..64u64 {
+            m.access(CoreId(0), Addr(0x10_0000 + i * 64), AccessKind::Load);
+        }
+        let s = m.core_stats(CoreId(0));
+        assert!(
+            s.l1_hits > 40,
+            "expected most stream loads to hit prefetched lines, got {} hits of {}",
+            s.l1_hits,
+            s.total()
+        );
+        assert!(m.prefetch_fills() > 30);
+
+        // Baseline without prefetch: all misses.
+        let mut base = MemSystem::new(MemSystemConfig::cmp(1));
+        for i in 0..64u64 {
+            base.access(CoreId(0), Addr(0x10_0000 + i * 64), AccessKind::Load);
+        }
+        assert_eq!(base.core_stats(CoreId(0)).l1_hits, 0);
+    }
+
+    #[test]
+    fn prefetcher_never_steals_owned_lines() {
+        let mut cfg = MemSystemConfig::cmp(2);
+        cfg.prefetch_degree = 2;
+        let mut m = MemSystem::new(cfg);
+        // Core 1 owns line at 0x20_0040 in M state.
+        m.access(CoreId(1), Addr(0x20_0040), AccessKind::Store);
+        // Core 0 streams into it: the prefetcher must skip the owned line.
+        m.access(CoreId(0), Addr(0x20_0000 - 64), AccessKind::Load);
+        m.access(CoreId(0), Addr(0x20_0000), AccessKind::Load); // stride detected
+        // Core 1 still owns it: a store remains a silent M hit.
+        let r = m.access(CoreId(1), Addr(0x20_0040), AccessKind::Store);
+        assert_eq!(r.level, HitLevel::L1);
+        assert_eq!(r.getm, None, "ownership must not have been disturbed");
+    }
+
+    #[test]
+    fn random_access_does_not_trigger_prefetch() {
+        let mut cfg = MemSystemConfig::cmp(1);
+        cfg.prefetch_degree = 4;
+        let mut m = MemSystem::new(cfg);
+        for i in 0..64u64 {
+            // Stride of 3 lines: never +1, so no prefetches.
+            m.access(CoreId(0), Addr(0x30_0000 + i * 3 * 64), AccessKind::Load);
+        }
+        assert_eq!(m.prefetch_fills(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown core")]
+    fn rejects_out_of_range_core() {
+        let mut m = sys(1);
+        m.access(CoreId(5), Addr(0), AccessKind::Load);
+    }
+}

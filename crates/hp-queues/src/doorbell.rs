@@ -1,0 +1,162 @@
+//! Doorbell semantics: an atomic element counter with semaphore-like rules.
+//!
+//! The paper assumes "a doorbell implementation wherein a field represents
+//! an atomic counter, indicating the number of elements in the queue, with
+//! similar semantics to a semaphore — producers atomically increment the
+//! counter after enqueuing each element and consumers decrement the counter
+//! before dequeuing each element" (§III-A).
+//!
+//! [`Doorbell`] is the *real* (thread-safe) implementation used by the
+//! runnable rings; the simulator models the same semantics with its own
+//! timing (see `hp-sdp`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared atomic element counter with semaphore semantics.
+///
+/// # Examples
+///
+/// ```
+/// use hp_queues::doorbell::Doorbell;
+///
+/// let db = Doorbell::new();
+/// assert!(db.is_empty());
+/// db.ring(1);            // producer, after enqueue
+/// assert_eq!(db.count(), 1);
+/// assert!(db.try_take(1)); // consumer, before dequeue
+/// assert!(db.is_empty());
+/// assert!(!db.try_take(1));
+/// ```
+#[derive(Debug, Default)]
+pub struct Doorbell {
+    count: AtomicU64,
+}
+
+impl Doorbell {
+    /// Creates a doorbell with a zero counter.
+    pub fn new() -> Self {
+        Doorbell { count: AtomicU64::new(0) }
+    }
+
+    /// Producer side: adds `n` elements to the counter *after* enqueuing.
+    ///
+    /// Returns the counter value before the increment (0 means the consumer
+    /// may have been idle and needs a wake-up in interrupt-style designs).
+    pub fn ring(&self, n: u64) -> u64 {
+        self.count.fetch_add(n, Ordering::Release)
+    }
+
+    /// Consumer side: attempts to reserve `n` elements *before* dequeuing.
+    ///
+    /// Returns `true` and decrements if at least `n` elements are available,
+    /// otherwise leaves the counter unchanged.
+    pub fn try_take(&self, n: u64) -> bool {
+        let mut cur = self.count.load(Ordering::Acquire);
+        loop {
+            if cur < n {
+                return false;
+            }
+            match self.count.compare_exchange_weak(
+                cur,
+                cur - n,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Consumer side: reserves up to `max` elements, returning how many were
+    /// taken (possibly zero). Used for batched dequeue.
+    pub fn take_up_to(&self, max: u64) -> u64 {
+        let mut cur = self.count.load(Ordering::Acquire);
+        loop {
+            if cur == 0 || max == 0 {
+                return 0;
+            }
+            let take = cur.min(max);
+            match self.count.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return take,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current element count (a racy snapshot, as any poller sees).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Whether the counter reads zero.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_and_take() {
+        let db = Doorbell::new();
+        assert_eq!(db.ring(3), 0);
+        assert_eq!(db.ring(2), 3);
+        assert_eq!(db.count(), 5);
+        assert!(db.try_take(5));
+        assert!(!db.try_take(1));
+    }
+
+    #[test]
+    fn take_up_to_clamps() {
+        let db = Doorbell::new();
+        db.ring(3);
+        assert_eq!(db.take_up_to(10), 3);
+        assert_eq!(db.take_up_to(10), 0);
+        db.ring(7);
+        assert_eq!(db.take_up_to(4), 4);
+        assert_eq!(db.count(), 3);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumer_balance() {
+        let db = Arc::new(Doorbell::new());
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for _ in 0..4_000 {
+                        db.ring(1);
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let mut taken = 0u64;
+                while taken < 16_000 {
+                    if db.try_take(1) {
+                        taken += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                taken
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(consumer.join().unwrap(), 16_000);
+        assert!(db.is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! Experiment configuration: the Table I machine and the knobs every
+//! evaluation figure sweeps.
+
+use hp_core::qwait::HyperPlaneConfig;
+use hp_mem::system::MemSystemConfig;
+use hp_sim::rng::Distribution;
+use hp_sim::time::Clock;
+use hp_traffic::shape::TrafficShape;
+use hp_workloads::service::WorkloadKind;
+
+/// The modeled chip (paper Table I).
+#[derive(Debug, Clone, Copy)]
+pub struct MicroarchConfig {
+    /// Total cores on the CMP (Table I: 16).
+    pub cores: usize,
+    /// Core clock (2 GHz class).
+    pub clock: Clock,
+}
+
+impl Default for MicroarchConfig {
+    fn default() -> Self {
+        MicroarchConfig { cores: 16, clock: Clock::default() }
+    }
+}
+
+impl MicroarchConfig {
+    /// Memory-system configuration for this machine.
+    pub fn mem_config(&self) -> MemSystemConfig {
+        MemSystemConfig::cmp(self.cores)
+    }
+}
+
+/// Which notification mechanism the data plane uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Notifier {
+    /// Spin-polling baseline (state-of-the-art SDP).
+    Spinning,
+    /// Kernel interrupt-driven baseline (the Fig. 1(a) conventional path
+    /// the paper's introduction argues against): per-queue MSI-X-style
+    /// interrupts with NAPI-like drain-then-re-arm, each delivery paying
+    /// the kernel entry/scheduling cost.
+    Interrupt,
+    /// HyperPlane with the hardware ready set.
+    HyperPlane {
+        /// Enter the C1 power-optimized state when halted (≈0.5 µs wake).
+        power_optimized: bool,
+        /// Use the software ready-set iterator instead of the PPA
+        /// (Fig. 13's comparison).
+        software_ready_set: bool,
+    },
+}
+
+impl Notifier {
+    /// The default hardware HyperPlane configuration.
+    pub fn hyperplane() -> Self {
+        Notifier::HyperPlane { power_optimized: false, software_ready_set: false }
+    }
+
+    /// HyperPlane with C1 power optimization.
+    pub fn hyperplane_power_opt() -> Self {
+        Notifier::HyperPlane { power_optimized: true, software_ready_set: false }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Notifier::Spinning => "spinning",
+            Notifier::Interrupt => "interrupt",
+            Notifier::HyperPlane { power_optimized: true, .. } => "hyperplane-c1",
+            Notifier::HyperPlane { software_ready_set: true, .. } => "hyperplane-sw",
+            Notifier::HyperPlane { .. } => "hyperplane",
+        }
+    }
+}
+
+/// Where arrivals come from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficSource {
+    /// The paper's synthetic shapes (FB/PC/NC/SQ) over `ExperimentConfig::shape`.
+    Shape,
+    /// Flow-structured traffic: Zipf-popular flows steered through a
+    /// Toeplitz/RETA pipeline (`hp_traffic::flows`) — the real-NIC origin
+    /// of the unbalanced queue loads the shapes approximate. Only
+    /// supported for a single sharing group (no static partitioning of
+    /// emergent skew).
+    Flows {
+        /// Number of concurrent flows.
+        flows: u32,
+        /// Zipf popularity exponent (1.0–1.3 typical for datacenter flows).
+        zipf_s: f64,
+    },
+}
+
+/// Offered load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Load {
+    /// Open-loop Poisson arrivals at this rate (tasks/second).
+    RatePerSec(f64),
+    /// Drive far past capacity to measure peak throughput.
+    Saturation,
+}
+
+/// One experiment's full parameterization.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The machine.
+    pub machine: MicroarchConfig,
+    /// Which task the data plane runs.
+    pub workload: WorkloadKind,
+    /// Traffic shape.
+    pub shape: TrafficShape,
+    /// Total I/O queues.
+    pub queues: u32,
+    /// Data-plane cores (paper: 1–4).
+    pub dp_cores: usize,
+    /// Cores per sharing cluster: 1 = scale-out, `dp_cores` = full
+    /// scale-up, 2 = scale-up-2 pairs (Fig. 10 configurations).
+    pub cluster: usize,
+    /// Static load imbalance for scale-out partitions (Fig. 10b).
+    pub imbalance: f64,
+    /// Notification mechanism.
+    pub notifier: Notifier,
+    /// Service-time distribution shape.
+    pub service_dist: Distribution,
+    /// Offered load.
+    pub load: Load,
+    /// Max work items dequeued per doorbell grant.
+    pub batch: usize,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Stop after this many completions (post-warmup measurement continues
+    /// to the horizon).
+    pub target_completions: u64,
+    /// Hard simulated-cycle ceiling.
+    pub max_cycles: u64,
+    /// Per-queue backlog cap; arrivals beyond it are dropped (saturation
+    /// drives only ever approach this).
+    pub queue_cap: usize,
+    /// HyperPlane device configuration.
+    pub hp: HyperPlaneConfig,
+    /// C1 wake-up latency in microseconds (paper: ~0.5 µs).
+    pub wake_us: f64,
+    /// Extra per-poll software overhead in cycles. ~10 models the tight
+    /// in-house SDP loop of §V-A; ~100 models a DPDK-class poll-mode
+    /// driver iteration (Fig. 3 case study).
+    pub poll_overhead_cycles: u64,
+    /// Work stealing across sharing groups (the paper's §III-B NUMA
+    /// future-work proposal): a HyperPlane core whose local ready set is
+    /// empty fetches ready QIDs from remote ready sets, paying
+    /// [`Self::inter_group_cycles`] per remote operation.
+    pub work_stealing: bool,
+    /// Inter-socket/inter-group access penalty in cycles (QPI/UPI-class
+    /// hop) charged on stolen work.
+    pub inter_group_cycles: u64,
+    /// In-order (flow-stateful) processing: `QWAIT-RECONSIDER` is issued
+    /// only after the dequeued item finishes processing (the paper's
+    /// "swap lines 18 and 19" variant, §III-B), serializing each queue.
+    pub in_order: bool,
+    /// Non-blocking QWAIT with a background task (§III-A): when no queue
+    /// is ready the core runs latency-insensitive background work instead
+    /// of halting, polling the ready set between chunks.
+    pub background_task: bool,
+    /// Kernel interrupt delivery + scheduling cost for the
+    /// [`Notifier::Interrupt`] baseline, microseconds.
+    pub interrupt_cost_us: f64,
+    /// Arrival source (synthetic shape or flow-structured).
+    pub traffic: TrafficSource,
+    /// Next-line prefetcher degree for DP cores (0 = Table I baseline,
+    /// none). Ablation: accelerates the sequential buffer-streaming loads.
+    pub prefetch_degree: usize,
+}
+
+impl ExperimentConfig {
+    /// A baseline configuration: 1 DP core, packet encapsulation, FB
+    /// traffic, spinning, saturation drive.
+    pub fn new(workload: WorkloadKind, shape: TrafficShape, queues: u32) -> Self {
+        ExperimentConfig {
+            machine: MicroarchConfig::default(),
+            workload,
+            shape,
+            queues,
+            dp_cores: 1,
+            cluster: 1,
+            imbalance: 0.0,
+            notifier: Notifier::Spinning,
+            service_dist: Distribution::Exponential,
+            load: Load::Saturation,
+            batch: 1,
+            seed: 0x5EED,
+            target_completions: 30_000,
+            max_cycles: 4_000_000_000,
+            queue_cap: 256,
+            hp: HyperPlaneConfig::table1(),
+            wake_us: 0.5,
+            poll_overhead_cycles: 10,
+            work_stealing: false,
+            inter_group_cycles: 120,
+            in_order: false,
+            background_task: false,
+            interrupt_cost_us: 2.0,
+            traffic: TrafficSource::Shape,
+            prefetch_degree: 0,
+        }
+    }
+
+    /// Builder-style: set the notifier.
+    pub fn with_notifier(mut self, notifier: Notifier) -> Self {
+        self.notifier = notifier;
+        self
+    }
+
+    /// Builder-style: set DP cores and cluster size.
+    pub fn with_cores(mut self, dp_cores: usize, cluster: usize) -> Self {
+        self.dp_cores = dp_cores;
+        self.cluster = cluster;
+        self
+    }
+
+    /// Builder-style: set the offered load.
+    pub fn with_load(mut self, load: Load) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Builder-style: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configurations (more DP cores than cores,
+    /// cluster not dividing DP cores, zero queues, etc.). Configurations
+    /// are research inputs; failing fast beats simulating garbage.
+    pub fn validate(&self) {
+        assert!(self.queues > 0, "need at least one queue");
+        assert!(self.dp_cores >= 1, "need at least one data-plane core");
+        assert!(
+            self.dp_cores < self.machine.cores,
+            "need at least one non-DP core for producers ({} DP of {} total)",
+            self.dp_cores,
+            self.machine.cores
+        );
+        assert!(
+            self.cluster >= 1 && self.dp_cores.is_multiple_of(self.cluster),
+            "cluster size {} must divide dp_cores {}",
+            self.cluster,
+            self.dp_cores
+        );
+        assert!(
+            self.queues as usize >= self.dp_cores / self.cluster,
+            "need at least one queue per cluster group"
+        );
+        assert!(self.batch >= 1, "batch must be at least 1");
+        assert!(
+            self.queues as usize <= self.hp.ready_qids,
+            "{} queues exceed the {}-entry ready set",
+            self.queues,
+            self.hp.ready_qids
+        );
+        assert!((0.0..1.0).contains(&self.imbalance), "imbalance in [0,1)");
+        if let TrafficSource::Flows { flows, zipf_s } = self.traffic {
+            assert!(flows > 0, "flow traffic needs at least one flow");
+            assert!(zipf_s > 0.0, "zipf exponent must be positive");
+            assert_eq!(
+                self.groups(),
+                1,
+                "flow-structured traffic supports a single sharing group"
+            );
+        }
+    }
+
+    /// Number of sharing groups (devices / partitions).
+    pub fn groups(&self) -> usize {
+        self.dp_cores / self.cluster
+    }
+
+    /// Rough single-core capacity estimate, tasks/second (used to pick the
+    /// saturation drive rate).
+    pub fn capacity_estimate_per_core(&self) -> f64 {
+        1e6 / self.workload.mean_service_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_machine_matches_table1() {
+        let m = MicroarchConfig::default();
+        assert_eq!(m.cores, 16);
+        assert_eq!(m.clock.ghz(), 2.0);
+        let mem = m.mem_config();
+        assert_eq!(mem.cores, 16);
+    }
+
+    #[test]
+    fn baseline_config_validates() {
+        let c = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 100);
+        c.validate();
+        assert_eq!(c.groups(), 1);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = ExperimentConfig::new(WorkloadKind::CryptoForward, TrafficShape::SingleQueue, 8)
+            .with_cores(4, 2)
+            .with_notifier(Notifier::hyperplane())
+            .with_load(Load::RatePerSec(1000.0))
+            .with_seed(9);
+        c.validate();
+        assert_eq!(c.groups(), 2);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.notifier.label(), "hyperplane");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn cluster_must_divide_cores() {
+        let c = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 100)
+            .with_cores(4, 3);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn queue_count_bounded_by_ready_set() {
+        let mut c =
+            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 2000);
+        c.hp.ready_qids = 1024;
+        c.validate();
+    }
+
+    #[test]
+    fn notifier_labels() {
+        assert_eq!(Notifier::Spinning.label(), "spinning");
+        assert_eq!(Notifier::hyperplane_power_opt().label(), "hyperplane-c1");
+        assert_eq!(
+            Notifier::HyperPlane { power_optimized: false, software_ready_set: true }.label(),
+            "hyperplane-sw"
+        );
+    }
+
+    #[test]
+    fn capacity_estimate_is_sane() {
+        let c = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 10);
+        // 1.4 us/task => ~714k tasks/s.
+        assert!((c.capacity_estimate_per_core() - 714_285.0).abs() < 1000.0);
+    }
+}

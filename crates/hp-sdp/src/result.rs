@@ -1,0 +1,220 @@
+//! Experiment results: throughput, latency distribution, telemetry, and
+//! derived power / co-runner metrics.
+
+use crate::config::ExperimentConfig;
+use crate::power::PowerModel;
+use crate::telemetry::{CoreTelemetry, SmtCoRunner};
+use hp_sim::stats::{Histogram, OnlineStats};
+use hp_sim::time::{Clock, SimTime};
+
+/// The outcome of one engine run.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Measured (post-warmup) throughput, tasks/second.
+    pub throughput_tps: f64,
+    /// End-to-end latency histogram (cycles), post-warmup samples.
+    pub latency_cycles: Histogram,
+    /// Per-DP-core telemetry.
+    pub per_core: Vec<CoreTelemetry>,
+    /// Total completions over the whole run (incl. warmup).
+    pub completions: u64,
+    /// Arrivals dropped at the queue cap (saturation drives).
+    pub drops: u64,
+    /// The offered arrival rate actually driven, tasks/second.
+    pub offered_tps: f64,
+    /// Simulated end time.
+    pub end: SimTime,
+    clock: Clock,
+    per_queue: Vec<OnlineStats>,
+    notify_latency: Histogram,
+    mem_stats: hp_mem::system::CoreMemStats,
+}
+
+impl ExperimentResult {
+    /// Assembles a result (called by the engine).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        cfg: &ExperimentConfig,
+        throughput_tps: f64,
+        latency_cycles: Histogram,
+        per_core: Vec<CoreTelemetry>,
+        completions: u64,
+        drops: u64,
+        offered_tps: f64,
+        end: SimTime,
+    ) -> Self {
+        ExperimentResult {
+            throughput_tps,
+            latency_cycles,
+            per_core,
+            completions,
+            drops,
+            offered_tps,
+            end,
+            clock: cfg.machine.clock,
+            per_queue: Vec::new(),
+            notify_latency: Histogram::new(),
+            mem_stats: hp_mem::system::CoreMemStats::default(),
+        }
+    }
+
+    /// Attaches aggregated DP-core memory stats (engine internal).
+    pub(crate) fn with_mem_stats(mut self, mem_stats: hp_mem::system::CoreMemStats) -> Self {
+        self.mem_stats = mem_stats;
+        self
+    }
+
+    /// Aggregated DP-core cache behaviour: hit/miss counts per level.
+    pub fn mem_stats(&self) -> hp_mem::system::CoreMemStats {
+        self.mem_stats
+    }
+
+    /// Attaches the notification-latency histogram (engine internal).
+    pub(crate) fn with_notify_latency(mut self, h: Histogram) -> Self {
+        self.notify_latency = h;
+        self
+    }
+
+    /// Mean *notification* latency (arrival to dequeue) in microseconds —
+    /// the component HyperPlane accelerates; end-to-end latency adds
+    /// service time on top.
+    pub fn mean_notification_us(&self) -> f64 {
+        self.clock
+            .cycles_to_micros(hp_sim::time::Cycles(self.notify_latency.mean() as u64))
+    }
+
+    /// Notification-latency percentile in microseconds.
+    pub fn notification_percentile_us(&self, p: f64) -> f64 {
+        self.clock
+            .cycles_to_micros(hp_sim::time::Cycles(self.notify_latency.percentile(p)))
+    }
+
+    /// Attaches per-queue latency accumulators (engine internal).
+    pub(crate) fn with_per_queue(mut self, per_queue: Vec<OnlineStats>) -> Self {
+        self.per_queue = per_queue;
+        self
+    }
+
+    /// Mean latency per queue in microseconds, with sample counts:
+    /// `(queue, samples, mean_us)` for queues that completed work.
+    /// Used to demonstrate service-policy differentiation (WRR weights).
+    pub fn per_queue_latency_us(&self) -> Vec<(u32, u64, f64)> {
+        self.per_queue
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count() > 0)
+            .map(|(q, s)| {
+                let us = self
+                    .clock
+                    .cycles_to_micros(hp_sim::time::Cycles(s.mean() as u64));
+                (q as u32, s.count(), us)
+            })
+            .collect()
+    }
+
+    /// Throughput in million tasks per second (the paper's Fig. 8 unit).
+    pub fn throughput_mtps(&self) -> f64 {
+        self.throughput_tps / 1e6
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.clock.cycles_to_micros(hp_sim::time::Cycles(self.latency_cycles.mean() as u64))
+    }
+
+    /// Latency percentile in microseconds.
+    pub fn latency_percentile_us(&self, p: f64) -> f64 {
+        self.clock
+            .cycles_to_micros(hp_sim::time::Cycles(self.latency_cycles.percentile(p)))
+    }
+
+    /// 99th-percentile latency in microseconds (the paper's tail metric).
+    pub fn p99_latency_us(&self) -> f64 {
+        self.latency_percentile_us(99.0)
+    }
+
+    /// Latency CDF in microseconds: `(latency_us, cumulative_fraction)`.
+    pub fn latency_cdf_us(&self) -> Vec<(f64, f64)> {
+        self.latency_cycles
+            .cdf()
+            .into_iter()
+            .map(|(cyc, f)| (self.clock.cycles_to_micros(hp_sim::time::Cycles(cyc)), f))
+            .collect()
+    }
+
+    /// Telemetry summed over all DP cores.
+    pub fn aggregate_telemetry(&self) -> CoreTelemetry {
+        let mut agg = CoreTelemetry::default();
+        for t in &self.per_core {
+            agg.merge(t);
+        }
+        agg
+    }
+
+    /// Average DP-core power as a fraction of peak core power.
+    pub fn average_power_fraction(&self, model: &PowerModel) -> f64 {
+        if self.per_core.is_empty() {
+            return 0.0;
+        }
+        self.per_core.iter().map(|t| model.average_power(t)).sum::<f64>()
+            / self.per_core.len() as f64
+    }
+
+    /// SMT co-runner IPC averaged over DP cores (Fig. 11b).
+    pub fn co_runner_ipc(&self, smt: &SmtCoRunner) -> f64 {
+        if self.per_core.is_empty() {
+            return smt.alone_ipc;
+        }
+        self.per_core.iter().map(|t| smt.co_ipc(t)).sum::<f64>() / self.per_core.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use hp_traffic::shape::TrafficShape;
+    use hp_workloads::service::WorkloadKind;
+
+    fn dummy() -> ExperimentResult {
+        let cfg =
+            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 16);
+        let mut lat = Histogram::new();
+        for v in [2000u64, 4000, 6000, 200_000] {
+            lat.record(v);
+        }
+        let t = CoreTelemetry {
+            useful_instructions: 100,
+            active_cycles: 100,
+            ..Default::default()
+        };
+        ExperimentResult::new(&cfg, 500_000.0, lat, vec![t], 4, 0, 2_000_000.0, SimTime(1_000_000))
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = dummy();
+        assert_eq!(r.throughput_mtps(), 0.5);
+        // Mean of 2000,4000,6000,200000 cycles = 53000 cyc = 26.5 us.
+        assert!((r.mean_latency_us() - 26.5).abs() < 0.1);
+        // p99 is the max bucket: ~100 us.
+        assert!(r.p99_latency_us() > 90.0);
+    }
+
+    #[test]
+    fn cdf_is_in_microseconds_and_complete() {
+        let r = dummy();
+        let cdf = r.latency_cdf_us();
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(cdf[0].0 >= 0.9 && cdf[0].0 < 1.2, "first sample ~1us, got {}", cdf[0].0);
+    }
+
+    #[test]
+    fn power_and_corunner_derivations_work() {
+        let r = dummy();
+        let p = r.average_power_fraction(&PowerModel::default());
+        assert!(p > 0.0 && p <= 1.0);
+        let co = r.co_runner_ipc(&SmtCoRunner::default());
+        assert!(co > 0.0 && co <= 2.2);
+    }
+}

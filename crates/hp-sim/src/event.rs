@@ -1,0 +1,284 @@
+//! The event queue at the heart of the discrete-event kernel.
+//!
+//! [`EventQueue`] is a priority queue of `(time, payload)` pairs with a
+//! strict total order: events fire in time order, and events scheduled for
+//! the same instant fire in insertion order (FIFO tie-breaking via a
+//! monotonically increasing sequence number). Popping an event advances the
+//! queue's notion of *now*; scheduling into the past is a logic error.
+//!
+//! # Examples
+//!
+//! ```
+//! use hp_sim::event::EventQueue;
+//! use hp_sim::time::{Cycles, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_after(Cycles(10), "b");
+//! q.schedule_at(SimTime(5), "a");
+//! assert_eq!(q.pop(), Some((SimTime(5), "a")));
+//! assert_eq!(q.pop(), Some((SimTime(10), "b")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+use crate::time::{Cycles, SimTime};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// The queue owns the simulation clock: [`EventQueue::now`] is the timestamp
+/// of the most recently popped event (initially [`SimTime::ZERO`]).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current simulated instant (time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than [`Self::now`]: a causality violation in
+    /// the model, never a recoverable condition.
+    pub fn schedule_at(&mut self, t: SimTime, payload: E) {
+        assert!(
+            t >= self.now,
+            "scheduling into the past: {t} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Reverse(Scheduled { time: t, seq, payload }));
+    }
+
+    /// Schedules `payload` to fire `delay` after *now*.
+    pub fn schedule_after(&mut self, delay: Cycles, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(ev) = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// Timestamp of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(ev)| ev.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (telemetry).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+/// Outcome of a bounded simulation run driven by [`run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The event queue drained before the horizon.
+    Drained,
+    /// The event budget was exhausted (guard against runaway models).
+    BudgetExhausted,
+}
+
+/// Drives `queue` by repeatedly popping events and passing them to `handler`
+/// until the clock passes `horizon`, the queue drains, or `max_events` have
+/// been processed.
+///
+/// The handler receives the event timestamp, the payload, and a mutable
+/// borrow of the queue so it can schedule follow-up events.
+///
+/// # Examples
+///
+/// ```
+/// use hp_sim::event::{run_until, EventQueue, RunOutcome};
+/// use hp_sim::time::{Cycles, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime(1), 1u64);
+/// let mut sum = 0;
+/// let outcome = run_until(&mut q, SimTime(100), u64::MAX, |_, n, q| {
+///     sum += n;
+///     if n < 4 {
+///         q.schedule_after(Cycles(1), n + 1);
+///     }
+/// });
+/// assert_eq!(outcome, RunOutcome::Drained);
+/// assert_eq!(sum, 1 + 2 + 3 + 4);
+/// ```
+pub fn run_until<E>(
+    queue: &mut EventQueue<E>,
+    horizon: SimTime,
+    max_events: u64,
+    mut handler: impl FnMut(SimTime, E, &mut EventQueue<E>),
+) -> RunOutcome {
+    let mut processed = 0u64;
+    loop {
+        match queue.peek_time() {
+            None => return RunOutcome::Drained,
+            Some(t) if t > horizon => return RunOutcome::HorizonReached,
+            Some(_) => {}
+        }
+        if processed >= max_events {
+            return RunOutcome::BudgetExhausted;
+        }
+        let (t, payload) = queue.pop().expect("peeked event must pop");
+        handler(t, payload, queue);
+        processed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), 3);
+        q.schedule_at(SimTime(10), 1);
+        q.schedule_at(SimTime(20), 2);
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime(30), 3)));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(7), i)));
+        }
+    }
+
+    #[test]
+    fn pop_advances_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), ());
+        q.pop();
+        q.schedule_at(SimTime(5), ());
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), "first");
+        q.pop();
+        q.schedule_after(Cycles(5), "second");
+        assert_eq!(q.pop(), Some((SimTime(105), "second")));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1), ());
+        let mut count = 0;
+        let outcome = run_until(&mut q, SimTime(10), u64::MAX, |_, (), q| {
+            count += 1;
+            q.schedule_after(Cycles(3), ());
+        });
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        // Events at 1, 4, 7, 10 fire; the one at 13 does not.
+        assert_eq!(count, 4);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn run_until_respects_budget() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1), ());
+        let outcome = run_until(&mut q, SimTime(u64::MAX), 10, |_, (), q| {
+            q.schedule_after(Cycles(1), ());
+        });
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn telemetry_counts_scheduled() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1), ());
+        q.schedule_at(SimTime(2), ());
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

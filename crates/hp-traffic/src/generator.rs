@@ -1,0 +1,283 @@
+//! Open-loop Poisson traffic generation.
+//!
+//! The paper's emulated I/O sources "generate traffic with different shapes
+//! and loads" and arrivals "follow a Poisson process (memoryless
+//! inter-arrival times)" (§V-A/§V-B). [`TrafficGenerator`] produces a
+//! deterministic, seeded stream of `(inter-arrival, queue)` draws: the
+//! data-plane engines schedule each arrival as a producer-core doorbell
+//! store.
+
+use crate::alias::AliasTable;
+use crate::shape::TrafficShape;
+use hp_queues::sim::QueueId;
+use hp_sim::rng::sample_exp;
+use hp_sim::time::{Clock, Cycles};
+use rand::rngs::SmallRng;
+
+/// One generated arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Delay after the previous arrival.
+    pub gap: Cycles,
+    /// Destination queue.
+    pub queue: QueueId,
+}
+
+/// Deterministic open-loop Poisson arrival stream over a traffic shape.
+///
+/// # Examples
+///
+/// ```
+/// use hp_traffic::generator::TrafficGenerator;
+/// use hp_traffic::shape::TrafficShape;
+/// use hp_sim::rng::RngFactory;
+/// use hp_sim::time::Clock;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut gen = TrafficGenerator::new(
+///     TrafficShape::SingleQueue,
+///     16,            // queues
+///     100_000.0,     // tasks/second offered
+///     Clock::default(),
+///     RngFactory::new(1).stream(7),
+/// )?;
+/// let a = gen.next_arrival();
+/// assert_eq!(a.queue.0, 0, "SQ sends everything to queue 0");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    table: AliasTable,
+    mean_gap_cycles: f64,
+    rng: SmallRng,
+    generated: u64,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator offering `rate_per_sec` tasks/second spread over
+    /// `queues` queues according to `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the shape produces an invalid weight
+    /// vector (cannot happen for positive queue counts) or the rate is not
+    /// positive.
+    pub fn new(
+        shape: TrafficShape,
+        queues: u32,
+        rate_per_sec: f64,
+        clock: Clock,
+        rng: SmallRng,
+    ) -> Result<Self, String> {
+        if !(rate_per_sec.is_finite() && rate_per_sec > 0.0) {
+            return Err(format!("offered rate must be positive, got {rate_per_sec}"));
+        }
+        let weights = shape.weights(queues);
+        let table = AliasTable::new(&weights).map_err(|e| e.to_string())?;
+        let cycles_per_sec = clock.ghz() * 1e9;
+        Ok(TrafficGenerator {
+            table,
+            mean_gap_cycles: cycles_per_sec / rate_per_sec,
+            rng,
+            generated: 0,
+        })
+    }
+
+    /// Draws the next arrival (exponential gap, shape-weighted queue).
+    pub fn next_arrival(&mut self) -> Arrival {
+        let gap = sample_exp(&mut self.rng, self.mean_gap_cycles).round().max(1.0) as u64;
+        let queue = self.table.sample(&mut self.rng) as u32;
+        self.generated += 1;
+        Arrival { gap: Cycles(gap), queue: QueueId(queue) }
+    }
+
+    /// Draws only a destination queue (for closed-loop saturation drives
+    /// where the arrival process is "always backlogged").
+    pub fn next_queue(&mut self) -> QueueId {
+        QueueId(self.table.sample(&mut self.rng) as u32)
+    }
+
+    /// Mean inter-arrival gap in cycles.
+    pub fn mean_gap_cycles(&self) -> f64 {
+        self.mean_gap_cycles
+    }
+
+    /// Arrivals generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+}
+
+/// Splits `queues` queues into `cores` contiguous scale-out partitions,
+/// optionally skewing hot-queue placement to create static load imbalance
+/// (Fig. 10b's "10 % imbalance" variant).
+///
+/// With `imbalance = 0.0` hot queues are dealt round-robin across
+/// partitions (balanced); with `imbalance = 0.1`, partition 0 receives
+/// ~10 % more of the hot queues than a balanced deal, at the expense of the
+/// last partition.
+///
+/// Returns, for each queue, the index of the core partition that owns it.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero, `queues < cores`, or `imbalance` is not in
+/// `[0, 1)`.
+pub fn partition_queues(
+    shape: TrafficShape,
+    queues: u32,
+    cores: usize,
+    imbalance: f64,
+) -> Vec<usize> {
+    assert!(cores > 0, "need at least one core");
+    assert!(queues as usize >= cores, "fewer queues than cores");
+    assert!((0.0..1.0).contains(&imbalance), "imbalance must be in [0,1)");
+    let weights = shape.weights(queues);
+    // Order queues hot-first so we can deal them like cards.
+    let mut order: Vec<usize> = (0..queues as usize).collect();
+    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite weights"));
+
+    let mut owner = vec![0usize; queues as usize];
+    if imbalance == 0.0 {
+        for (i, &q) in order.iter().enumerate() {
+            owner[q] = i % cores;
+        }
+        return owner;
+    }
+    // Weighted deal: core 0 gets a (1 + imbalance·cores/(cores-1))-ish
+    // share, the last core gets correspondingly less; middles unchanged.
+    let mut shares = vec![1.0; cores];
+    shares[0] += imbalance * cores as f64 / 2.0;
+    shares[cores - 1] -= imbalance * cores as f64 / 2.0;
+    let total: f64 = shares.iter().sum();
+    let targets: Vec<f64> =
+        shares.iter().map(|s| s / total * order.len() as f64).collect();
+    let mut filled = vec![0usize; cores];
+    for &q in &order {
+        // Assign to the most-underfilled core relative to its target.
+        let core = (0..cores)
+            .max_by(|&a, &b| {
+                let da = targets[a] - filled[a] as f64;
+                let db = targets[b] - filled[b] as f64;
+                da.partial_cmp(&db).expect("finite")
+            })
+            .expect("cores > 0");
+        owner[q] = core;
+        filled[core] += 1;
+    }
+    owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hp_sim::rng::RngFactory;
+
+    fn generator(shape: TrafficShape, queues: u32, rate: f64) -> TrafficGenerator {
+        TrafficGenerator::new(shape, queues, rate, Clock::default(), RngFactory::new(11).stream(0))
+            .unwrap()
+    }
+
+    #[test]
+    fn arrival_rate_converges() {
+        let mut g = generator(TrafficShape::FullyBalanced, 8, 1_000_000.0);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| g.next_arrival().gap.count()).sum();
+        let mean = total as f64 / n as f64;
+        // 2 GHz / 1M tasks/s = 2000 cycles mean gap.
+        assert!((mean - 2000.0).abs() < 30.0, "mean gap {mean}");
+        assert_eq!(g.generated(), n);
+    }
+
+    #[test]
+    fn sq_targets_only_queue_zero() {
+        let mut g = generator(TrafficShape::SingleQueue, 64, 1000.0);
+        for _ in 0..1000 {
+            assert_eq!(g.next_arrival().queue, QueueId(0));
+        }
+    }
+
+    #[test]
+    fn pc_hot_queues_receive_most_traffic() {
+        let queues = 100u32;
+        let mut g = generator(TrafficShape::ProportionallyConcentrated, queues, 1000.0);
+        let mut counts = vec![0u64; queues as usize];
+        for _ in 0..100_000 {
+            counts[g.next_queue().0 as usize] += 1;
+        }
+        let hot: u64 = counts[..20].iter().sum();
+        let cold: u64 = counts[20..].iter().sum();
+        // Hot mass fraction = 20 / (20 + 80*0.05) = 0.8333.
+        let frac = hot as f64 / (hot + cold) as f64;
+        assert!((frac - 0.8333).abs() < 0.01, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let mut a = generator(TrafficShape::FullyBalanced, 16, 5000.0);
+        let mut b = generator(TrafficShape::FullyBalanced, 16, 5000.0);
+        for _ in 0..100 {
+            assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+    }
+
+    #[test]
+    fn rejects_nonpositive_rate() {
+        assert!(TrafficGenerator::new(
+            TrafficShape::FullyBalanced,
+            4,
+            0.0,
+            Clock::default(),
+            RngFactory::new(1).stream(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn balanced_partition_deals_hot_queues_evenly() {
+        let owner = partition_queues(TrafficShape::ProportionallyConcentrated, 400, 4, 0.0);
+        // 80 hot queues (20%) should land 20 per core.
+        let weights = TrafficShape::ProportionallyConcentrated.weights(400);
+        let mut hot_per_core = [0u32; 4];
+        for (q, &c) in owner.iter().enumerate() {
+            if weights[q] == 1.0 {
+                hot_per_core[c] += 1;
+            }
+        }
+        assert_eq!(hot_per_core, [20, 20, 20, 20]);
+    }
+
+    #[test]
+    fn imbalanced_partition_skews_hot_queues() {
+        let owner = partition_queues(TrafficShape::ProportionallyConcentrated, 400, 4, 0.10);
+        let weights = TrafficShape::ProportionallyConcentrated.weights(400);
+        let mut hot_per_core = [0u32; 4];
+        for (q, &c) in owner.iter().enumerate() {
+            if weights[q] == 1.0 {
+                hot_per_core[c] += 1;
+            }
+        }
+        assert!(
+            hot_per_core[0] > hot_per_core[3],
+            "expected skew, got {hot_per_core:?}"
+        );
+        let total: u32 = hot_per_core.iter().sum();
+        assert_eq!(total, 80);
+    }
+
+    #[test]
+    fn every_queue_gets_an_owner() {
+        let owner = partition_queues(TrafficShape::FullyBalanced, 17, 4, 0.0);
+        assert_eq!(owner.len(), 17);
+        for c in 0..4 {
+            assert!(owner.contains(&c), "core {c} owns nothing");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer queues than cores")]
+    fn partition_rejects_too_few_queues() {
+        let _ = partition_queues(TrafficShape::FullyBalanced, 2, 4, 0.0);
+    }
+}

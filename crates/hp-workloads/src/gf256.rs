@@ -1,0 +1,225 @@
+//! Arithmetic in GF(2^8), the finite field under the storage workloads.
+//!
+//! Both the Reed–Solomon erasure coder and the RAID P+Q parity engine
+//! (paper §V-A: "Erasure coding" and "RAID protection") compute over
+//! GF(2^8) with the conventional polynomial `x^8 + x^4 + x^3 + x^2 + 1`
+//! (0x11D), the same field used by ISA-L and the linux-raid Q syndrome.
+//!
+//! Multiplication uses 256-entry log/exp tables built at first use.
+
+/// The field's reduction polynomial (without the x^8 term): 0x11D.
+pub const POLY: u16 = 0x11D;
+
+/// Precomputed log/exp tables for GF(2^8).
+#[derive(Debug)]
+pub struct Gf256 {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gf256 {
+    /// Builds the log/exp tables (generator 2 is primitive for 0x11D).
+    pub fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().take(255).enumerate() {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        // Duplicate so mul can skip the mod-255 reduction.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { exp, log }
+    }
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero (zero has no inverse).
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "zero has no multiplicative inverse in GF(2^8)");
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(2^8)");
+        if a == 0 {
+            0
+        } else {
+            let d = self.log[a as usize] as usize + 255 - self.log[b as usize] as usize;
+            self.exp[d]
+        }
+    }
+
+    /// `a` raised to `n` (with `0^0 == 1`).
+    pub fn pow(&self, a: u8, n: u32) -> u8 {
+        if n == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let e = (self.log[a as usize] as u64 * n as u64) % 255;
+        self.exp[e as usize]
+    }
+
+    /// The generator element 2 raised to `n` — the RAID-6 Q coefficients.
+    #[inline]
+    pub fn gen_pow(&self, n: u32) -> u8 {
+        self.exp[(n % 255) as usize]
+    }
+
+    /// Multiplies every byte of `data` by `c`, accumulating (XOR) into
+    /// `acc`. The hot loop of both storage kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn mul_acc(&self, acc: &mut [u8], data: &[u8], c: u8) {
+        assert_eq!(acc.len(), data.len(), "mul_acc length mismatch");
+        if c == 0 {
+            return;
+        }
+        if c == 1 {
+            for (a, d) in acc.iter_mut().zip(data) {
+                *a ^= d;
+            }
+            return;
+        }
+        let lc = self.log[c as usize] as usize;
+        for (a, &d) in acc.iter_mut().zip(data) {
+            if d != 0 {
+                *a ^= self.exp[lc + self.log[d as usize] as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> Gf256 {
+        Gf256::new()
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Carry-less multiply reduced mod POLY, checked exhaustively on a grid.
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut r: u16 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    r ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= POLY;
+                }
+                b >>= 1;
+            }
+            r as u8
+        }
+        let g = f();
+        for a in (0..256).step_by(7) {
+            for b in (0..256).step_by(5) {
+                assert_eq!(g.mul(a as u8, b as u8), slow_mul(a as u16, b as u16), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        let g = f();
+        for a in 1..=255u8 {
+            assert_eq!(g.mul(a, g.inv(a)), 1, "inv({a})");
+        }
+    }
+
+    #[test]
+    fn distributivity_holds() {
+        let g = f();
+        for a in [3u8, 17, 91, 200] {
+            for b in [5u8, 44, 130] {
+                for c in [7u8, 99, 255] {
+                    assert_eq!(g.mul(a, g.add(b, c)), g.add(g.mul(a, b), g.mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_and_gen_pow_agree() {
+        let g = f();
+        for n in 0..300u32 {
+            assert_eq!(g.gen_pow(n), g.pow(2, n));
+        }
+        assert_eq!(g.pow(7, 0), 1);
+        assert_eq!(g.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        let g = f();
+        for a in [1u8, 2, 100, 254] {
+            for b in [1u8, 3, 77, 255] {
+                assert_eq!(g.div(g.mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_equals_elementwise() {
+        let g = f();
+        let data: Vec<u8> = (0..64).map(|i| (i * 37 % 256) as u8).collect();
+        let mut acc = vec![0xAAu8; 64];
+        let mut expect = acc.clone();
+        g.mul_acc(&mut acc, &data, 0x53);
+        for (e, &d) in expect.iter_mut().zip(&data) {
+            *e ^= g.mul(0x53, d);
+        }
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inv_of_zero_panics() {
+        f().inv(0);
+    }
+}

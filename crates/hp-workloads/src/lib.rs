@@ -1,0 +1,40 @@
+//! # hp-workloads — the six data-plane task kernels
+//!
+//! Real, from-scratch implementations of every task in the paper's
+//! evaluation (§V-A), plus the service-time models the simulator draws
+//! from:
+//!
+//! | Paper task | Module | Implementation |
+//! |---|---|---|
+//! | Packet encapsulation | [`packet`] | GRE (RFC 2784) IPv4-in-IPv6, real headers and checksums |
+//! | Crypto forwarding | [`aes`] | AES-256-CBC from scratch, FIPS-197/SP 800-38A validated |
+//! | Packet steering | [`steering`] | Toeplitz (RSS) hash + session-affinity table |
+//! | Erasure coding | [`reed_solomon`] | Systematic Reed–Solomon over GF(2^8), Cauchy matrix |
+//! | RAID protection | [`raid`] | RAID-6 P+Q syndromes with one/two-failure rebuild |
+//! | Request dispatching | [`dispatch`] | Request classifier + RPC descriptor builder |
+//!
+//! [`service`] maps each workload to a calibrated mean service time
+//! (DESIGN.md §6) and can also measure the real kernels on the host.
+//!
+//! ```
+//! use hp_workloads::service::{run_task_once, WorkloadKind};
+//!
+//! // Every kernel actually executes:
+//! for kind in WorkloadKind::ALL {
+//!     let _checksum = run_task_once(kind, 0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod dispatch;
+pub mod gf256;
+pub mod packet;
+pub mod raid;
+pub mod reed_solomon;
+pub mod service;
+pub mod steering;
+
+pub use service::{ServiceModel, WorkloadKind};

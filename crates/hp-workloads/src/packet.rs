@@ -1,0 +1,425 @@
+//! Packet formats and GRE-over-IPv6 encapsulation.
+//!
+//! The paper's "Packet encapsulation" task uses "the GRE protocol to
+//! encapsulate IPv4 packets within IPv6 packets" (§V-A). This module
+//! implements the wire formats involved — an IPv4 header with checksum, an
+//! IPv6 header, and the RFC 2784 GRE header — and the encapsulation /
+//! decapsulation transform itself, operating on real bytes.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// IANA protocol number for GRE.
+pub const IPPROTO_GRE: u8 = 47;
+/// GRE protocol type for IPv4 payloads (EtherType).
+pub const GRE_PROTO_IPV4: u16 = 0x0800;
+
+/// Errors from packet parsing/encapsulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// Buffer too short to contain the claimed structure.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// First nibble was not the expected IP version.
+    BadVersion(u8),
+    /// IPv4 header checksum did not verify.
+    BadChecksum,
+    /// GRE header advertised unsupported flags or payload protocol.
+    UnsupportedGre(u16),
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Truncated { needed, have } => {
+                write!(f, "packet truncated: need {needed} bytes, have {have}")
+            }
+            PacketError::BadVersion(v) => write!(f, "unexpected IP version {v}"),
+            PacketError::BadChecksum => write!(f, "IPv4 header checksum mismatch"),
+            PacketError::UnsupportedGre(w) => write!(f, "unsupported GRE header word {w:#06x}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// A parsed IPv4 header (fixed 20-byte form; options rejected as truncated
+/// payload would be — the data plane only forwards standard traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated services + ECN byte.
+    pub dscp_ecn: u8,
+    /// Total length including header.
+    pub total_len: u16,
+    /// Identification field.
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub protocol: u8,
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+}
+
+/// RFC 1071 ones'-complement checksum over 16-bit words.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl Ipv4Header {
+    /// Wire size of the fixed header.
+    pub const LEN: usize = 20;
+
+    /// Parses and checksum-verifies a fixed IPv4 header.
+    ///
+    /// # Errors
+    ///
+    /// [`PacketError::Truncated`] for short buffers,
+    /// [`PacketError::BadVersion`] if not IPv4 with IHL 5, and
+    /// [`PacketError::BadChecksum`] on checksum failure.
+    pub fn parse(buf: &[u8]) -> Result<Self, PacketError> {
+        if buf.len() < Self::LEN {
+            return Err(PacketError::Truncated { needed: Self::LEN, have: buf.len() });
+        }
+        if buf[0] != 0x45 {
+            return Err(PacketError::BadVersion(buf[0] >> 4));
+        }
+        if internet_checksum(&buf[..Self::LEN]) != 0 {
+            return Err(PacketError::BadChecksum);
+        }
+        Ok(Ipv4Header {
+            dscp_ecn: buf[1],
+            total_len: u16::from_be_bytes([buf[2], buf[3]]),
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            ttl: buf[8],
+            protocol: buf[9],
+            src: [buf[12], buf[13], buf[14], buf[15]],
+            dst: [buf[16], buf[17], buf[18], buf[19]],
+        })
+    }
+
+    /// Serializes the header with a freshly computed checksum.
+    pub fn write(&self, out: &mut BytesMut) {
+        let start = out.len();
+        out.put_u8(0x45);
+        out.put_u8(self.dscp_ecn);
+        out.put_u16(self.total_len);
+        out.put_u16(self.ident);
+        out.put_u16(0); // flags/fragment: DF not set, no fragmentation
+        out.put_u8(self.ttl);
+        out.put_u8(self.protocol);
+        out.put_u16(0); // checksum placeholder
+        out.put_slice(&self.src);
+        out.put_slice(&self.dst);
+        let csum = internet_checksum(&out[start..start + Self::LEN]);
+        out[start + 10..start + 12].copy_from_slice(&csum.to_be_bytes());
+    }
+}
+
+/// An IPv6 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// Flow label (20 bits used).
+    pub flow_label: u32,
+    /// Payload length (everything after this header).
+    pub payload_len: u16,
+    /// Next header (protocol).
+    pub next_header: u8,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: [u8; 16],
+    /// Destination address.
+    pub dst: [u8; 16],
+}
+
+impl Ipv6Header {
+    /// Wire size of the header.
+    pub const LEN: usize = 40;
+
+    /// Parses an IPv6 header.
+    ///
+    /// # Errors
+    ///
+    /// [`PacketError::Truncated`] or [`PacketError::BadVersion`].
+    pub fn parse(buf: &[u8]) -> Result<Self, PacketError> {
+        if buf.len() < Self::LEN {
+            return Err(PacketError::Truncated { needed: Self::LEN, have: buf.len() });
+        }
+        if buf[0] >> 4 != 6 {
+            return Err(PacketError::BadVersion(buf[0] >> 4));
+        }
+        let word = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let mut src = [0u8; 16];
+        let mut dst = [0u8; 16];
+        src.copy_from_slice(&buf[8..24]);
+        dst.copy_from_slice(&buf[24..40]);
+        Ok(Ipv6Header {
+            traffic_class: ((word >> 20) & 0xFF) as u8,
+            flow_label: word & 0xF_FFFF,
+            payload_len: u16::from_be_bytes([buf[4], buf[5]]),
+            next_header: buf[6],
+            hop_limit: buf[7],
+            src,
+            dst,
+        })
+    }
+
+    /// Serializes the header.
+    pub fn write(&self, out: &mut BytesMut) {
+        let word = (6u32 << 28) | ((self.traffic_class as u32) << 20) | (self.flow_label & 0xF_FFFF);
+        out.put_u32(word);
+        out.put_u16(self.payload_len);
+        out.put_u8(self.next_header);
+        out.put_u8(self.hop_limit);
+        out.put_slice(&self.src);
+        out.put_slice(&self.dst);
+    }
+}
+
+/// The GRE-over-IPv6 encapsulator: the paper's packet-encapsulation task.
+///
+/// # Examples
+///
+/// ```
+/// use hp_workloads::packet::{GreEncapsulator, Ipv4Header};
+/// use bytes::BytesMut;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tun = GreEncapsulator::new([0xfd; 16], [0xfe; 16]);
+/// // Build a small IPv4 packet.
+/// let mut pkt = BytesMut::new();
+/// Ipv4Header {
+///     dscp_ecn: 0, total_len: 28, ident: 1, ttl: 64, protocol: 17,
+///     src: [10, 0, 0, 1], dst: [10, 0, 0, 2],
+/// }
+/// .write(&mut pkt);
+/// pkt.extend_from_slice(&[0u8; 8]);
+///
+/// let encapped = tun.encapsulate(&pkt)?;
+/// let inner = tun.decapsulate(&encapped)?;
+/// assert_eq!(&inner[..], &pkt[..]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GreEncapsulator {
+    tunnel_src: [u8; 16],
+    tunnel_dst: [u8; 16],
+}
+
+impl GreEncapsulator {
+    /// GRE base header length (no optional fields).
+    pub const GRE_LEN: usize = 4;
+
+    /// Creates an encapsulator for the given IPv6 tunnel endpoints.
+    pub fn new(tunnel_src: [u8; 16], tunnel_dst: [u8; 16]) -> Self {
+        GreEncapsulator { tunnel_src, tunnel_dst }
+    }
+
+    /// Wraps an IPv4 packet in IPv6+GRE.
+    ///
+    /// The inner IPv4 header is parsed (validating the checksum) and its
+    /// DSCP is copied to the outer traffic class, as encapsulating routers
+    /// do.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IPv4 parse errors; also rejects packets whose declared
+    /// total length exceeds the buffer.
+    pub fn encapsulate(&self, ipv4_packet: &[u8]) -> Result<Bytes, PacketError> {
+        let inner = Ipv4Header::parse(ipv4_packet)?;
+        let total = inner.total_len as usize;
+        if ipv4_packet.len() < total {
+            return Err(PacketError::Truncated { needed: total, have: ipv4_packet.len() });
+        }
+        let payload_len = (Self::GRE_LEN + total) as u16;
+        let mut out = BytesMut::with_capacity(Ipv6Header::LEN + payload_len as usize);
+        Ipv6Header {
+            traffic_class: inner.dscp_ecn,
+            flow_label: flow_hash(&inner),
+            payload_len,
+            next_header: IPPROTO_GRE,
+            hop_limit: 64,
+            src: self.tunnel_src,
+            dst: self.tunnel_dst,
+        }
+        .write(&mut out);
+        // RFC 2784 GRE: flags/version word (all zero) + protocol type.
+        out.put_u16(0);
+        out.put_u16(GRE_PROTO_IPV4);
+        out.put_slice(&ipv4_packet[..total]);
+        Ok(out.freeze())
+    }
+
+    /// Unwraps an IPv6+GRE packet back to the inner IPv4 packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors for malformed outer headers and
+    /// [`PacketError::UnsupportedGre`] for flagged GRE headers or non-IPv4
+    /// payloads.
+    pub fn decapsulate(&self, packet: &[u8]) -> Result<Bytes, PacketError> {
+        let outer = Ipv6Header::parse(packet)?;
+        if outer.next_header != IPPROTO_GRE {
+            return Err(PacketError::UnsupportedGre(outer.next_header as u16));
+        }
+        let gre_start = Ipv6Header::LEN;
+        let need = gre_start + Self::GRE_LEN;
+        if packet.len() < need {
+            return Err(PacketError::Truncated { needed: need, have: packet.len() });
+        }
+        let flags = u16::from_be_bytes([packet[gre_start], packet[gre_start + 1]]);
+        let proto = u16::from_be_bytes([packet[gre_start + 2], packet[gre_start + 3]]);
+        if flags != 0 || proto != GRE_PROTO_IPV4 {
+            return Err(PacketError::UnsupportedGre(if flags != 0 { flags } else { proto }));
+        }
+        let inner_start = gre_start + Self::GRE_LEN;
+        let inner_len = outer.payload_len as usize - Self::GRE_LEN;
+        let need = inner_start + inner_len;
+        if packet.len() < need {
+            return Err(PacketError::Truncated { needed: need, have: packet.len() });
+        }
+        Ok(Bytes::copy_from_slice(&packet[inner_start..need]))
+    }
+}
+
+/// Deterministic 20-bit flow label from the inner 5-tuple-ish fields, so
+/// ECMP hashing in the underlay keeps a tunnel's packets on one path.
+fn flow_hash(h: &Ipv4Header) -> u32 {
+    let mut x = u32::from_be_bytes(h.src) ^ u32::from_be_bytes(h.dst).rotate_left(16);
+    x ^= u32::from(h.protocol) << 8;
+    x = x.wrapping_mul(0x9E37_79B9);
+    (x >> 12) & 0xF_FFFF
+}
+
+/// Builds a valid IPv4/UDP-ish test packet of `payload` bytes (helper used
+/// by examples, benches, and the traffic generators).
+pub fn build_ipv4_packet(src: [u8; 4], dst: [u8; 4], ident: u16, payload: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(Ipv4Header::LEN + payload.len());
+    Ipv4Header {
+        dscp_ecn: 0,
+        total_len: (Ipv4Header::LEN + payload.len()) as u16,
+        ident,
+        ttl: 64,
+        protocol: 17,
+        src,
+        dst,
+    }
+    .write(&mut out);
+    out.put_slice(payload);
+    out.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_rfc1071_example() {
+        // Canonical example: the checksum of a buffer including its own
+        // checksum field verifies to zero.
+        let pkt = build_ipv4_packet([192, 168, 0, 1], [192, 168, 0, 2], 7, &[1, 2, 3, 4]);
+        assert_eq!(internet_checksum(&pkt[..Ipv4Header::LEN]), 0);
+    }
+
+    #[test]
+    fn ipv4_parse_roundtrip() {
+        let pkt = build_ipv4_packet([10, 1, 2, 3], [10, 4, 5, 6], 99, &[0u8; 32]);
+        let h = Ipv4Header::parse(&pkt).unwrap();
+        assert_eq!(h.src, [10, 1, 2, 3]);
+        assert_eq!(h.dst, [10, 4, 5, 6]);
+        assert_eq!(h.ident, 99);
+        assert_eq!(h.total_len as usize, 20 + 32);
+    }
+
+    #[test]
+    fn ipv4_detects_corruption() {
+        let pkt = build_ipv4_packet([1, 2, 3, 4], [5, 6, 7, 8], 1, &[]);
+        let mut bad = pkt.to_vec();
+        bad[13] ^= 0x01; // flip a source-address bit
+        assert_eq!(Ipv4Header::parse(&bad), Err(PacketError::BadChecksum));
+    }
+
+    #[test]
+    fn ipv6_parse_roundtrip() {
+        let h = Ipv6Header {
+            traffic_class: 0xA5,
+            flow_label: 0x12345,
+            payload_len: 100,
+            next_header: IPPROTO_GRE,
+            hop_limit: 61,
+            src: [1; 16],
+            dst: [2; 16],
+        };
+        let mut buf = BytesMut::new();
+        h.write(&mut buf);
+        assert_eq!(Ipv6Header::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn gre_encap_decap_roundtrip() {
+        let tun = GreEncapsulator::new([3; 16], [4; 16]);
+        let inner = build_ipv4_packet([10, 0, 0, 1], [10, 0, 0, 2], 5, &[9u8; 64]);
+        let wrapped = tun.encapsulate(&inner).unwrap();
+        // Outer structure checks.
+        let outer = Ipv6Header::parse(&wrapped).unwrap();
+        assert_eq!(outer.next_header, IPPROTO_GRE);
+        assert_eq!(outer.payload_len as usize, 4 + inner.len());
+        assert_eq!(outer.src, [3; 16]);
+        // Roundtrip.
+        let unwrapped = tun.decapsulate(&wrapped).unwrap();
+        assert_eq!(&unwrapped[..], &inner[..]);
+    }
+
+    #[test]
+    fn decap_rejects_flagged_gre() {
+        let tun = GreEncapsulator::new([3; 16], [4; 16]);
+        let inner = build_ipv4_packet([1, 1, 1, 1], [2, 2, 2, 2], 1, &[]);
+        let wrapped = tun.encapsulate(&inner).unwrap();
+        let mut bad = wrapped.to_vec();
+        bad[Ipv6Header::LEN] = 0x80; // set the checksum-present flag
+        assert!(matches!(tun.decapsulate(&bad), Err(PacketError::UnsupportedGre(_))));
+    }
+
+    #[test]
+    fn encap_rejects_short_packet() {
+        let tun = GreEncapsulator::new([3; 16], [4; 16]);
+        assert!(matches!(
+            tun.encapsulate(&[0x45, 0, 0]),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn flow_label_is_stable_per_flow() {
+        let tun = GreEncapsulator::new([3; 16], [4; 16]);
+        let a1 = tun
+            .encapsulate(&build_ipv4_packet([9, 9, 9, 9], [8, 8, 8, 8], 1, &[1]))
+            .unwrap();
+        let a2 = tun
+            .encapsulate(&build_ipv4_packet([9, 9, 9, 9], [8, 8, 8, 8], 2, &[2, 3]))
+            .unwrap();
+        let l1 = Ipv6Header::parse(&a1).unwrap().flow_label;
+        let l2 = Ipv6Header::parse(&a2).unwrap().flow_label;
+        assert_eq!(l1, l2, "same flow must keep its label");
+    }
+}

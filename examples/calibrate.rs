@@ -1,0 +1,41 @@
+//! Host-side calibration: runs each of the six real workload kernels and
+//! reports measured ns/task next to the simulator's calibrated service
+//! times (DESIGN.md §6). Absolute numbers differ from the paper's testbed;
+//! the *ordering* should match.
+//!
+//! ```sh
+//! cargo run --release --example calibrate
+//! ```
+
+use hyperplane::workloads::service::{calibrate_host_ns, warmup, WorkloadKind};
+
+fn main() {
+    warmup();
+    println!("{:<24} {:>14} {:>18}", "workload", "host ns/task", "simulated us/task");
+    println!("{}", "-".repeat(58));
+    let mut rows: Vec<(WorkloadKind, f64)> = WorkloadKind::ALL
+        .iter()
+        .map(|&kind| {
+            let iters = match kind {
+                WorkloadKind::ErasureCoding | WorkloadKind::RaidProtection => 300,
+                WorkloadKind::CryptoForward => 500,
+                _ => 5_000,
+            };
+            (kind, calibrate_host_ns(kind, iters))
+        })
+        .collect();
+    for (kind, ns) in &rows {
+        println!("{:<24} {:>14.0} {:>18.1}", kind.name(), ns, kind.mean_service_us());
+    }
+
+    // Check ordering agreement between host measurement and calibration.
+    let mut by_host = rows.clone();
+    by_host.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    rows.sort_by(|a, b| {
+        a.0.mean_service_us().partial_cmp(&b.0.mean_service_us()).expect("finite")
+    });
+    let host_order: Vec<&str> = by_host.iter().map(|(k, _)| k.name()).collect();
+    let sim_order: Vec<&str> = rows.iter().map(|(k, _)| k.name()).collect();
+    println!("\nhost order:      {host_order:?}");
+    println!("simulated order: {sim_order:?}");
+}

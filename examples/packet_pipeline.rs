@@ -1,0 +1,106 @@
+//! A real (multi-threaded, lock-free) packet pipeline using the runnable
+//! substrate: producers build genuine IPv4 packets, push them through an
+//! MPMC ring with doorbell notification, and a data-plane thread
+//! GRE-encapsulates them into IPv6 and steers the tunnels with the
+//! Toeplitz session table — the paper's packet-encapsulation and
+//! packet-steering tasks on real bytes.
+//!
+//! ```sh
+//! cargo run --release --example packet_pipeline
+//! ```
+
+use hyperplane::queues::doorbell::Doorbell;
+use hyperplane::queues::ring::MpmcRing;
+use hyperplane::workloads::packet::{build_ipv4_packet, GreEncapsulator, Ipv6Header};
+use hyperplane::workloads::steering::{FlowKey, PacketSteerer};
+use std::sync::Arc;
+use std::time::Instant;
+
+const PACKETS_PER_PRODUCER: u64 = 15_000;
+const PRODUCERS: u64 = 3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (tx, rx) = MpmcRing::with_capacity(4096);
+    let doorbell = Arc::new(Doorbell::new());
+
+    // Producers: emulated I/O devices writing packets + ringing doorbells.
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let tx = tx.clone();
+            let db = Arc::clone(&doorbell);
+            std::thread::spawn(move || {
+                for i in 0..PACKETS_PER_PRODUCER {
+                    let src = [10, p as u8, (i >> 8) as u8, i as u8];
+                    let pkt = build_ipv4_packet(src, [192, 168, 1, 1], i as u16, &[0xAB; 64]);
+                    let mut pkt = pkt;
+                    loop {
+                        match tx.push(pkt) {
+                            Ok(()) => break,
+                            Err(full) => {
+                                pkt = full.0;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    db.ring(1);
+                }
+            })
+        })
+        .collect();
+
+    // The data plane: encapsulate + steer.
+    let dp = {
+        let db = Arc::clone(&doorbell);
+        std::thread::spawn(move || {
+            let tunnel = GreEncapsulator::new([0xfd; 16], [0xfe; 16]);
+            let mut steerer = PacketSteerer::new(1 << 16, 8);
+            let mut out_bytes = 0u64;
+            let mut per_dest = [0u64; 8];
+            let mut processed = 0u64;
+            let total = PRODUCERS * PACKETS_PER_PRODUCER;
+            while processed < total {
+                if !db.try_take(1) {
+                    std::thread::yield_now();
+                    continue;
+                }
+                let pkt = loop {
+                    match rx.pop() {
+                        Some(p) => break p,
+                        None => std::thread::yield_now(),
+                    }
+                };
+                let wrapped = tunnel.encapsulate(&pkt).expect("producer packets are valid");
+                let outer = Ipv6Header::parse(&wrapped).expect("we built it");
+                let flow = FlowKey {
+                    src_ip: [pkt[12], pkt[13], pkt[14], pkt[15]],
+                    dst_ip: [pkt[16], pkt[17], pkt[18], pkt[19]],
+                    src_port: u16::from(pkt[4]) << 8 | u16::from(pkt[5]),
+                    dst_port: 443,
+                    protocol: pkt[9],
+                };
+                let dest = steerer.steer(&flow).expect("table sized for the flow count");
+                assert_eq!(outer.payload_len as usize + 40, wrapped.len(), "outer length consistent");
+                per_dest[dest as usize] += 1;
+                out_bytes += wrapped.len() as u64;
+                processed += 1;
+            }
+            (processed, out_bytes, per_dest, steerer.sessions())
+        })
+    };
+
+    let start = Instant::now();
+    for p in producers {
+        p.join().expect("producer panicked");
+    }
+    let (processed, out_bytes, per_dest, sessions) = dp.join().expect("data plane panicked");
+    let dt = start.elapsed().as_secs_f64();
+
+    println!("processed {processed} packets in {dt:.2}s ({:.2} Mpps)", processed as f64 / dt / 1e6);
+    println!("encapsulated output: {:.1} MB", out_bytes as f64 / 1e6);
+    println!("live sessions in affinity table: {sessions}");
+    println!("per-destination packet counts: {per_dest:?}");
+    let max = per_dest.iter().max().copied().unwrap_or(0) as f64;
+    let min = per_dest.iter().min().copied().unwrap_or(0) as f64;
+    println!("steering balance (min/max): {:.2}", min / max.max(1.0));
+    Ok(())
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper into results/.
+# Usage: scripts/run_all_figures.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mode="${1:-}"
+mkdir -p results
+cargo build --release -p hp-bench --bins
+for bin in table1 hwcost validate notifiers fig3 fig8 fig9 fig10 fig11 fig12 fig13 qos numa ablate summary; do
+  echo "== $bin =="
+  ./target/release/$bin $mode --csv | tee "results/$bin.txt"
+done
+echo "All figure outputs written to results/"

@@ -1,0 +1,148 @@
+//! Protocol-level tests of Algorithm 1: no lost wake-ups, no phantom
+//! grants, under randomized producer/consumer interleavings against the
+//! HyperPlane device.
+//!
+//! The paper's correctness argument (§III-B) rests on the atomicity of
+//! QWAIT-VERIFY / QWAIT-RECONSIDER and the GetS re-arm probe. These tests
+//! drive the device with adversarial schedules and check the liveness and
+//! safety invariants directly.
+
+use hyperplane::prelude::*;
+use hyperplane::sim::rng::splitmix64;
+use std::collections::VecDeque;
+
+/// A minimal "queue + doorbell + device" harness where arrivals and the
+/// consumer loop interleave in an arbitrary order.
+struct Harness {
+    dev: HyperPlaneDevice,
+    layout: QueueLayout,
+    depths: Vec<VecDeque<u64>>,
+    enqueued: u64,
+    dequeued: u64,
+}
+
+impl Harness {
+    fn new(queues: u32) -> Self {
+        let layout = QueueLayout::new(queues, 1, 1);
+        let mut dev = HyperPlaneDevice::new(HyperPlaneConfig::table1(), layout.doorbell_range());
+        for q in 0..queues {
+            dev.qwait_add(QueueId(q), layout.doorbell(QueueId(q)).line()).unwrap();
+        }
+        Harness {
+            dev,
+            layout,
+            depths: vec![VecDeque::new(); queues as usize],
+            enqueued: 0,
+            dequeued: 0,
+        }
+    }
+
+    /// Producer: enqueue one item and ring the doorbell (a GetM the
+    /// monitoring set sees).
+    fn produce(&mut self, q: u32) {
+        self.depths[q as usize].push_back(self.enqueued);
+        self.enqueued += 1;
+        self.dev.snoop_getm(self.layout.doorbell(QueueId(q)).line());
+    }
+
+    /// Consumer: one full Algorithm-1 iteration. Returns the dequeued item
+    /// if any.
+    fn consume_once(&mut self) -> Option<u64> {
+        let qid = self.dev.qwait_select()?;
+        let qi = qid.0 as usize;
+        let depth = self.depths[qi].len() as u64;
+        let (ready, _action) = self.dev.qwait_verify(qid, depth);
+        if !ready {
+            return None;
+        }
+        let item = self.depths[qi].pop_front().expect("verify said non-empty");
+        self.dequeued += 1;
+        let _ = self.dev.qwait_reconsider(qid, self.depths[qi].len() as u64);
+        Some(item)
+    }
+
+    fn drain(&mut self) -> u64 {
+        // A bounded loop: each iteration either dequeues or proves empty.
+        for _ in 0..100_000 {
+            if self.consume_once().is_none() && self.dev.ready_count() == 0 {
+                break;
+            }
+        }
+        self.dequeued
+    }
+}
+
+#[test]
+fn every_item_is_eventually_serviced_random_interleavings() {
+    for seed in 0..20u64 {
+        let queues = 1 + (splitmix64(seed) % 32) as u32;
+        let mut h = Harness::new(queues);
+        let mut produced = 0u64;
+        // Random interleaving of produce/consume steps.
+        for step in 0..2_000u64 {
+            let r = splitmix64(seed * 1_000_003 + step);
+            if !r.is_multiple_of(3) {
+                h.produce((r % queues as u64) as u32);
+                produced += 1;
+            } else {
+                let _ = h.consume_once();
+            }
+        }
+        let drained = h.drain();
+        assert_eq!(drained, produced, "seed {seed}: lost wake-up — items stranded");
+        assert!(h.depths.iter().all(|d| d.is_empty()), "seed {seed}: queue not drained");
+    }
+}
+
+#[test]
+fn burst_arrivals_before_service_do_not_duplicate_grants() {
+    let mut h = Harness::new(4);
+    // 100 arrivals to one queue while the consumer never runs: only ONE
+    // activation may exist (the monitoring entry disarms after the first).
+    for _ in 0..100 {
+        h.produce(2);
+    }
+    assert_eq!(h.dev.ready_count(), 1, "one activation per arm cycle");
+    // The consumer loop still drains all 100 via RECONSIDER re-activation.
+    assert_eq!(h.drain(), 100);
+}
+
+#[test]
+fn spurious_wakeup_is_filtered_and_rearmed() {
+    let mut h = Harness::new(2);
+    // Ring the doorbell without enqueuing an item (e.g. a false-sharing
+    // write in the same line).
+    h.dev.snoop_getm(h.layout.doorbell(QueueId(1)).line());
+    assert_eq!(h.consume_once(), None, "VERIFY must reject the empty queue");
+    assert_eq!(h.dev.spurious_wakeups(), 1);
+    // The queue was re-armed: a real arrival still gets noticed.
+    h.produce(1);
+    assert_eq!(h.consume_once(), Some(0));
+}
+
+#[test]
+fn verify_then_arrival_race_is_safe() {
+    // The dangerous window: queue tests empty, and an item arrives just
+    // before re-arm. In hardware the atomic VERIFY prevents the loss; in
+    // the harness, the equivalent schedule is: spurious wake, re-arm,
+    // arrival. The arrival must wake the queue again.
+    let mut h = Harness::new(1);
+    h.dev.snoop_getm(h.layout.doorbell(QueueId(0)).line()); // spurious
+    assert_eq!(h.consume_once(), None); // re-arms inside VERIFY
+    h.produce(0); // the racing arrival
+    assert_eq!(h.consume_once(), Some(0), "arrival after re-arm must not be lost");
+}
+
+#[test]
+fn disabled_queue_items_wait_but_survive() {
+    let mut h = Harness::new(3);
+    h.produce(0);
+    h.produce(1);
+    h.dev.qwait_disable(QueueId(0));
+    // Only queue 1 can be granted.
+    let got = h.consume_once().expect("queue 1 ready");
+    assert_eq!(got, 1, "item 1 (queue 1) services first");
+    assert!(h.consume_once().is_none(), "queue 0 is masked");
+    h.dev.qwait_enable(QueueId(0));
+    assert_eq!(h.consume_once(), Some(0), "unmasked queue serves its backlog");
+}

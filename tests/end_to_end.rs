@@ -1,0 +1,274 @@
+//! Cross-crate integration tests: the paper's qualitative claims must hold
+//! end-to-end through the public facade API (small scales, so the suite
+//! stays fast in debug builds).
+
+use hyperplane::prelude::*;
+use hyperplane::sim::rng::Distribution;
+
+fn quick_cfg(workload: WorkloadKind, shape: TrafficShape, queues: u32) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(workload, shape, queues);
+    cfg.target_completions = 1_500;
+    cfg
+}
+
+#[test]
+fn queue_scalability_claim_holds_for_every_workload() {
+    // HyperPlane's SQ throughput must not degrade with queue count, while
+    // spinning's must (Fig. 8's core claim) — checked per workload.
+    for workload in [WorkloadKind::PacketEncap, WorkloadKind::CryptoForward] {
+        let small = quick_cfg(workload, TrafficShape::SingleQueue, 2);
+        let large = quick_cfg(workload, TrafficShape::SingleQueue, 600);
+        let spin_ratio = peak_throughput(&large).throughput_tps
+            / peak_throughput(&small).throughput_tps;
+        let hp_small = small.with_notifier(Notifier::hyperplane());
+        let hp_large = large.with_notifier(Notifier::hyperplane());
+        let hp_ratio =
+            peak_throughput(&hp_large).throughput_tps / peak_throughput(&hp_small).throughput_tps;
+        assert!(spin_ratio < 0.6, "{workload:?}: spinning kept {spin_ratio} of throughput");
+        assert!(hp_ratio > 0.85, "{workload:?}: hyperplane kept only {hp_ratio}");
+    }
+}
+
+#[test]
+fn tail_latency_gap_grows_with_queue_count() {
+    let gaps: Vec<f64> = [10u32, 200, 800]
+        .iter()
+        .map(|&q| {
+            let cfg = quick_cfg(WorkloadKind::PacketSteering, TrafficShape::SingleQueue, q);
+            let spin = run_zero_load(&cfg);
+            let hp = run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane()));
+            spin.p99_latency_us() / hp.p99_latency_us()
+        })
+        .collect();
+    assert!(
+        gaps[2] > gaps[0],
+        "tail-latency advantage should grow with queues: {gaps:?}"
+    );
+    assert!(gaps[2] > 4.0, "large-queue tail gap too small: {gaps:?}");
+}
+
+#[test]
+fn spinning_beats_power_optimized_hyperplane_only_at_few_queues() {
+    // Paper §V-B: with C1's ~0.5us wake, spinning wins below ~6 queues.
+    let few = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 1);
+    let many = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 300);
+    let spin_few = run_zero_load(&few).mean_latency_us();
+    let c1_few =
+        run_zero_load(&few.clone().with_notifier(Notifier::hyperplane_power_opt())).mean_latency_us();
+    let spin_many = run_zero_load(&many).mean_latency_us();
+    let c1_many = run_zero_load(&many.clone().with_notifier(Notifier::hyperplane_power_opt()))
+        .mean_latency_us();
+    assert!(spin_few < c1_few, "at 1 queue spinning should react faster ({spin_few} vs {c1_few})");
+    assert!(c1_many < spin_many, "at 300 queues C1 HyperPlane should win ({c1_many} vs {spin_many})");
+}
+
+#[test]
+fn scale_up_spinning_loses_to_scale_out_spinning() {
+    // Paper §V-C: synchronization + ping-pong make spinning scale-up
+    // unattractive.
+    let mut base = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 80);
+    base.target_completions = 3_000;
+    let so = peak_throughput(&base.clone().with_cores(4, 1));
+    let su = peak_throughput(&base.clone().with_cores(4, 4));
+    assert!(
+        su.throughput_tps < so.throughput_tps,
+        "scale-up spinning {} should lose to scale-out {}",
+        su.throughput_tps,
+        so.throughput_tps
+    );
+}
+
+#[test]
+fn scale_up_hyperplane_does_not_collapse() {
+    let mut base = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 80)
+        .with_notifier(Notifier::hyperplane());
+    base.target_completions = 3_000;
+    let so = peak_throughput(&base.clone().with_cores(4, 1));
+    let su = peak_throughput(&base.clone().with_cores(4, 4));
+    assert!(
+        su.throughput_tps > 0.9 * so.throughput_tps,
+        "hyperplane scale-up {} vs scale-out {}",
+        su.throughput_tps,
+        so.throughput_tps
+    );
+}
+
+#[test]
+fn imbalance_hurts_scale_out_but_not_scale_up() {
+    let mk = |cluster: usize, imbalance: f64, notifier: Notifier| {
+        let mut cfg = quick_cfg(
+            WorkloadKind::RequestDispatch,
+            TrafficShape::ProportionallyConcentrated,
+            120,
+        )
+        .with_cores(4, cluster)
+        .with_notifier(notifier);
+        cfg.imbalance = imbalance;
+        cfg.target_completions = 3_000;
+        cfg
+    };
+    // HyperPlane scale-up is immune to static imbalance by construction
+    // (all queues visible to all cores).
+    let hp_su = peak_throughput(&mk(4, 0.0, Notifier::hyperplane()));
+    let hp_so_imb = peak_throughput(&mk(1, 0.10, Notifier::hyperplane()));
+    assert!(
+        hp_su.throughput_tps > hp_so_imb.throughput_tps,
+        "scale-up {} should beat imbalanced scale-out {}",
+        hp_su.throughput_tps,
+        hp_so_imb.throughput_tps
+    );
+}
+
+#[test]
+fn work_proportionality_ipc_tracks_load() {
+    let cfg = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 64)
+        .with_notifier(Notifier::hyperplane());
+    let peak = peak_throughput(&cfg).throughput_tps;
+    let low = run_at_load(&cfg, peak, 0.2).aggregate_telemetry().ipc();
+    let high = run_at_load(&cfg, peak, 0.8).aggregate_telemetry().ipc();
+    assert!(
+        high > 2.0 * low,
+        "HyperPlane IPC should grow with load: {low} -> {high}"
+    );
+}
+
+#[test]
+fn spinning_ipc_is_disproportionate() {
+    let cfg = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 64);
+    let peak = peak_throughput(&cfg).throughput_tps;
+    let low = run_at_load(&cfg, peak, 0.1).aggregate_telemetry();
+    let high = run_at_load(&cfg, peak, 0.9).aggregate_telemetry();
+    // At low load almost everything is spin; at high load useful work
+    // dominates.
+    assert!(low.spin_ipc() > low.useful_ipc());
+    assert!(high.useful_ipc() > high.spin_ipc());
+    // Total IPC at low load is higher (the paper's "full-tilt spinning").
+    assert!(low.ipc() > high.useful_ipc());
+}
+
+#[test]
+fn energy_proportionality_power_ordering() {
+    let model = PowerModel::default();
+    let cfg = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 64);
+    let spin_zero = run_zero_load(&cfg).average_power_fraction(&model);
+    let spin_sat = peak_throughput(&cfg).average_power_fraction(&model);
+    let hp_zero = run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane()))
+        .average_power_fraction(&model);
+    let c1_zero = run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane_power_opt()))
+        .average_power_fraction(&model);
+    // Paper Fig. 12(a): spinning burns more at zero load than saturation;
+    // HyperPlane idles low; C1 idles lowest (~16%).
+    assert!(spin_zero > spin_sat, "spin zero {spin_zero} vs sat {spin_sat}");
+    assert!(hp_zero < 0.6 * spin_zero, "hp zero {hp_zero} vs spin zero {spin_zero}");
+    assert!(c1_zero < hp_zero, "c1 {c1_zero} vs hp {hp_zero}");
+    assert!(c1_zero < 0.25, "c1 zero-load power {c1_zero} (paper: 16.2%)");
+}
+
+#[test]
+fn service_time_variability_worsens_scale_out_tails() {
+    // HoL blocking: high-CV service hurts scale-out more than scale-up
+    // (paper §II-B's head-of-line argument).
+    let mk = |cluster: usize, dist: Distribution| {
+        let mut cfg = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 64)
+            .with_cores(4, cluster)
+            .with_notifier(Notifier::hyperplane());
+        cfg.service_dist = dist;
+        cfg.target_completions = 4_000;
+        cfg
+    };
+    let hicv = Distribution::HyperExp { cv: 4.0 };
+    let ref_tps = peak_throughput(&mk(4, Distribution::Exponential)).throughput_tps;
+    let so = run_at_load(&mk(1, hicv), ref_tps, 0.55);
+    let su = run_at_load(&mk(4, hicv), ref_tps, 0.55);
+    assert!(
+        su.p99_latency_us() < so.p99_latency_us(),
+        "scale-up p99 {} should beat scale-out p99 {} under CV=4",
+        su.p99_latency_us(),
+        so.p99_latency_us()
+    );
+}
+
+#[test]
+fn batching_helps_under_backlog() {
+    let mut one = quick_cfg(WorkloadKind::RequestDispatch, TrafficShape::SingleQueue, 200);
+    one.target_completions = 3_000;
+    let mut batched = one.clone();
+    batched.batch = 8;
+    let t1 = peak_throughput(&one).throughput_tps;
+    let t8 = peak_throughput(&batched).throughput_tps;
+    assert!(t8 > t1, "batch=8 ({t8}) should beat batch=1 ({t1}) at saturation");
+}
+
+#[test]
+fn wrr_weights_differentiate_per_tenant_latency() {
+    use hyperplane::device::qwait::HyperPlaneConfig;
+    use hyperplane::device::ready_set::ServicePolicy;
+    // Premium tenant (queue 0) gets weight 8; others weight 1. Under load,
+    // its latency must be clearly lower than the best-effort queues'.
+    let mut cfg = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 8)
+        .with_notifier(Notifier::hyperplane());
+    cfg.target_completions = 8_000;
+    let peak = peak_throughput(&cfg).throughput_tps;
+    let mut weights = vec![1u32; cfg.hp.ready_qids];
+    weights[0] = 8;
+    cfg.hp = HyperPlaneConfig {
+        policy: ServicePolicy::WeightedRoundRobin { weights },
+        ..cfg.hp.clone()
+    };
+    let r = run_at_load(&cfg, peak, 0.85);
+    let lat = r.per_queue_latency_us();
+    let q0 = lat.iter().find(|&&(q, _, _)| q == 0).expect("queue 0 completed work").2;
+    let others: Vec<f64> =
+        lat.iter().filter(|&&(q, _, _)| q != 0).map(|&(_, _, us)| us).collect();
+    let others_mean = others.iter().sum::<f64>() / others.len() as f64;
+    assert!(
+        q0 < 0.7 * others_mean,
+        "premium queue latency {q0} us vs best-effort mean {others_mean} us"
+    );
+}
+
+#[test]
+fn work_stealing_activates_remote_socket() {
+    let mut cfg = quick_cfg(WorkloadKind::CryptoForward, TrafficShape::SingleQueue, 16)
+        .with_cores(4, 2)
+        .with_notifier(Notifier::hyperplane());
+    cfg.target_completions = 2_500;
+    let partitioned = peak_throughput(&cfg);
+    cfg.work_stealing = true;
+    let stealing = peak_throughput(&cfg);
+    assert!(
+        stealing.throughput_tps > 1.4 * partitioned.throughput_tps,
+        "stealing {} vs partitioned {}",
+        stealing.throughput_tps,
+        partitioned.throughput_tps
+    );
+}
+
+#[test]
+fn results_are_reproducible_with_seed() {
+    let cfg = quick_cfg(WorkloadKind::ErasureCoding, TrafficShape::NonproportionallyConcentrated, 150)
+        .with_notifier(Notifier::hyperplane())
+        .with_seed(777);
+    let a = peak_throughput(&cfg);
+    let b = peak_throughput(&cfg);
+    assert_eq!(a.throughput_tps, b.throughput_tps);
+    assert_eq!(a.latency_cycles.count(), b.latency_cycles.count());
+    assert_eq!(a.p99_latency_us(), b.p99_latency_us());
+}
+
+#[test]
+fn different_seeds_give_statistically_close_throughput() {
+    let t: Vec<f64> = [1u64, 2, 3]
+        .iter()
+        .map(|&s| {
+            let cfg = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 32)
+                .with_notifier(Notifier::hyperplane())
+                .with_seed(s);
+            peak_throughput(&cfg).throughput_tps
+        })
+        .collect();
+    let mean = t.iter().sum::<f64>() / t.len() as f64;
+    for &x in &t {
+        assert!((x - mean).abs() / mean < 0.15, "seed variance too high: {t:?}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Cross-validation of the discrete-event engine against closed-form
+//! queueing theory (see the `validate` harness binary for the full sweep).
+//!
+//! These are the repository's strongest soundness tests: in regimes with
+//! textbook answers, the simulated mean sojourn must converge to theory.
+
+use hyperplane::prelude::*;
+use hyperplane::sdp::analytic;
+use hyperplane::sim::rng::Distribution;
+
+/// Crypto forwarding: 7 µs mean service dwarfs notification overhead, so
+/// the engine approximates an ideal queueing station.
+fn base(queues: u32) -> ExperimentConfig {
+    let mut cfg =
+        ExperimentConfig::new(WorkloadKind::CryptoForward, TrafficShape::SingleQueue, queues)
+            .with_notifier(Notifier::hyperplane());
+    cfg.target_completions = 25_000;
+    cfg.queue_cap = 1_000_000;
+    cfg
+}
+
+fn run_at_rho(mut cfg: ExperimentConfig, servers: f64, rho: f64) -> f64 {
+    let lambda_per_us = servers * rho / effective_service_us(&cfg);
+    cfg.load = Load::RatePerSec(lambda_per_us * 1e6);
+    run(cfg).mean_latency_us()
+}
+
+/// The engine charges realistic overheads (QWAIT, verify, buffer
+/// streaming, tenant notify) on top of the nominal service draw; the
+/// closed forms need the *effective* service time, which the zero-load
+/// mean latency measures (notification delay is negligible for
+/// HyperPlane).
+fn effective_service_us(cfg: &ExperimentConfig) -> f64 {
+    run_zero_load(cfg).mean_latency_us()
+}
+
+#[test]
+fn engine_matches_mm1_at_moderate_load() {
+    let es = effective_service_us(&base(1));
+    for rho in [0.4, 0.7] {
+        let sim = run_at_rho(base(1), 1.0, rho);
+        let theory = analytic::mm1_sojourn(rho / es, 1.0 / es);
+        let rel = (sim - theory).abs() / theory;
+        assert!(rel < 0.12, "rho={rho}: sim {sim:.2} vs M/M/1 {theory:.2} (rel {rel:.3})");
+    }
+}
+
+#[test]
+fn engine_matches_md1_with_constant_service() {
+    let rho = 0.7;
+    let mut cfg = base(1);
+    cfg.service_dist = Distribution::Constant;
+    let es = effective_service_us(&cfg);
+    let sim = run_at_rho(cfg, 1.0, rho);
+    let theory = analytic::mg1_sojourn(rho / es, es, 0.0);
+    let rel = (sim - theory).abs() / theory;
+    assert!(rel < 0.12, "sim {sim:.2} vs M/D/1 {theory:.2} (rel {rel:.3})");
+}
+
+#[test]
+fn engine_matches_mm4_under_scale_up() {
+    let rho = 0.6;
+    let mut cfg = base(4).with_cores(4, 4);
+    cfg.shape = TrafficShape::FullyBalanced;
+    let es = effective_service_us(&cfg);
+    let sim = run_at_rho(cfg, 4.0, rho);
+    let theory = analytic::mmc_sojourn(4.0 * rho / es, 1.0 / es, 4);
+    let rel = (sim - theory).abs() / theory;
+    assert!(rel < 0.15, "sim {sim:.2} vs M/M/4 {theory:.2} (rel {rel:.3})");
+}
+
+#[test]
+fn heavier_tails_increase_waiting_as_pk_predicts() {
+    // PK: waiting scales with (1 + scv)/2 — the simulator must reproduce
+    // the *ratio* between hyperexponential and deterministic service.
+    let rho = 0.7;
+    let mut det = base(1);
+    det.service_dist = Distribution::Constant;
+    let mut hyper = base(1);
+    hyper.service_dist = Distribution::HyperExp { cv: 2.0 };
+    let es = effective_service_us(&det);
+    let w_det = run_at_rho(det, 1.0, rho) - es;
+    let w_hyper = run_at_rho(hyper, 1.0, rho) - es;
+    let sim_ratio = w_hyper / w_det;
+    let theory_ratio = (1.0 + 4.0) / (1.0 + 0.0); // (1+scv)/(1+0)
+    let rel = (sim_ratio - theory_ratio).abs() / theory_ratio;
+    assert!(
+        rel < 0.25,
+        "waiting ratio sim {sim_ratio:.2} vs PK {theory_ratio:.2} (rel {rel:.3})"
+    );
+}
+
+#[test]
+fn scale_up_advantage_emerges_in_simulation() {
+    // The §II-B claim quantified: at 75% load, 4 cores sharing all queues
+    // must beat 4 partitioned cores by roughly the M/M/4-vs-M/M/1 factor.
+    let rho: f64 = 0.75;
+    let mk = |cluster: usize| {
+        let mut cfg = base(4).with_cores(4, cluster);
+        cfg.shape = TrafficShape::FullyBalanced;
+        cfg
+    };
+    let es = effective_service_us(&mk(4));
+    let so = run_at_rho(mk(1), 4.0, rho);
+    let su = run_at_rho(mk(4), 4.0, rho);
+    let sim_adv = so / su;
+    let theory_adv = analytic::scale_up_advantage(4.0 * rho / es, 1.0 / es, 4);
+    assert!(
+        sim_adv > 0.6 * theory_adv && sim_adv < 1.6 * theory_adv,
+        "scale-up advantage sim {sim_adv:.2} vs theory {theory_adv:.2}"
+    );
+}
