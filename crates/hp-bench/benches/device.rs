@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks of the HyperPlane hardware structures, plus
+//! Micro-benchmarks of the HyperPlane hardware structures, plus
 //! the two DESIGN.md ablations: monitoring-set associativity and
 //! ripple-vs-Brent–Kung PPA.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_bench::microbench::{BenchmarkId, Criterion};
+use hp_bench::{criterion_group, criterion_main};
 use hp_core::monitoring::MonitoringSet;
 use hp_core::ready_set::{PpaKind, ReadySet, ServicePolicy};
 use hp_mem::types::LineAddr;

@@ -1,7 +1,8 @@
-//! Criterion benchmarks of the substrate layers: the lock-free rings, the
+//! Benchmarks of the substrate layers: the lock-free rings, the
 //! doorbell, the memory-system model, and a small end-to-end simulation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_bench::microbench::{BenchmarkId, Criterion};
+use hp_bench::{criterion_group, criterion_main};
 use hp_mem::system::{MemSystem, MemSystemConfig};
 use hp_mem::types::{AccessKind, Addr, CoreId};
 use hp_queues::doorbell::Doorbell;

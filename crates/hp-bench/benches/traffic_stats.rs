@@ -1,7 +1,8 @@
-//! Criterion benchmarks of the traffic generators and statistics
+//! Benchmarks of the traffic generators and statistics
 //! machinery — the per-event hot paths of every simulation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hp_bench::microbench::{BenchmarkId, Criterion};
+use hp_bench::{criterion_group, criterion_main};
 use hp_core::monitoring::BankedMonitoringSet;
 use hp_mem::types::LineAddr;
 use hp_queues::sim::QueueId;
@@ -12,7 +13,7 @@ use hp_traffic::alias::AliasTable;
 use hp_traffic::flows::FlowTrafficGenerator;
 use hp_traffic::generator::TrafficGenerator;
 use hp_traffic::shape::TrafficShape;
-use rand::Rng;
+use hp_rand::Rng;
 use std::hint::black_box;
 
 fn bench_traffic(c: &mut Criterion) {

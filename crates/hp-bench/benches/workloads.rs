@@ -1,7 +1,8 @@
-//! Criterion benchmarks of the six real task kernels — the host-side
+//! Benchmarks of the six real task kernels — the host-side
 //! counterpart of the simulator's calibrated service times (DESIGN.md §6).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hp_bench::microbench::Criterion;
+use hp_bench::{criterion_group, criterion_main};
 use hp_workloads::service::{run_task_once, WorkloadKind};
 use std::hint::black_box;
 

@@ -6,7 +6,7 @@
 //!    head-of-line blocking in scale-out vs scale-up.
 //!
 //! (Monitoring-set associativity and ripple-vs-Brent–Kung PPA ablations
-//! live in the criterion benches `ablate_monitoring_ways` /
+//! live in the benches `ablate_monitoring_ways` /
 //! `ablate_ppa_select`, and in the `hwcost` binary.)
 
 use hp_bench::{experiment, f2, f3, HarnessOpts, Table};

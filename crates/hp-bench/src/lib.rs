@@ -1,7 +1,7 @@
 //! # hp-bench — figure-regeneration harness
 //!
 //! One binary per table/figure of the paper's evaluation (see DESIGN.md §5
-//! for the experiment index), plus criterion micro-benchmarks of every
+//! for the experiment index), plus micro-benchmarks of every
 //! hardware structure and workload kernel.
 //!
 //! All binaries accept:
@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
 pub mod plot;
 
 use hp_sdp::config::ExperimentConfig;
@@ -190,7 +191,7 @@ mod tests {
             TrafficShape::FullyBalanced,
             64,
         );
-        cfg.validate();
+        cfg.validate().unwrap();
         assert_eq!(cfg.target_completions, 12_000);
     }
 

@@ -18,7 +18,6 @@
 //! The model then *extrapolates* to other sizes for the ablation benches.
 
 use crate::ready_set::PpaKind;
-use serde::Serialize;
 
 /// Technology/calibration constants (32 nm class).
 ///
@@ -63,7 +62,7 @@ impl Default for TechModel {
 }
 
 /// Cost report for one HyperPlane configuration.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostReport {
     /// Monitoring-set entries.
     pub monitoring_entries: usize,

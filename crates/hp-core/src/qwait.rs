@@ -271,6 +271,27 @@ impl HyperPlaneDevice {
         self.ready.ready_count()
     }
 
+    /// The registered doorbell line of `qid`, if it is in the monitoring
+    /// set (armed or not). Used by the resilience recovery sweep.
+    pub fn line_of(&self, qid: QueueId) -> Option<LineAddr> {
+        self.monitoring.line_of(qid)
+    }
+
+    /// Recovery path: forces `qid` into the ready set as if a GetM had
+    /// been observed, disarming its monitoring entry if armed. Returns
+    /// `true` if this produced a *new* activation (the queue was not
+    /// already ready). Used when the software recovery sweep discovers a
+    /// backlogged queue whose wake-up notification was lost.
+    pub fn force_activate(&mut self, qid: QueueId) -> bool {
+        if qid.0 as usize >= self.ready.len() {
+            return false;
+        }
+        self.monitoring.disarm(qid);
+        let before = self.ready.ready_count();
+        self.ready.activate(qid);
+        self.ready.ready_count() > before
+    }
+
     /// Spurious wake-ups filtered by `QWAIT-VERIFY`.
     pub fn spurious_wakeups(&self) -> u64 {
         self.spurious_wakeups
@@ -402,6 +423,32 @@ mod tests {
         let mut dev = device(2);
         let line = dev.qwait_remove(QueueId(0)).unwrap();
         assert_eq!(dev.snoop_getm(line), None);
+    }
+
+    #[test]
+    fn force_activate_recovers_missed_wakeup() {
+        let mut dev = device(2);
+        let line = Addr(0x1_0000).line();
+        // Suppose the GetM for queue 0 was lost: the entry is still armed
+        // and the ready set is empty. The recovery sweep forces it in.
+        assert_eq!(dev.qwait_select(), None);
+        assert!(dev.force_activate(QueueId(0)));
+        assert_eq!(dev.qwait_select(), Some(QueueId(0)));
+        // The entry was disarmed by the forced activation, exactly as a
+        // real snoop would have: further GetMs are absorbed until re-arm.
+        assert_eq!(dev.snoop_getm(line), None);
+        // Already-ready queues are not double-activated.
+        assert!(dev.force_activate(QueueId(1)));
+        assert!(!dev.force_activate(QueueId(1)));
+        // Out-of-range QIDs are a no-op.
+        assert!(!dev.force_activate(QueueId(50_000)));
+    }
+
+    #[test]
+    fn line_of_reports_registered_doorbell() {
+        let dev = device(2);
+        assert_eq!(dev.line_of(QueueId(1)), Some(Addr(0x1_0000 + 64).line()));
+        assert_eq!(dev.line_of(QueueId(7)), None);
     }
 
     #[test]

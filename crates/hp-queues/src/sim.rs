@@ -43,6 +43,7 @@ pub struct SimQueue {
     items: VecDeque<WorkItem>,
     enqueued_total: u64,
     dequeued_total: u64,
+    dropped_total: u64,
     depth_peak: usize,
 }
 
@@ -54,6 +55,7 @@ impl SimQueue {
             items: VecDeque::new(),
             enqueued_total: 0,
             dequeued_total: 0,
+            dropped_total: 0,
             depth_peak: 0,
         }
     }
@@ -93,6 +95,17 @@ impl SimQueue {
     /// Arrival time of the head item, if any (for queuing-delay telemetry).
     pub fn head_arrival(&self) -> Option<SimTime> {
         self.items.front().map(|w| w.arrival)
+    }
+
+    /// Records one item refused at the tail (queue overflow / admission
+    /// drop). The item never enters the FIFO; only the counter moves.
+    pub fn record_drop(&mut self) {
+        self.dropped_total += 1;
+    }
+
+    /// Items refused at the tail over the queue's lifetime.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_total
     }
 
     /// `(enqueued, dequeued, peak_depth)` lifetime counters.
@@ -241,6 +254,18 @@ mod tests {
         assert!(q.dequeue().is_none());
         let (e, d, peak) = q.counters();
         assert_eq!((e, d, peak), (5, 5, 5));
+    }
+
+    #[test]
+    fn drops_are_counted_separately_from_enqueues() {
+        let mut q = SimQueue::new(QueueId(1));
+        q.enqueue(WorkItem { id: 0, arrival: SimTime(0), service: Cycles(10) });
+        q.record_drop();
+        q.record_drop();
+        assert_eq!(q.dropped(), 2);
+        let (e, _, _) = q.counters();
+        assert_eq!(e, 1, "drops never enter the FIFO");
+        assert_eq!(q.depth(), 1);
     }
 
     #[test]

@@ -3,10 +3,117 @@
 
 use hp_core::qwait::HyperPlaneConfig;
 use hp_mem::system::MemSystemConfig;
+use hp_sim::faults::{FaultPlan, FaultPlanError};
 use hp_sim::rng::Distribution;
 use hp_sim::time::Clock;
 use hp_traffic::shape::TrafficShape;
 use hp_workloads::service::WorkloadKind;
+
+/// A rejected [`ExperimentConfig`]: which cross-field invariant failed.
+///
+/// Configurations are research inputs; the runner refuses them up front
+/// with a typed error instead of simulating garbage (or panicking deep in
+/// the engine).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `queues` was zero.
+    NoQueues,
+    /// `dp_cores` was zero.
+    NoDataPlaneCores,
+    /// Every core was assigned to the data plane; producers need one.
+    NoProducerCore {
+        /// Requested data-plane cores.
+        dp_cores: usize,
+        /// Total cores on the machine.
+        total: usize,
+    },
+    /// `cluster` does not evenly divide `dp_cores`.
+    ClusterMismatch {
+        /// Requested cluster size.
+        cluster: usize,
+        /// Requested data-plane cores.
+        dp_cores: usize,
+    },
+    /// Fewer queues than sharing groups — a group would own nothing.
+    TooFewQueues {
+        /// Requested queues.
+        queues: u32,
+        /// Number of sharing groups.
+        groups: usize,
+    },
+    /// `batch` was zero.
+    ZeroBatch,
+    /// More queues than ready-set entries.
+    ReadySetOverflow {
+        /// Requested queues.
+        queues: u32,
+        /// Ready-set capacity.
+        ready_qids: usize,
+    },
+    /// `imbalance` outside `[0, 1)`.
+    BadImbalance(f64),
+    /// Flow-structured traffic misconfigured (zero flows, non-positive
+    /// Zipf exponent, or more than one sharing group).
+    BadFlowTraffic(&'static str),
+    /// The fault plan has an out-of-range probability.
+    BadFaultPlan(FaultPlanError),
+    /// `target_completions` was zero — the run would end before the
+    /// warmup finishes and every measured metric would be vacuous.
+    ZeroTargetCompletions,
+    /// The QWAIT re-poll timeout is shorter than the device's own QWAIT
+    /// instruction latency — it would expire before the halt it guards
+    /// even takes effect.
+    QwaitTimeoutTooShort {
+        /// Requested timeout, cycles.
+        timeout: u64,
+        /// Minimum sensible timeout: the QWAIT instruction latency.
+        min: u64,
+    },
+    /// `watchdog_period_cycles` was `Some(0)`.
+    ZeroWatchdogPeriod,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoQueues => write!(f, "need at least one queue"),
+            ConfigError::NoDataPlaneCores => write!(f, "need at least one data-plane core"),
+            ConfigError::NoProducerCore { dp_cores, total } => write!(
+                f,
+                "need at least one non-DP core for producers ({dp_cores} DP of {total} total)"
+            ),
+            ConfigError::ClusterMismatch { cluster, dp_cores } => {
+                write!(f, "cluster size {cluster} must divide dp_cores {dp_cores}")
+            }
+            ConfigError::TooFewQueues { queues, groups } => {
+                write!(f, "{queues} queues cannot cover {groups} cluster groups")
+            }
+            ConfigError::ZeroBatch => write!(f, "batch must be at least 1"),
+            ConfigError::ReadySetOverflow { queues, ready_qids } => {
+                write!(f, "{queues} queues exceed the {ready_qids}-entry ready set")
+            }
+            ConfigError::BadImbalance(x) => write!(f, "imbalance {x} outside [0,1)"),
+            ConfigError::BadFlowTraffic(why) => write!(f, "flow traffic: {why}"),
+            ConfigError::BadFaultPlan(e) => write!(f, "fault plan: {e}"),
+            ConfigError::ZeroTargetCompletions => {
+                write!(f, "target_completions must be at least 1")
+            }
+            ConfigError::QwaitTimeoutTooShort { timeout, min } => write!(
+                f,
+                "qwait timeout of {timeout} cycles is below the {min}-cycle QWAIT latency"
+            ),
+            ConfigError::ZeroWatchdogPeriod => write!(f, "watchdog period must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<FaultPlanError> for ConfigError {
+    fn from(e: FaultPlanError) -> Self {
+        ConfigError::BadFaultPlan(e)
+    }
+}
 
 /// The modeled chip (paper Table I).
 #[derive(Debug, Clone, Copy)]
@@ -168,6 +275,28 @@ pub struct ExperimentConfig {
     /// Next-line prefetcher degree for DP cores (0 = Table I baseline,
     /// none). Ablation: accelerates the sequential buffer-streaming loads.
     pub prefetch_degree: usize,
+    /// Fault-injection plan (default: inject nothing). Fault decisions
+    /// draw from a dedicated RNG stream, so the same seed produces
+    /// byte-identical traffic with or without faults.
+    pub faults: FaultPlan,
+    /// Resilience: a halted HyperPlane core re-polls its ready set after
+    /// this many cycles even without a wake-up (guards against lost
+    /// doorbell notifications). `None` disables the timeout — a missed
+    /// wake-up then stalls until the watchdog notices.
+    pub qwait_timeout_cycles: Option<u64>,
+    /// Ceiling for the timeout's exponential backoff (fruitless expiries
+    /// double the next timeout up to this bound, so an idle fault-free
+    /// core converges to cheap, infrequent re-polls).
+    pub qwait_backoff_max_cycles: u64,
+    /// Simulation-level no-progress watchdog period. Every period the
+    /// engine checks for a livelock/missed-wakeup stall (backlog present,
+    /// no completions since the last tick, every DP core halted) and
+    /// records it in the result's fault report. `None` disables the
+    /// watchdog entirely (no extra events are scheduled).
+    pub watchdog_period_cycles: Option<u64>,
+    /// Stop the run at the first watchdog-detected stall instead of
+    /// running out the clock (the fault report marks the abort).
+    pub watchdog_abort: bool,
 }
 
 impl ExperimentConfig {
@@ -200,6 +329,11 @@ impl ExperimentConfig {
             interrupt_cost_us: 2.0,
             traffic: TrafficSource::Shape,
             prefetch_degree: 0,
+            faults: FaultPlan::none(),
+            qwait_timeout_cycles: None,
+            qwait_backoff_max_cycles: 2_000_000,
+            watchdog_period_cycles: None,
+            watchdog_abort: false,
         }
     }
 
@@ -228,49 +362,94 @@ impl ExperimentConfig {
         self
     }
 
+    /// Builder-style: set the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style: enable the QWAIT re-poll timeout (resilience to
+    /// lost wake-ups).
+    pub fn with_qwait_timeout(mut self, cycles: u64) -> Self {
+        self.qwait_timeout_cycles = Some(cycles);
+        self
+    }
+
+    /// Builder-style: enable the no-progress watchdog.
+    pub fn with_watchdog(mut self, period_cycles: u64) -> Self {
+        self.watchdog_period_cycles = Some(period_cycles);
+        self
+    }
+
     /// Validates cross-field invariants.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on inconsistent configurations (more DP cores than cores,
-    /// cluster not dividing DP cores, zero queues, etc.). Configurations
-    /// are research inputs; failing fast beats simulating garbage.
-    pub fn validate(&self) {
-        assert!(self.queues > 0, "need at least one queue");
-        assert!(self.dp_cores >= 1, "need at least one data-plane core");
-        assert!(
-            self.dp_cores < self.machine.cores,
-            "need at least one non-DP core for producers ({} DP of {} total)",
-            self.dp_cores,
-            self.machine.cores
-        );
-        assert!(
-            self.cluster >= 1 && self.dp_cores.is_multiple_of(self.cluster),
-            "cluster size {} must divide dp_cores {}",
-            self.cluster,
-            self.dp_cores
-        );
-        assert!(
-            self.queues as usize >= self.dp_cores / self.cluster,
-            "need at least one queue per cluster group"
-        );
-        assert!(self.batch >= 1, "batch must be at least 1");
-        assert!(
-            self.queues as usize <= self.hp.ready_qids,
-            "{} queues exceed the {}-entry ready set",
-            self.queues,
-            self.hp.ready_qids
-        );
-        assert!((0.0..1.0).contains(&self.imbalance), "imbalance in [0,1)");
-        if let TrafficSource::Flows { flows, zipf_s } = self.traffic {
-            assert!(flows > 0, "flow traffic needs at least one flow");
-            assert!(zipf_s > 0.0, "zipf exponent must be positive");
-            assert_eq!(
-                self.groups(),
-                1,
-                "flow-structured traffic supports a single sharing group"
-            );
+    /// A [`ConfigError`] naming the violated invariant (more DP cores
+    /// than cores, cluster not dividing DP cores, zero queues, an
+    /// out-of-range fault probability, etc.). Configurations are research
+    /// inputs; refusing them up front beats simulating garbage.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.queues == 0 {
+            return Err(ConfigError::NoQueues);
         }
+        if self.dp_cores < 1 {
+            return Err(ConfigError::NoDataPlaneCores);
+        }
+        if self.dp_cores >= self.machine.cores {
+            return Err(ConfigError::NoProducerCore {
+                dp_cores: self.dp_cores,
+                total: self.machine.cores,
+            });
+        }
+        if self.cluster < 1 || !self.dp_cores.is_multiple_of(self.cluster) {
+            return Err(ConfigError::ClusterMismatch {
+                cluster: self.cluster,
+                dp_cores: self.dp_cores,
+            });
+        }
+        if (self.queues as usize) < self.groups() {
+            return Err(ConfigError::TooFewQueues { queues: self.queues, groups: self.groups() });
+        }
+        if self.batch < 1 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        if self.queues as usize > self.hp.ready_qids {
+            return Err(ConfigError::ReadySetOverflow {
+                queues: self.queues,
+                ready_qids: self.hp.ready_qids,
+            });
+        }
+        if !(0.0..1.0).contains(&self.imbalance) {
+            return Err(ConfigError::BadImbalance(self.imbalance));
+        }
+        if let TrafficSource::Flows { flows, zipf_s } = self.traffic {
+            if flows == 0 {
+                return Err(ConfigError::BadFlowTraffic("needs at least one flow"));
+            }
+            if zipf_s <= 0.0 {
+                return Err(ConfigError::BadFlowTraffic("zipf exponent must be positive"));
+            }
+            if self.groups() != 1 {
+                return Err(ConfigError::BadFlowTraffic("supports a single sharing group"));
+            }
+        }
+        if self.target_completions == 0 {
+            return Err(ConfigError::ZeroTargetCompletions);
+        }
+        self.faults.validate()?;
+        if let Some(t) = self.qwait_timeout_cycles {
+            if t < self.hp.timing.qwait.0 {
+                return Err(ConfigError::QwaitTimeoutTooShort {
+                    timeout: t,
+                    min: self.hp.timing.qwait.0,
+                });
+            }
+        }
+        if self.watchdog_period_cycles == Some(0) {
+            return Err(ConfigError::ZeroWatchdogPeriod);
+        }
+        Ok(())
     }
 
     /// Number of sharing groups (devices / partitions).
@@ -301,7 +480,7 @@ mod tests {
     #[test]
     fn baseline_config_validates() {
         let c = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 100);
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.groups(), 1);
     }
 
@@ -312,27 +491,64 @@ mod tests {
             .with_notifier(Notifier::hyperplane())
             .with_load(Load::RatePerSec(1000.0))
             .with_seed(9);
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.groups(), 2);
         assert_eq!(c.seed, 9);
         assert_eq!(c.notifier.label(), "hyperplane");
     }
 
     #[test]
-    #[should_panic(expected = "must divide")]
     fn cluster_must_divide_cores() {
         let c = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 100)
             .with_cores(4, 3);
-        c.validate();
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ClusterMismatch { cluster: 3, dp_cores: 4 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "exceed")]
     fn queue_count_bounded_by_ready_set() {
         let mut c =
             ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 2000);
         c.hp.ready_qids = 1024;
-        c.validate();
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ReadySetOverflow { queues: 2000, ready_qids: 1024 })
+        );
+    }
+
+    #[test]
+    fn fault_and_resilience_knobs_validate() {
+        let base =
+            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 100);
+        let mut bad_plan = FaultPlan::none();
+        bad_plan.doorbell_drop = 2.0;
+        assert!(matches!(
+            base.clone().with_faults(bad_plan).validate(),
+            Err(ConfigError::BadFaultPlan(_))
+        ));
+        assert_eq!(
+            base.clone().with_qwait_timeout(10).validate(),
+            Err(ConfigError::QwaitTimeoutTooShort { timeout: 10, min: 50 })
+        );
+        let mut no_work = base.clone();
+        no_work.target_completions = 0;
+        assert_eq!(no_work.validate(), Err(ConfigError::ZeroTargetCompletions));
+        assert_eq!(base.clone().with_watchdog(0).validate(), Err(ConfigError::ZeroWatchdogPeriod));
+        let good = base
+            .with_faults(FaultPlan::parse("drop=0.5").unwrap())
+            .with_qwait_timeout(10_000)
+            .with_watchdog(100_000);
+        good.validate().unwrap();
+    }
+
+    #[test]
+    fn config_errors_display_their_cause() {
+        let msg = ConfigError::ClusterMismatch { cluster: 3, dp_cores: 4 }.to_string();
+        assert!(msg.contains("must divide"), "{msg}");
+        let msg = ConfigError::ReadySetOverflow { queues: 2000, ready_qids: 1024 }.to_string();
+        assert!(msg.contains("exceed"), "{msg}");
     }
 
     #[test]

@@ -26,14 +26,15 @@
 //! distribution: the pointer phase advances by the number of skipped
 //! polls, and no state can change between events.
 
-use crate::config::{ExperimentConfig, Load, Notifier};
-use crate::result::ExperimentResult;
+use crate::config::{ConfigError, ExperimentConfig, Load, Notifier};
+use crate::result::{ExperimentResult, FaultReport};
 use crate::telemetry::{CoreTelemetry, HaltState, HaltTracker};
 use hp_core::qwait::{HyperPlaneDevice, RearmAction};
 use hp_mem::system::MemSystem;
-use hp_mem::types::{AccessKind, Addr, CoreId};
+use hp_mem::types::{AccessKind, Addr, CoreId, LineAddr};
 use hp_queues::sim::{QueueId, QueueLayout, SimQueue, WorkItem};
 use hp_sim::event::EventQueue;
+use hp_sim::faults::{DoorbellFate, FaultInjector};
 use hp_sim::rng::RngFactory;
 use hp_sim::stats::{Histogram, OnlineStats};
 use hp_sim::time::{Cycles, SimTime};
@@ -41,7 +42,7 @@ use hp_traffic::flows::FlowTrafficGenerator;
 use hp_traffic::generator::TrafficGenerator;
 use hp_traffic::partition_queues;
 use hp_workloads::service::ServiceModel;
-use rand::rngs::SmallRng;
+use hp_rand::rngs::SmallRng;
 
 /// Instructions retired per poll-loop iteration (read doorbell, compare,
 /// advance index, branch — a tight but real loop body).
@@ -94,6 +95,23 @@ enum Ev {
         /// The queue being reconsidered.
         qid: u32,
     },
+    /// A doorbell GetM snoop the fault plane delayed: deliver it now.
+    DelayedSnoop {
+        /// Device group whose monitoring set observes the snoop.
+        group: usize,
+        /// The doorbell line (raw, to keep the event `Copy`).
+        line: u64,
+    },
+    /// A halted core's QWAIT re-poll timeout expired (resilience to lost
+    /// wake-ups). Stale epochs are ignored.
+    QwaitTimeout {
+        /// The halted core.
+        core: usize,
+        /// Halt-episode epoch the timeout was armed for.
+        epoch: u64,
+    },
+    /// Periodic no-progress watchdog tick.
+    Watchdog,
 }
 
 /// Arrival stream: shape-weighted or flow-structured.
@@ -159,6 +177,18 @@ pub struct Engine {
     warmup_completions: u64,
     measure_start: Option<SimTime>,
     saturation_rate: f64,
+    /// Fault-decision stream (stream 3; inert when the plan is empty).
+    faults: FaultInjector,
+    /// Per-core halt-episode epoch; a `QwaitTimeout` event whose epoch
+    /// does not match is stale (the core was woken since) and ignored.
+    qwait_epoch: Vec<u64>,
+    /// Per-core current re-poll timeout (exponential backoff state).
+    qwait_backoff: Vec<u64>,
+    recovery_latency: Histogram,
+    watchdog_last_completions: u64,
+    first_stall: Option<SimTime>,
+    stall_events: u64,
+    aborted_on_stall: bool,
 }
 
 impl Engine {
@@ -168,9 +198,22 @@ impl Engine {
     ///
     /// Panics if the configuration fails [`ExperimentConfig::validate`] or
     /// if a monitoring-set conflict cannot be resolved (practically
-    /// impossible with the over-provisioned default).
+    /// impossible with the over-provisioned default). Library callers that
+    /// want the error instead should use [`Engine::try_new`].
     pub fn new(cfg: ExperimentConfig) -> Self {
-        cfg.validate();
+        match Self::try_new(cfg) {
+            Ok(engine) => engine,
+            Err(e) => panic!("invalid experiment configuration: {e}"),
+        }
+    }
+
+    /// Builds an engine for `cfg`, refusing invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// The [`ConfigError`] from [`ExperimentConfig::validate`].
+    pub fn try_new(cfg: ExperimentConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let rngs = RngFactory::new(cfg.seed);
         let clock = cfg.machine.clock;
 
@@ -257,8 +300,12 @@ impl Engine {
         let service = ServiceModel::new(cfg.workload, cfg.service_dist, clock);
         let n_queues = cfg.queues as usize;
         let warmup_completions = (cfg.target_completions / 5).max(1);
+        // Faults draw from their own stream (3): the same seed produces
+        // byte-identical arrival/service sequences with or without faults.
+        let faults = FaultInjector::from_rng(cfg.faults.clone(), rngs.stream(3));
+        let timeout_base = cfg.qwait_timeout_cycles.unwrap_or(0);
 
-        Engine {
+        Ok(Engine {
             mem,
             layout,
             doorbell,
@@ -292,8 +339,16 @@ impl Engine {
             warmup_completions,
             measure_start: None,
             saturation_rate: rate,
+            faults,
+            qwait_epoch: vec![0; cfg.dp_cores],
+            qwait_backoff: vec![timeout_base; cfg.dp_cores],
+            recovery_latency: Histogram::new(),
+            watchdog_last_completions: 0,
+            first_stall: None,
+            stall_events: 0,
+            aborted_on_stall: false,
             cfg,
-        }
+        })
     }
 
     fn producer_core(&self, q: QueueId) -> CoreId {
@@ -321,9 +376,15 @@ impl Engine {
         for c in 0..self.cfg.dp_cores {
             self.ev.schedule_at(SimTime::ZERO, Ev::CoreStep(c));
         }
+        if let Some(period) = self.cfg.watchdog_period_cycles {
+            self.ev.schedule_at(SimTime(period), Ev::Watchdog);
+        }
         let stop_completions = self.cfg.target_completions + self.warmup_completions;
         loop {
             if self.completions >= stop_completions {
+                break;
+            }
+            if self.aborted_on_stall {
                 break;
             }
             let Some((now, ev)) = self.ev.pop() else {
@@ -339,6 +400,15 @@ impl Engine {
                 Ev::Reconsider { core, group, qid } => {
                     let _cost = self.reconsider(core, group, QueueId(qid), now);
                 }
+                Ev::DelayedSnoop { group, line } => {
+                    if let Some(dev) = self.devices.get_mut(group) {
+                        if dev.snoop_getm(LineAddr(line)).is_some() {
+                            self.wake_one(now, group);
+                        }
+                    }
+                }
+                Ev::QwaitTimeout { core, epoch } => self.on_qwait_timeout(now, core, epoch),
+                Ev::Watchdog => self.on_watchdog(now),
             }
         }
         self.finish()
@@ -365,7 +435,20 @@ impl Engine {
             mem_stats.remote_hits += s.remote_hits;
             mem_stats.dram_fetches += s.dram_fetches;
         }
-        ExperimentResult::new(
+        let fault_report = (self.cfg.faults.is_active()
+            || self.cfg.qwait_timeout_cycles.is_some()
+            || self.cfg.watchdog_period_cycles.is_some())
+        .then(|| FaultReport {
+            injected: self.faults.counters(),
+            qwait_timeouts: self.telem.iter().map(|t| t.qwait_timeouts).sum(),
+            recoveries: self.telem.iter().map(|t| t.recoveries).sum(),
+            recovery_latency_cycles: self.recovery_latency.clone(),
+            first_stall: self.first_stall,
+            stall_events: self.stall_events,
+            aborted_on_stall: self.aborted_on_stall,
+            queue_drops: self.queues.iter().map(|q| q.dropped()).sum(),
+        });
+        let mut result = ExperimentResult::new(
             &self.cfg,
             throughput,
             self.latency,
@@ -377,7 +460,11 @@ impl Engine {
         )
         .with_per_queue(self.per_queue_latency)
         .with_notify_latency(self.notify_latency)
-        .with_mem_stats(mem_stats)
+        .with_mem_stats(mem_stats);
+        if let Some(report) = fault_report {
+            result = result.with_faults(report);
+        }
+        result
     }
 
     // ---------------------------------------------------------------- //
@@ -390,8 +477,14 @@ impl Engine {
         self.ev.schedule_after(gap, Ev::Arrival);
 
         let qi = q.0 as usize;
-        if self.queues[qi].depth() >= self.cfg.queue_cap {
+        // The fault plan may narrow the cap to force overflow drops.
+        let cap = match self.cfg.faults.queue_cap {
+            Some(c) => c.min(self.cfg.queue_cap),
+            None => self.cfg.queue_cap,
+        };
+        if self.queues[qi].depth() >= cap {
             self.drops += 1;
+            self.queues[qi].record_drop();
             return;
         }
 
@@ -431,12 +524,44 @@ impl Engine {
             }
         }
 
-        // HyperPlane: the monitoring set snoops the GetM.
-        if let Some(line) = ring.getm {
-            let g = self.group_of_queue[qi];
+        // Fault: evict the arriving queue's monitoring entry just before
+        // the doorbell rings (capacity conflict / firmware shootdown).
+        // The queue's notifications go dark until the recovery sweep
+        // re-registers it.
+        if !self.devices.is_empty() && self.faults.evict_now() {
             if let Some(dev) = self.devices.get_mut(g) {
-                if let Some(_qid) = dev.snoop_getm(line) {
-                    self.wake_one(now, g);
+                if dev.qwait_remove(q).is_some() {
+                    self.faults.record_eviction();
+                }
+            }
+        }
+
+        // Fault: a spurious activation (false sharing on a doorbell line)
+        // for a random queue of this group; QWAIT-VERIFY must filter it.
+        if !self.devices.is_empty() && self.faults.spurious_now() {
+            let victims = &self.queues_of_group[g];
+            let victim = victims[self.faults.pick(victims.len())];
+            self.devices[g].force_activate(victim);
+            self.wake_one(now, g);
+        }
+
+        // HyperPlane: the monitoring set snoops the GetM — unless the
+        // fault plane loses or delays the notification in flight.
+        if let Some(line) = ring.getm {
+            if let Some(dev) = self.devices.get_mut(g) {
+                match self.faults.doorbell_fate() {
+                    DoorbellFate::Deliver => {
+                        if dev.snoop_getm(line).is_some() {
+                            self.wake_one(now, g);
+                        }
+                    }
+                    DoorbellFate::Drop => {} // the wake-up is simply lost
+                    DoorbellFate::Delay(d) => {
+                        self.ev.schedule_at(
+                            now + d,
+                            Ev::DelayedSnoop { group: g, line: line.0 },
+                        );
+                    }
                 }
             }
         }
@@ -446,6 +571,9 @@ impl Engine {
         let lookup = self.devices[group].timing().monitor_lookup;
         if let Some(core) = self.halted_by_group[group].pop() {
             debug_assert!(self.halted[core]);
+            // The wake is in flight: stale any armed re-poll timeout so
+            // it cannot double-resume the core mid-transit.
+            self.qwait_epoch[core] += 1;
             let delay = Cycles(lookup.count() + self.wake_cycles().count());
             self.ev.schedule_at(now + delay, Ev::CoreWake(core));
             return;
@@ -458,6 +586,7 @@ impl Engine {
                 if g != group {
                     if let Some(core) = self.halted_by_group[g].pop() {
                         debug_assert!(self.halted[core]);
+                        self.qwait_epoch[core] += 1;
                         let delay = Cycles(
                             lookup.count()
                                 + self.wake_cycles().count()
@@ -475,6 +604,10 @@ impl Engine {
         debug_assert!(self.halted[c]);
         self.halted[c] = false;
         self.trackers[c].resume(now, &mut self.telem[c]);
+        // A real wake-up invalidates any armed re-poll timeout and
+        // resets its backoff: the notification path is working.
+        self.qwait_epoch[c] += 1;
+        self.qwait_backoff[c] = self.cfg.qwait_timeout_cycles.unwrap_or(0);
         self.on_core_step(now, c);
     }
 
@@ -483,6 +616,13 @@ impl Engine {
     // ---------------------------------------------------------------- //
 
     fn on_core_step(&mut self, now: SimTime, c: usize) {
+        // Fault: the core straggles (SMI / frequency dip / noisy
+        // neighbor) — it burns the stall actively, then retries the step.
+        if let Some(stall) = self.faults.straggler_stall() {
+            self.telem[c].active_cycles += stall.count();
+            self.ev.schedule_at(now + stall, Ev::CoreStep(c));
+            return;
+        }
         match self.cfg.notifier {
             Notifier::Spinning => self.spin_step(now, c),
             Notifier::Interrupt => self.irq_step(now, c),
@@ -656,6 +796,7 @@ impl Engine {
             self.halted_by_group[group].push(c);
             let state = if power_optimized { HaltState::C1 } else { HaltState::C0Halt };
             self.trackers[c].halt(now + Cycles(total), state);
+            self.arm_qwait_timeout(now + Cycles(total), c);
             return;
         };
 
@@ -724,6 +865,116 @@ impl Engine {
             self.wake_one(now, group);
         }
         cost
+    }
+
+    // ---------------------------------------------------------------- //
+    // Resilience: QWAIT timeout, recovery sweep, watchdog
+    // ---------------------------------------------------------------- //
+
+    /// Arms the bounded-backoff re-poll timeout for a core that just
+    /// halted in the QWAIT path (no-op unless `qwait_timeout_cycles` is
+    /// configured). The interrupt baseline never arms one: its kernel
+    /// delivery path is modeled as reliable.
+    fn arm_qwait_timeout(&mut self, halt_at: SimTime, c: usize) {
+        if self.cfg.qwait_timeout_cycles.is_none() {
+            return;
+        }
+        self.qwait_epoch[c] += 1;
+        let epoch = self.qwait_epoch[c];
+        self.ev
+            .schedule_at(halt_at + Cycles(self.qwait_backoff[c]), Ev::QwaitTimeout { core: c, epoch });
+    }
+
+    /// A halted core's re-poll timeout expired: sweep the group's queues
+    /// for missed work. On a hit the core resumes (and the miss-to-recovery
+    /// latency is recorded); on a miss it re-halts with doubled, bounded
+    /// backoff so an idle fault-free system converges to rare re-polls.
+    fn on_qwait_timeout(&mut self, now: SimTime, c: usize, epoch: u64) {
+        if !self.halted[c] || epoch != self.qwait_epoch[c] {
+            return; // stale: the core was woken since this was armed
+        }
+        let base = self.cfg.qwait_timeout_cycles.unwrap_or(0);
+        self.telem[c].qwait_timeouts += 1;
+        let group = self.core_group[c];
+        let halted_at = self.trackers[c].halted_since();
+        let (found, sweep_cost) = self.recovery_sweep(c, group);
+        // The sweep runs on the briefly-resumed core: its cycles are
+        // active, not halted.
+        self.trackers[c].resume(now, &mut self.telem[c]);
+        self.telem[c].active_cycles += sweep_cost;
+        if found {
+            // Missed wake-up recovered: how long did work sit unnoticed?
+            if let Some(since) = halted_at {
+                self.recovery_latency.record(now.saturating_since(since).count());
+            }
+            self.telem[c].recoveries += 1;
+            self.qwait_backoff[c] = base;
+            self.qwait_epoch[c] += 1;
+            self.halted[c] = false;
+            self.halted_by_group[group].retain(|&x| x != c);
+            self.ev.schedule_at(now + Cycles(sweep_cost), Ev::CoreStep(c));
+        } else {
+            let state = match self.cfg.notifier {
+                Notifier::HyperPlane { power_optimized: true, .. } => HaltState::C1,
+                _ => HaltState::C0Halt,
+            };
+            self.trackers[c].halt(now + Cycles(sweep_cost), state);
+            self.qwait_backoff[c] = self.qwait_backoff[c]
+                .saturating_mul(2)
+                .clamp(base, self.cfg.qwait_backoff_max_cycles.max(base));
+            self.arm_qwait_timeout(now + Cycles(sweep_cost), c);
+        }
+    }
+
+    /// Walks every queue of `group` like a software poll loop: reads each
+    /// doorbell (charged at memory latency plus poll overhead),
+    /// re-registers entries lost to monitoring-set eviction (Algorithm 1's
+    /// `QWAIT-ADD` retry; a Cuckoo conflict just leaves the queue for the
+    /// next sweep), and forces backlogged queues into the ready set.
+    /// Returns whether any backlog was found and the cycles charged.
+    fn recovery_sweep(&mut self, c: usize, group: usize) -> (bool, u64) {
+        let core = self.dp_core(c);
+        let mut cost = 0u64;
+        let mut found = false;
+        let qids = self.queues_of_group[group].clone();
+        for q in qids {
+            let qi = q.0 as usize;
+            cost += self.cfg.poll_overhead_cycles;
+            cost += self.mem.access(core, self.doorbell[qi], AccessKind::Load).latency.count();
+            self.telem[c].useful_instructions += POLL_INSTR;
+            if self.devices[group].line_of(q).is_none() {
+                cost += self.devices[group].timing().monitor_lookup.count();
+                let _ = self.devices[group].qwait_add(q, self.doorbell[qi].line());
+            }
+            if !self.queues[qi].is_empty() {
+                self.devices[group].force_activate(q);
+                found = true;
+            }
+        }
+        (found, cost)
+    }
+
+    /// Periodic no-progress check: a stall is backlog with zero
+    /// completions since the previous tick while every DP core is halted
+    /// — the signature of a missed wake-up or livelock, since a working
+    /// notification path would have woken someone.
+    fn on_watchdog(&mut self, now: SimTime) {
+        let Some(period) = self.cfg.watchdog_period_cycles else { return };
+        let backlog: usize = self.queues.iter().map(|q| q.depth()).sum();
+        let progressed = self.completions > self.watchdog_last_completions;
+        self.watchdog_last_completions = self.completions;
+        let all_halted = self.halted.iter().all(|&h| h);
+        if backlog > 0 && !progressed && all_halted {
+            self.stall_events += 1;
+            if self.first_stall.is_none() {
+                self.first_stall = Some(now);
+            }
+            if self.cfg.watchdog_abort {
+                self.aborted_on_stall = true;
+                return;
+            }
+        }
+        self.ev.schedule_at(now + Cycles(period), Ev::Watchdog);
     }
 
     /// Dequeues up to `batch` items from `q` and performs transport

@@ -45,8 +45,8 @@ pub mod result;
 pub mod runner;
 pub mod telemetry;
 
-pub use config::{ExperimentConfig, Load, MicroarchConfig, Notifier};
+pub use config::{ConfigError, ExperimentConfig, Load, MicroarchConfig, Notifier};
 pub use engine::Engine;
 pub use power::PowerModel;
-pub use result::ExperimentResult;
+pub use result::{ExperimentResult, FaultReport};
 pub use telemetry::{CoreTelemetry, SmtCoRunner};

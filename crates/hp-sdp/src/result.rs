@@ -4,8 +4,41 @@
 use crate::config::ExperimentConfig;
 use crate::power::PowerModel;
 use crate::telemetry::{CoreTelemetry, SmtCoRunner};
+use hp_sim::faults::FaultCounters;
 use hp_sim::stats::{Histogram, OnlineStats};
 use hp_sim::time::{Clock, SimTime};
+
+/// What the fault plane did to a run, and how the resilience machinery
+/// responded. Attached to [`ExperimentResult`] whenever fault injection,
+/// the QWAIT timeout, or the watchdog was configured.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Faults actually injected, by class.
+    pub injected: FaultCounters,
+    /// QWAIT timeout expiries across all DP cores.
+    pub qwait_timeouts: u64,
+    /// Timeout expiries that found missed work and recovered it.
+    pub recoveries: u64,
+    /// Missed-wakeup recovery latency (halt begin → recovery), cycles.
+    pub recovery_latency_cycles: Histogram,
+    /// First watchdog-detected stall instant, if any.
+    pub first_stall: Option<SimTime>,
+    /// Watchdog ticks that found a stall (backlog, no progress, all DP
+    /// cores halted).
+    pub stall_events: u64,
+    /// Whether the run was aborted at the first stall
+    /// (`watchdog_abort`).
+    pub aborted_on_stall: bool,
+    /// Arrivals refused at the (possibly fault-narrowed) queue cap.
+    pub queue_drops: u64,
+}
+
+impl FaultReport {
+    /// Whether the watchdog ever saw a missed-wakeup/livelock stall.
+    pub fn stalled(&self) -> bool {
+        self.stall_events > 0
+    }
+}
 
 /// The outcome of one engine run.
 #[derive(Debug)]
@@ -28,6 +61,7 @@ pub struct ExperimentResult {
     per_queue: Vec<OnlineStats>,
     notify_latency: Histogram,
     mem_stats: hp_mem::system::CoreMemStats,
+    faults: Option<FaultReport>,
 }
 
 impl ExperimentResult {
@@ -55,7 +89,25 @@ impl ExperimentResult {
             per_queue: Vec::new(),
             notify_latency: Histogram::new(),
             mem_stats: hp_mem::system::CoreMemStats::default(),
+            faults: None,
         }
+    }
+
+    /// Attaches the fault/resilience report (engine internal).
+    pub(crate) fn with_faults(mut self, faults: FaultReport) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The fault/resilience report, if fault injection, the QWAIT
+    /// timeout, or the watchdog was configured for this run.
+    pub fn fault_report(&self) -> Option<&FaultReport> {
+        self.faults.as_ref()
+    }
+
+    /// Whether the watchdog detected a missed-wakeup/livelock stall.
+    pub fn stalled(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.stalled())
     }
 
     /// Attaches aggregated DP-core memory stats (engine internal).

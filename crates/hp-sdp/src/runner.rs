@@ -6,13 +6,27 @@
 //! * [`run_at_load`] — run an open-loop drive at a fraction of a measured
 //!   peak and report the latency distribution (Figs. 3b/3c, 9, 10, 12b).
 
-use crate::config::{ExperimentConfig, Load};
+use crate::config::{ConfigError, ExperimentConfig, Load};
 use crate::engine::Engine;
 use crate::result::ExperimentResult;
 
 /// Runs `cfg` as configured.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration; use [`try_run`] to get the
+/// [`ConfigError`] instead.
 pub fn run(cfg: ExperimentConfig) -> ExperimentResult {
     Engine::new(cfg).run()
+}
+
+/// Runs `cfg` as configured, refusing invalid configurations up front.
+///
+/// # Errors
+///
+/// The [`ConfigError`] from [`ExperimentConfig::validate`].
+pub fn try_run(cfg: ExperimentConfig) -> Result<ExperimentResult, ConfigError> {
+    Ok(Engine::try_new(cfg)?.run())
 }
 
 /// Measures peak *sustainable* throughput (tasks/second).
@@ -141,5 +155,12 @@ mod tests {
     #[should_panic(expected = "load fraction")]
     fn rejects_bad_fraction() {
         let _ = run_at_load(&base(), 1000.0, 1.5);
+    }
+
+    #[test]
+    fn try_run_surfaces_config_errors() {
+        let mut cfg = base();
+        cfg.queues = 0;
+        assert_eq!(try_run(cfg).unwrap_err(), crate::config::ConfigError::NoQueues);
     }
 }

@@ -41,6 +41,11 @@ pub struct CoreTelemetry {
     /// Instructions retired by a background task between non-blocking
     /// QWAIT polls (only nonzero with `background_task`).
     pub background_instructions: u64,
+    /// QWAIT timeout expiries on this core (resilience path; only
+    /// nonzero with `qwait_timeout_cycles` configured).
+    pub qwait_timeouts: u64,
+    /// Timeout expiries that found real missed work and recovered it.
+    pub recoveries: u64,
 }
 
 impl CoreTelemetry {
@@ -111,6 +116,8 @@ impl CoreTelemetry {
         self.empty_polls += other.empty_polls;
         self.spurious += other.spurious;
         self.background_instructions += other.background_instructions;
+        self.qwait_timeouts += other.qwait_timeouts;
+        self.recoveries += other.recoveries;
     }
 }
 
@@ -151,6 +158,12 @@ impl HaltTracker {
     /// Whether the core is currently halted.
     pub fn is_halted(&self) -> bool {
         self.since.is_some()
+    }
+
+    /// When the current halt episode began, if halted. Used by the
+    /// resilience path to measure missed-wakeup recovery latency.
+    pub fn halted_since(&self) -> Option<SimTime> {
+        self.since.map(|(t, _)| t)
     }
 }
 

@@ -1,0 +1,472 @@
+//! Deterministic, seedable fault injection for the simulation stack.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong and how often; a
+//! [`FaultInjector`] draws concrete fault decisions from its own dedicated
+//! RNG stream so that enabling faults never perturbs the workload's
+//! arrival or service draws — a faulty run and a fault-free run of the
+//! same seed see byte-identical traffic. All decisions are pure functions
+//! of `(plan, stream seed, call sequence)`, so a given configuration
+//! replays bit-identically.
+//!
+//! The fault classes model the failure modes a notification accelerator
+//! must tolerate (DESIGN.md §"Fault model & resilience"):
+//!
+//! * **Doorbell drop** — a GetM snoop is lost between the interconnect
+//!   and the monitoring set; a QWAIT'd core misses its wake-up. This is
+//!   the hazard the paper's `QWAIT-VERIFY` atomicity argument is about.
+//! * **Doorbell delay** — the snoop is delivered late (buffered behind a
+//!   directory-bank conflict), stretching notification latency.
+//! * **Monitoring-set eviction** — a queue's entry is evicted (capacity
+//!   conflict or firmware shootdown); its doorbell writes become
+//!   invisible until the driver re-registers it.
+//! * **Spurious wake-up** — the ready set is activated for a queue with
+//!   no work (false sharing on the doorbell line); `QWAIT-VERIFY` must
+//!   filter it.
+//! * **Straggler** — a data-plane core stalls for a fixed number of
+//!   cycles (SMI, frequency dip, noisy neighbor).
+//! * **Queue-cap override** — shrink the per-queue backlog cap to force
+//!   overflow; drops are accounted by the engine.
+//!
+//! Each decision method consumes randomness *only when its fault class is
+//! enabled*, so switching one class on or off does not shift the draws of
+//! the others.
+
+use crate::time::Cycles;
+use hp_rand::rngs::SmallRng;
+use hp_rand::{Rng, SeedableRng};
+
+/// What the injector decided to do with one doorbell notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DoorbellFate {
+    /// Deliver the GetM snoop normally.
+    Deliver,
+    /// Lose the snoop entirely (missed wake-up until recovery).
+    Drop,
+    /// Deliver the snoop after this many cycles.
+    Delay(Cycles),
+}
+
+/// Error from [`FaultPlan::validate`] or [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A probability field is outside `[0, 1]`.
+    BadProbability {
+        /// Which field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A spec-string key is not a known fault knob.
+    UnknownKey(String),
+    /// A spec-string value failed to parse.
+    BadValue {
+        /// The key whose value failed.
+        key: String,
+        /// The unparsable text.
+        value: String,
+    },
+    /// A spec-string entry is not `key=value`.
+    BadEntry(String),
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::BadProbability { field, value } => {
+                write!(f, "fault probability `{field}` must be in [0,1], got {value}")
+            }
+            FaultPlanError::UnknownKey(k) => write!(f, "unknown fault knob `{k}`"),
+            FaultPlanError::BadValue { key, value } => {
+                write!(f, "fault knob `{key}` has unparsable value `{value}`")
+            }
+            FaultPlanError::BadEntry(e) => {
+                write!(f, "fault spec entry `{e}` is not of the form key=value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A declarative description of the faults to inject, with rates.
+///
+/// The default plan injects nothing. Plans are cheap to clone and compare;
+/// [`FaultPlan::parse`] accepts a compact `key=value,...` spec string (the
+/// workspace carries no serde) and [`std::fmt::Display`] round-trips it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a doorbell GetM snoop is dropped.
+    pub doorbell_drop: f64,
+    /// Probability a doorbell GetM snoop is delayed (evaluated only if
+    /// the snoop was not dropped).
+    pub doorbell_delay: f64,
+    /// Delay applied to delayed snoops, cycles.
+    pub delay_cycles: u64,
+    /// Probability (per arrival) the arriving queue's monitoring-set
+    /// entry is evicted just before the doorbell rings.
+    pub eviction: f64,
+    /// Probability (per arrival) a spurious ready-set activation is
+    /// injected for a random queue of the arrival's group.
+    pub spurious: f64,
+    /// Probability (per core step) the core stalls as a straggler.
+    pub straggler: f64,
+    /// Straggler stall duration, cycles.
+    pub stall_cycles: u64,
+    /// If set, overrides (lowers) the per-queue backlog cap to force
+    /// overflow drops.
+    pub queue_cap: Option<usize>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            doorbell_drop: 0.0,
+            doorbell_delay: 0.0,
+            delay_cycles: 2_000,
+            eviction: 0.0,
+            spurious: 0.0,
+            straggler: 0.0,
+            stall_cycles: 50_000,
+            queue_cap: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn is_active(&self) -> bool {
+        self.doorbell_drop > 0.0
+            || self.doorbell_delay > 0.0
+            || self.eviction > 0.0
+            || self.spurious > 0.0
+            || self.straggler > 0.0
+            || self.queue_cap.is_some()
+    }
+
+    /// Checks that every probability is in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::BadProbability`] naming the offending field.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for (field, value) in [
+            ("drop", self.doorbell_drop),
+            ("delay", self.doorbell_delay),
+            ("evict", self.eviction),
+            ("spurious", self.spurious),
+            ("straggler", self.straggler),
+        ] {
+            if !(0.0..=1.0).contains(&value) || value.is_nan() {
+                return Err(FaultPlanError::BadProbability { field, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a compact spec string, e.g.
+    /// `"drop=0.1,delay=0.05,delay_cycles=4000,evict=0.01,cap=8"`.
+    ///
+    /// Recognized keys: `drop`, `delay`, `delay_cycles`, `evict`,
+    /// `spurious`, `straggler`, `stall_cycles`, `cap`. Whitespace around
+    /// entries is ignored; an empty string is the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError`] on unknown keys, malformed entries, unparsable
+    /// values, or out-of-range probabilities.
+    pub fn parse(spec: &str) -> Result<Self, FaultPlanError> {
+        let mut plan = FaultPlan::none();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| FaultPlanError::BadEntry(entry.to_string()))?;
+            fn parsed<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, FaultPlanError> {
+                value.parse().map_err(|_| FaultPlanError::BadValue {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })
+            }
+            match key {
+                "drop" => plan.doorbell_drop = parsed(key, value)?,
+                "delay" => plan.doorbell_delay = parsed(key, value)?,
+                "delay_cycles" => plan.delay_cycles = parsed(key, value)?,
+                "evict" => plan.eviction = parsed(key, value)?,
+                "spurious" => plan.spurious = parsed(key, value)?,
+                "straggler" => plan.straggler = parsed(key, value)?,
+                "stall_cycles" => plan.stall_cycles = parsed(key, value)?,
+                "cap" => plan.queue_cap = Some(parsed(key, value)?),
+                _ => return Err(FaultPlanError::UnknownKey(key.to_string())),
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    /// Round-trippable spec string (only non-default knobs are printed).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        let d = FaultPlan::default();
+        if self.doorbell_drop != d.doorbell_drop {
+            parts.push(format!("drop={}", self.doorbell_drop));
+        }
+        if self.doorbell_delay != d.doorbell_delay {
+            parts.push(format!("delay={}", self.doorbell_delay));
+        }
+        if self.delay_cycles != d.delay_cycles {
+            parts.push(format!("delay_cycles={}", self.delay_cycles));
+        }
+        if self.eviction != d.eviction {
+            parts.push(format!("evict={}", self.eviction));
+        }
+        if self.spurious != d.spurious {
+            parts.push(format!("spurious={}", self.spurious));
+        }
+        if self.straggler != d.straggler {
+            parts.push(format!("straggler={}", self.straggler));
+        }
+        if self.stall_cycles != d.stall_cycles {
+            parts.push(format!("stall_cycles={}", self.stall_cycles));
+        }
+        if let Some(cap) = self.queue_cap {
+            parts.push(format!("cap={cap}"));
+        }
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+/// Counters of faults actually injected during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Doorbell snoops dropped.
+    pub doorbells_dropped: u64,
+    /// Doorbell snoops delayed.
+    pub doorbells_delayed: u64,
+    /// Monitoring-set entries evicted.
+    pub evictions: u64,
+    /// Spurious ready-set activations injected.
+    pub spurious_injected: u64,
+    /// Straggler stalls injected.
+    pub straggler_stalls: u64,
+}
+
+impl FaultCounters {
+    /// Total faults of every class.
+    pub fn total(&self) -> u64 {
+        self.doorbells_dropped
+            + self.doorbells_delayed
+            + self.evictions
+            + self.spurious_injected
+            + self.straggler_stalls
+    }
+}
+
+/// Draws concrete fault decisions per the plan, from a dedicated RNG
+/// stream, and counts what it injected.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SmallRng,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan` seeded by `stream_seed` (callers
+    /// should derive the seed from the experiment's root seed via
+    /// [`crate::rng::RngFactory`] / `splitmix64` so fault draws are
+    /// independent of the workload streams).
+    pub fn new(plan: FaultPlan, stream_seed: u64) -> Self {
+        Self::from_rng(plan, SmallRng::seed_from_u64(stream_seed))
+    }
+
+    /// Builds an injector drawing from an already-derived stream (e.g.
+    /// `RngFactory::stream(3)` — the stream id the engine reserves for
+    /// faults).
+    pub fn from_rng(plan: FaultPlan, rng: SmallRng) -> Self {
+        FaultInjector { plan, rng, counters: FaultCounters::default() }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Decides the fate of one doorbell GetM notification.
+    pub fn doorbell_fate(&mut self) -> DoorbellFate {
+        if self.plan.doorbell_drop > 0.0 && self.rng.random_bool(self.plan.doorbell_drop) {
+            self.counters.doorbells_dropped += 1;
+            return DoorbellFate::Drop;
+        }
+        if self.plan.doorbell_delay > 0.0 && self.rng.random_bool(self.plan.doorbell_delay) {
+            self.counters.doorbells_delayed += 1;
+            return DoorbellFate::Delay(Cycles(self.plan.delay_cycles));
+        }
+        DoorbellFate::Deliver
+    }
+
+    /// Whether to evict the arriving queue's monitoring entry now. The
+    /// caller reports whether an entry was actually present (so counters
+    /// reflect real evictions, not no-ops) via [`Self::record_eviction`].
+    pub fn evict_now(&mut self) -> bool {
+        self.plan.eviction > 0.0 && self.rng.random_bool(self.plan.eviction)
+    }
+
+    /// Records one realized monitoring-set eviction.
+    pub fn record_eviction(&mut self) {
+        self.counters.evictions += 1;
+    }
+
+    /// Whether to inject a spurious ready-set activation now.
+    pub fn spurious_now(&mut self) -> bool {
+        if self.plan.spurious > 0.0 && self.rng.random_bool(self.plan.spurious) {
+            self.counters.spurious_injected += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Draws a straggler stall for one core step, if any.
+    pub fn straggler_stall(&mut self) -> Option<Cycles> {
+        if self.plan.straggler > 0.0 && self.rng.random_bool(self.plan.straggler) {
+            self.counters.straggler_stalls += 1;
+            return Some(Cycles(self.plan.stall_cycles));
+        }
+        None
+    }
+
+    /// Uniform pick in `[0, n)` from the fault stream (used to choose the
+    /// victim queue of a spurious activation).
+    pub fn pick(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.rng.random_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        plan.validate().unwrap();
+        let mut inj = FaultInjector::new(plan, 42);
+        for _ in 0..100 {
+            assert_eq!(inj.doorbell_fate(), DoorbellFate::Deliver);
+            assert!(!inj.evict_now());
+            assert!(!inj.spurious_now());
+            assert_eq!(inj.straggler_stall(), None);
+        }
+        assert_eq!(inj.counters().total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan {
+            doorbell_drop: 0.3,
+            doorbell_delay: 0.2,
+            spurious: 0.1,
+            straggler: 0.05,
+            ..FaultPlan::none()
+        };
+        let mut a = FaultInjector::new(plan.clone(), 7);
+        let mut b = FaultInjector::new(plan, 7);
+        for _ in 0..1000 {
+            assert_eq!(a.doorbell_fate(), b.doorbell_fate());
+            assert_eq!(a.spurious_now(), b.spurious_now());
+            assert_eq!(a.straggler_stall(), b.straggler_stall());
+        }
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn rates_are_respected() {
+        let plan = FaultPlan { doorbell_drop: 0.25, ..FaultPlan::none() };
+        let mut inj = FaultInjector::new(plan, 3);
+        let n = 100_000;
+        for _ in 0..n {
+            inj.doorbell_fate();
+        }
+        let frac = inj.counters().doorbells_dropped as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn full_drop_drops_everything() {
+        let plan = FaultPlan { doorbell_drop: 1.0, ..FaultPlan::none() };
+        let mut inj = FaultInjector::new(plan, 1);
+        for _ in 0..100 {
+            assert_eq!(inj.doorbell_fate(), DoorbellFate::Drop);
+        }
+    }
+
+    #[test]
+    fn disabling_one_class_does_not_shift_another() {
+        // Straggler draws must be identical whether or not doorbell
+        // faults are configured, because fate draws consume randomness
+        // only when enabled... and vice versa: a plan with only
+        // stragglers sees the same straggler sequence as a plan with
+        // stragglers plus a zero-rate drop knob.
+        let only = FaultPlan { straggler: 0.5, ..FaultPlan::none() };
+        let with_zero_drop = FaultPlan { straggler: 0.5, doorbell_drop: 0.0, ..FaultPlan::none() };
+        let mut a = FaultInjector::new(only, 11);
+        let mut b = FaultInjector::new(with_zero_drop, 11);
+        for _ in 0..500 {
+            // Interleave a fate call (no-op draw for both).
+            a.doorbell_fate();
+            b.doorbell_fate();
+            assert_eq!(a.straggler_stall(), b.straggler_stall());
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let plan = FaultPlan::parse("drop=0.1, delay=0.05,delay_cycles=4000,cap=8").unwrap();
+        assert_eq!(plan.doorbell_drop, 0.1);
+        assert_eq!(plan.doorbell_delay, 0.05);
+        assert_eq!(plan.delay_cycles, 4000);
+        assert_eq!(plan.queue_cap, Some(8));
+        assert!(plan.is_active());
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn parse_empty_is_inert() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::parse("  ").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(FaultPlan::parse("bogus=1"), Err(FaultPlanError::UnknownKey(_))));
+        assert!(matches!(FaultPlan::parse("drop"), Err(FaultPlanError::BadEntry(_))));
+        assert!(matches!(FaultPlan::parse("drop=x"), Err(FaultPlanError::BadValue { .. })));
+        assert!(matches!(
+            FaultPlan::parse("drop=1.5"),
+            Err(FaultPlanError::BadProbability { field: "drop", .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let plan = FaultPlan { spurious: f64::NAN, ..FaultPlan::none() };
+        assert!(plan.validate().is_err());
+    }
+}

@@ -19,6 +19,9 @@
 //!   [`stats::OnlineStats`] and [`stats::TimeWeighted`] accumulators.
 //! * [`rng`] — [`rng::RngFactory`] seed-derived deterministic streams and
 //!   the service-time [`rng::Distribution`] shapes.
+//! * [`faults`] — the deterministic [`faults::FaultPlan`] /
+//!   [`faults::FaultInjector`] fault-injection plane (dropped/delayed
+//!   doorbells, evictions, spurious wake-ups, stragglers).
 //!
 //! ## Example: an M/M/1 queue in a few lines
 //!
@@ -68,6 +71,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -7,8 +7,8 @@
 //! per traffic source, etc.). Re-running with the same seed reproduces every
 //! event in the simulation bit-for-bit.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hp_rand::rngs::SmallRng;
+use hp_rand::{Rng, SeedableRng};
 
 /// Derives independent, deterministic RNG streams from a root seed.
 ///
@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 ///
 /// ```
 /// use hp_sim::rng::RngFactory;
-/// use rand::Rng;
+/// use hp_rand::Rng;
 ///
 /// let f = RngFactory::new(42);
 /// let mut a = f.stream(0);

@@ -7,7 +7,6 @@
 //! count/total bookkeeping, which is what the latency-percentile and CDF
 //! figures in the paper need (Figs. 3b/3c/9/10/12b).
 
-use serde::Serialize;
 
 /// Number of linear sub-buckets per power-of-two bucket (2^6 = 64 gives
 /// ~1.6 % worst-case relative error — ample for percentile plots).
@@ -29,7 +28,7 @@ const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
 /// let p50 = h.percentile(50.0);
 /// assert!((490..=520).contains(&p50), "p50 was {p50}");
 /// ```
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     counts: Vec<u64>,
     count: u64,
@@ -211,7 +210,7 @@ impl Histogram {
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,

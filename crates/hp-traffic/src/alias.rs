@@ -5,7 +5,7 @@
 //! binary-search sampling would dominate simulation time. The alias table
 //! gives constant-time draws after O(n) setup.
 
-use rand::Rng;
+use hp_rand::Rng;
 
 /// A preprocessed discrete distribution supporting O(1) sampling.
 ///
@@ -13,10 +13,10 @@ use rand::Rng;
 ///
 /// ```
 /// use hp_traffic::alias::AliasTable;
-/// use rand::SeedableRng;
+/// use hp_rand::SeedableRng;
 ///
 /// let t = AliasTable::new(&[0.5, 0.25, 0.25]).unwrap();
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut rng = hp_rand::rngs::SmallRng::seed_from_u64(1);
 /// let sample = t.sample(&mut rng);
 /// assert!(sample < 3);
 /// ```
@@ -122,8 +122,8 @@ impl AliasTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use hp_rand::rngs::SmallRng;
+    use hp_rand::SeedableRng;
 
     #[test]
     fn rejects_bad_input() {

@@ -14,7 +14,7 @@ use hp_queues::sim::QueueId;
 use hp_sim::rng::sample_exp;
 use hp_sim::time::{Clock, Cycles};
 use hp_workloads::steering::{FlowKey, DEFAULT_RSS_KEY};
-use rand::rngs::SmallRng;
+use hp_rand::rngs::SmallRng;
 
 /// An RSS indirection table (RETA): hash LSBs index a small table of
 /// queue ids, as in real NICs (128 entries typical).

@@ -12,7 +12,7 @@ use crate::shape::TrafficShape;
 use hp_queues::sim::QueueId;
 use hp_sim::rng::sample_exp;
 use hp_sim::time::{Clock, Cycles};
-use rand::rngs::SmallRng;
+use hp_rand::rngs::SmallRng;
 
 /// One generated arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

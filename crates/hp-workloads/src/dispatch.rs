@@ -6,7 +6,7 @@
 //! implements a compact binary request format, a type classifier, and an
 //! RPC descriptor builder with per-type routing tables.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use hp_bytes::{BufMut, Bytes, BytesMut};
 
 /// Magic bytes opening every request frame.
 pub const REQUEST_MAGIC: u16 = 0x4D53; // "MS"
@@ -168,7 +168,7 @@ pub struct RpcCall {
 ///
 /// ```
 /// use hp_workloads::dispatch::{Dispatcher, Request, RequestType};
-/// use bytes::Bytes;
+/// use hp_bytes::Bytes;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut d = Dispatcher::new();

@@ -6,7 +6,7 @@
 //! IPv6 header, and the RFC 2784 GRE header — and the encapsulation /
 //! decapsulation transform itself, operating on real bytes.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use hp_bytes::{BufMut, Bytes, BytesMut};
 
 /// IANA protocol number for GRE.
 pub const IPPROTO_GRE: u8 = 47;
@@ -201,7 +201,7 @@ impl Ipv6Header {
 ///
 /// ```
 /// use hp_workloads::packet::{GreEncapsulator, Ipv4Header};
-/// use bytes::BytesMut;
+/// use hp_bytes::BytesMut;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let tun = GreEncapsulator::new([0xfd; 16], [0xfe; 16]);

@@ -14,10 +14,10 @@ use crate::packet::{build_ipv4_packet, GreEncapsulator};
 use crate::raid::PqRaid;
 use crate::reed_solomon::ReedSolomon;
 use crate::steering::{FlowKey, PacketSteerer};
-use bytes::Bytes;
+use hp_bytes::Bytes;
 use hp_sim::rng::Distribution;
 use hp_sim::time::{Clock, Cycles};
-use rand::Rng;
+use hp_rand::Rng;
 
 /// The six data-plane tasks of the paper's evaluation (§V-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,6 +1,10 @@
-//! Property-based tests (proptest) of the core data structures and
-//! invariants, spanning crates.
+//! Randomised property tests of the core data structures and invariants,
+//! spanning crates. Each property runs many cases drawn from a fixed-seed
+//! [`hp_rand`] stream, so the suite is fully deterministic (no external
+//! property-testing dependency, no flaky shrink state).
 
+use hp_rand::rngs::SmallRng;
+use hp_rand::{Rng, SeedableRng};
 use hyperplane::device::monitoring::MonitoringSet;
 use hyperplane::device::ready_set::{PpaKind, ReadySet, ServicePolicy};
 use hyperplane::mem::system::{MemSystem, MemSystemConfig};
@@ -11,17 +15,20 @@ use hyperplane::sim::stats::Histogram;
 use hyperplane::workloads::aes::Aes256;
 use hyperplane::workloads::raid::PqRaid;
 use hyperplane::workloads::reed_solomon::ReedSolomon;
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
-proptest! {
-    /// The Cuckoo monitoring set behaves exactly like a map from line to
-    /// (qid, armed) under any operation sequence that fits.
-    #[test]
-    fn monitoring_set_matches_model(ops in prop::collection::vec((0u32..64, 0u8..4), 1..200)) {
+/// The Cuckoo monitoring set behaves exactly like a map from line to
+/// (qid, armed) under any operation sequence that fits.
+#[test]
+fn monitoring_set_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E501);
+    for case in 0..200 {
         let mut ms = MonitoringSet::new(256);
         let mut model: HashMap<u32, bool> = HashMap::new(); // qid -> armed
-        for (q, op) in ops {
+        let n_ops = rng.random_range(1..200usize);
+        for _ in 0..n_ops {
+            let q = rng.random_range(0..64u32);
+            let op = rng.random_range(0..4u8);
             let line = hyperplane::mem::types::LineAddr(1000 + q as u64);
             match op {
                 0 => {
@@ -34,7 +41,7 @@ proptest! {
                     // snoop
                     let expect = model.get(&q).copied() == Some(true);
                     let got = ms.snoop(line).is_some();
-                    prop_assert_eq!(got, expect, "snoop mismatch for q{}", q);
+                    assert_eq!(got, expect, "case {case}: snoop mismatch for q{q}");
                     if expect {
                         model.insert(q, false);
                     }
@@ -42,7 +49,7 @@ proptest! {
                 2 => {
                     // arm
                     let present = model.contains_key(&q);
-                    prop_assert_eq!(ms.arm(QueueId(q)), present);
+                    assert_eq!(ms.arm(QueueId(q)), present);
                     if present {
                         model.insert(q, true);
                     }
@@ -50,44 +57,50 @@ proptest! {
                 _ => {
                     // remove
                     let present = model.remove(&q).is_some();
-                    prop_assert_eq!(ms.remove(QueueId(q)).is_some(), present);
+                    assert_eq!(ms.remove(QueueId(q)).is_some(), present);
                 }
             }
         }
-        prop_assert_eq!(ms.occupancy(), model.len());
+        assert_eq!(ms.occupancy(), model.len());
     }
+}
 
-    /// Ripple and Brent–Kung PPAs agree on arbitrary ready sets and
-    /// policies over long grant sequences.
-    #[test]
-    fn ppa_implementations_equivalent(
-        n in 1usize..200,
-        activations in prop::collection::vec(0u32..200, 0..300),
-        seed in 0u64..1000,
-    ) {
+/// Ripple and Brent–Kung PPAs agree on arbitrary ready sets and policies
+/// over long grant sequences.
+#[test]
+fn ppa_implementations_equivalent() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E502);
+    for _case in 0..150 {
+        let n = rng.random_range(1..200usize);
         let mut a = ReadySet::new(n, ServicePolicy::RoundRobin, PpaKind::Ripple);
         let mut b = ReadySet::new(n, ServicePolicy::RoundRobin, PpaKind::BrentKung);
-        for (i, &act) in activations.iter().enumerate() {
-            let q = QueueId(act % n as u32);
+        let n_acts = rng.random_range(0..300usize);
+        for _ in 0..n_acts {
+            let q = QueueId(rng.random_range(0..200u32) % n as u32);
             a.activate(q);
             b.activate(q);
-            if (seed + i as u64).is_multiple_of(3) {
-                prop_assert_eq!(a.select(), b.select());
+            if rng.random_range(0..3u8) == 0 {
+                assert_eq!(a.select(), b.select());
             }
         }
         loop {
             let (x, y) = (a.select(), b.select());
-            prop_assert_eq!(x, y);
+            assert_eq!(x, y);
             if x.is_none() {
                 break;
             }
         }
     }
+}
 
-    /// Round-robin never grants the same queue twice while others are
-    /// continuously backlogged (fairness / starvation freedom).
-    #[test]
-    fn round_robin_starvation_free(n in 2usize..64, rounds in 1usize..20) {
+/// Round-robin never grants the same queue twice while others are
+/// continuously backlogged (fairness / starvation freedom).
+#[test]
+fn round_robin_starvation_free() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E503);
+    for _case in 0..100 {
+        let n = rng.random_range(2..64usize);
+        let rounds = rng.random_range(1..20usize);
         let mut rs = ReadySet::new(n, ServicePolicy::RoundRobin, PpaKind::BrentKung);
         let mut counts = vec![0u32; n];
         for _ in 0..rounds * n {
@@ -99,21 +112,26 @@ proptest! {
         }
         let min = counts.iter().min().copied().expect("nonempty");
         let max = counts.iter().max().copied().expect("nonempty");
-        prop_assert!(max - min <= 1, "unfair grants: {:?}", counts);
+        assert!(max - min <= 1, "unfair grants: {counts:?}");
     }
+}
 
-    /// Reed–Solomon reconstructs any erasure pattern with <= m losses.
-    #[test]
-    fn reed_solomon_recovers_any_tolerable_erasure(
-        k in 2usize..8,
-        m in 1usize..4,
-        len in 1usize..128,
-        seed in 0u64..10_000,
-        lost_sel in prop::collection::vec(any::<u16>(), 1..4),
-    ) {
+/// Reed–Solomon reconstructs any erasure pattern with <= m losses.
+#[test]
+fn reed_solomon_recovers_any_tolerable_erasure() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E504);
+    for _case in 0..60 {
+        let k = rng.random_range(2..8usize);
+        let m = rng.random_range(1..4usize);
+        let len = rng.random_range(1..128usize);
+        let seed: u64 = rng.random();
         let rs = ReedSolomon::new(k, m).expect("valid geometry");
         let data: Vec<Vec<u8>> = (0..k)
-            .map(|i| (0..len).map(|j| ((seed as usize + i * 31 + j * 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((seed as usize + i * 31 + j * 7) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let parity = rs.encode(&data).expect("well-formed");
         let mut shards: Vec<Option<Vec<u8>>> = data
@@ -123,69 +141,86 @@ proptest! {
             .chain(parity.into_iter().map(Some))
             .collect();
         let mut lost = HashSet::new();
-        for sel in lost_sel.iter().take(m) {
-            lost.insert(*sel as usize % (k + m));
+        let n_lost = rng.random_range(1..4usize).min(m);
+        for _ in 0..n_lost {
+            lost.insert(rng.random::<u16>() as usize % (k + m));
         }
         for &l in &lost {
             shards[l] = None;
         }
         let rec = rs.reconstruct(&shards).expect("within tolerance");
-        prop_assert_eq!(rec, data);
+        assert_eq!(rec, data);
     }
+}
 
-    /// RAID P+Q rebuilds any double failure bit-exactly.
-    #[test]
-    fn raid_pq_rebuilds_any_pair(
-        n in 2usize..12,
-        len in 1usize..96,
-        seed in 0u64..10_000,
-        a in any::<u8>(),
-        b in any::<u8>(),
-    ) {
+/// RAID P+Q rebuilds any double failure bit-exactly.
+#[test]
+fn raid_pq_rebuilds_any_pair() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E505);
+    for _case in 0..60 {
+        let n = rng.random_range(2..12usize);
+        let len = rng.random_range(1..96usize);
+        let seed: u64 = rng.random();
         let raid = PqRaid::new(n).expect("valid geometry");
         let data: Vec<Vec<u8>> = (0..n)
-            .map(|i| (0..len).map(|j| ((seed as usize + i * 131 + j * 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((seed as usize + i * 131 + j * 3) % 256) as u8)
+                    .collect()
+            })
             .collect();
         let (p, q) = raid.compute_pq(&data).expect("well-formed");
-        let x = a as usize % n;
-        let y = b as usize % n;
+        let x = rng.random::<u8>() as usize % n;
+        let y = rng.random::<u8>() as usize % n;
         if x != y {
             let (dx, dy) = raid.recover_two(&data, x, y, &p, &q).expect("two failures");
             let (lo, hi) = if x < y { (x, y) } else { (y, x) };
-            prop_assert_eq!(dx, data[lo].clone());
-            prop_assert_eq!(dy, data[hi].clone());
+            assert_eq!(dx, data[lo].clone());
+            assert_eq!(dy, data[hi].clone());
         } else {
             let d = raid.recover_one(&data, x, &p).expect("single failure");
-            prop_assert_eq!(d, data[x].clone());
+            assert_eq!(d, data[x].clone());
         }
     }
+}
 
-    /// AES-256-CBC decrypt(encrypt(x)) == x for arbitrary block-aligned
-    /// payloads, keys, and IVs.
-    #[test]
-    fn aes_cbc_roundtrip(
-        key in prop::array::uniform32(any::<u8>()),
-        iv in prop::array::uniform16(any::<u8>()),
-        blocks in 1usize..16,
-        seed in any::<u64>(),
-    ) {
+/// AES-256-CBC decrypt(encrypt(x)) == x for arbitrary block-aligned
+/// payloads, keys, and IVs.
+#[test]
+fn aes_cbc_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E506);
+    for _case in 0..40 {
+        let mut key = [0u8; 32];
+        let mut iv = [0u8; 16];
+        for b in key.iter_mut() {
+            *b = rng.random();
+        }
+        for b in iv.iter_mut() {
+            *b = rng.random();
+        }
+        let blocks = rng.random_range(1..16usize);
+        let seed: u64 = rng.random();
         let aes = Aes256::new(&key);
-        let original: Vec<u8> =
-            (0..blocks * 16).map(|i| ((seed as usize).wrapping_mul(31).wrapping_add(i * 7) % 256) as u8).collect();
+        let original: Vec<u8> = (0..blocks * 16)
+            .map(|i| ((seed as usize).wrapping_mul(31).wrapping_add(i * 7) % 256) as u8)
+            .collect();
         let mut data = original.clone();
         aes.encrypt_cbc(&iv, &mut data).expect("aligned");
-        prop_assert_ne!(&data, &original);
+        assert_ne!(&data, &original);
         aes.decrypt_cbc(&iv, &mut data).expect("aligned");
-        prop_assert_eq!(data, original);
+        assert_eq!(data, original);
     }
+}
 
-    /// Histogram percentiles are within the documented relative-error
-    /// bound of exact order statistics.
-    #[test]
-    fn histogram_percentile_bounded_error(
-        values in prop::collection::vec(1u64..1_000_000, 10..500),
-        p in 1.0f64..100.0,
-    ) {
+/// Histogram percentiles are within the documented relative-error bound of
+/// exact order statistics.
+#[test]
+fn histogram_percentile_bounded_error() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E507);
+    for _case in 0..100 {
+        let n = rng.random_range(10..500usize);
+        let values: Vec<u64> = (0..n).map(|_| rng.random_range(1..1_000_000u64)).collect();
+        let p = 1.0 + rng.random::<f64>() * 99.0;
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -195,16 +230,21 @@ proptest! {
         let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
         let exact = sorted[rank] as f64;
         let approx = h.percentile(p) as f64;
-        prop_assert!(
+        assert!(
             (approx - exact).abs() / exact < 0.05,
-            "p{}: approx {} exact {}", p, approx, exact
+            "p{p}: approx {approx} exact {exact}"
         );
     }
+}
 
-    /// The MPMC ring delivers every pushed value exactly once, in FIFO
-    /// order for a single producer/consumer pair.
-    #[test]
-    fn ring_fifo_exactly_once(values in prop::collection::vec(any::<u64>(), 0..200)) {
+/// The MPMC ring delivers every pushed value exactly once, in FIFO order
+/// for a single producer/consumer pair.
+#[test]
+fn ring_fifo_exactly_once() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E508);
+    for _case in 0..100 {
+        let n = rng.random_range(0..200usize);
+        let values: Vec<u64> = (0..n).map(|_| rng.random()).collect();
         let (tx, rx) = MpmcRing::with_capacity(64);
         let mut popped = Vec::new();
         for chunk in values.chunks(32) {
@@ -215,18 +255,23 @@ proptest! {
                 popped.push(v);
             }
         }
-        prop_assert_eq!(popped, values);
+        assert_eq!(popped, values);
     }
+}
 
-    /// Coherence safety: after any access sequence, a store by one core
-    /// invalidates all other cores' copies (no stale hits).
-    #[test]
-    fn mesi_no_stale_copies(
-        accesses in prop::collection::vec((0usize..4, 0u64..8, any::<bool>()), 1..200),
-    ) {
+/// Coherence safety: after any access sequence, a store by one core
+/// invalidates all other cores' copies (no stale hits).
+#[test]
+fn mesi_no_stale_copies() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E509);
+    for _case in 0..100 {
         let mut mem = MemSystem::new(MemSystemConfig::cmp(4));
         let mut last_writer: HashMap<u64, usize> = HashMap::new();
-        for (core, lineno, is_store) in accesses {
+        let n_ops = rng.random_range(1..200usize);
+        for _ in 0..n_ops {
+            let core = rng.random_range(0..4usize);
+            let lineno = rng.random_range(0..8u64);
+            let is_store = rng.random::<bool>();
             let addr = Addr(0x10_000 + lineno * 64);
             let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
             let r = mem.access(CoreId(core), addr, kind);
@@ -236,7 +281,7 @@ proptest! {
                 // A load by a non-writer immediately after a store cannot
                 // be a (stale) L1 hit unless this core reloaded since.
                 let _ = w;
-                prop_assert!(matches!(
+                assert!(matches!(
                     r.level,
                     HitLevel::L1 | HitLevel::Llc | HitLevel::RemoteL1 | HitLevel::Memory
                 ));
@@ -246,7 +291,7 @@ proptest! {
 }
 
 /// Deterministic supplementary check: a store by core A makes core B's
-/// next load miss (explicit staleness test, no proptest noise).
+/// next load miss (explicit staleness test, no sampling noise).
 #[test]
 fn store_invalidates_remote_copy() {
     let mut mem = MemSystem::new(MemSystemConfig::cmp(2));
