@@ -15,7 +15,8 @@ fn bench_monitoring_set(c: &mut Criterion) {
     // Snoop (the per-GetM hot path) on a loaded 1024-entry table.
     let mut ms = MonitoringSet::new(1100);
     for q in 0..1000u32 {
-        ms.insert(QueueId(q), LineAddr(0x1_0000 + q as u64)).unwrap();
+        ms.insert(QueueId(q), LineAddr(0x1_0000 + q as u64))
+            .unwrap();
     }
     g.bench_function("snoop_hit", |b| {
         let mut q = 0u32;
@@ -47,7 +48,10 @@ fn bench_monitoring_set(c: &mut Criterion) {
                 let mut ms = MonitoringSet::with_ways(1100, ways);
                 let mut placed = 0u32;
                 for q in 0..1000u32 {
-                    if ms.insert(QueueId(q), LineAddr(0x1_0000 + q as u64 * 3)).is_ok() {
+                    if ms
+                        .insert(QueueId(q), LineAddr(0x1_0000 + q as u64 * 3))
+                        .is_ok()
+                    {
                         placed += 1;
                     }
                 }
@@ -68,18 +72,14 @@ fn bench_ready_set(c: &mut Criterion) {
             for q in (0..n).step_by(2) {
                 rs.activate(QueueId(q as u32));
             }
-            g.bench_with_input(
-                BenchmarkId::new(format!("{ppa:?}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        if let Some(q) = rs.select() {
-                            rs.activate(q); // keep the set populated
-                            black_box(q);
-                        }
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{ppa:?}"), n), &n, |b, _| {
+                b.iter(|| {
+                    if let Some(q) = rs.select() {
+                        rs.activate(q); // keep the set populated
+                        black_box(q);
+                    }
+                })
+            });
         }
     }
     g.finish();
@@ -88,7 +88,12 @@ fn bench_ready_set(c: &mut Criterion) {
     for (name, policy) in [
         ("round_robin", ServicePolicy::RoundRobin),
         ("strict", ServicePolicy::StrictPriority),
-        ("wrr", ServicePolicy::WeightedRoundRobin { weights: vec![2; 1024] }),
+        (
+            "wrr",
+            ServicePolicy::WeightedRoundRobin {
+                weights: vec![2; 1024],
+            },
+        ),
     ] {
         let mut rs = ReadySet::new(1024, policy, PpaKind::BrentKung);
         for q in (0..1024).step_by(3) {

@@ -53,7 +53,11 @@ fn bench_memsys(c: &mut Criterion) {
         let mut a = 0u64;
         b.iter(|| {
             a = a.wrapping_add(64);
-            black_box(m.access(CoreId(0), Addr(0x10_0000 + (a % (1 << 22))), AccessKind::Load))
+            black_box(m.access(
+                CoreId(0),
+                Addr(0x10_0000 + (a % (1 << 22))),
+                AccessKind::Load,
+            ))
         })
     });
     g.finish();

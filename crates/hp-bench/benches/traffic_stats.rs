@@ -6,6 +6,7 @@ use hp_bench::{criterion_group, criterion_main};
 use hp_core::monitoring::BankedMonitoringSet;
 use hp_mem::types::LineAddr;
 use hp_queues::sim::QueueId;
+use hp_rand::Rng;
 use hp_sim::rng::RngFactory;
 use hp_sim::stats::Histogram;
 use hp_sim::time::Clock;
@@ -13,7 +14,6 @@ use hp_traffic::alias::AliasTable;
 use hp_traffic::flows::FlowTrafficGenerator;
 use hp_traffic::generator::TrafficGenerator;
 use hp_traffic::shape::TrafficShape;
-use hp_rand::Rng;
 use std::hint::black_box;
 
 fn bench_traffic(c: &mut Criterion) {
@@ -41,7 +41,9 @@ fn bench_traffic(c: &mut Criterion) {
     let weights: Vec<f64> = (1..=1000).map(|i| 1.0 / i as f64).collect();
     let table = AliasTable::new(&weights).expect("valid");
     let mut rng = factory.stream(2);
-    g.bench_function("alias_sample_1000", |b| b.iter(|| black_box(table.sample(&mut rng))));
+    g.bench_function("alias_sample_1000", |b| {
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
     g.finish();
 }
 
@@ -55,7 +57,9 @@ fn bench_stats(c: &mut Criterion) {
     for v in 1..100_000u64 {
         h.record(v * 7);
     }
-    g.bench_function("histogram_p99", |b| b.iter(|| black_box(h.percentile(99.0))));
+    g.bench_function("histogram_p99", |b| {
+        b.iter(|| black_box(h.percentile(99.0)))
+    });
     g.finish();
 }
 
@@ -64,7 +68,8 @@ fn bench_banked_monitoring(c: &mut Criterion) {
     for banks in [1usize, 4, 8] {
         let mut ms = BankedMonitoringSet::new(1024, banks);
         for q in 0..900u32 {
-            ms.insert(QueueId(q), LineAddr(0x1_0000 + q as u64)).expect("fits");
+            ms.insert(QueueId(q), LineAddr(0x1_0000 + q as u64))
+                .expect("fits");
         }
         g.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, _| {
             let mut q = 0u32;

@@ -36,7 +36,11 @@ fn main() {
         cfg.hp.timing.qwait = Cycles(qwait);
         let sat = runner::peak_throughput(&cfg);
         let zl = runner::run_zero_load(&cfg);
-        table.row(vec![qwait.to_string(), f3(sat.throughput_mtps()), f2(zl.mean_latency_us())]);
+        table.row(vec![
+            qwait.to_string(),
+            f3(sat.throughput_mtps()),
+            f2(zl.mean_latency_us()),
+        ]);
     }
     table.print(&opts);
 
@@ -55,7 +59,11 @@ fn main() {
         cfg.batch = batch;
         let spin = runner::peak_throughput(&cfg);
         let hp = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
-        table.row(vec![batch.to_string(), f3(spin.throughput_mtps()), f3(hp.throughput_mtps())]);
+        table.row(vec![
+            batch.to_string(),
+            f3(spin.throughput_mtps()),
+            f3(hp.throughput_mtps()),
+        ]);
     }
     table.print(&opts);
 
@@ -110,7 +118,11 @@ fn main() {
         cfg.prefetch_degree = degree;
         let spin = runner::peak_throughput(&cfg);
         let hp = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
-        table.row(vec![degree.to_string(), f3(spin.throughput_mtps()), f3(hp.throughput_mtps())]);
+        table.row(vec![
+            degree.to_string(),
+            f3(spin.throughput_mtps()),
+            f3(hp.throughput_mtps()),
+        ]);
     }
     table.print(&opts);
 

@@ -28,8 +28,13 @@ fn main() {
     let opts = HarnessOpts::from_args();
 
     let base = |queues: u32| {
-        let mut cfg = experiment(&opts, WorkloadKind::PacketEncap, TrafficShape::SingleQueue, queues)
-            .with_notifier(Notifier::hyperplane());
+        let mut cfg = experiment(
+            &opts,
+            WorkloadKind::PacketEncap,
+            TrafficShape::SingleQueue,
+            queues,
+        )
+        .with_notifier(Notifier::hyperplane());
         // Moderate open-loop drive: headroom for recovery work, so the
         // sweep isolates the notification fault cost (not queueing
         // collapse at saturation).
@@ -46,7 +51,9 @@ fn main() {
     stall_cfg.watchdog_abort = true;
     stall_cfg.max_cycles = 400_000_000;
     let stalled = runner::run(stall_cfg);
-    let report = stalled.fault_report().expect("faulty run always carries a report");
+    let report = stalled
+        .fault_report()
+        .expect("faulty run always carries a report");
     println!("== Missed-wakeup stall (drop=1.0, QWAIT timeout disabled) ==");
     println!(
         "  watchdog: stalled={} first_stall={:?} completions={}",
@@ -59,7 +66,15 @@ fn main() {
     let drops = opts.thin(&[0.0f64, 0.1, 0.25, 0.5, 0.75, 0.9]);
     let mut table = Table::new(
         "Fault sweep: doorbell drop rate vs delivered service (QWAIT timeout on)",
-        &["drop", "tput_mtps", "mean_us", "p99_us", "timeouts", "recoveries", "rec_mean_us"],
+        &[
+            "drop",
+            "tput_mtps",
+            "mean_us",
+            "p99_us",
+            "timeouts",
+            "recoveries",
+            "rec_mean_us",
+        ],
     );
     for &drop in &drops {
         let mut plan = FaultPlan::none();

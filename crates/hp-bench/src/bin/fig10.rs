@@ -35,15 +35,25 @@ fn main() {
 
     // Reference rate for "100% load": the best configuration's saturation
     // (scale-up-4 HyperPlane), so all curves share an x-axis.
-    let reference =
-        runner::peak_throughput(&multicore(&opts, TrafficShape::FullyBalanced, Notifier::hyperplane(), 4, 0.0));
+    let reference = runner::peak_throughput(&multicore(
+        &opts,
+        TrafficShape::FullyBalanced,
+        Notifier::hyperplane(),
+        4,
+        0.0,
+    ));
     let ref_tps = reference.throughput_tps;
-    println!("Reference saturation (HyperPlane scale-up-4, FB): {:.3} Mtasks/s", ref_tps / 1e6);
+    println!(
+        "Reference saturation (HyperPlane scale-up-4, FB): {:.3} Mtasks/s",
+        ref_tps / 1e6
+    );
 
     // (a) FB: 6 curves.
     let mut table = Table::new(
         "Fig 10(a): p99 latency (us) vs load — fully balanced, 4 cores, 400 queues",
-        &["load%", "spin_so", "spin_su2", "spin_su4", "hp_so", "hp_su2", "hp_su4"],
+        &[
+            "load%", "spin_so", "spin_su2", "spin_su4", "hp_so", "hp_su2", "hp_su4",
+        ],
     );
     let fb_configs: Vec<(Notifier, usize)> = vec![
         (Notifier::Spinning, 1),
@@ -67,7 +77,15 @@ fn main() {
     // (b) PC: scale-out (0%, 10% imbalance) and scale-up-2, both systems.
     let mut table = Table::new(
         "Fig 10(b): p99 latency (us) vs load — proportionally concentrated",
-        &["load%", "spin_so", "spin_so_imb10", "spin_su2", "hp_so", "hp_so_imb10", "hp_su2"],
+        &[
+            "load%",
+            "spin_so",
+            "spin_so_imb10",
+            "spin_su2",
+            "hp_so",
+            "hp_so_imb10",
+            "hp_su2",
+        ],
     );
     let pc_configs: Vec<(Notifier, usize, f64)> = vec![
         (Notifier::Spinning, 1, 0.0),
@@ -88,8 +106,13 @@ fn main() {
     for &load in &loads {
         let mut cells = vec![format!("{:.0}", load * 100.0)];
         for &(notifier, cluster, imb) in &pc_configs {
-            let cfg =
-                multicore(&opts, TrafficShape::ProportionallyConcentrated, notifier, cluster, imb);
+            let cfg = multicore(
+                &opts,
+                TrafficShape::ProportionallyConcentrated,
+                notifier,
+                cluster,
+                imb,
+            );
             let r = runner::run_at_load(&cfg, pc_ref, load);
             cells.push(f2(r.p99_latency_us()));
         }
@@ -103,15 +126,55 @@ fn main() {
         &["shape", "config", "Mtasks/s"],
     );
     for (shape, label, notifier, cluster, imb) in [
-        (TrafficShape::ProportionallyConcentrated, "spin scale-out imb10", Notifier::Spinning, 1, 0.10),
-        (TrafficShape::ProportionallyConcentrated, "spin scale-up-2", Notifier::Spinning, 2, 0.0),
-        (TrafficShape::ProportionallyConcentrated, "hp scale-out imb10", Notifier::hyperplane(), 1, 0.10),
-        (TrafficShape::ProportionallyConcentrated, "hp scale-up-2", Notifier::hyperplane(), 2, 0.0),
-        (TrafficShape::FullyBalanced, "spin scale-out", Notifier::Spinning, 1, 0.0),
-        (TrafficShape::FullyBalanced, "hp scale-up-4", Notifier::hyperplane(), 4, 0.0),
+        (
+            TrafficShape::ProportionallyConcentrated,
+            "spin scale-out imb10",
+            Notifier::Spinning,
+            1,
+            0.10,
+        ),
+        (
+            TrafficShape::ProportionallyConcentrated,
+            "spin scale-up-2",
+            Notifier::Spinning,
+            2,
+            0.0,
+        ),
+        (
+            TrafficShape::ProportionallyConcentrated,
+            "hp scale-out imb10",
+            Notifier::hyperplane(),
+            1,
+            0.10,
+        ),
+        (
+            TrafficShape::ProportionallyConcentrated,
+            "hp scale-up-2",
+            Notifier::hyperplane(),
+            2,
+            0.0,
+        ),
+        (
+            TrafficShape::FullyBalanced,
+            "spin scale-out",
+            Notifier::Spinning,
+            1,
+            0.0,
+        ),
+        (
+            TrafficShape::FullyBalanced,
+            "hp scale-up-4",
+            Notifier::hyperplane(),
+            4,
+            0.0,
+        ),
     ] {
         let r = runner::peak_throughput(&multicore(&opts, shape, notifier, cluster, imb));
-        table.row(vec![shape.label().into(), label.into(), f2(r.throughput_mtps())]);
+        table.row(vec![
+            shape.label().into(),
+            label.into(),
+            f2(r.throughput_mtps()),
+        ]);
     }
     table.print(&opts);
 

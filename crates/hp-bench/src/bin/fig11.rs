@@ -34,7 +34,13 @@ fn main() {
 
     let mut table = Table::new(
         "Fig 11(a): IPC breakdown vs load — packet encapsulation, 1 core",
-        &["load%", "spin_useful", "spin_spin", "spin_total", "hp_total"],
+        &[
+            "load%",
+            "spin_useful",
+            "spin_spin",
+            "spin_total",
+            "hp_total",
+        ],
     );
     let mut co_table = Table::new(
         "Fig 11(b): SMT co-runner IPC vs data-plane load",

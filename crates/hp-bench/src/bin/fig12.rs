@@ -64,32 +64,53 @@ fn main() {
     let loads = opts.thin(&[0.05, 0.2, 0.35, 0.5, 0.65, 0.8]);
     let mut table = Table::new(
         "Fig 12(b): p99 latency (us) vs load — power-optimized HyperPlane",
-        &["load%", "spinning", "hyperplane", "hyperplane_C1", "C1_vs_hp"],
+        &[
+            "load%",
+            "spinning",
+            "hyperplane",
+            "hyperplane_C1",
+            "C1_vs_hp",
+        ],
     );
     let mut zero_gap: Option<(f64, f64, f64)> = None;
     for &load in &loads {
-        let spin = runner::run_at_load(&mc.clone().with_notifier(Notifier::Spinning), ref_tps, load);
-        let hp = runner::run_at_load(&mc.clone().with_notifier(Notifier::hyperplane()), ref_tps, load);
+        let spin =
+            runner::run_at_load(&mc.clone().with_notifier(Notifier::Spinning), ref_tps, load);
+        let hp = runner::run_at_load(
+            &mc.clone().with_notifier(Notifier::hyperplane()),
+            ref_tps,
+            load,
+        );
         let c1 = runner::run_at_load(
             &mc.clone().with_notifier(Notifier::hyperplane_power_opt()),
             ref_tps,
             load,
         );
         if zero_gap.is_none() {
-            zero_gap = Some((spin.p99_latency_us(), hp.p99_latency_us(), c1.p99_latency_us()));
+            zero_gap = Some((
+                spin.p99_latency_us(),
+                hp.p99_latency_us(),
+                c1.p99_latency_us(),
+            ));
         }
         table.row(vec![
             format!("{:.0}", load * 100.0),
             f2(spin.p99_latency_us()),
             f2(hp.p99_latency_us()),
             f2(c1.p99_latency_us()),
-            format!("+{:.0}%", (c1.p99_latency_us() / hp.p99_latency_us() - 1.0) * 100.0),
+            format!(
+                "+{:.0}%",
+                (c1.p99_latency_us() / hp.p99_latency_us() - 1.0) * 100.0
+            ),
         ]);
     }
     table.print(&opts);
 
     if let Some((spin, hp, c1)) = zero_gap {
-        println!("\nAt the lightest load: C1 is {:.0}% above regular HyperPlane (paper: +38%),", (c1 / hp - 1.0) * 100.0);
+        println!(
+            "\nAt the lightest load: C1 is {:.0}% above regular HyperPlane (paper: +38%),",
+            (c1 / hp - 1.0) * 100.0
+        );
         println!("and still {:.1}x below spinning (paper: 8.9x).", spin / c1);
     }
     println!("Expected shape (paper): C1 gap shrinks rapidly as load grows (cores sleep less).");

@@ -26,11 +26,12 @@ fn main() {
     let mut fb_rel = Vec::new();
     let mut pc_rel = Vec::new();
     for workload in &workloads {
-        for shape in [TrafficShape::ProportionallyConcentrated, TrafficShape::FullyBalanced] {
+        for shape in [
+            TrafficShape::ProportionallyConcentrated,
+            TrafficShape::FullyBalanced,
+        ] {
             let cfg = experiment(&opts, *workload, shape, queues);
-            let hw = runner::peak_throughput(
-                &cfg.clone().with_notifier(Notifier::hyperplane()),
-            );
+            let hw = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
             let sw = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::HyperPlane {
                 power_optimized: false,
                 software_ready_set: true,

@@ -48,12 +48,21 @@ fn main() {
     );
     let mut cdf_rows: Vec<(u32, Vec<(f64, f64)>)> = Vec::new();
     for &q in &lat_sweep {
-        let mut cfg = experiment(&opts, WorkloadKind::PacketEncap, TrafficShape::SingleQueue, q);
+        let mut cfg = experiment(
+            &opts,
+            WorkloadKind::PacketEncap,
+            TrafficShape::SingleQueue,
+            q,
+        );
         cfg.poll_overhead_cycles = DPDK_POLL_CYCLES;
         cfg.target_completions = opts.completions(6_000);
         let cfg = cfg.with_load(Load::RatePerSec(10_000.0));
         let r = runner::run(cfg);
-        table.row(vec![q.to_string(), f2(r.mean_latency_us()), f2(r.p99_latency_us())]);
+        table.row(vec![
+            q.to_string(),
+            f2(r.mean_latency_us()),
+            f2(r.p99_latency_us()),
+        ]);
         if matches!(q, 1 | 256 | 512) {
             cdf_rows.push((q, r.latency_cdf_us()));
         }

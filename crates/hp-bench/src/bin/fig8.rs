@@ -54,7 +54,10 @@ fn main() {
     let geo = geometric_mean(&improvements);
     let arith = improvements.iter().sum::<f64>() / improvements.len() as f64;
     println!("\nAverage peak-throughput improvement over spinning (multi-queue points):");
-    println!("  geometric mean: {:.2}x   arithmetic mean: {:.2}x   (paper: 4.1x)", geo, arith);
+    println!(
+        "  geometric mean: {:.2}x   arithmetic mean: {:.2}x   (paper: 4.1x)",
+        geo, arith
+    );
 }
 
 fn geometric_mean(xs: &[f64]) -> f64 {

@@ -29,7 +29,14 @@ fn main() {
     for workload in &workloads {
         let mut table = Table::new(
             &format!("Fig 9: zero-load latency (us) — {workload}"),
-            &["queues", "spin_avg", "spin_p99", "hp_avg", "hp_p99", "hp_c1_avg"],
+            &[
+                "queues",
+                "spin_avg",
+                "spin_p99",
+                "hp_avg",
+                "hp_p99",
+                "hp_c1_avg",
+            ],
         );
         let mut crossover: Option<u32> = None;
         let mut spin_pts = Vec::new();
@@ -41,9 +48,8 @@ fn main() {
             let cfg = experiment(&opts, *workload, TrafficShape::SingleQueue, q);
             let spin = runner::run_zero_load(&cfg);
             let hp = runner::run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane()));
-            let c1 = runner::run_zero_load(
-                &cfg.clone().with_notifier(Notifier::hyperplane_power_opt()),
-            );
+            let c1 =
+                runner::run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane_power_opt()));
             ratios_avg.push(spin.mean_latency_us() / hp.mean_latency_us());
             ratios_tail.push(spin.p99_latency_us() / hp.p99_latency_us());
             if crossover.is_none() && c1.mean_latency_us() <= spin.mean_latency_us() {
@@ -85,6 +91,8 @@ fn main() {
     );
     if !crossovers.is_empty() {
         let avg = crossovers.iter().map(|&q| q as f64).sum::<f64>() / crossovers.len() as f64;
-        println!("  spinning wins below ~{avg:.0} queues vs power-optimized HyperPlane (paper: ~6)");
+        println!(
+            "  spinning wins below ~{avg:.0} queues vs power-optimized HyperPlane (paper: ~6)"
+        );
     }
 }

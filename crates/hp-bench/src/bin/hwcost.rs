@@ -11,7 +11,15 @@ fn main() {
 
     let mut table = Table::new(
         "Hardware cost sweep (16 cores)",
-        &["entries", "ppa", "ready_mm2", "monitor_mm2", "area_%cores", "latency_ns", "power_%core"],
+        &[
+            "entries",
+            "ppa",
+            "ready_mm2",
+            "monitor_mm2",
+            "area_%cores",
+            "latency_ns",
+            "power_%core",
+        ],
     );
     for &entries in &[256usize, 512, 1024, 2048, 4096] {
         for ppa in [PpaKind::BrentKung, PpaKind::Ripple] {

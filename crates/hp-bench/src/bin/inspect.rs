@@ -19,7 +19,10 @@ use hp_workloads::service::WorkloadKind;
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn parse_workload(s: &str) -> WorkloadKind {
@@ -58,12 +61,23 @@ fn main() {
     let opts = HarnessOpts::from_args();
     let workload = parse_workload(&arg("--workload").unwrap_or_else(|| "encap".into()));
     let shape = parse_shape(&arg("--shape").unwrap_or_else(|| "sq".into()));
-    let queues: u32 = arg("--queues").unwrap_or_else(|| "500".into()).parse().expect("queue count");
+    let queues: u32 = arg("--queues")
+        .unwrap_or_else(|| "500".into())
+        .parse()
+        .expect("queue count");
     let notifier = parse_notifier(&arg("--notifier").unwrap_or_else(|| "hyperplane".into()));
-    let load_pct: f64 = arg("--load").unwrap_or_else(|| "60".into()).parse().expect("load %");
-    let cores: usize = arg("--cores").unwrap_or_else(|| "1".into()).parse().expect("core count");
-    let cluster: usize =
-        arg("--cluster").unwrap_or_else(|| cores.to_string()).parse().expect("cluster size");
+    let load_pct: f64 = arg("--load")
+        .unwrap_or_else(|| "60".into())
+        .parse()
+        .expect("load %");
+    let cores: usize = arg("--cores")
+        .unwrap_or_else(|| "1".into())
+        .parse()
+        .expect("core count");
+    let cluster: usize = arg("--cluster")
+        .unwrap_or_else(|| cores.to_string())
+        .parse()
+        .expect("cluster size");
 
     let mut cfg = ExperimentConfig::new(workload, shape, queues)
         .with_notifier(notifier)
@@ -82,22 +96,47 @@ fn main() {
     );
 
     let peak = runner::peak_throughput(&cfg);
-    println!("\npeak sustainable throughput: {:.3} Mtasks/s", peak.throughput_mtps());
+    println!(
+        "\npeak sustainable throughput: {:.3} Mtasks/s",
+        peak.throughput_mtps()
+    );
 
-    let r = runner::run_at_load(&cfg, peak.throughput_tps, (load_pct / 100.0).clamp(0.01, 1.0));
+    let r = runner::run_at_load(
+        &cfg,
+        peak.throughput_tps,
+        (load_pct / 100.0).clamp(0.01, 1.0),
+    );
 
     let mut t = Table::new("Latency (us)", &["metric", "value"]);
     t.row(vec!["mean".into(), format!("{:.2}", r.mean_latency_us())]);
     for p in [50.0, 90.0, 99.0, 99.9] {
-        t.row(vec![format!("p{p}"), format!("{:.2}", r.latency_percentile_us(p))]);
+        t.row(vec![
+            format!("p{p}"),
+            format!("{:.2}", r.latency_percentile_us(p)),
+        ]);
     }
-    t.row(vec!["mean notification (arrival->dequeue)".into(), format!("{:.2}", r.mean_notification_us())]);
-    t.row(vec!["p99 notification".into(), format!("{:.2}", r.notification_percentile_us(99.0))]);
+    t.row(vec![
+        "mean notification (arrival->dequeue)".into(),
+        format!("{:.2}", r.mean_notification_us()),
+    ]);
+    t.row(vec![
+        "p99 notification".into(),
+        format!("{:.2}", r.notification_percentile_us(99.0)),
+    ]);
     t.print(&opts);
 
     let mut t = Table::new(
         "Per-core telemetry",
-        &["core", "IPC", "useful", "spin", "background", "halt%", "completions", "spurious"],
+        &[
+            "core",
+            "IPC",
+            "useful",
+            "spin",
+            "background",
+            "halt%",
+            "completions",
+            "spurious",
+        ],
     );
     for (i, c) in r.per_core.iter().enumerate() {
         t.row(vec![
@@ -116,9 +155,15 @@ fn main() {
     let mem = r.mem_stats();
     let mut t = Table::new("Memory system (DP cores)", &["metric", "value"]);
     t.row(vec!["accesses".into(), mem.total().to_string()]);
-    t.row(vec!["L1 hit %".into(), format!("{:.1}", (1.0 - mem.l1_miss_ratio()) * 100.0)]);
+    t.row(vec![
+        "L1 hit %".into(),
+        format!("{:.1}", (1.0 - mem.l1_miss_ratio()) * 100.0),
+    ]);
     t.row(vec!["LLC hits".into(), mem.llc_hits.to_string()]);
-    t.row(vec!["remote-L1 transfers".into(), mem.remote_hits.to_string()]);
+    t.row(vec![
+        "remote-L1 transfers".into(),
+        mem.remote_hits.to_string(),
+    ]);
     t.row(vec!["DRAM fetches".into(), mem.dram_fetches.to_string()]);
     t.print(&opts);
 

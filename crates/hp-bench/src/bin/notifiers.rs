@@ -32,8 +32,13 @@ fn main() {
         let mut t_cells = vec![q.to_string()];
         let mut l_cells = vec![q.to_string()];
         for (_, notifier) in notifiers {
-            let cfg = experiment(&opts, WorkloadKind::PacketEncap, TrafficShape::SingleQueue, q)
-                .with_notifier(notifier);
+            let cfg = experiment(
+                &opts,
+                WorkloadKind::PacketEncap,
+                TrafficShape::SingleQueue,
+                q,
+            )
+            .with_notifier(notifier);
             t_cells.push(f3(runner::peak_throughput(&cfg).throughput_mtps()));
             l_cells.push(f2(runner::run_zero_load(&cfg).mean_latency_us()));
         }

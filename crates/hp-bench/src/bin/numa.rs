@@ -23,7 +23,13 @@ fn main() {
     let opts = HarnessOpts::from_args();
     let mut table = Table::new(
         "NUMA work stealing: 2 sockets x 2 cores, crypto forwarding",
-        &["traffic", "stealing", "Mtasks/s", "p99_us@60%", "busy_cores"],
+        &[
+            "traffic",
+            "stealing",
+            "Mtasks/s",
+            "p99_us@60%",
+            "busy_cores",
+        ],
     );
     for shape in [
         TrafficShape::SingleQueue, // extreme skew: all load on socket 0

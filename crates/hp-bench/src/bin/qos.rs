@@ -45,10 +45,20 @@ fn main() {
     let rr_lat = rr.per_queue_latency_us();
     let wrr_lat = wrr.per_queue_latency_us();
     for q in 0..QUEUES {
-        let r = rr_lat.iter().find(|&&(x, _, _)| x == q).map(|&(_, _, us)| us);
-        let w = wrr_lat.iter().find(|&&(x, _, _)| x == q).map(|&(_, _, us)| us);
+        let r = rr_lat
+            .iter()
+            .find(|&&(x, _, _)| x == q)
+            .map(|&(_, _, us)| us);
+        let w = wrr_lat
+            .iter()
+            .find(|&&(x, _, _)| x == q)
+            .map(|&(_, _, us)| us);
         let (Some(r), Some(w)) = (r, w) else { continue };
-        let speedup = if q == 0 { format!("{:.2}x", r / w) } else { "-".into() };
+        let speedup = if q == 0 {
+            format!("{:.2}x", r / w)
+        } else {
+            "-".into()
+        };
         table.row(vec![q.to_string(), f2(r), f2(w), speedup]);
     }
     table.print(&opts);

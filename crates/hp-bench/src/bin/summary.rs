@@ -17,15 +17,28 @@ fn main() {
     let workloads = if opts.quick {
         vec![WorkloadKind::PacketEncap]
     } else {
-        vec![WorkloadKind::PacketEncap, WorkloadKind::PacketSteering, WorkloadKind::RequestDispatch]
+        vec![
+            WorkloadKind::PacketEncap,
+            WorkloadKind::PacketSteering,
+            WorkloadKind::RequestDispatch,
+        ]
     };
-    let shapes = [TrafficShape::SingleQueue, TrafficShape::NonproportionallyConcentrated];
+    let shapes = [
+        TrafficShape::SingleQueue,
+        TrafficShape::NonproportionallyConcentrated,
+    ];
 
     let mut tput = Vec::new();
     let mut tail = Vec::new();
     let mut table = Table::new(
         "Headline sample points",
-        &["workload", "shape", "queues", "tput_speedup", "p99_improvement"],
+        &[
+            "workload",
+            "shape",
+            "queues",
+            "tput_speedup",
+            "p99_improvement",
+        ],
     );
     for workload in &workloads {
         for shape in shapes {
@@ -52,6 +65,12 @@ fn main() {
 
     let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
     println!("\n=== Headline comparison ===");
-    println!("peak throughput improvement: measured {:.1}x   (paper: 4.1x)", geo(&tput));
-    println!("p99 tail latency improvement: measured {:.1}x   (paper: 16.4x)", geo(&tail));
+    println!(
+        "peak throughput improvement: measured {:.1}x   (paper: 4.1x)",
+        geo(&tput)
+    );
+    println!(
+        "p99 tail latency improvement: measured {:.1}x   (paper: 16.4x)",
+        geo(&tail)
+    );
 }

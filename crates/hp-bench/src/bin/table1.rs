@@ -10,16 +10,37 @@ fn main() {
     let m = MicroarchConfig::default();
     let hp = HyperPlaneConfig::table1();
 
-    let mut table = Table::new("Table I: microarchitecture details", &["component", "value"]);
-    table.row(vec!["Core".into(), "8-wide issue OoO class, 2.0 GHz (timing model)".into()]);
-    table.row(vec!["L1 I/D".into(), "private, 32 KB, 64 B lines, 4-way SA".into()]);
-    table.row(vec!["LLC".into(), format!("{} MB shared (1 MB/core), 64 B lines, 16-way SA", m.cores)]);
-    table.row(vec!["CMP".into(), format!("{} cores, directory-based MESI coherence", m.cores)]);
+    let mut table = Table::new(
+        "Table I: microarchitecture details",
+        &["component", "value"],
+    );
+    table.row(vec![
+        "Core".into(),
+        "8-wide issue OoO class, 2.0 GHz (timing model)".into(),
+    ]);
+    table.row(vec![
+        "L1 I/D".into(),
+        "private, 32 KB, 64 B lines, 4-way SA".into(),
+    ]);
+    table.row(vec![
+        "LLC".into(),
+        format!("{} MB shared (1 MB/core), 64 B lines, 16-way SA", m.cores),
+    ]);
+    table.row(vec![
+        "CMP".into(),
+        format!("{} cores, directory-based MESI coherence", m.cores),
+    ]);
     table.row(vec![
         "HyperPlane".into(),
-        format!("{}-entry monitoring and {}-entry ready set", hp.monitoring_entries, hp.ready_qids),
+        format!(
+            "{}-entry monitoring and {}-entry ready set",
+            hp.monitoring_entries, hp.ready_qids
+        ),
     ]);
-    table.row(vec!["QWAIT latency".into(), format!("{} cycles", hp.timing.qwait.count())]);
+    table.row(vec![
+        "QWAIT latency".into(),
+        format!("{} cycles", hp.timing.qwait.count()),
+    ]);
     table.row(vec![
         "Monitoring lookup".into(),
         format!("{} cycles", hp.timing.monitor_lookup.count()),
@@ -27,8 +48,15 @@ fn main() {
     table.print(&opts);
 
     let r = cost::paper_configuration();
-    let mut table = Table::new("Sec IV-C: hardware cost estimates (32 nm model)", &["metric", "modeled", "paper"]);
-    table.row(vec!["ready set area".into(), format!("{:.3} mm2", r.ready_area_mm2), "0.13 mm2".into()]);
+    let mut table = Table::new(
+        "Sec IV-C: hardware cost estimates (32 nm model)",
+        &["metric", "modeled", "paper"],
+    );
+    table.row(vec![
+        "ready set area".into(),
+        format!("{:.3} mm2", r.ready_area_mm2),
+        "0.13 mm2".into(),
+    ]);
     table.row(vec![
         "monitoring set area".into(),
         format!("{:.3} mm2", r.monitoring_area_mm2),

@@ -1,0 +1,126 @@
+//! Traced run: execute one experiment with the observability plane on and
+//! write machine-readable artifacts —
+//!
+//! * a Chrome `trace_event` / Perfetto-compatible JSON trace of the full
+//!   notification lifecycle (load it in `ui.perfetto.dev` or
+//!   `chrome://tracing`);
+//! * a windowed-metrics JSONL time series (one JSON object per window);
+//! * optionally a small benchmark summary JSON (`--bench`) with the
+//!   headline throughput/latency numbers of the quickstart configuration.
+//!
+//! ```sh
+//! cargo run --release -p hp-bench --bin trace -- \
+//!     --quick --trace out.json --metrics out.jsonl
+//! ```
+
+use hp_bench::{HarnessOpts, Table};
+use hp_bytes::json::JsonWriter;
+use hp_sdp::config::{ExperimentConfig, Load, Notifier};
+use hp_sdp::runner;
+use hp_traffic::shape::TrafficShape;
+use hp_workloads::service::WorkloadKind;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Benchmark summary from the quickstart configuration (README Part 2):
+/// spinning vs HyperPlane peak throughput plus HyperPlane p99 latency.
+fn bench_summary(opts: &HarnessOpts) -> String {
+    let mut cfg = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 500);
+    cfg.target_completions = opts.completions(10_000);
+    let spin = runner::peak_throughput(&cfg);
+    let hp = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("bench", "quickstart");
+    w.field_str("workload", "packet-encap");
+    w.field_str("shape", "sq");
+    w.field_u64("queues", 500);
+    w.field_f64("spinning_mtps", spin.throughput_mtps());
+    w.field_f64("hyperplane_mtps", hp.throughput_mtps());
+    w.field_f64("speedup", hp.throughput_tps / spin.throughput_tps);
+    w.field_opt_f64("spinning_p99_us", spin.try_latency_percentile_us(99.0));
+    w.field_opt_f64("hyperplane_p99_us", hp.try_latency_percentile_us(99.0));
+    w.field_u64("completions", hp.completions);
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
+    out
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let trace_path = arg("--trace").unwrap_or_else(|| "trace.json".into());
+    let metrics_path = arg("--metrics").unwrap_or_else(|| "metrics.jsonl".into());
+    let bench_path = arg("--bench");
+
+    // A moderate-load run gives a readable trace: lifecycle spans with
+    // visible queueing, periodic halts, and non-degenerate windows.
+    let mut cfg = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 64)
+        .with_notifier(Notifier::hyperplane())
+        .with_trace(65_536)
+        .with_metrics_window(200_000);
+    cfg.target_completions = opts.completions(12_000);
+    let rate = cfg.capacity_estimate_per_core() * cfg.dp_cores as f64 * 0.30;
+    let cfg = cfg.with_load(Load::RatePerSec(rate));
+
+    println!(
+        "trace: {} / {} / {} queues / {} @ {:.2} Mtasks/s offered",
+        cfg.workload,
+        cfg.shape.label(),
+        cfg.queues,
+        cfg.notifier.label(),
+        rate / 1e6
+    );
+
+    let r = runner::run(cfg);
+
+    let chrome = r.chrome_trace_json().expect("tracing was enabled");
+    std::fs::write(&trace_path, &chrome).expect("write trace JSON");
+    let jsonl = r.metrics_jsonl();
+    std::fs::write(&metrics_path, &jsonl).expect("write metrics JSONL");
+
+    println!(
+        "\nthroughput: {:.3} Mtasks/s   p99 latency: {:.2} us   drops: {}",
+        r.throughput_mtps(),
+        r.latency_percentile_us(99.0),
+        r.drops
+    );
+    println!(
+        "trace: {} records -> {} ({} bytes)",
+        r.trace_records().map(<[_]>::len).unwrap_or(0),
+        trace_path,
+        chrome.len()
+    );
+    println!("metrics: {} windows -> {}", r.windows().len(), metrics_path);
+
+    if let Some(profile) = r.kernel_profile() {
+        let mut t = Table::new("Sim-kernel profile", &["event", "count", "cycles"]);
+        for (label, count, cycles) in profile.rows() {
+            t.row(vec![
+                label.to_string(),
+                count.to_string(),
+                cycles.to_string(),
+            ]);
+        }
+        t.print(&opts);
+        println!(
+            "\nkernel: {} events in {:.3} s wall ({:.0} events/s)",
+            profile.total_events(),
+            r.wall_secs(),
+            r.events_per_sec_wall()
+        );
+    }
+
+    if let Some(path) = bench_path {
+        let summary = bench_summary(&opts);
+        std::fs::write(&path, &summary).expect("write bench summary");
+        println!("bench summary -> {path}");
+    }
+}

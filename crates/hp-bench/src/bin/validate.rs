@@ -28,7 +28,10 @@ fn main() {
             .with_notifier(Notifier::hyperplane());
         runner::run_zero_load(&cfg).mean_latency_us()
     };
-    println!("effective service time: {es_us:.2} us (nominal {:.2} us)", workload.mean_service_us());
+    println!(
+        "effective service time: {es_us:.2} us (nominal {:.2} us)",
+        workload.mean_service_us()
+    );
 
     let mut table = Table::new(
         "Simulator vs closed-form queueing theory (mean sojourn, us)",

@@ -6,10 +6,12 @@
 //!
 //! All binaries accept:
 //! * `--quick` — cut sample counts and sweep points for a fast smoke run;
-//! * `--csv` — emit machine-readable CSV after the human-readable table.
+//! * `--csv` — emit machine-readable CSV after the human-readable table;
+//! * `--json` — additionally append every table row as a JSON object to
+//!   `results/<binary>.jsonl` (one line per row, ready for `jq`/pandas).
 //!
 //! The shared helpers here keep the binaries small: aligned table
-//! printing, CSV emission, and the harness-wide experiment defaults.
+//! printing, CSV/JSONL emission, and the harness-wide experiment defaults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,27 +19,45 @@
 pub mod microbench;
 pub mod plot;
 
+use hp_bytes::json::JsonWriter;
 use hp_sdp::config::ExperimentConfig;
 use hp_traffic::shape::TrafficShape;
 use hp_workloads::service::WorkloadKind;
+use std::path::PathBuf;
 
 /// Command-line options shared by all harness binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessOpts {
     /// Reduced sweep for smoke testing.
     pub quick: bool,
     /// Emit CSV alongside the table.
     pub csv: bool,
+    /// Append table rows as JSONL under `results/<bin>.jsonl`.
+    pub json: bool,
+    /// Binary name (file stem of `argv[0]`), used for the JSONL path.
+    pub bin: String,
 }
 
 impl HarnessOpts {
     /// Parses the process arguments.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        let bin = args
+            .first()
+            .map(PathBuf::from)
+            .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+            .unwrap_or_else(|| "bench".to_string());
         HarnessOpts {
             quick: args.iter().any(|a| a == "--quick"),
             csv: args.iter().any(|a| a == "--csv"),
+            json: args.iter().any(|a| a == "--json"),
+            bin,
         }
+    }
+
+    /// Path of the JSONL sink for this binary (`results/<bin>.jsonl`).
+    pub fn jsonl_path(&self) -> PathBuf {
+        PathBuf::from("results").join(format!("{}.jsonl", self.bin))
     }
 
     /// Target completions per run for this option set.
@@ -121,7 +141,14 @@ impl Table {
                 .join("  ")
         };
         println!("{}", line(&self.headers));
-        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }
@@ -132,6 +159,55 @@ impl Table {
                 println!("{}", row.join(","));
             }
         }
+        if opts.json {
+            let path = opts.jsonl_path();
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            use std::io::Write as _;
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    if let Err(e) = f.write_all(self.to_jsonl().as_bytes()) {
+                        eprintln!("warning: could not append to {}: {e}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: could not open {}: {e}", path.display()),
+            }
+        }
+    }
+
+    /// Renders the table rows as JSONL: one object per row, keyed by the
+    /// column headers, with the table title under `"table"`. Cells that
+    /// parse as numbers are emitted as JSON numbers; everything else stays
+    /// a string.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.field_str("table", &self.title);
+            for (h, c) in self.headers.iter().zip(row) {
+                w.key(h);
+                // Prefer numeric JSON for numeric-looking cells so the
+                // sink is directly plottable, but keep e.g. "4.12x" or
+                // bare queue names as strings.
+                if let Ok(v) = c.parse::<i64>() {
+                    w.i64(v);
+                } else if let Ok(v) = c.parse::<f64>() {
+                    w.f64(v);
+                } else {
+                    w.string(c);
+                }
+            }
+            w.end_object();
+            out.push_str(&w.finish());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -155,7 +231,12 @@ mod tests {
     use super::*;
 
     fn opts(quick: bool) -> HarnessOpts {
-        HarnessOpts { quick, csv: false }
+        HarnessOpts {
+            quick,
+            csv: false,
+            json: false,
+            bin: "test".to_string(),
+        }
     }
 
     #[test]
@@ -193,6 +274,31 @@ mod tests {
         );
         cfg.validate().unwrap();
         assert_eq!(cfg.target_completions, 12_000);
+    }
+
+    #[test]
+    fn jsonl_rows_carry_title_and_typed_cells() {
+        let mut t = Table::new("fig_demo", &["queues", "mtps", "note"]);
+        t.row(vec!["64".into(), "1.250".into(), "4.12x".into()]);
+        t.row(vec!["128".into(), "2.500".into(), "-".into()]);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"table":"fig_demo","queues":64,"mtps":1.25,"note":"4.12x"}"#
+        );
+        assert!(lines[1].contains(r#""queues":128"#));
+    }
+
+    #[test]
+    fn jsonl_path_is_per_binary() {
+        let mut o = opts(false);
+        o.bin = "fig08_breakdown".into();
+        assert_eq!(
+            o.jsonl_path(),
+            PathBuf::from("results/fig08_breakdown.jsonl")
+        );
     }
 
     #[test]

@@ -23,12 +23,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter` id (e.g. `"Ripple/256"`).
     pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
     }
 
     /// Id that is just the parameter (e.g. `"8"`).
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -50,7 +54,11 @@ impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\n{name}");
-        BenchmarkGroup { _c: self, samples: 7, quick: self.quick }
+        BenchmarkGroup {
+            _c: self,
+            samples: 7,
+            quick: self.quick,
+        }
     }
 }
 
@@ -97,7 +105,11 @@ impl BenchmarkGroup<'_> {
             Duration::from_millis(20)
         };
         let samples = if self.quick { 3 } else { self.samples };
-        let mut b = Bencher { window, iters_hint: 1, best_ns_per_iter: f64::INFINITY };
+        let mut b = Bencher {
+            window,
+            iters_hint: 1,
+            best_ns_per_iter: f64::INFINITY,
+        };
         // Warm-up + calibration pass, then timed samples.
         for _ in 0..=samples {
             f(&mut b);
@@ -140,7 +152,11 @@ impl Bencher {
         }
         // Re-calibrate so the next sample roughly fills the window.
         let target_ns = self.window.as_nanos() as f64;
-        let next = if ns > 0.0 { (target_ns / ns).clamp(1.0, 1e9) as u64 } else { 1 << 20 };
+        let next = if ns > 0.0 {
+            (target_ns / ns).clamp(1.0, 1e9) as u64
+        } else {
+            1 << 20
+        };
         self.iters_hint = next.max(1);
     }
 }

@@ -16,7 +16,10 @@ pub struct Series {
 impl Series {
     /// Creates a series from points.
     pub fn new(name: &str, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.to_string(), points }
+        Series {
+            name: name.to_string(),
+            points,
+        }
     }
 }
 
@@ -93,8 +96,8 @@ impl AsciiChart {
                     continue;
                 }
                 let cx = ((x - xmin) / (xmax - xmin) * (self.width - 1) as f64).round() as usize;
-                let cy = ((ymap(y) - ymin) / (ymax - ymin) * (self.height - 1) as f64).round()
-                    as usize;
+                let cy =
+                    ((ymap(y) - ymin) / (ymax - ymin) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy;
                 grid[row][cx.min(self.width - 1)] = mark;
             }
@@ -102,8 +105,16 @@ impl AsciiChart {
 
         let mut out = String::new();
         out.push_str(&format!("  {}\n", self.title));
-        let y_hi = if self.log_y { format!("1e{ymax:.1}") } else { format!("{ymax:.3}") };
-        let y_lo = if self.log_y { format!("1e{ymin:.1}") } else { format!("{ymin:.3}") };
+        let y_hi = if self.log_y {
+            format!("1e{ymax:.1}")
+        } else {
+            format!("{ymax:.3}")
+        };
+        let y_lo = if self.log_y {
+            format!("1e{ymin:.1}")
+        } else {
+            format!("{ymin:.3}")
+        };
         for (i, row) in grid.iter().enumerate() {
             let label = if i == 0 {
                 format!("{y_hi:>10} |")
@@ -138,8 +149,10 @@ mod tests {
 
     #[test]
     fn renders_single_series() {
-        let chart = AsciiChart::new("throughput vs queues")
-            .series(Series::new("spin", vec![(1.0, 0.7), (500.0, 0.2), (1000.0, 0.05)]));
+        let chart = AsciiChart::new("throughput vs queues").series(Series::new(
+            "spin",
+            vec![(1.0, 0.7), (500.0, 0.2), (1000.0, 0.05)],
+        ));
         let s = chart.render();
         assert!(s.contains("throughput vs queues"));
         assert!(s.contains('*'));
@@ -176,16 +189,15 @@ mod tests {
 
     #[test]
     fn nonfinite_points_are_skipped() {
-        let chart = AsciiChart::new("nan")
-            .series(Series::new("s", vec![(0.0, f64::NAN), (1.0, 5.0)]));
+        let chart =
+            AsciiChart::new("nan").series(Series::new("s", vec![(0.0, f64::NAN), (1.0, 5.0)]));
         let s = chart.render();
         assert!(s.contains('*'));
     }
 
     #[test]
     fn flat_series_does_not_divide_by_zero() {
-        let chart =
-            AsciiChart::new("flat").series(Series::new("s", vec![(0.0, 3.0), (1.0, 3.0)]));
+        let chart = AsciiChart::new("flat").series(Series::new("s", vec![(0.0, 3.0), (1.0, 3.0)]));
         let s = chart.render();
         assert!(s.contains('*'));
     }

@@ -1,0 +1,277 @@
+//! A minimal streaming JSON encoder.
+//!
+//! The observability sinks (JSONL metrics, Chrome `trace_event` exports)
+//! need machine-readable output, but the workspace is hermetic — no
+//! `serde`. [`JsonWriter`] is the hand-rolled substitute: an append-only
+//! encoder with correct string escaping and comma placement, enough to
+//! emit arbitrarily nested objects/arrays of the primitive types the
+//! simulator reports.
+//!
+//! Non-finite floats encode as `null` (JSON has no NaN/Infinity), so a
+//! zero-sample run's `NaN` percentiles stay machine-parseable.
+//!
+//! ```
+//! use hp_bytes::json::JsonWriter;
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_object();
+//! w.field_str("name", "fig3");
+//! w.field_u64("queues", 512);
+//! w.key("p99_us");
+//! w.f64(17.25);
+//! w.end_object();
+//! assert_eq!(w.finish(), r#"{"name":"fig3","queues":512,"p99_us":17.25}"#);
+//! ```
+
+/// Container context: tracks how many items have been emitted so the
+/// writer knows when a comma is due.
+#[derive(Debug, Clone, Copy)]
+enum Ctx {
+    Object(u64),
+    Array(u64),
+}
+
+/// An append-only JSON encoder.
+///
+/// The caller is responsible for structural validity (matching
+/// `begin_*`/`end_*`, a `key` before every object value); the writer
+/// handles commas, colons, and escaping. Misuse produces malformed JSON,
+/// not a panic — this is an internal tool, not a validator.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    stack: Vec<Ctx>,
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with pre-reserved capacity (bytes).
+    pub fn with_capacity(cap: usize) -> Self {
+        JsonWriter {
+            buf: String::with_capacity(cap),
+            stack: Vec::new(),
+            after_key: false,
+        }
+    }
+
+    /// Consumes the writer, returning the encoded JSON.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn sep(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(Ctx::Object(n) | Ctx::Array(n)) = self.stack.last_mut() {
+            if *n > 0 {
+                self.buf.push(',');
+            }
+            *n += 1;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.sep();
+        self.buf.push('{');
+        self.stack.push(Ctx::Object(0));
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.sep();
+        self.buf.push('[');
+        self.stack.push(Ctx::Array(0));
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.buf.push(']');
+    }
+
+    /// Emits an object key; the next value call supplies its value.
+    pub fn key(&mut self, k: &str) {
+        self.sep();
+        self.write_escaped(k);
+        self.buf.push(':');
+        self.after_key = true;
+    }
+
+    /// Emits a string value.
+    pub fn string(&mut self, v: &str) {
+        self.sep();
+        self.write_escaped(v);
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.sep();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Emits a signed integer value.
+    pub fn i64(&mut self, v: i64) {
+        self.sep();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Emits a float value; non-finite values encode as `null`.
+    pub fn f64(&mut self, v: f64) {
+        self.sep();
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Emits a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.sep();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Emits a `null` value.
+    pub fn null(&mut self) {
+        self.sep();
+        self.buf.push_str("null");
+    }
+
+    /// `"k": "v"` convenience.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// `"k": v` convenience for unsigned integers.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64(v);
+    }
+
+    /// `"k": v` convenience for floats (non-finite → `null`).
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64(v);
+    }
+
+    /// `"k": v` convenience for booleans.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool(v);
+    }
+
+    /// `"k": v` convenience for optional floats (`None` → `null`).
+    pub fn field_opt_f64(&mut self, k: &str, v: Option<f64>) {
+        self.key(k);
+        match v {
+            Some(x) => self.f64(x),
+            None => self.null(),
+        }
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_get_commas_right() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("rows");
+        w.begin_array();
+        for i in 0..3u64 {
+            w.begin_object();
+            w.field_u64("i", i);
+            w.end_object();
+        }
+        w.end_array();
+        w.field_bool("ok", true);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"rows":[{"i":0},{"i":1},{"i":2}],"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("k", "a\"b\\c\nd\te\u{1}");
+        w.end_object();
+        assert_eq!(w.finish(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(1.5);
+        w.f64(f64::NAN);
+        w.f64(f64::INFINITY);
+        w.null();
+        w.end_array();
+        assert_eq!(w.finish(), "[1.5,null,null,null]");
+    }
+
+    #[test]
+    fn scalars_at_top_level() {
+        let mut w = JsonWriter::new();
+        w.i64(-7);
+        assert_eq!(w.finish(), "-7");
+    }
+
+    #[test]
+    fn opt_field_writes_null_for_none() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_opt_f64("p99", None);
+        w.field_opt_f64("p50", Some(2.0));
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"p99":null,"p50":2}"#);
+    }
+}

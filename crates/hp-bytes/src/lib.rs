@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
@@ -32,19 +34,25 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     /// A buffer holding a copy of `slice`. (The real `bytes` crate keeps a
     /// zero-copy reference for static data; this copies — the semantics
     /// are identical, only the allocation differs.)
     pub fn from_static(slice: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(slice) }
+        Bytes {
+            data: Arc::from(slice),
+        }
     }
 
     /// A buffer holding a copy of `slice`.
     pub fn copy_from_slice(slice: &[u8]) -> Self {
-        Bytes { data: Arc::from(slice) }
+        Bytes {
+            data: Arc::from(slice),
+        }
     }
 
     /// Number of bytes.
@@ -60,7 +68,9 @@ impl Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
     }
 }
 
@@ -97,7 +107,9 @@ impl BytesMut {
 
     /// An empty builder with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of bytes written so far.
@@ -188,7 +200,10 @@ mod tests {
         b.put_u16(0x0102);
         b.put_u32(0x0304_0506);
         b.put_u64(0x0708_090A_0B0C_0D0E);
-        assert_eq!(&b[..], &[1, 2, 3, 4, 5, 6, 7, 8, 9, 0xA, 0xB, 0xC, 0xD, 0xE]);
+        assert_eq!(
+            &b[..],
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 0xA, 0xB, 0xC, 0xD, 0xE]
+        );
     }
 
     #[test]

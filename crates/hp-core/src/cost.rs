@@ -102,7 +102,10 @@ pub fn estimate(
     cores: usize,
     ppa: PpaKind,
 ) -> CostReport {
-    assert!(monitoring_entries > 0 && ready_qids > 0 && cores > 0, "counts must be positive");
+    assert!(
+        monitoring_entries > 0 && ready_qids > 0 && cores > 0,
+        "counts must be positive"
+    );
 
     let monitoring_area_mm2 = monitoring_entries as f64 * tech.monitoring_mm2_per_entry;
 

@@ -120,7 +120,10 @@ impl MonitoringSet {
     /// Panics if `ways < 2` or `entries < ways`.
     pub fn with_ways(entries: usize, ways: usize) -> Self {
         assert!(ways >= 2, "cuckoo hashing needs at least 2 ways");
-        assert!(entries >= ways, "monitoring set needs at least {ways} entries");
+        assert!(
+            entries >= ways,
+            "monitoring set needs at least {ways} entries"
+        );
         let rows = entries / ways;
         MonitoringSet {
             ways: vec![vec![None; rows]; ways],
@@ -189,7 +192,11 @@ impl MonitoringSet {
             self.index_get(qid).is_none(),
             "{qid} already present in monitoring set"
         );
-        let mut homeless = Entry { line, qid, armed: true };
+        let mut homeless = Entry {
+            line,
+            qid,
+            armed: true,
+        };
         let w = self.ways.len();
         // Record of (way, row, displaced_entry) for rollback.
         let mut walk: Vec<(usize, u32, Entry)> = Vec::new();
@@ -212,9 +219,12 @@ impl MonitoringSet {
             }
             // All full: displace from a pseudo-random way (random-walk
             // insertion approaches the d-ary load threshold).
-            let way = (splitmix64(homeless.line.0 ^ (kick as u64) << 7 ^ 0x5bd1) % w as u64) as usize;
+            let way =
+                (splitmix64(homeless.line.0 ^ (kick as u64) << 7 ^ 0x5bd1) % w as u64) as usize;
             let row = self.row(way, homeless.line);
-            let displaced = self.ways[way][row as usize].take().expect("all ways were full");
+            let displaced = self.ways[way][row as usize]
+                .take()
+                .expect("all ways were full");
             self.ways[way][row as usize] = Some(homeless);
             self.index_set(homeless.qid, Some((way as u8, row)));
             walk.push((way, row, displaced));
@@ -279,10 +289,12 @@ impl MonitoringSet {
     /// Whether `qid`'s entry is currently armed.
     pub fn is_armed(&self, qid: QueueId) -> bool {
         match self.index_get(qid) {
-            Some((way, row)) => self.ways[way as usize][row as usize]
-                .as_ref()
-                .expect("index points at occupied slot")
-                .armed,
+            Some((way, row)) => {
+                self.ways[way as usize][row as usize]
+                    .as_ref()
+                    .expect("index points at occupied slot")
+                    .armed
+            }
             None => false,
         }
     }
@@ -355,9 +367,14 @@ impl BankedMonitoringSet {
     /// Panics if `banks` is zero, exceeds 256, or leaves a bank with
     /// fewer entries than its way count.
     pub fn new(entries: usize, banks: usize) -> Self {
-        assert!((1..=256).contains(&banks), "bank count must be in 1..=256, got {banks}");
+        assert!(
+            (1..=256).contains(&banks),
+            "bank count must be in 1..=256, got {banks}"
+        );
         BankedMonitoringSet {
-            banks: (0..banks).map(|_| MonitoringSet::new(entries / banks)).collect(),
+            banks: (0..banks)
+                .map(|_| MonitoringSet::new(entries / banks))
+                .collect(),
             bank_of_qid: Vec::new(),
         }
     }
@@ -374,7 +391,11 @@ impl BankedMonitoringSet {
     }
 
     fn qid_bank(&self, qid: QueueId) -> Option<usize> {
-        self.bank_of_qid.get(qid.0 as usize).copied().flatten().map(usize::from)
+        self.bank_of_qid
+            .get(qid.0 as usize)
+            .copied()
+            .flatten()
+            .map(usize::from)
     }
 
     /// `QWAIT-ADD` routed to the owning bank.
@@ -420,7 +441,9 @@ impl BankedMonitoringSet {
 
     /// Whether `qid` is armed.
     pub fn is_armed(&self, qid: QueueId) -> bool {
-        self.qid_bank(qid).map(|b| self.banks[b].is_armed(qid)).unwrap_or(false)
+        self.qid_bank(qid)
+            .map(|b| self.banks[b].is_armed(qid))
+            .unwrap_or(false)
     }
 
     /// The registered doorbell line for `qid`.
@@ -473,7 +496,11 @@ mod banked_tests {
             ms.insert(QueueId(q), LineAddr(0x1000 + q as u64)).unwrap();
         }
         let per_bank = ms.occupancy_per_bank();
-        assert_eq!(per_bank, vec![64, 64, 64, 64], "line interleaving balances banks");
+        assert_eq!(
+            per_bank,
+            vec![64, 64, 64, 64],
+            "line interleaving balances banks"
+        );
     }
 
     #[test]

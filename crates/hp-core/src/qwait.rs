@@ -317,7 +317,8 @@ mod tests {
         let range = AddrRange::new(Addr(0x1_0000), Addr(0x1_0000 + 1024 * 64));
         let mut dev = HyperPlaneDevice::new(HyperPlaneConfig::table1(), range);
         for q in 0..qids {
-            dev.qwait_add(QueueId(q), Addr(0x1_0000 + q as u64 * 64).line()).unwrap();
+            dev.qwait_add(QueueId(q), Addr(0x1_0000 + q as u64 * 64).line())
+                .unwrap();
         }
         dev
     }
@@ -401,7 +402,11 @@ mod tests {
         let qid = dev.qwait_select().unwrap();
         // Two more items remain after the dequeue:
         assert_eq!(dev.qwait_reconsider(qid, 2), RearmAction::None);
-        assert_eq!(dev.qwait_select(), Some(qid), "backlogged queue stays in ready set");
+        assert_eq!(
+            dev.qwait_select(),
+            Some(qid),
+            "backlogged queue stays in ready set"
+        );
         // Drained now:
         assert_eq!(dev.qwait_reconsider(qid, 0), RearmAction::ProbeShared(line));
         assert_eq!(dev.qwait_select(), None);

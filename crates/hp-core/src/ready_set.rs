@@ -210,7 +210,11 @@ impl ReadySet {
     }
 
     fn check(&self, qid: QueueId) {
-        assert!((qid.0 as usize) < self.n, "{qid} out of range ({} QIDs)", self.n);
+        assert!(
+            (qid.0 as usize) < self.n,
+            "{qid} out of range ({} QIDs)",
+            self.n
+        );
     }
 
     /// Sets `qid`'s ready bit (activation from the monitoring set or from
@@ -235,7 +239,9 @@ impl ReadySet {
 
     /// Number of QIDs currently ready and unmasked.
     pub fn ready_count(&self) -> usize {
-        (0..self.n).filter(|&i| self.ready[i] && self.mask[i]).count()
+        (0..self.n)
+            .filter(|&i| self.ready[i] && self.mask[i])
+            .count()
     }
 
     /// `QWAIT-ENABLE`: allow `qid` to be selected again.
@@ -346,10 +352,15 @@ mod tests {
         use hp_sim::rng::splitmix64;
         for trial in 0..200u64 {
             let n = 1 + (splitmix64(trial) % 1024) as usize;
-            let req: Vec<bool> =
-                (0..n).map(|i| splitmix64(trial * 10_000 + i as u64).is_multiple_of(5)).collect();
+            let req: Vec<bool> = (0..n)
+                .map(|i| splitmix64(trial * 10_000 + i as u64).is_multiple_of(5))
+                .collect();
             let pos = (splitmix64(trial + 999) % n as u64) as usize;
-            assert_eq!(ripple_select(&req, pos), brent_kung_select(&req, pos), "n={n} pos={pos}");
+            assert_eq!(
+                ripple_select(&req, pos),
+                brent_kung_select(&req, pos),
+                "n={n} pos={pos}"
+            );
         }
     }
 
@@ -384,7 +395,9 @@ mod tests {
     fn wrr_grants_weight_consecutive_services() {
         let mut rs = ReadySet::new(
             3,
-            ServicePolicy::WeightedRoundRobin { weights: vec![3, 1, 1] },
+            ServicePolicy::WeightedRoundRobin {
+                weights: vec![3, 1, 1],
+            },
             PpaKind::BrentKung,
         );
         let mut grants = Vec::new();
@@ -402,7 +415,9 @@ mod tests {
     fn wrr_passes_priority_when_queue_goes_empty() {
         let mut rs = ReadySet::new(
             3,
-            ServicePolicy::WeightedRoundRobin { weights: vec![10, 1, 1] },
+            ServicePolicy::WeightedRoundRobin {
+                weights: vec![10, 1, 1],
+            },
             PpaKind::BrentKung,
         );
         rs.activate(QueueId(0));
@@ -452,7 +467,9 @@ mod tests {
     fn wrr_weight_length_checked() {
         let _ = ReadySet::new(
             3,
-            ServicePolicy::WeightedRoundRobin { weights: vec![1, 2] },
+            ServicePolicy::WeightedRoundRobin {
+                weights: vec![1, 2],
+            },
             PpaKind::Ripple,
         );
     }

@@ -279,8 +279,14 @@ mod tests {
             Err(SessionError::AlreadyRegistered(QueueId(0)))
         );
         assert!(s.remove(QueueId(0)).is_ok());
-        assert!(matches!(s.remove(QueueId(0)), Err(SessionError::NotRegistered(_))));
-        assert!(matches!(s.reconsider(QueueId(0)), Err(SessionError::NotRegistered(_))));
+        assert!(matches!(
+            s.remove(QueueId(0)),
+            Err(SessionError::NotRegistered(_))
+        ));
+        assert!(matches!(
+            s.reconsider(QueueId(0)),
+            Err(SessionError::NotRegistered(_))
+        ));
     }
 
     #[test]
@@ -289,7 +295,9 @@ mod tests {
         // running Algorithm 1 through the session. Every item must be
         // consumed exactly once.
         const PER_PRODUCER: u64 = 3_000;
-        let rings: Vec<_> = (0..3).map(|_| MpmcRing::<u64>::with_capacity(256)).collect();
+        let rings: Vec<_> = (0..3)
+            .map(|_| MpmcRing::<u64>::with_capacity(256))
+            .collect();
         let dbs: Vec<Arc<Doorbell>> = (0..3).map(|_| Arc::new(Doorbell::new())).collect();
 
         let mut session = QwaitSession::new(3, ServicePolicy::RoundRobin);

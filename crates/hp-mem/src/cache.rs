@@ -30,12 +30,18 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A 32 KB 4-way private L1 (Table I).
     pub fn l1() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, ways: 4 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+        }
     }
 
     /// A shared LLC sized at 1 MB per core (Table I), 16-way.
     pub fn llc(cores: usize) -> Self {
-        CacheConfig { size_bytes: cores as u64 * 1024 * 1024, ways: 16 }
+        CacheConfig {
+            size_bytes: cores as u64 * 1024 * 1024,
+            ways: 16,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -47,7 +53,10 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         let lines = self.size_bytes / LINE_BYTES;
         let sets = lines / self.ways as u64;
-        assert!(sets > 0 && sets.is_power_of_two(), "cache sets must be a positive power of two, got {sets}");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "cache sets must be a positive power of two, got {sets}"
+        );
         sets as usize
     }
 }
@@ -99,7 +108,12 @@ impl SetAssocCache {
         SetAssocCache {
             sets: vec![
                 vec![
-                    Way { tag: 0, state: MesiState::Shared, last_used: 0, valid: false };
+                    Way {
+                        tag: 0,
+                        state: MesiState::Shared,
+                        last_used: 0,
+                        valid: false
+                    };
                     config.ways
                 ];
                 sets
@@ -184,7 +198,12 @@ impl SetAssocCache {
             return Insert::Placed;
         }
         if let Some(way) = set.iter_mut().find(|w| !w.valid) {
-            *way = Way { tag, state, last_used: tick, valid: true };
+            *way = Way {
+                tag,
+                state,
+                last_used: tick,
+                valid: true,
+            };
             return Insert::Placed;
         }
         let victim = set
@@ -193,7 +212,12 @@ impl SetAssocCache {
             .expect("ways > 0");
         let evicted_line = LineAddr((victim.tag << shift) | set_idx as u64);
         let evicted_state = victim.state;
-        *victim = Way { tag, state, last_used: tick, valid: true };
+        *victim = Way {
+            tag,
+            state,
+            last_used: tick,
+            valid: true,
+        };
         self.evictions += 1;
         Insert::Evicted(evicted_line, evicted_state)
     }
@@ -228,7 +252,10 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 2 sets x 2 ways.
-        SetAssocCache::new(CacheConfig { size_bytes: 256, ways: 2 })
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -315,7 +342,10 @@ mod tests {
 
     #[test]
     fn capacity_is_respected() {
-        let cfg = CacheConfig { size_bytes: 4096, ways: 4 }; // 64 lines
+        let cfg = CacheConfig {
+            size_bytes: 4096,
+            ways: 4,
+        }; // 64 lines
         let mut c = SetAssocCache::new(cfg);
         for i in 0..1000 {
             c.insert(LineAddr(i), MesiState::Shared);

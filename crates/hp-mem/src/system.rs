@@ -164,7 +164,10 @@ impl MemSystemConfig {
     /// The Table I CMP: `cores` cores, 32 KB 4-way L1s, 1 MB/core 16-way
     /// LLC, default latencies.
     pub fn cmp(cores: usize) -> Self {
-        assert!(cores > 0 && cores <= 64, "cores must be in 1..=64, got {cores}");
+        assert!(
+            cores > 0 && cores <= 64,
+            "cores must be in 1..=64, got {cores}"
+        );
         MemSystemConfig {
             cores,
             l1: CacheConfig::l1(),
@@ -179,7 +182,9 @@ impl MemSystem {
     /// Builds the hierarchy described by `config`.
     pub fn new(config: MemSystemConfig) -> Self {
         MemSystem {
-            l1s: (0..config.cores).map(|_| SetAssocCache::new(config.l1)).collect(),
+            l1s: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1))
+                .collect(),
             llc: SetAssocCache::new(config.llc),
             directory: HashMap::new(),
             latency: config.latency,
@@ -310,7 +315,11 @@ impl MemSystem {
             let entry = self.directory.get(&line.0).expect("just inserted");
             entry.sharers == (1 << core.0) && entry.owner.is_none()
         };
-        let state = if sole { MesiState::Exclusive } else { MesiState::Shared };
+        let state = if sole {
+            MesiState::Exclusive
+        } else {
+            MesiState::Shared
+        };
         if sole {
             self.directory.get_mut(&line.0).expect("present").owner = Some(core);
             self.directory.get_mut(&line.0).expect("present").sharers = 0;
@@ -318,7 +327,11 @@ impl MemSystem {
         self.fill_llc(line);
         self.fill_l1(core, line, state);
         self.record(core, level);
-        AccessResult { latency: self.latency.of(level), level, getm: None }
+        AccessResult {
+            latency: self.latency.of(level),
+            level,
+            getm: None,
+        }
     }
 
     fn store(&mut self, core: CoreId, line: LineAddr) -> AccessResult {
@@ -361,7 +374,11 @@ impl MemSystem {
 
         // Write miss: GetM.
         self.getm_count += 1;
-        let remote_owner = self.directory.get(&line.0).and_then(|e| e.owner).filter(|&o| o != core);
+        let remote_owner = self
+            .directory
+            .get(&line.0)
+            .and_then(|e| e.owner)
+            .filter(|&o| o != core);
         let level = if let Some(owner) = remote_owner {
             // The owner's copy may already be gone (silent E-state
             // eviction); the invalidation message is sent regardless.
@@ -382,7 +399,11 @@ impl MemSystem {
         self.fill_llc(line);
         self.fill_l1(core, line, MesiState::Modified);
         self.record(core, level);
-        AccessResult { latency: self.latency.of(level), level, getm: Some(line) }
+        AccessResult {
+            latency: self.latency.of(level),
+            level,
+            getm: Some(line),
+        }
     }
 
     /// Issues a GetS probe on `line` without filling any L1 — downgrades any
@@ -482,7 +503,10 @@ mod tests {
         m.access(CoreId(0), Addr(0x8000), AccessKind::Load);
         let r = m.access(CoreId(0), Addr(0x8000), AccessKind::Store);
         assert_eq!(r.level, HitLevel::L1);
-        assert_eq!(r.getm, None, "E->M must be silent (motivates GetS re-arm probe)");
+        assert_eq!(
+            r.getm, None,
+            "E->M must be silent (motivates GetS re-arm probe)"
+        );
     }
 
     #[test]
@@ -602,7 +626,7 @@ mod tests {
         // Core 0 streams into it: the prefetcher must skip the owned line.
         m.access(CoreId(0), Addr(0x20_0000 - 64), AccessKind::Load);
         m.access(CoreId(0), Addr(0x20_0000), AccessKind::Load); // stride detected
-        // Core 1 still owns it: a store remains a silent M hit.
+                                                                // Core 1 still owns it: a store remains a silent M hit.
         let r = m.access(CoreId(1), Addr(0x20_0040), AccessKind::Store);
         assert_eq!(r.level, HitLevel::L1);
         assert_eq!(r.getm, None, "ownership must not have been disturbed");

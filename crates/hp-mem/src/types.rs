@@ -74,8 +74,14 @@ impl AddrRange {
     ///
     /// Panics if the endpoints are not line-aligned or `start > end`.
     pub fn new(start: Addr, end: Addr) -> Self {
-        assert!(start.0.is_multiple_of(LINE_BYTES), "range start {start} not line-aligned");
-        assert!(end.0.is_multiple_of(LINE_BYTES), "range end {end} not line-aligned");
+        assert!(
+            start.0.is_multiple_of(LINE_BYTES),
+            "range start {start} not line-aligned"
+        );
+        assert!(
+            end.0.is_multiple_of(LINE_BYTES),
+            "range end {end} not line-aligned"
+        );
         assert!(start.0 <= end.0, "range start {start} past end {end}");
         AddrRange { start, end }
     }

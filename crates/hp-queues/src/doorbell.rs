@@ -35,7 +35,9 @@ pub struct Doorbell {
 impl Doorbell {
     /// Creates a doorbell with a zero counter.
     pub fn new() -> Self {
-        Doorbell { count: AtomicU64::new(0) }
+        Doorbell {
+            count: AtomicU64::new(0),
+        }
     }
 
     /// Producer side: adds `n` elements to the counter *after* enqueuing.

@@ -417,7 +417,10 @@ mod differential_tests {
 
     impl ModelQueue {
         fn new(cap: usize) -> Self {
-            ModelQueue { cap, items: VecDeque::new() }
+            ModelQueue {
+                cap,
+                items: VecDeque::new(),
+            }
         }
         fn push(&mut self, v: u64) -> Result<(), u64> {
             if self.items.len() == self.cap {

@@ -193,7 +193,10 @@ impl QueueLayout {
     ///
     /// Panics if `i` is out of the spare range.
     pub fn spare_doorbell(&self, i: u64) -> Addr {
-        assert!(i < Self::spare_doorbells(self.queues), "spare doorbell {i} out of range");
+        assert!(
+            i < Self::spare_doorbells(self.queues),
+            "spare doorbell {i} out of range"
+        );
         Addr(self.doorbell_base + (self.queues as u64 + i) * LINE_BYTES)
     }
 
@@ -203,7 +206,11 @@ impl QueueLayout {
     ///
     /// Panics if `q` is out of range.
     pub fn doorbell(&self, q: QueueId) -> Addr {
-        assert!(q.0 < self.queues, "{q} out of range ({} queues)", self.queues);
+        assert!(
+            q.0 < self.queues,
+            "{q} out of range ({} queues)",
+            self.queues
+        );
         Addr(self.doorbell_base + q.0 as u64 * LINE_BYTES)
     }
 
@@ -213,7 +220,11 @@ impl QueueLayout {
     ///
     /// Panics if `q` is out of range.
     pub fn descriptor(&self, q: QueueId) -> Addr {
-        assert!(q.0 < self.queues, "{q} out of range ({} queues)", self.queues);
+        assert!(
+            q.0 < self.queues,
+            "{q} out of range ({} queues)",
+            self.queues
+        );
         Addr(self.descriptor_base + q.0 as u64 * LINE_BYTES)
     }
 
@@ -221,11 +232,16 @@ impl QueueLayout {
     /// enqueued on queue `q`. Slots cycle through the queue's buffer pool,
     /// so a larger pool (or more queues) increases the live footprint.
     pub fn buffer_lines(&self, q: QueueId, slot: u64) -> impl Iterator<Item = Addr> + '_ {
-        assert!(q.0 < self.queues, "{q} out of range ({} queues)", self.queues);
+        assert!(
+            q.0 < self.queues,
+            "{q} out of range ({} queues)",
+            self.queues
+        );
         let entry = slot % self.buffer_entries;
         let per_queue_span = self.buffer_entries * self.buffer_lines_per_entry * LINE_BYTES;
-        let base =
-            self.buffer_base + q.0 as u64 * per_queue_span + entry * self.buffer_lines_per_entry * LINE_BYTES;
+        let base = self.buffer_base
+            + q.0 as u64 * per_queue_span
+            + entry * self.buffer_lines_per_entry * LINE_BYTES;
         (0..self.buffer_lines_per_entry).map(move |i| Addr(base + i * LINE_BYTES))
     }
 
@@ -244,7 +260,11 @@ mod tests {
     fn queue_fifo_order() {
         let mut q = SimQueue::new(QueueId(0));
         for i in 0..5 {
-            q.enqueue(WorkItem { id: i, arrival: SimTime(i * 10), service: Cycles(100) });
+            q.enqueue(WorkItem {
+                id: i,
+                arrival: SimTime(i * 10),
+                service: Cycles(100),
+            });
         }
         assert_eq!(q.depth(), 5);
         assert_eq!(q.head_arrival(), Some(SimTime(0)));
@@ -259,7 +279,11 @@ mod tests {
     #[test]
     fn drops_are_counted_separately_from_enqueues() {
         let mut q = SimQueue::new(QueueId(1));
-        q.enqueue(WorkItem { id: 0, arrival: SimTime(0), service: Cycles(10) });
+        q.enqueue(WorkItem {
+            id: 0,
+            arrival: SimTime(0),
+            service: Cycles(10),
+        });
         q.record_drop();
         q.record_drop();
         assert_eq!(q.dropped(), 2);
@@ -274,8 +298,13 @@ mod tests {
         let a = l.doorbell(QueueId(0));
         let b = l.doorbell(QueueId(1));
         assert_ne!(a.line(), b.line());
-        assert_eq!(l.doorbell_range().lines(), 1000 + QueueLayout::spare_doorbells(1000));
-        assert!(l.doorbell_range().contains_line(l.doorbell(QueueId(999)).line()));
+        assert_eq!(
+            l.doorbell_range().lines(),
+            1000 + QueueLayout::spare_doorbells(1000)
+        );
+        assert!(l
+            .doorbell_range()
+            .contains_line(l.doorbell(QueueId(999)).line()));
     }
 
     #[test]

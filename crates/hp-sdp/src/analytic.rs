@@ -16,7 +16,10 @@
 ///
 /// Panics unless `0 < lambda < mu`.
 pub fn mm1_sojourn(lambda: f64, mu: f64) -> f64 {
-    assert!(lambda > 0.0 && mu > lambda, "need 0 < lambda < mu, got {lambda}, {mu}");
+    assert!(
+        lambda > 0.0 && mu > lambda,
+        "need 0 < lambda < mu, got {lambda}, {mu}"
+    );
     1.0 / (mu - lambda)
 }
 
@@ -108,9 +111,7 @@ mod tests {
         // scv = 1 (exponential) must match M/M/1.
         let lambda = 0.6;
         let mu = 1.0;
-        assert!(
-            (mg1_sojourn(lambda, 1.0 / mu, 1.0) - mm1_sojourn(lambda, mu)).abs() < 1e-12
-        );
+        assert!((mg1_sojourn(lambda, 1.0 / mu, 1.0) - mm1_sojourn(lambda, mu)).abs() < 1e-12);
     }
 
     #[test]
@@ -128,8 +129,14 @@ mod tests {
         let low = scale_up_advantage(4.0 * 0.3, 1.0, 4);
         let high = scale_up_advantage(4.0 * 0.9, 1.0, 4);
         assert!(low > 1.0);
-        assert!(high > low, "advantage should grow with utilization: {low} -> {high}");
-        assert!(high > 2.0, "at 90% load M/M/4 should be >2x better, got {high}");
+        assert!(
+            high > low,
+            "advantage should grow with utilization: {low} -> {high}"
+        );
+        assert!(
+            high > 2.0,
+            "at 90% load M/M/4 should be >2x better, got {high}"
+        );
     }
 
     #[test]

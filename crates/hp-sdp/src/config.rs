@@ -71,6 +71,11 @@ pub enum ConfigError {
     },
     /// `watchdog_period_cycles` was `Some(0)`.
     ZeroWatchdogPeriod,
+    /// `trace_capacity` was `Some(0)` — an enabled tracer that can hold
+    /// nothing is always a configuration mistake.
+    ZeroTraceCapacity,
+    /// `metrics_window_cycles` was `Some(0)`.
+    ZeroMetricsWindow,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -103,6 +108,8 @@ impl std::fmt::Display for ConfigError {
                 "qwait timeout of {timeout} cycles is below the {min}-cycle QWAIT latency"
             ),
             ConfigError::ZeroWatchdogPeriod => write!(f, "watchdog period must be nonzero"),
+            ConfigError::ZeroTraceCapacity => write!(f, "trace capacity must be nonzero"),
+            ConfigError::ZeroMetricsWindow => write!(f, "metrics window must be nonzero"),
         }
     }
 }
@@ -126,7 +133,10 @@ pub struct MicroarchConfig {
 
 impl Default for MicroarchConfig {
     fn default() -> Self {
-        MicroarchConfig { cores: 16, clock: Clock::default() }
+        MicroarchConfig {
+            cores: 16,
+            clock: Clock::default(),
+        }
     }
 }
 
@@ -160,12 +170,18 @@ pub enum Notifier {
 impl Notifier {
     /// The default hardware HyperPlane configuration.
     pub fn hyperplane() -> Self {
-        Notifier::HyperPlane { power_optimized: false, software_ready_set: false }
+        Notifier::HyperPlane {
+            power_optimized: false,
+            software_ready_set: false,
+        }
     }
 
     /// HyperPlane with C1 power optimization.
     pub fn hyperplane_power_opt() -> Self {
-        Notifier::HyperPlane { power_optimized: true, software_ready_set: false }
+        Notifier::HyperPlane {
+            power_optimized: true,
+            software_ready_set: false,
+        }
     }
 
     /// Short label for tables.
@@ -173,8 +189,14 @@ impl Notifier {
         match self {
             Notifier::Spinning => "spinning",
             Notifier::Interrupt => "interrupt",
-            Notifier::HyperPlane { power_optimized: true, .. } => "hyperplane-c1",
-            Notifier::HyperPlane { software_ready_set: true, .. } => "hyperplane-sw",
+            Notifier::HyperPlane {
+                power_optimized: true,
+                ..
+            } => "hyperplane-c1",
+            Notifier::HyperPlane {
+                software_ready_set: true,
+                ..
+            } => "hyperplane-sw",
             Notifier::HyperPlane { .. } => "hyperplane",
         }
     }
@@ -297,6 +319,16 @@ pub struct ExperimentConfig {
     /// Stop the run at the first watchdog-detected stall instead of
     /// running out the clock (the fault report marks the abort).
     pub watchdog_abort: bool,
+    /// Lifecycle tracing: keep the newest this-many trace records in a
+    /// ring buffer and attach them to the result. `None` disables tracing
+    /// entirely (zero cost). Tracing is pure observation — a traced run
+    /// is bit-identical to an untraced one.
+    pub trace_capacity: Option<usize>,
+    /// Windowed-metrics cadence in cycles: close a
+    /// [`crate::metrics::WindowSample`] every this-many cycles. `None`
+    /// disables the sampler. Like tracing, sampling never schedules
+    /// events or draws randomness.
+    pub metrics_window_cycles: Option<u64>,
 }
 
 impl ExperimentConfig {
@@ -334,6 +366,8 @@ impl ExperimentConfig {
             qwait_backoff_max_cycles: 2_000_000,
             watchdog_period_cycles: None,
             watchdog_abort: false,
+            trace_capacity: None,
+            metrics_window_cycles: None,
         }
     }
 
@@ -381,6 +415,20 @@ impl ExperimentConfig {
         self
     }
 
+    /// Builder-style: enable lifecycle tracing with a ring buffer of
+    /// `capacity` records.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Builder-style: enable the windowed-metrics sampler at a cadence of
+    /// `cycles` per window.
+    pub fn with_metrics_window(mut self, cycles: u64) -> Self {
+        self.metrics_window_cycles = Some(cycles);
+        self
+    }
+
     /// Validates cross-field invariants.
     ///
     /// # Errors
@@ -409,7 +457,10 @@ impl ExperimentConfig {
             });
         }
         if (self.queues as usize) < self.groups() {
-            return Err(ConfigError::TooFewQueues { queues: self.queues, groups: self.groups() });
+            return Err(ConfigError::TooFewQueues {
+                queues: self.queues,
+                groups: self.groups(),
+            });
         }
         if self.batch < 1 {
             return Err(ConfigError::ZeroBatch);
@@ -428,10 +479,14 @@ impl ExperimentConfig {
                 return Err(ConfigError::BadFlowTraffic("needs at least one flow"));
             }
             if zipf_s <= 0.0 {
-                return Err(ConfigError::BadFlowTraffic("zipf exponent must be positive"));
+                return Err(ConfigError::BadFlowTraffic(
+                    "zipf exponent must be positive",
+                ));
             }
             if self.groups() != 1 {
-                return Err(ConfigError::BadFlowTraffic("supports a single sharing group"));
+                return Err(ConfigError::BadFlowTraffic(
+                    "supports a single sharing group",
+                ));
             }
         }
         if self.target_completions == 0 {
@@ -448,6 +503,12 @@ impl ExperimentConfig {
         }
         if self.watchdog_period_cycles == Some(0) {
             return Err(ConfigError::ZeroWatchdogPeriod);
+        }
+        if self.trace_capacity == Some(0) {
+            return Err(ConfigError::ZeroTraceCapacity);
+        }
+        if self.metrics_window_cycles == Some(0) {
+            return Err(ConfigError::ZeroMetricsWindow);
         }
         Ok(())
     }
@@ -503,7 +564,10 @@ mod tests {
             .with_cores(4, 3);
         assert_eq!(
             c.validate(),
-            Err(ConfigError::ClusterMismatch { cluster: 3, dp_cores: 4 })
+            Err(ConfigError::ClusterMismatch {
+                cluster: 3,
+                dp_cores: 4
+            })
         );
     }
 
@@ -514,7 +578,10 @@ mod tests {
         c.hp.ready_qids = 1024;
         assert_eq!(
             c.validate(),
-            Err(ConfigError::ReadySetOverflow { queues: 2000, ready_qids: 1024 })
+            Err(ConfigError::ReadySetOverflow {
+                queues: 2000,
+                ready_qids: 1024
+            })
         );
     }
 
@@ -530,12 +597,18 @@ mod tests {
         ));
         assert_eq!(
             base.clone().with_qwait_timeout(10).validate(),
-            Err(ConfigError::QwaitTimeoutTooShort { timeout: 10, min: 50 })
+            Err(ConfigError::QwaitTimeoutTooShort {
+                timeout: 10,
+                min: 50
+            })
         );
         let mut no_work = base.clone();
         no_work.target_completions = 0;
         assert_eq!(no_work.validate(), Err(ConfigError::ZeroTargetCompletions));
-        assert_eq!(base.clone().with_watchdog(0).validate(), Err(ConfigError::ZeroWatchdogPeriod));
+        assert_eq!(
+            base.clone().with_watchdog(0).validate(),
+            Err(ConfigError::ZeroWatchdogPeriod)
+        );
         let good = base
             .with_faults(FaultPlan::parse("drop=0.5").unwrap())
             .with_qwait_timeout(10_000)
@@ -544,10 +617,36 @@ mod tests {
     }
 
     #[test]
+    fn observability_knobs_validate() {
+        let base =
+            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 100);
+        assert_eq!(
+            base.clone().with_trace(0).validate(),
+            Err(ConfigError::ZeroTraceCapacity)
+        );
+        assert_eq!(
+            base.clone().with_metrics_window(0).validate(),
+            Err(ConfigError::ZeroMetricsWindow)
+        );
+        base.with_trace(4096)
+            .with_metrics_window(100_000)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
     fn config_errors_display_their_cause() {
-        let msg = ConfigError::ClusterMismatch { cluster: 3, dp_cores: 4 }.to_string();
+        let msg = ConfigError::ClusterMismatch {
+            cluster: 3,
+            dp_cores: 4,
+        }
+        .to_string();
         assert!(msg.contains("must divide"), "{msg}");
-        let msg = ConfigError::ReadySetOverflow { queues: 2000, ready_qids: 1024 }.to_string();
+        let msg = ConfigError::ReadySetOverflow {
+            queues: 2000,
+            ready_qids: 1024,
+        }
+        .to_string();
         assert!(msg.contains("exceed"), "{msg}");
     }
 
@@ -556,7 +655,11 @@ mod tests {
         assert_eq!(Notifier::Spinning.label(), "spinning");
         assert_eq!(Notifier::hyperplane_power_opt().label(), "hyperplane-c1");
         assert_eq!(
-            Notifier::HyperPlane { power_optimized: false, software_ready_set: true }.label(),
+            Notifier::HyperPlane {
+                power_optimized: false,
+                software_ready_set: true
+            }
+            .label(),
             "hyperplane-sw"
         );
     }

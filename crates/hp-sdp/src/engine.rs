@@ -27,22 +27,25 @@
 //! polls, and no state can change between events.
 
 use crate::config::{ConfigError, ExperimentConfig, Load, Notifier};
+use crate::metrics::{WindowObservation, WindowedMetrics};
 use crate::result::{ExperimentResult, FaultReport};
 use crate::telemetry::{CoreTelemetry, HaltState, HaltTracker};
 use hp_core::qwait::{HyperPlaneDevice, RearmAction};
 use hp_mem::system::MemSystem;
 use hp_mem::types::{AccessKind, Addr, CoreId, LineAddr};
 use hp_queues::sim::{QueueId, QueueLayout, SimQueue, WorkItem};
+use hp_rand::rngs::SmallRng;
 use hp_sim::event::EventQueue;
 use hp_sim::faults::{DoorbellFate, FaultInjector};
+use hp_sim::profile::KernelProfile;
 use hp_sim::rng::RngFactory;
 use hp_sim::stats::{Histogram, OnlineStats};
 use hp_sim::time::{Cycles, SimTime};
+use hp_sim::trace::{SpanId, TraceKind, Tracer};
 use hp_traffic::flows::FlowTrafficGenerator;
 use hp_traffic::generator::TrafficGenerator;
 use hp_traffic::partition_queues;
 use hp_workloads::service::ServiceModel;
-use hp_rand::rngs::SmallRng;
 
 /// Instructions retired per poll-loop iteration (read doorbell, compare,
 /// advance index, branch — a tight but real loop body).
@@ -75,6 +78,18 @@ const BACKGROUND_IPC: f64 = 2.0;
 const IRQ_DISPATCH_CYCLES: u64 = 600;
 /// NAPI-style per-interrupt drain budget.
 const IRQ_NAPI_BUDGET: usize = 64;
+
+/// Profile labels, indexed in [`Ev`] declaration order (see
+/// [`Ev::profile_idx`]).
+const EV_LABELS: &[&str] = &[
+    "arrival",
+    "core-step",
+    "core-wake",
+    "reconsider",
+    "delayed-snoop",
+    "qwait-timeout",
+    "watchdog",
+];
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
@@ -112,6 +127,21 @@ enum Ev {
     },
     /// Periodic no-progress watchdog tick.
     Watchdog,
+}
+
+impl Ev {
+    /// Index into [`EV_LABELS`] for the kernel profile.
+    fn profile_idx(&self) -> usize {
+        match self {
+            Ev::Arrival => 0,
+            Ev::CoreStep(_) => 1,
+            Ev::CoreWake(_) => 2,
+            Ev::Reconsider { .. } => 3,
+            Ev::DelayedSnoop { .. } => 4,
+            Ev::QwaitTimeout { .. } => 5,
+            Ev::Watchdog => 6,
+        }
+    }
 }
 
 /// Arrival stream: shape-weighted or flow-structured.
@@ -189,6 +219,19 @@ pub struct Engine {
     first_stall: Option<SimTime>,
     stall_events: u64,
     aborted_on_stall: bool,
+    /// Observability plane: lifecycle tracer, windowed sampler, and the
+    /// sim-kernel profile. All three are pure observers — they never
+    /// draw randomness or schedule events, so enabling them leaves the
+    /// run bit-identical (pinned by `tests/observability.rs`).
+    tracer: Tracer,
+    metrics: Option<WindowedMetrics>,
+    /// Mirror of `metrics.next_boundary()` (`u64::MAX` when sampling is
+    /// off) so the hot loop's boundary check is one compare, no `Option`.
+    metrics_next: u64,
+    profile: KernelProfile,
+    /// Warmup/measure phase spans (tracing only).
+    warmup_span: Option<SpanId>,
+    measure_span: Option<SpanId>,
 }
 
 impl Engine {
@@ -235,14 +278,19 @@ impl Engine {
             queues_of_group[g].push(QueueId(q as u32));
         }
         for (g, qs) in queues_of_group.iter().enumerate() {
-            assert!(!qs.is_empty(), "partition left group {g} without queues (imbalance too extreme)");
+            assert!(
+                !qs.is_empty(),
+                "partition left group {g} without queues (imbalance too extreme)"
+            );
         }
 
         // Per-queue doorbell addresses. Algorithm 1's control plane: on a
         // monitoring-set insertion conflict, the driver reallocates the
         // queue's doorbell to a spare line in the reserved range and
         // retries (lines 3-6 of the paper's pseudocode).
-        let mut doorbell: Vec<Addr> = (0..cfg.queues).map(|q| layout.doorbell(QueueId(q))).collect();
+        let mut doorbell: Vec<Addr> = (0..cfg.queues)
+            .map(|q| layout.doorbell(QueueId(q)))
+            .collect();
 
         // One HyperPlane device per group (the scale-out/up-2 partitioned
         // ready-set variants of Fig. 10); unused for spinning.
@@ -285,16 +333,9 @@ impl Engine {
                 TrafficGenerator::new(cfg.shape, cfg.queues, rate, clock, rngs.stream(1))
                     .expect("validated configuration"),
             ),
-            crate::config::TrafficSource::Flows { flows, zipf_s } => {
-                ArrivalSource::Flows(FlowTrafficGenerator::new(
-                    flows,
-                    zipf_s,
-                    cfg.queues,
-                    rate,
-                    clock,
-                    rngs.stream(1),
-                ))
-            }
+            crate::config::TrafficSource::Flows { flows, zipf_s } => ArrivalSource::Flows(
+                FlowTrafficGenerator::new(flows, zipf_s, cfg.queues, rate, clock, rngs.stream(1)),
+            ),
         };
 
         let service = ServiceModel::new(cfg.workload, cfg.service_dist, clock);
@@ -347,6 +388,17 @@ impl Engine {
             first_stall: None,
             stall_events: 0,
             aborted_on_stall: false,
+            tracer: match cfg.trace_capacity {
+                Some(cap) => Tracer::with_capacity(cap),
+                None => Tracer::disabled(),
+            },
+            metrics: cfg
+                .metrics_window_cycles
+                .map(|w| WindowedMetrics::new(w, clock, cfg.dp_cores)),
+            metrics_next: cfg.metrics_window_cycles.unwrap_or(u64::MAX),
+            profile: KernelProfile::new(EV_LABELS),
+            warmup_span: None,
+            measure_span: None,
             cfg,
         })
     }
@@ -362,15 +414,17 @@ impl Engine {
 
     fn wake_cycles(&self) -> Cycles {
         match self.cfg.notifier {
-            Notifier::HyperPlane { power_optimized: true, .. } => {
-                self.cfg.machine.clock.micros_to_cycles(self.cfg.wake_us)
-            }
+            Notifier::HyperPlane {
+                power_optimized: true,
+                ..
+            } => self.cfg.machine.clock.micros_to_cycles(self.cfg.wake_us),
             _ => Cycles::ZERO,
         }
     }
 
     /// Runs the experiment to completion and returns the results.
     pub fn run(mut self) -> ExperimentResult {
+        let wall_start = std::time::Instant::now();
         // Seed the event queue: first arrival; all DP cores start stepping.
         self.ev.schedule_at(SimTime::ZERO, Ev::Arrival);
         for c in 0..self.cfg.dp_cores {
@@ -379,6 +433,7 @@ impl Engine {
         if let Some(period) = self.cfg.watchdog_period_cycles {
             self.ev.schedule_at(SimTime(period), Ev::Watchdog);
         }
+        self.warmup_span = Some(self.tracer.begin_span(SimTime::ZERO, "warmup"));
         let stop_completions = self.cfg.target_completions + self.warmup_completions;
         loop {
             if self.completions >= stop_completions {
@@ -393,6 +448,14 @@ impl Engine {
             if now.since_start().count() > self.cfg.max_cycles {
                 break;
             }
+            self.profile.tally(ev.profile_idx(), now);
+            // Close any metrics windows whose boundary this event crossed
+            // *before* handling it, so its effects land in the right
+            // window. State cannot change between events, so the snapshot
+            // taken now is exact at the boundary.
+            if now.since_start().count() >= self.metrics_next {
+                self.close_metrics_windows(now.since_start().count());
+            }
             match ev {
                 Ev::Arrival => self.on_arrival(now),
                 Ev::CoreStep(c) => self.on_core_step(now, c),
@@ -402,7 +465,17 @@ impl Engine {
                 }
                 Ev::DelayedSnoop { group, line } => {
                     if let Some(dev) = self.devices.get_mut(group) {
-                        if dev.snoop_getm(LineAddr(line)).is_some() {
+                        let hit = dev.snoop_getm(LineAddr(line));
+                        self.tracer.emit(
+                            now,
+                            TraceKind::GetmSnoop {
+                                group: group as u32,
+                                hit: hit.is_some(),
+                            },
+                        );
+                        if let Some(qid) = hit {
+                            self.tracer
+                                .emit(now, TraceKind::ReadyInsert { queue: qid.0 });
                             self.wake_one(now, group);
                         }
                     }
@@ -411,11 +484,66 @@ impl Engine {
                 Ev::Watchdog => self.on_watchdog(now),
             }
         }
-        self.finish()
+        self.finish(wall_start.elapsed().as_secs_f64())
     }
 
-    fn finish(mut self) -> ExperimentResult {
+    /// Closes every metrics window whose nominal boundary is at or before
+    /// `now_cycles` (lazy closing — see [`crate::metrics`]).
+    fn close_metrics_windows(&mut self, now_cycles: u64) {
+        while self.metrics_next <= now_cycles {
+            let obs = self.window_observation(self.metrics_next);
+            let m = self
+                .metrics
+                .as_mut()
+                .expect("metrics_next is finite only when sampling");
+            m.close(&obs);
+            self.metrics_next = m.next_boundary();
+        }
+    }
+
+    /// Boundary snapshot for the windowed sampler: instantaneous queue /
+    /// event-queue / halt state, plus cumulative counters up to
+    /// `boundary`. In-progress halt episodes (credited only at resume)
+    /// are counted up to the boundary explicitly.
+    fn window_observation(&self, boundary: u64) -> WindowObservation {
+        let halt_cycles = (0..self.cfg.dp_cores)
+            .map(|c| {
+                let credited = self.telem[c].halt_c0_cycles + self.telem[c].halt_c1_cycles;
+                let in_progress = self.trackers[c]
+                    .halted_since()
+                    .map(|s| boundary.saturating_sub(s.since_start().count()))
+                    .unwrap_or(0);
+                credited + in_progress
+            })
+            .collect();
+        WindowObservation {
+            backlog: self.queues.iter().map(|q| q.depth() as u64).sum(),
+            event_queue_depth: self.ev.len() as u64,
+            cores_halted: self.halted.iter().filter(|&&h| h).count() as u64,
+            halt_cycles,
+            spin_instructions: self.telem.iter().map(|t| t.spin_instructions).sum(),
+            drops: self.drops,
+        }
+    }
+
+    fn finish(mut self, wall_secs: f64) -> ExperimentResult {
         let end = self.ev.now();
+        // Close out the observability plane: full windows first, then the
+        // final partial one; close whichever phase span is still open.
+        if self.metrics.is_some() {
+            self.close_metrics_windows(end.since_start().count());
+            let obs = self.window_observation(end.since_start().count());
+            self.metrics
+                .as_mut()
+                .unwrap()
+                .close_final(end.since_start().count(), &obs);
+        }
+        if let Some(span) = self.measure_span.take() {
+            self.tracer.end_span(end, span);
+        }
+        if let Some(span) = self.warmup_span.take() {
+            self.tracer.end_span(end, span);
+        }
         // Credit outstanding halt episodes.
         for c in 0..self.cfg.dp_cores {
             self.trackers[c].resume(end, &mut self.telem[c]);
@@ -460,7 +588,14 @@ impl Engine {
         )
         .with_per_queue(self.per_queue_latency)
         .with_notify_latency(self.notify_latency)
-        .with_mem_stats(mem_stats);
+        .with_mem_stats(mem_stats)
+        .with_profile(self.profile, wall_secs);
+        if self.tracer.is_enabled() {
+            result = result.with_trace(self.tracer.records());
+        }
+        if let Some(m) = self.metrics {
+            result = result.with_windows(m.into_samples());
+        }
         if let Some(report) = fault_report {
             result = result.with_faults(report);
         }
@@ -498,9 +633,20 @@ impl Engine {
             }
         }
         let service = self.service.sample(&mut self.service_rng);
-        let item = WorkItem { id: self.item_seq, arrival: now, service };
+        let item = WorkItem {
+            id: self.item_seq,
+            arrival: now,
+            service,
+        };
         self.item_seq += 1;
         self.queues[qi].enqueue(item);
+        self.tracer.emit(
+            now,
+            TraceKind::Enqueue {
+                queue: q.0,
+                item: item.id,
+            },
+        );
 
         // Producer writes the payload buffers then rings the doorbell.
         let prod = self.producer_core(q);
@@ -511,6 +657,8 @@ impl Engine {
             self.mem.access(prod, a, AccessKind::Store);
         }
         let ring = self.mem.access(prod, self.doorbell[qi], AccessKind::Store);
+        self.tracer
+            .emit(now, TraceKind::DoorbellWrite { queue: q.0 });
 
         // Interrupt baseline: a doorbell write to an armed queue raises a
         // per-queue interrupt; delivery pays the kernel path cost.
@@ -519,7 +667,11 @@ impl Engine {
             self.irq_pending[g].push_back(q.0);
             if let Some(core) = self.halted_by_group[g].pop() {
                 debug_assert!(self.halted[core]);
-                let cost = self.cfg.machine.clock.micros_to_cycles(self.cfg.interrupt_cost_us);
+                let cost = self
+                    .cfg
+                    .machine
+                    .clock
+                    .micros_to_cycles(self.cfg.interrupt_cost_us);
                 self.ev.schedule_at(now + cost, Ev::CoreWake(core));
             }
         }
@@ -532,6 +684,8 @@ impl Engine {
             if let Some(dev) = self.devices.get_mut(g) {
                 if dev.qwait_remove(q).is_some() {
                     self.faults.record_eviction();
+                    self.tracer
+                        .emit(now, TraceKind::FaultEvicted { queue: q.0 });
                 }
             }
         }
@@ -542,6 +696,8 @@ impl Engine {
             let victims = &self.queues_of_group[g];
             let victim = victims[self.faults.pick(victims.len())];
             self.devices[g].force_activate(victim);
+            self.tracer
+                .emit(now, TraceKind::FaultSpurious { queue: victim.0 });
             self.wake_one(now, g);
         }
 
@@ -551,15 +707,39 @@ impl Engine {
             if let Some(dev) = self.devices.get_mut(g) {
                 match self.faults.doorbell_fate() {
                     DoorbellFate::Deliver => {
-                        if dev.snoop_getm(line).is_some() {
+                        let hit = dev.snoop_getm(line);
+                        self.tracer.emit(
+                            now,
+                            TraceKind::GetmSnoop {
+                                group: g as u32,
+                                hit: hit.is_some(),
+                            },
+                        );
+                        if let Some(qid) = hit {
+                            self.tracer
+                                .emit(now, TraceKind::ReadyInsert { queue: qid.0 });
                             self.wake_one(now, g);
                         }
                     }
-                    DoorbellFate::Drop => {} // the wake-up is simply lost
+                    // The wake-up is simply lost.
+                    DoorbellFate::Drop => {
+                        self.tracer
+                            .emit(now, TraceKind::FaultDropped { queue: q.0 });
+                    }
                     DoorbellFate::Delay(d) => {
+                        self.tracer.emit(
+                            now,
+                            TraceKind::FaultDelayed {
+                                queue: q.0,
+                                cycles: d.count(),
+                            },
+                        );
                         self.ev.schedule_at(
                             now + d,
-                            Ev::DelayedSnoop { group: g, line: line.0 },
+                            Ev::DelayedSnoop {
+                                group: g,
+                                line: line.0,
+                            },
                         );
                     }
                 }
@@ -603,6 +783,7 @@ impl Engine {
     fn on_core_wake(&mut self, now: SimTime, c: usize) {
         debug_assert!(self.halted[c]);
         self.halted[c] = false;
+        self.tracer.emit(now, TraceKind::Wake { core: c as u32 });
         self.trackers[c].resume(now, &mut self.telem[c]);
         // A real wake-up invalidates any armed re-poll timeout and
         // resets its backoff: the notification path is working.
@@ -645,7 +826,9 @@ impl Engine {
         // counter — two lines per queue is what thrashes the L1 at high
         // queue counts).
         let poll = self.mem.access(core, self.doorbell[qi], AccessKind::Load);
-        let desc = self.mem.access(core, self.layout.descriptor(q), AccessKind::Load);
+        let desc = self
+            .mem
+            .access(core, self.layout.descriptor(q), AccessKind::Load);
         let poll_cost = self.cfg.poll_overhead_cycles + poll.latency.count() + desc.latency.count();
         self.poll_cost_ewma = 0.98 * self.poll_cost_ewma + 0.02 * poll_cost as f64;
 
@@ -704,6 +887,7 @@ impl Engine {
             // Idle: block in the kernel until the next interrupt.
             self.halted[c] = true;
             self.halted_by_group[group].push(c);
+            self.tracer.emit(now, TraceKind::Halt { core: c as u32 });
             self.trackers[c].halt(now, HaltState::C0Halt);
             return;
         };
@@ -738,9 +922,10 @@ impl Engine {
         let group = self.core_group[c];
         let core = self.dp_core(c);
         let (power_optimized, software_ready_set) = match self.cfg.notifier {
-            Notifier::HyperPlane { power_optimized, software_ready_set } => {
-                (power_optimized, software_ready_set)
-            }
+            Notifier::HyperPlane {
+                power_optimized,
+                software_ready_set,
+            } => (power_optimized, software_ready_set),
             Notifier::Spinning | Notifier::Interrupt => {
                 unreachable!("hp_step on non-HyperPlane config")
             }
@@ -794,7 +979,13 @@ impl Engine {
             self.telem[c].active_cycles += total;
             self.halted[c] = true;
             self.halted_by_group[group].push(c);
-            let state = if power_optimized { HaltState::C1 } else { HaltState::C0Halt };
+            let state = if power_optimized {
+                HaltState::C1
+            } else {
+                HaltState::C0Halt
+            };
+            self.tracer
+                .emit(now + Cycles(total), TraceKind::Halt { core: c as u32 });
             self.trackers[c].halt(now + Cycles(total), state);
             self.arm_qwait_timeout(now + Cycles(total), c);
             return;
@@ -802,7 +993,9 @@ impl Engine {
 
         // QWAIT-VERIFY: read the doorbell count.
         let qi = qid.0 as usize;
-        let verify_mem = self.mem.access(core, self.doorbell[qid.0 as usize], AccessKind::Load);
+        let verify_mem = self
+            .mem
+            .access(core, self.doorbell[qid.0 as usize], AccessKind::Load);
         total += verify_mem.latency.count() + self.devices[group].timing().verify.count();
         self.telem[c].useful_instructions += QWAIT_INSTR / 2;
 
@@ -841,7 +1034,11 @@ impl Engine {
             total += self.devices[group].timing().verify.count();
             self.ev.schedule_after(
                 Cycles(total),
-                Ev::Reconsider { core: c, group, qid: qid.0 },
+                Ev::Reconsider {
+                    core: c,
+                    group,
+                    qid: qid.0,
+                },
             );
         }
 
@@ -881,8 +1078,10 @@ impl Engine {
         }
         self.qwait_epoch[c] += 1;
         let epoch = self.qwait_epoch[c];
-        self.ev
-            .schedule_at(halt_at + Cycles(self.qwait_backoff[c]), Ev::QwaitTimeout { core: c, epoch });
+        self.ev.schedule_at(
+            halt_at + Cycles(self.qwait_backoff[c]),
+            Ev::QwaitTimeout { core: c, epoch },
+        );
     }
 
     /// A halted core's re-poll timeout expired: sweep the group's queues
@@ -895,6 +1094,8 @@ impl Engine {
         }
         let base = self.cfg.qwait_timeout_cycles.unwrap_or(0);
         self.telem[c].qwait_timeouts += 1;
+        self.tracer
+            .emit(now, TraceKind::WakeTimeout { core: c as u32 });
         let group = self.core_group[c];
         let halted_at = self.trackers[c].halted_since();
         let (found, sweep_cost) = self.recovery_sweep(c, group);
@@ -905,19 +1106,28 @@ impl Engine {
         if found {
             // Missed wake-up recovered: how long did work sit unnoticed?
             if let Some(since) = halted_at {
-                self.recovery_latency.record(now.saturating_since(since).count());
+                self.recovery_latency
+                    .record(now.saturating_since(since).count());
             }
             self.telem[c].recoveries += 1;
+            self.tracer
+                .emit(now, TraceKind::Recovery { core: c as u32 });
             self.qwait_backoff[c] = base;
             self.qwait_epoch[c] += 1;
             self.halted[c] = false;
             self.halted_by_group[group].retain(|&x| x != c);
-            self.ev.schedule_at(now + Cycles(sweep_cost), Ev::CoreStep(c));
+            self.ev
+                .schedule_at(now + Cycles(sweep_cost), Ev::CoreStep(c));
         } else {
             let state = match self.cfg.notifier {
-                Notifier::HyperPlane { power_optimized: true, .. } => HaltState::C1,
+                Notifier::HyperPlane {
+                    power_optimized: true,
+                    ..
+                } => HaltState::C1,
                 _ => HaltState::C0Halt,
             };
+            self.tracer
+                .emit(now + Cycles(sweep_cost), TraceKind::Halt { core: c as u32 });
             self.trackers[c].halt(now + Cycles(sweep_cost), state);
             self.qwait_backoff[c] = self.qwait_backoff[c]
                 .saturating_mul(2)
@@ -940,7 +1150,11 @@ impl Engine {
         for q in qids {
             let qi = q.0 as usize;
             cost += self.cfg.poll_overhead_cycles;
-            cost += self.mem.access(core, self.doorbell[qi], AccessKind::Load).latency.count();
+            cost += self
+                .mem
+                .access(core, self.doorbell[qi], AccessKind::Load)
+                .latency
+                .count();
             self.telem[c].useful_instructions += POLL_INSTR;
             if self.devices[group].line_of(q).is_none() {
                 cost += self.devices[group].timing().monitor_lookup.count();
@@ -959,13 +1173,16 @@ impl Engine {
     /// — the signature of a missed wake-up or livelock, since a working
     /// notification path would have woken someone.
     fn on_watchdog(&mut self, now: SimTime) {
-        let Some(period) = self.cfg.watchdog_period_cycles else { return };
+        let Some(period) = self.cfg.watchdog_period_cycles else {
+            return;
+        };
         let backlog: usize = self.queues.iter().map(|q| q.depth()).sum();
         let progressed = self.completions > self.watchdog_last_completions;
         self.watchdog_last_completions = self.completions;
         let all_halted = self.halted.iter().all(|&h| h);
         if backlog > 0 && !progressed && all_halted {
             self.stall_events += 1;
+            self.tracer.emit(now, TraceKind::Stall);
             if self.first_stall.is_none() {
                 self.first_stall = Some(now);
             }
@@ -988,8 +1205,16 @@ impl Engine {
         let core = self.dp_core(c);
         let qi = q.0 as usize;
         let mut cost = 0u64;
-        cost += self.mem.access(core, self.layout.descriptor(q), AccessKind::Load).latency.count();
-        cost += self.mem.access(core, self.doorbell[qi], AccessKind::Store).latency.count();
+        cost += self
+            .mem
+            .access(core, self.layout.descriptor(q), AccessKind::Load)
+            .latency
+            .count();
+        cost += self
+            .mem
+            .access(core, self.doorbell[qi], AccessKind::Store)
+            .latency
+            .count();
         let mut items = Vec::with_capacity(batch);
         for _ in 0..batch {
             match self.queues[qi].dequeue() {
@@ -1037,13 +1262,33 @@ impl Engine {
 
             // Notify the tenant: write the tenant-side queue + doorbell
             // (modeled as a store to the descriptor line).
-            total +=
-                self.mem.access(core, self.layout.descriptor(q), AccessKind::Store).latency.count();
+            total += self
+                .mem
+                .access(core, self.layout.descriptor(q), AccessKind::Store)
+                .latency
+                .count();
             self.telem[c].useful_instructions += NOTIFY_INSTR;
 
             // Completion + latency breakdown.
             let done_at = now + Cycles(base + total);
-            self.notify_latency.record(deq_instant.saturating_since(item.arrival).count());
+            self.tracer.emit(
+                deq_instant,
+                TraceKind::Dequeue {
+                    queue: q.0,
+                    core: c as u32,
+                    item: item.id,
+                },
+            );
+            self.tracer.emit(
+                done_at,
+                TraceKind::ServiceDone {
+                    queue: q.0,
+                    core: c as u32,
+                    item: item.id,
+                },
+            );
+            self.notify_latency
+                .record(deq_instant.saturating_since(item.arrival).count());
             self.record_completion(done_at, *item, q);
             self.telem[c].completions += 1;
         }
@@ -1052,12 +1297,21 @@ impl Engine {
 
     fn record_completion(&mut self, done_at: SimTime, item: WorkItem, q: QueueId) {
         self.completions += 1;
+        let lat = done_at.saturating_since(item.arrival).count();
+        // The windowed series covers the whole run — warmup included —
+        // precisely so the warmup transient is visible in the time series.
+        if let Some(m) = self.metrics.as_mut() {
+            m.record_completion(lat);
+        }
         if self.completions == self.warmup_completions {
             self.measure_start = Some(done_at);
+            if let Some(span) = self.warmup_span.take() {
+                self.tracer.end_span(done_at, span);
+            }
+            self.measure_span = Some(self.tracer.begin_span(done_at, "measure"));
         }
         if self.measure_start.is_some() && self.completions > self.warmup_completions {
             self.completions_measured += 1;
-            let lat = done_at.saturating_since(item.arrival).count();
             self.latency.record(lat);
             self.per_queue_latency[q.0 as usize].record(lat as f64);
         }
@@ -1072,12 +1326,7 @@ mod tests {
     use hp_traffic::shape::TrafficShape;
     use hp_workloads::service::WorkloadKind;
 
-    fn quick(
-        notifier: Notifier,
-        shape: TrafficShape,
-        queues: u32,
-        load: Load,
-    ) -> ExperimentResult {
+    fn quick(notifier: Notifier, shape: TrafficShape, queues: u32, load: Load) -> ExperimentResult {
         let mut cfg = ExperimentConfig::new(WorkloadKind::PacketEncap, shape, queues)
             .with_notifier(notifier)
             .with_load(load);
@@ -1088,7 +1337,12 @@ mod tests {
 
     #[test]
     fn spinning_single_queue_saturates_near_capacity() {
-        let r = quick(Notifier::Spinning, TrafficShape::SingleQueue, 1, Load::Saturation);
+        let r = quick(
+            Notifier::Spinning,
+            TrafficShape::SingleQueue,
+            1,
+            Load::Saturation,
+        );
         // 1.4 us/task => ~714k; overheads shave some off.
         assert!(
             r.throughput_tps > 350_000.0 && r.throughput_tps < 750_000.0,
@@ -1100,8 +1354,18 @@ mod tests {
 
     #[test]
     fn hyperplane_beats_spinning_at_many_queues_sq() {
-        let spin = quick(Notifier::Spinning, TrafficShape::SingleQueue, 500, Load::Saturation);
-        let hp = quick(Notifier::hyperplane(), TrafficShape::SingleQueue, 500, Load::Saturation);
+        let spin = quick(
+            Notifier::Spinning,
+            TrafficShape::SingleQueue,
+            500,
+            Load::Saturation,
+        );
+        let hp = quick(
+            Notifier::hyperplane(),
+            TrafficShape::SingleQueue,
+            500,
+            Load::Saturation,
+        );
         assert!(
             hp.throughput_tps > 2.0 * spin.throughput_tps,
             "hp {} vs spin {}",
@@ -1112,17 +1376,39 @@ mod tests {
 
     #[test]
     fn hyperplane_throughput_flat_in_queue_count_sq() {
-        let q1 = quick(Notifier::hyperplane(), TrafficShape::SingleQueue, 1, Load::Saturation);
-        let q500 = quick(Notifier::hyperplane(), TrafficShape::SingleQueue, 500, Load::Saturation);
+        let q1 = quick(
+            Notifier::hyperplane(),
+            TrafficShape::SingleQueue,
+            1,
+            Load::Saturation,
+        );
+        let q500 = quick(
+            Notifier::hyperplane(),
+            TrafficShape::SingleQueue,
+            500,
+            Load::Saturation,
+        );
         let ratio = q500.throughput_tps / q1.throughput_tps;
-        assert!(ratio > 0.85, "HyperPlane SQ throughput should be queue-scalable, ratio {ratio}");
+        assert!(
+            ratio > 0.85,
+            "HyperPlane SQ throughput should be queue-scalable, ratio {ratio}"
+        );
     }
 
     #[test]
     fn light_load_latency_grows_with_queues_for_spinning() {
-        let small = quick(Notifier::Spinning, TrafficShape::SingleQueue, 4, Load::RatePerSec(5_000.0));
-        let large =
-            quick(Notifier::Spinning, TrafficShape::SingleQueue, 800, Load::RatePerSec(5_000.0));
+        let small = quick(
+            Notifier::Spinning,
+            TrafficShape::SingleQueue,
+            4,
+            Load::RatePerSec(5_000.0),
+        );
+        let large = quick(
+            Notifier::Spinning,
+            TrafficShape::SingleQueue,
+            800,
+            Load::RatePerSec(5_000.0),
+        );
         assert!(
             large.mean_latency_us() > 2.0 * small.mean_latency_us(),
             "small {} us vs large {} us",
@@ -1133,13 +1419,28 @@ mod tests {
 
     #[test]
     fn light_load_latency_flat_for_hyperplane() {
-        let small =
-            quick(Notifier::hyperplane(), TrafficShape::SingleQueue, 4, Load::RatePerSec(5_000.0));
-        let large =
-            quick(Notifier::hyperplane(), TrafficShape::SingleQueue, 800, Load::RatePerSec(5_000.0));
+        let small = quick(
+            Notifier::hyperplane(),
+            TrafficShape::SingleQueue,
+            4,
+            Load::RatePerSec(5_000.0),
+        );
+        let large = quick(
+            Notifier::hyperplane(),
+            TrafficShape::SingleQueue,
+            800,
+            Load::RatePerSec(5_000.0),
+        );
         let ratio = large.mean_latency_us() / small.mean_latency_us();
-        assert!(ratio < 1.5, "HyperPlane latency must not scale with queues, ratio {ratio}");
-        assert!(large.mean_latency_us() < 10.0, "zero-load latency {} us", large.mean_latency_us());
+        assert!(
+            ratio < 1.5,
+            "HyperPlane latency must not scale with queues, ratio {ratio}"
+        );
+        assert!(
+            large.mean_latency_us() < 10.0,
+            "zero-load latency {} us",
+            large.mean_latency_us()
+        );
     }
 
     #[test]
@@ -1173,8 +1474,12 @@ mod tests {
 
     #[test]
     fn power_optimized_wake_adds_latency() {
-        let plain =
-            quick(Notifier::hyperplane(), TrafficShape::SingleQueue, 4, Load::RatePerSec(5_000.0));
+        let plain = quick(
+            Notifier::hyperplane(),
+            TrafficShape::SingleQueue,
+            4,
+            Load::RatePerSec(5_000.0),
+        );
         let c1 = quick(
             Notifier::hyperplane_power_opt(),
             TrafficShape::SingleQueue,
@@ -1191,28 +1496,43 @@ mod tests {
 
     #[test]
     fn multicore_scale_up_shares_all_queues() {
-        let mut cfg = ExperimentConfig::new(
-            WorkloadKind::PacketEncap,
-            TrafficShape::FullyBalanced,
-            64,
-        )
-        .with_notifier(Notifier::hyperplane())
-        .with_cores(4, 4)
-        .with_load(Load::Saturation);
+        let mut cfg =
+            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 64)
+                .with_notifier(Notifier::hyperplane())
+                .with_cores(4, 4)
+                .with_load(Load::Saturation);
         cfg.target_completions = 4_000;
         let r = Engine::new(cfg).run();
         // All four cores should complete work.
         for (i, t) in r.per_core.iter().enumerate() {
-            assert!(t.completions > 100, "core {i} completed only {}", t.completions);
+            assert!(
+                t.completions > 100,
+                "core {i} completed only {}",
+                t.completions
+            );
         }
         // Aggregate throughput should clearly exceed one core's capacity.
-        assert!(r.throughput_tps > 1_000_000.0, "4-core throughput {}", r.throughput_tps);
+        assert!(
+            r.throughput_tps > 1_000_000.0,
+            "4-core throughput {}",
+            r.throughput_tps
+        );
     }
 
     #[test]
     fn deterministic_across_runs() {
-        let a = quick(Notifier::hyperplane(), TrafficShape::ProportionallyConcentrated, 50, Load::Saturation);
-        let b = quick(Notifier::hyperplane(), TrafficShape::ProportionallyConcentrated, 50, Load::Saturation);
+        let a = quick(
+            Notifier::hyperplane(),
+            TrafficShape::ProportionallyConcentrated,
+            50,
+            Load::Saturation,
+        );
+        let b = quick(
+            Notifier::hyperplane(),
+            TrafficShape::ProportionallyConcentrated,
+            50,
+            Load::Saturation,
+        );
         assert_eq!(a.throughput_tps, b.throughput_tps);
         assert_eq!(a.p99_latency_us(), b.p99_latency_us());
         assert_eq!(a.completions, b.completions);
@@ -1220,7 +1540,12 @@ mod tests {
 
     #[test]
     fn saturation_drive_counts_drops() {
-        let r = quick(Notifier::Spinning, TrafficShape::SingleQueue, 200, Load::Saturation);
+        let r = quick(
+            Notifier::Spinning,
+            TrafficShape::SingleQueue,
+            200,
+            Load::Saturation,
+        );
         assert!(r.drops > 0, "saturation should overflow the queue cap");
     }
 
@@ -1248,15 +1573,29 @@ mod tests {
         );
         // But unlike spinning, the interrupt core sleeps when idle.
         let t = irq.aggregate_telemetry();
-        assert!(t.halt_fraction() > 0.8, "halt fraction {}", t.halt_fraction());
+        assert!(
+            t.halt_fraction() > 0.8,
+            "halt fraction {}",
+            t.halt_fraction()
+        );
     }
 
     #[test]
     fn interrupt_baseline_is_queue_scalable_but_slower_than_hyperplane() {
         // Interrupts do not iterate empty queues, so they scale with queue
         // count; their weakness is per-wake cost, not queue count.
-        let q1 = quick(Notifier::Interrupt, TrafficShape::SingleQueue, 1, Load::Saturation);
-        let q500 = quick(Notifier::Interrupt, TrafficShape::SingleQueue, 500, Load::Saturation);
+        let q1 = quick(
+            Notifier::Interrupt,
+            TrafficShape::SingleQueue,
+            1,
+            Load::Saturation,
+        );
+        let q500 = quick(
+            Notifier::Interrupt,
+            TrafficShape::SingleQueue,
+            500,
+            Load::Saturation,
+        );
         assert!(
             q500.throughput_tps > 0.85 * q1.throughput_tps,
             "interrupt throughput should not collapse with queues: {} vs {}",
@@ -1266,12 +1605,9 @@ mod tests {
         // NAPI batching (64 items/IRQ) amortizes the kernel cost at
         // saturation; at *equal* batch size HyperPlane matches or beats
         // the interrupt path (no kernel dispatch per grant).
-        let mut hp_cfg = ExperimentConfig::new(
-            WorkloadKind::PacketEncap,
-            TrafficShape::SingleQueue,
-            500,
-        )
-        .with_notifier(Notifier::hyperplane());
+        let mut hp_cfg =
+            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 500)
+                .with_notifier(Notifier::hyperplane());
         hp_cfg.batch = 64;
         hp_cfg.target_completions = 2_000;
         let hp = Engine::new(hp_cfg).run();
@@ -1285,13 +1621,10 @@ mod tests {
 
     #[test]
     fn background_task_replaces_halting() {
-        let mut cfg = ExperimentConfig::new(
-            WorkloadKind::PacketEncap,
-            TrafficShape::FullyBalanced,
-            32,
-        )
-        .with_notifier(Notifier::hyperplane())
-        .with_load(Load::RatePerSec(10_000.0));
+        let mut cfg =
+            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 32)
+                .with_notifier(Notifier::hyperplane())
+                .with_load(Load::RatePerSec(10_000.0));
         cfg.target_completions = 1_500;
         cfg.background_task = true;
         let r = Engine::new(cfg).run();
@@ -1306,7 +1639,11 @@ mod tests {
             t.useful_ipc()
         );
         // And the data plane still reacts promptly (bounded by the chunk).
-        assert!(r.mean_latency_us() < 4.0, "latency {} us", r.mean_latency_us());
+        assert!(
+            r.mean_latency_us() < 4.0,
+            "latency {} us",
+            r.mean_latency_us()
+        );
     }
 
     #[test]
@@ -1316,14 +1653,11 @@ mod tests {
         // in parallel; in-order mode serializes it, capping throughput
         // near a single core's.
         let mk = |in_order: bool| {
-            let mut cfg = ExperimentConfig::new(
-                WorkloadKind::PacketEncap,
-                TrafficShape::SingleQueue,
-                4,
-            )
-            .with_cores(4, 4)
-            .with_notifier(Notifier::hyperplane())
-            .with_load(Load::Saturation);
+            let mut cfg =
+                ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 4)
+                    .with_cores(4, 4)
+                    .with_notifier(Notifier::hyperplane())
+                    .with_load(Load::Saturation);
             cfg.in_order = in_order;
             cfg.target_completions = 3_000;
             cfg
@@ -1366,8 +1700,18 @@ mod tests {
 
     #[test]
     fn spinning_l1_misses_grow_with_queue_count() {
-        let small = quick(Notifier::Spinning, TrafficShape::SingleQueue, 8, Load::Saturation);
-        let large = quick(Notifier::Spinning, TrafficShape::SingleQueue, 800, Load::Saturation);
+        let small = quick(
+            Notifier::Spinning,
+            TrafficShape::SingleQueue,
+            8,
+            Load::Saturation,
+        );
+        let large = quick(
+            Notifier::Spinning,
+            TrafficShape::SingleQueue,
+            800,
+            Load::Saturation,
+        );
         // Buffer streaming dominates both; the queue-count effect shows as
         // a solid additive increase in miss ratio (doorbell/descriptor
         // polls falling out of the L1).
@@ -1392,7 +1736,10 @@ mod tests {
             )
             .with_notifier(notifier)
             .with_load(Load::Saturation);
-            cfg.traffic = crate::config::TrafficSource::Flows { flows: 400, zipf_s: 1.2 };
+            cfg.traffic = crate::config::TrafficSource::Flows {
+                flows: 400,
+                zipf_s: 1.2,
+            };
             cfg.target_completions = 2_500;
             cfg
         };
@@ -1443,7 +1790,11 @@ mod tests {
             no_steal.throughput_tps
         );
         // With stealing, remote cores actually complete work.
-        let busy_cores = steal.per_core.iter().filter(|t| t.completions > 100).count();
+        let busy_cores = steal
+            .per_core
+            .iter()
+            .filter(|t| t.completions > 100)
+            .count();
         assert!(busy_cores >= 3, "only {busy_cores} cores participated");
     }
 

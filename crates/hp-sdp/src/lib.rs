@@ -40,6 +40,7 @@
 pub mod analytic;
 pub mod config;
 pub mod engine;
+pub mod metrics;
 pub mod power;
 pub mod result;
 pub mod runner;
@@ -47,6 +48,7 @@ pub mod telemetry;
 
 pub use config::{ConfigError, ExperimentConfig, Load, MicroarchConfig, Notifier};
 pub use engine::Engine;
+pub use metrics::{WindowSample, WindowedMetrics};
 pub use power::PowerModel;
 pub use result::{ExperimentResult, FaultReport};
 pub use telemetry::{CoreTelemetry, SmtCoRunner};

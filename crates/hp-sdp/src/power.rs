@@ -51,8 +51,7 @@ impl PowerModel {
         } else {
             (t.useful_instructions + t.spin_instructions) as f64 / t.active_cycles as f64
         };
-        let p_active =
-            self.static_frac + self.dynamic_frac * (active_ipc / self.ipc_peak).min(1.0);
+        let p_active = self.static_frac + self.dynamic_frac * (active_ipc / self.ipc_peak).min(1.0);
         let p_c0 = self.static_frac + self.c0_idle_dynamic;
         let p_c1 = self.c1_frac;
         (t.active_cycles as f64 * p_active

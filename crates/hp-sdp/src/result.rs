@@ -2,11 +2,14 @@
 //! derived power / co-runner metrics.
 
 use crate::config::ExperimentConfig;
+use crate::metrics::WindowSample;
 use crate::power::PowerModel;
 use crate::telemetry::{CoreTelemetry, SmtCoRunner};
 use hp_sim::faults::FaultCounters;
+use hp_sim::profile::KernelProfile;
 use hp_sim::stats::{Histogram, OnlineStats};
-use hp_sim::time::{Clock, SimTime};
+use hp_sim::time::{Clock, Cycles, SimTime};
+use hp_sim::trace::TraceRecord;
 
 /// What the fault plane did to a run, and how the resilience machinery
 /// responded. Attached to [`ExperimentResult`] whenever fault injection,
@@ -62,6 +65,10 @@ pub struct ExperimentResult {
     notify_latency: Histogram,
     mem_stats: hp_mem::system::CoreMemStats,
     faults: Option<FaultReport>,
+    windows: Vec<WindowSample>,
+    trace: Option<Vec<TraceRecord>>,
+    profile: Option<KernelProfile>,
+    wall_secs: f64,
 }
 
 impl ExperimentResult {
@@ -90,6 +97,10 @@ impl ExperimentResult {
             notify_latency: Histogram::new(),
             mem_stats: hp_mem::system::CoreMemStats::default(),
             faults: None,
+            windows: Vec::new(),
+            trace: None,
+            profile: None,
+            wall_secs: 0.0,
         }
     }
 
@@ -108,6 +119,76 @@ impl ExperimentResult {
     /// Whether the watchdog detected a missed-wakeup/livelock stall.
     pub fn stalled(&self) -> bool {
         self.faults.as_ref().is_some_and(|f| f.stalled())
+    }
+
+    /// Attaches the windowed-metrics time series (engine internal).
+    pub(crate) fn with_windows(mut self, windows: Vec<WindowSample>) -> Self {
+        self.windows = windows;
+        self
+    }
+
+    /// Attaches the lifecycle trace (engine internal).
+    pub(crate) fn with_trace(mut self, trace: Vec<TraceRecord>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches the sim-kernel profile and wall-clock runtime (engine
+    /// internal).
+    pub(crate) fn with_profile(mut self, profile: KernelProfile, wall_secs: f64) -> Self {
+        self.profile = Some(profile);
+        self.wall_secs = wall_secs;
+        self
+    }
+
+    /// The windowed-metrics time series (empty unless
+    /// `metrics_window_cycles` was configured). Window `end` timestamps
+    /// are strictly increasing.
+    pub fn windows(&self) -> &[WindowSample] {
+        &self.windows
+    }
+
+    /// The windowed metrics as JSONL — one JSON object per line.
+    pub fn metrics_jsonl(&self) -> String {
+        let mut out = String::new();
+        for w in &self.windows {
+            out.push_str(&w.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The surviving lifecycle trace records, if tracing was enabled.
+    pub fn trace_records(&self) -> Option<&[TraceRecord]> {
+        self.trace.as_deref()
+    }
+
+    /// The trace as Chrome `trace_event` JSON (loadable in
+    /// `ui.perfetto.dev`), if tracing was enabled.
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        let cycles_per_us = self.clock.ghz() * 1000.0;
+        self.trace
+            .as_ref()
+            .map(|t| hp_sim::trace::chrome_trace(t, cycles_per_us))
+    }
+
+    /// The sim-kernel profile: per-event-type counts and attributed
+    /// cycles.
+    pub fn kernel_profile(&self) -> Option<&KernelProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Wall-clock seconds the run took to simulate.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_secs
+    }
+
+    /// Simulation speed: events processed per wall-clock second.
+    pub fn events_per_sec_wall(&self) -> f64 {
+        match &self.profile {
+            Some(p) if self.wall_secs > 0.0 => p.total_events() as f64 / self.wall_secs,
+            _ => 0.0,
+        }
     }
 
     /// Attaches aggregated DP-core memory stats (engine internal).
@@ -129,16 +210,28 @@ impl ExperimentResult {
 
     /// Mean *notification* latency (arrival to dequeue) in microseconds —
     /// the component HyperPlane accelerates; end-to-end latency adds
-    /// service time on top.
+    /// service time on top. `NaN` when the run completed nothing (e.g. a
+    /// 100 % drop-rate fault run); use
+    /// [`ExperimentResult::try_mean_notification_us`] to branch on it.
     pub fn mean_notification_us(&self) -> f64 {
-        self.clock
-            .cycles_to_micros(hp_sim::time::Cycles(self.notify_latency.mean() as u64))
+        self.try_mean_notification_us().unwrap_or(f64::NAN)
     }
 
-    /// Notification-latency percentile in microseconds.
+    /// Mean notification latency in microseconds, `None` for a
+    /// zero-sample run.
+    pub fn try_mean_notification_us(&self) -> Option<f64> {
+        self.notify_latency
+            .try_mean()
+            .map(|c| self.clock.cycles_to_micros(Cycles(c as u64)))
+    }
+
+    /// Notification-latency percentile in microseconds (`NaN` for a
+    /// zero-sample run).
     pub fn notification_percentile_us(&self, p: f64) -> f64 {
-        self.clock
-            .cycles_to_micros(hp_sim::time::Cycles(self.notify_latency.percentile(p)))
+        self.notify_latency
+            .percentile(p)
+            .map(|c| self.clock.cycles_to_micros(Cycles(c)))
+            .unwrap_or(f64::NAN)
     }
 
     /// Attaches per-queue latency accumulators (engine internal).
@@ -169,15 +262,30 @@ impl ExperimentResult {
         self.throughput_tps / 1e6
     }
 
-    /// Mean latency in microseconds.
+    /// Mean latency in microseconds. `NaN` when no measured completions
+    /// exist (an empty histogram has no mean — reporting `0` here once
+    /// made total-loss fault runs look infinitely fast).
     pub fn mean_latency_us(&self) -> f64 {
-        self.clock.cycles_to_micros(hp_sim::time::Cycles(self.latency_cycles.mean() as u64))
+        self.try_mean_latency_us().unwrap_or(f64::NAN)
     }
 
-    /// Latency percentile in microseconds.
+    /// Mean latency in microseconds, `None` for a zero-sample run.
+    pub fn try_mean_latency_us(&self) -> Option<f64> {
+        self.latency_cycles
+            .try_mean()
+            .map(|c| self.clock.cycles_to_micros(Cycles(c as u64)))
+    }
+
+    /// Latency percentile in microseconds (`NaN` for a zero-sample run).
     pub fn latency_percentile_us(&self, p: f64) -> f64 {
-        self.clock
-            .cycles_to_micros(hp_sim::time::Cycles(self.latency_cycles.percentile(p)))
+        self.try_latency_percentile_us(p).unwrap_or(f64::NAN)
+    }
+
+    /// Latency percentile in microseconds, `None` for a zero-sample run.
+    pub fn try_latency_percentile_us(&self, p: f64) -> Option<f64> {
+        self.latency_cycles
+            .percentile(p)
+            .map(|c| self.clock.cycles_to_micros(Cycles(c)))
     }
 
     /// 99th-percentile latency in microseconds (the paper's tail metric).
@@ -208,7 +316,10 @@ impl ExperimentResult {
         if self.per_core.is_empty() {
             return 0.0;
         }
-        self.per_core.iter().map(|t| model.average_power(t)).sum::<f64>()
+        self.per_core
+            .iter()
+            .map(|t| model.average_power(t))
+            .sum::<f64>()
             / self.per_core.len() as f64
     }
 
@@ -229,8 +340,7 @@ mod tests {
     use hp_workloads::service::WorkloadKind;
 
     fn dummy() -> ExperimentResult {
-        let cfg =
-            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 16);
+        let cfg = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 16);
         let mut lat = Histogram::new();
         for v in [2000u64, 4000, 6000, 200_000] {
             lat.record(v);
@@ -240,7 +350,16 @@ mod tests {
             active_cycles: 100,
             ..Default::default()
         };
-        ExperimentResult::new(&cfg, 500_000.0, lat, vec![t], 4, 0, 2_000_000.0, SimTime(1_000_000))
+        ExperimentResult::new(
+            &cfg,
+            500_000.0,
+            lat,
+            vec![t],
+            4,
+            0,
+            2_000_000.0,
+            SimTime(1_000_000),
+        )
     }
 
     #[test]
@@ -258,7 +377,11 @@ mod tests {
         let r = dummy();
         let cdf = r.latency_cdf_us();
         assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
-        assert!(cdf[0].0 >= 0.9 && cdf[0].0 < 1.2, "first sample ~1us, got {}", cdf[0].0);
+        assert!(
+            cdf[0].0 >= 0.9 && cdf[0].0 < 1.2,
+            "first sample ~1us, got {}",
+            cdf[0].0
+        );
     }
 
     #[test]

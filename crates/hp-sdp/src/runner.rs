@@ -88,7 +88,10 @@ pub fn peak_throughput(cfg: &ExperimentConfig) -> ExperimentResult {
 ///
 /// Panics if `fraction` is not in `(0, 1]` or `peak_tps` is not positive.
 pub fn run_at_load(cfg: &ExperimentConfig, peak_tps: f64, fraction: f64) -> ExperimentResult {
-    assert!(fraction > 0.0 && fraction <= 1.0, "load fraction must be in (0,1], got {fraction}");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "load fraction must be in (0,1], got {fraction}"
+    );
     assert!(peak_tps > 0.0, "peak rate must be positive");
     let cfg = cfg.clone().with_load(Load::RatePerSec(peak_tps * fraction));
     Engine::new(cfg).run()
@@ -161,6 +164,9 @@ mod tests {
     fn try_run_surfaces_config_errors() {
         let mut cfg = base();
         cfg.queues = 0;
-        assert_eq!(try_run(cfg).unwrap_err(), crate::config::ConfigError::NoQueues);
+        assert_eq!(
+            try_run(cfg).unwrap_err(),
+            crate::config::ConfigError::NoQueues
+        );
     }
 }

@@ -186,7 +186,11 @@ impl Default for SmtCoRunner {
     fn default() -> Self {
         // An 8-wide OoO core (Table I); a cache-blocked matmul sustains
         // ~2.2 IPC alone.
-        SmtCoRunner { alone_ipc: 2.2, issue_width: 8.0, contention: 2.4 }
+        SmtCoRunner {
+            alone_ipc: 2.2,
+            issue_width: 8.0,
+            contention: 2.4,
+        }
     }
 }
 

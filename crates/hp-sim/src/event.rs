@@ -98,7 +98,11 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Reverse(Scheduled { time: t, seq, payload }));
+        self.heap.push(Reverse(Scheduled {
+            time: t,
+            seq,
+            payload,
+        }));
     }
 
     /// Schedules `payload` to fire `delay` after *now*.

@@ -73,7 +73,10 @@ impl std::fmt::Display for FaultPlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FaultPlanError::BadProbability { field, value } => {
-                write!(f, "fault probability `{field}` must be in [0,1], got {value}")
+                write!(
+                    f,
+                    "fault probability `{field}` must be in [0,1], got {value}"
+                )
             }
             FaultPlanError::UnknownKey(k) => write!(f, "unknown fault knob `{k}`"),
             FaultPlanError::BadValue { key, value } => {
@@ -293,7 +296,11 @@ impl FaultInjector {
     /// `RngFactory::stream(3)` — the stream id the engine reserves for
     /// faults).
     pub fn from_rng(plan: FaultPlan, rng: SmallRng) -> Self {
-        FaultInjector { plan, rng, counters: FaultCounters::default() }
+        FaultInjector {
+            plan,
+            rng,
+            counters: FaultCounters::default(),
+        }
     }
 
     /// The plan this injector draws from.
@@ -397,7 +404,10 @@ mod tests {
 
     #[test]
     fn rates_are_respected() {
-        let plan = FaultPlan { doorbell_drop: 0.25, ..FaultPlan::none() };
+        let plan = FaultPlan {
+            doorbell_drop: 0.25,
+            ..FaultPlan::none()
+        };
         let mut inj = FaultInjector::new(plan, 3);
         let n = 100_000;
         for _ in 0..n {
@@ -409,7 +419,10 @@ mod tests {
 
     #[test]
     fn full_drop_drops_everything() {
-        let plan = FaultPlan { doorbell_drop: 1.0, ..FaultPlan::none() };
+        let plan = FaultPlan {
+            doorbell_drop: 1.0,
+            ..FaultPlan::none()
+        };
         let mut inj = FaultInjector::new(plan, 1);
         for _ in 0..100 {
             assert_eq!(inj.doorbell_fate(), DoorbellFate::Drop);
@@ -423,8 +436,15 @@ mod tests {
         // only when enabled... and vice versa: a plan with only
         // stragglers sees the same straggler sequence as a plan with
         // stragglers plus a zero-rate drop knob.
-        let only = FaultPlan { straggler: 0.5, ..FaultPlan::none() };
-        let with_zero_drop = FaultPlan { straggler: 0.5, doorbell_drop: 0.0, ..FaultPlan::none() };
+        let only = FaultPlan {
+            straggler: 0.5,
+            ..FaultPlan::none()
+        };
+        let with_zero_drop = FaultPlan {
+            straggler: 0.5,
+            doorbell_drop: 0.0,
+            ..FaultPlan::none()
+        };
         let mut a = FaultInjector::new(only, 11);
         let mut b = FaultInjector::new(with_zero_drop, 11);
         for _ in 0..500 {
@@ -455,9 +475,18 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        assert!(matches!(FaultPlan::parse("bogus=1"), Err(FaultPlanError::UnknownKey(_))));
-        assert!(matches!(FaultPlan::parse("drop"), Err(FaultPlanError::BadEntry(_))));
-        assert!(matches!(FaultPlan::parse("drop=x"), Err(FaultPlanError::BadValue { .. })));
+        assert!(matches!(
+            FaultPlan::parse("bogus=1"),
+            Err(FaultPlanError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("drop"),
+            Err(FaultPlanError::BadEntry(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse("drop=x"),
+            Err(FaultPlanError::BadValue { .. })
+        ));
         assert!(matches!(
             FaultPlan::parse("drop=1.5"),
             Err(FaultPlanError::BadProbability { field: "drop", .. })
@@ -466,7 +495,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_nan() {
-        let plan = FaultPlan { spurious: f64::NAN, ..FaultPlan::none() };
+        let plan = FaultPlan {
+            spurious: f64::NAN,
+            ..FaultPlan::none()
+        };
         assert!(plan.validate().is_err());
     }
 }

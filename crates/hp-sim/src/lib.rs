@@ -22,6 +22,11 @@
 //! * [`faults`] — the deterministic [`faults::FaultPlan`] /
 //!   [`faults::FaultInjector`] fault-injection plane (dropped/delayed
 //!   doorbells, evictions, spurious wake-ups, stragglers).
+//! * [`trace`] — the zero-cost-when-disabled [`trace::Tracer`] ring
+//!   buffer of typed lifecycle records, plus the Chrome
+//!   `trace_event` exporter [`trace::chrome_trace`].
+//! * [`profile`] — [`profile::KernelProfile`] per-event-type
+//!   counts/cycles for the sim kernel itself.
 //!
 //! ## Example: an M/M/1 queue in a few lines
 //!
@@ -72,10 +77,14 @@
 
 pub mod event;
 pub mod faults;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::EventQueue;
+pub use profile::KernelProfile;
 pub use stats::Histogram;
 pub use time::{Cycles, SimTime};
+pub use trace::{SpanId, TraceKind, TraceRecord, Tracer};

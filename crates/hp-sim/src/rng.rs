@@ -69,7 +69,10 @@ pub fn splitmix64(mut x: u64) -> u64 {
 ///
 /// Panics if `mean` is not strictly positive and finite.
 pub fn sample_exp(rng: &mut impl Rng, mean: f64) -> f64 {
-    assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive, got {mean}");
+    assert!(
+        mean.is_finite() && mean > 0.0,
+        "exponential mean must be positive, got {mean}"
+    );
     // Inverse CDF; guard the open interval so ln(0) cannot occur.
     let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
     -mean * u.ln()
@@ -105,7 +108,10 @@ impl Distribution {
     /// Panics if `mean` is not strictly positive, or if a `HyperExp` shape
     /// was constructed with `cv <= 1`.
     pub fn sample(&self, rng: &mut impl Rng, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
         match *self {
             Distribution::Constant => mean,
             Distribution::Exponential => sample_exp(rng, mean),
@@ -156,7 +162,9 @@ mod tests {
         let f = RngFactory::new(7);
         let mut a = f.stream(1);
         let mut b = f.stream(2);
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

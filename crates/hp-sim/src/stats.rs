@@ -7,7 +7,6 @@
 //! count/total bookkeeping, which is what the latency-percentile and CDF
 //! figures in the paper need (Figs. 3b/3c/9/10/12b).
 
-
 /// Number of linear sub-buckets per power-of-two bucket (2^6 = 64 gives
 /// ~1.6 % worst-case relative error — ample for percentile plots).
 const SUB_BUCKET_BITS: u32 = 6;
@@ -25,8 +24,9 @@ const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
 ///     h.record(v);
 /// }
 /// assert_eq!(h.count(), 1000);
-/// let p50 = h.percentile(50.0);
+/// let p50 = h.percentile(50.0).unwrap();
 /// assert!((490..=520).contains(&p50), "p50 was {p50}");
+/// assert_eq!(Histogram::new().percentile(50.0), None);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -102,12 +102,19 @@ impl Histogram {
         self.count == 0
     }
 
-    /// Arithmetic mean of recorded samples (0.0 when empty).
+    /// Arithmetic mean of recorded samples (0.0 when empty; prefer
+    /// [`Histogram::try_mean`] when "no samples" must be distinguishable
+    /// from "mean of zero").
     pub fn mean(&self) -> f64 {
+        self.try_mean().unwrap_or(0.0)
+    }
+
+    /// Arithmetic mean, or `None` when no samples have been recorded.
+    pub fn try_mean(&self) -> Option<f64> {
         if self.count == 0 {
-            0.0
+            None
         } else {
-            self.total as f64 / self.count as f64
+            Some(self.total as f64 / self.count as f64)
         }
     }
 
@@ -125,13 +132,16 @@ impl Histogram {
         self.max
     }
 
-    /// The value at or below which `p` percent of samples fall.
+    /// The value at or below which `p` percent of samples fall, or `None`
+    /// for an empty histogram (a zero-sample run has no percentiles — a
+    /// `0` here would be indistinguishable from a genuine zero-cycle
+    /// latency).
     ///
-    /// `p` is clamped to `[0, 100]`. Returns 0 for an empty histogram. The
-    /// returned value has the histogram's bounded relative error.
-    pub fn percentile(&self, p: f64) -> u64 {
+    /// `p` is clamped to `[0, 100]`. The returned value has the
+    /// histogram's bounded relative error.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let p = p.clamp(0.0, 100.0);
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
@@ -139,10 +149,10 @@ impl Histogram {
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::bucket_upper(idx).min(self.max).max(self.min);
+                return Some(Self::bucket_upper(idx).min(self.max).max(self.min));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Upper edge of a bucket (used as the reported percentile value).
@@ -151,9 +161,12 @@ impl Histogram {
         if index < SUB_BUCKETS as usize {
             index as u64
         } else {
-            let k = ((index - SUB_BUCKETS as usize) / half + 1) as u64;
+            let k = ((index - SUB_BUCKETS as usize) / half + 1) as u32;
             let sub = ((index - SUB_BUCKETS as usize) % half) as u64;
-            ((half as u64 + sub + 1) << k) - 1
+            // The top bucket's edge is 2^64, one past u64::MAX — widen to
+            // u128 so samples near u64::MAX don't overflow the shift.
+            let edge = (((half as u64 + sub + 1) as u128) << k) - 1;
+            edge.min(u64::MAX as u128) as u64
         }
     }
 
@@ -335,8 +348,8 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 63);
         assert_eq!(h.count(), 3);
-        assert_eq!(h.percentile(0.0), 0);
-        assert_eq!(h.percentile(100.0), 63);
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(63));
     }
 
     #[test]
@@ -347,7 +360,7 @@ mod tests {
             h.record(v);
         }
         for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
-            let approx = h.percentile(p) as f64;
+            let approx = h.percentile(p).unwrap() as f64;
             let mut sorted = vals.clone();
             sorted.sort_unstable();
             let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
@@ -406,8 +419,71 @@ mod tests {
         let h = Histogram::new();
         assert!(h.is_empty());
         assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.try_mean(), None);
+        assert_eq!(h.percentile(99.0), None);
         assert!(h.cdf().is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_histogram_reports_that_sample() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.try_mean(), Some(777.0));
+        // Every percentile of a one-sample distribution is that sample
+        // (up to bucket resolution, and clamped to [min, max]).
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(777), "p{p}");
+        }
+        assert_eq!(h.cdf(), vec![(777, 1.0)]);
+    }
+
+    #[test]
+    fn saturating_value_histogram_does_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+        // total is u128, so the mean stays exact-ish even at u64::MAX.
+        let expect = (2.0 * u64::MAX as f64) / 3.0;
+        assert!((h.mean() - expect).abs() / expect < 1e-12);
+        // p100 must clamp to the recorded max, not a bucket edge past it.
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn merge_with_disjoint_ranges() {
+        let mut lo = Histogram::new();
+        let mut hi = Histogram::new();
+        for v in 1..=100u64 {
+            lo.record(v);
+            hi.record(v + 1_000_000);
+        }
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 200);
+        assert_eq!(lo.min(), 1);
+        assert_eq!(lo.max(), 1_000_100);
+        // The median sits at the top of the low cluster.
+        let p50 = lo.percentile(50.0).unwrap();
+        assert!(p50 <= 101, "p50 was {p50}");
+        let p75 = lo.percentile(75.0).unwrap();
+        assert!(p75 >= 1_000_000, "p75 was {p75}");
+
+        // Merging an empty histogram is a no-op.
+        let before = lo.count();
+        lo.merge(&Histogram::new());
+        assert_eq!(lo.count(), before);
+
+        // Merging *into* an empty histogram adopts the other's min/max.
+        let mut empty = Histogram::new();
+        empty.merge(&hi);
+        assert_eq!(empty.min(), 1_000_001);
+        assert_eq!(empty.max(), 1_000_100);
     }
 
     #[test]
@@ -423,6 +499,17 @@ mod tests {
     fn time_weighted_constant_signal() {
         let u = TimeWeighted::new(SimTime::ZERO, 3.0);
         assert_eq!(u.average(SimTime(100)), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_length_window() {
+        // Before any time passes the only defensible average is the
+        // current value — not 0/0.
+        let mut u = TimeWeighted::new(SimTime(100), 4.0);
+        assert_eq!(u.average(SimTime(100)), 4.0);
+        u.set(SimTime(100), 6.0); // zero-length segment at 4.0
+        assert_eq!(u.average(SimTime(100)), 6.0);
+        assert!(u.average(SimTime(100)).is_finite());
     }
 
     #[test]

@@ -167,8 +167,13 @@ impl Clock {
     ///
     /// Panics if `ghz` is not strictly positive and finite.
     pub fn from_ghz(ghz: f64) -> Self {
-        assert!(ghz.is_finite() && ghz > 0.0, "clock frequency must be positive, got {ghz}");
-        Clock { cycles_per_sec: ghz * 1e9 }
+        assert!(
+            ghz.is_finite() && ghz > 0.0,
+            "clock frequency must be positive, got {ghz}"
+        );
+        Clock {
+            cycles_per_sec: ghz * 1e9,
+        }
     }
 
     /// The clock frequency in GHz.

@@ -128,9 +128,18 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert!(matches!(AliasTable::new(&[]), Err(AliasError::Empty)));
-        assert!(matches!(AliasTable::new(&[1.0, -0.5]), Err(AliasError::BadWeight(1))));
-        assert!(matches!(AliasTable::new(&[0.0, 0.0]), Err(AliasError::ZeroMass)));
-        assert!(matches!(AliasTable::new(&[f64::NAN]), Err(AliasError::BadWeight(0))));
+        assert!(matches!(
+            AliasTable::new(&[1.0, -0.5]),
+            Err(AliasError::BadWeight(1))
+        ));
+        assert!(matches!(
+            AliasTable::new(&[0.0, 0.0]),
+            Err(AliasError::ZeroMass)
+        ));
+        assert!(matches!(
+            AliasTable::new(&[f64::NAN]),
+            Err(AliasError::BadWeight(0))
+        ));
     }
 
     #[test]

@@ -11,10 +11,10 @@
 
 use crate::alias::AliasTable;
 use hp_queues::sim::QueueId;
+use hp_rand::rngs::SmallRng;
 use hp_sim::rng::sample_exp;
 use hp_sim::time::{Clock, Cycles};
 use hp_workloads::steering::{FlowKey, DEFAULT_RSS_KEY};
-use hp_rand::rngs::SmallRng;
 
 /// An RSS indirection table (RETA): hash LSBs index a small table of
 /// queue ids, as in real NICs (128 entries typical).
@@ -35,7 +35,10 @@ impl RssIndirection {
     /// Panics if `entries` or `queues` is zero, or `entries` is not a
     /// power of two.
     pub fn balanced(entries: usize, queues: u32) -> Self {
-        assert!(entries > 0 && entries.is_power_of_two(), "RETA entries must be a power of two");
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "RETA entries must be a power of two"
+        );
         assert!(queues > 0, "need at least one queue");
         RssIndirection {
             table: (0..entries).map(|i| i as u32 % queues).collect(),
@@ -137,10 +140,14 @@ impl FlowTrafficGenerator {
                 protocol: 6,
             })
             .collect();
-        let queue_of_flow: Vec<QueueId> =
-            keys.iter().map(|k| reta.queue_for(k.hash(&DEFAULT_RSS_KEY))).collect();
+        let queue_of_flow: Vec<QueueId> = keys
+            .iter()
+            .map(|k| reta.queue_for(k.hash(&DEFAULT_RSS_KEY)))
+            .collect();
         // Zipf weights: 1 / rank^s.
-        let weights: Vec<f64> = (1..=flows as usize).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        let weights: Vec<f64> = (1..=flows as usize)
+            .map(|r| 1.0 / (r as f64).powf(s))
+            .collect();
         let popularity = AliasTable::new(&weights).expect("positive weights");
         FlowTrafficGenerator {
             flows: keys,
@@ -154,7 +161,9 @@ impl FlowTrafficGenerator {
 
     /// Draws the next packet arrival.
     pub fn next_arrival(&mut self) -> FlowArrival {
-        let gap = sample_exp(&mut self.rng, self.mean_gap_cycles).round().max(1.0) as u64;
+        let gap = sample_exp(&mut self.rng, self.mean_gap_cycles)
+            .round()
+            .max(1.0) as u64;
         let flow = self.popularity.sample(&mut self.rng) as u32;
         FlowArrival {
             gap: Cycles(gap),
@@ -175,8 +184,9 @@ impl FlowTrafficGenerator {
     /// The per-queue arrival probability implied by the flow→queue mapping
     /// and the popularity distribution (for analysis/tests).
     pub fn queue_load_shares(&self, queues: u32) -> Vec<f64> {
-        let s_total: f64 =
-            (1..=self.flows.len()).map(|r| 1.0 / (r as f64).powf(self.zipf_s)).sum();
+        let s_total: f64 = (1..=self.flows.len())
+            .map(|r| 1.0 / (r as f64).powf(self.zipf_s))
+            .sum();
         let mut shares = vec![0.0; queues as usize];
         for (i, q) in self.queue_of_flow.iter().enumerate() {
             let w = 1.0 / ((i + 1) as f64).powf(self.zipf_s);
@@ -256,7 +266,11 @@ mod tests {
         let mut by_count = counts.clone();
         by_count.sort_unstable_by(|a, b| b.cmp(a));
         let top: u64 = by_count[..100].iter().sum();
-        assert!(top as f64 > 0.5 * n as f64, "top-decile share {}", top as f64 / n as f64);
+        assert!(
+            top as f64 > 0.5 * n as f64,
+            "top-decile share {}",
+            top as f64 / n as f64
+        );
     }
 
     #[test]

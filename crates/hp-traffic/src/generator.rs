@@ -10,9 +10,9 @@
 use crate::alias::AliasTable;
 use crate::shape::TrafficShape;
 use hp_queues::sim::QueueId;
+use hp_rand::rngs::SmallRng;
 use hp_sim::rng::sample_exp;
 use hp_sim::time::{Clock, Cycles};
-use hp_rand::rngs::SmallRng;
 
 /// One generated arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,10 +86,15 @@ impl TrafficGenerator {
 
     /// Draws the next arrival (exponential gap, shape-weighted queue).
     pub fn next_arrival(&mut self) -> Arrival {
-        let gap = sample_exp(&mut self.rng, self.mean_gap_cycles).round().max(1.0) as u64;
+        let gap = sample_exp(&mut self.rng, self.mean_gap_cycles)
+            .round()
+            .max(1.0) as u64;
         let queue = self.table.sample(&mut self.rng) as u32;
         self.generated += 1;
-        Arrival { gap: Cycles(gap), queue: QueueId(queue) }
+        Arrival {
+            gap: Cycles(gap),
+            queue: QueueId(queue),
+        }
     }
 
     /// Draws only a destination queue (for closed-loop saturation drives
@@ -132,7 +137,10 @@ pub fn partition_queues(
 ) -> Vec<usize> {
     assert!(cores > 0, "need at least one core");
     assert!(queues as usize >= cores, "fewer queues than cores");
-    assert!((0.0..1.0).contains(&imbalance), "imbalance must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&imbalance),
+        "imbalance must be in [0,1)"
+    );
     let weights = shape.weights(queues);
     // Order queues hot-first so we can deal them like cards.
     let mut order: Vec<usize> = (0..queues as usize).collect();
@@ -151,8 +159,10 @@ pub fn partition_queues(
     shares[0] += imbalance * cores as f64 / 2.0;
     shares[cores - 1] -= imbalance * cores as f64 / 2.0;
     let total: f64 = shares.iter().sum();
-    let targets: Vec<f64> =
-        shares.iter().map(|s| s / total * order.len() as f64).collect();
+    let targets: Vec<f64> = shares
+        .iter()
+        .map(|s| s / total * order.len() as f64)
+        .collect();
     let mut filled = vec![0usize; cores];
     for &q in &order {
         // Assign to the most-underfilled core relative to its target.
@@ -175,8 +185,14 @@ mod tests {
     use hp_sim::rng::RngFactory;
 
     fn generator(shape: TrafficShape, queues: u32, rate: f64) -> TrafficGenerator {
-        TrafficGenerator::new(shape, queues, rate, Clock::default(), RngFactory::new(11).stream(0))
-            .unwrap()
+        TrafficGenerator::new(
+            shape,
+            queues,
+            rate,
+            Clock::default(),
+            RngFactory::new(11).stream(0),
+        )
+        .unwrap()
     }
 
     #[test]

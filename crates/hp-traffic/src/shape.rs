@@ -66,11 +66,15 @@ impl TrafficShape {
             }
             TrafficShape::ProportionallyConcentrated => {
                 let hot = ((total_queues as f64 * PC_HOT_FRACTION).round() as usize).max(1);
-                (0..n).map(|i| if i < hot { 1.0 } else { COLD_PROB }).collect()
+                (0..n)
+                    .map(|i| if i < hot { 1.0 } else { COLD_PROB })
+                    .collect()
             }
             TrafficShape::NonproportionallyConcentrated => {
                 let hot = (NC_HOT_QUEUES as usize).min(n);
-                (0..n).map(|i| if i < hot { 1.0 } else { COLD_PROB }).collect()
+                (0..n)
+                    .map(|i| if i < hot { 1.0 } else { COLD_PROB })
+                    .collect()
             }
         }
     }
@@ -124,8 +128,14 @@ mod tests {
 
     #[test]
     fn nc_hot_count_is_fixed() {
-        assert_eq!(TrafficShape::NonproportionallyConcentrated.hot_queues(1000), 100);
-        assert_eq!(TrafficShape::NonproportionallyConcentrated.hot_queues(50), 50);
+        assert_eq!(
+            TrafficShape::NonproportionallyConcentrated.hot_queues(1000),
+            100
+        );
+        assert_eq!(
+            TrafficShape::NonproportionallyConcentrated.hot_queues(50),
+            50
+        );
         let w = TrafficShape::NonproportionallyConcentrated.weights(500);
         assert_eq!(w.iter().filter(|&&x| x == 1.0).count(), 100);
         assert_eq!(w.iter().filter(|&&x| x == COLD_PROB).count(), 400);

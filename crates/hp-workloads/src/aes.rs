@@ -80,12 +80,8 @@ const fn build_sbox() -> [u8; 256] {
     while i < 256 {
         let x = gf_inv(i as u8);
         // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
-        let b = x
-            ^ x.rotate_left(1)
-            ^ x.rotate_left(2)
-            ^ x.rotate_left(3)
-            ^ x.rotate_left(4)
-            ^ 0x63;
+        let b =
+            x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63;
         s[i] = b;
         i += 1;
     }
@@ -185,7 +181,12 @@ impl Aes256 {
 
     fn mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             for r in 0..4 {
                 state[4 * c + r] = xtime_mul(col[r], 2)
                     ^ xtime_mul(col[(r + 1) % 4], 3)
@@ -197,7 +198,12 @@ impl Aes256 {
 
     fn inv_mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             for r in 0..4 {
                 state[4 * c + r] = xtime_mul(col[r], 14)
                     ^ xtime_mul(col[(r + 1) % 4], 11)
@@ -368,8 +374,14 @@ mod tests {
     fn cbc_rejects_ragged_input() {
         let aes = Aes256::new(&[0u8; 32]);
         let mut data = vec![0u8; 17];
-        assert_eq!(aes.encrypt_cbc(&[0u8; 16], &mut data), Err(AesError::NotBlockAligned(17)));
-        assert_eq!(aes.decrypt_cbc(&[0u8; 16], &mut data), Err(AesError::NotBlockAligned(17)));
+        assert_eq!(
+            aes.encrypt_cbc(&[0u8; 16], &mut data),
+            Err(AesError::NotBlockAligned(17))
+        );
+        assert_eq!(
+            aes.decrypt_cbc(&[0u8; 16], &mut data),
+            Err(AesError::NotBlockAligned(17))
+        );
     }
 
     #[test]

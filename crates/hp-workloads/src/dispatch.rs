@@ -126,7 +126,10 @@ impl Request {
     /// Any [`DispatchError`] parse variant.
     pub fn parse(buf: &[u8]) -> Result<Self, DispatchError> {
         if buf.len() < Self::HEADER_LEN {
-            return Err(DispatchError::Truncated { needed: Self::HEADER_LEN, have: buf.len() });
+            return Err(DispatchError::Truncated {
+                needed: Self::HEADER_LEN,
+                have: buf.len(),
+            });
         }
         let magic = u16::from_be_bytes([buf[0], buf[1]]);
         if magic != REQUEST_MAGIC {
@@ -138,7 +141,10 @@ impl Request {
         let body_len = u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]) as usize;
         let actual = buf.len() - Self::HEADER_LEN;
         if body_len > actual {
-            return Err(DispatchError::BadLength { declared: body_len, actual });
+            return Err(DispatchError::BadLength {
+                declared: body_len,
+                actual,
+            });
         }
         Ok(Request {
             rtype,
@@ -233,7 +239,12 @@ impl Dispatcher {
         out.put_u32(req.body.len() as u32);
         out.put_slice(&req.body);
         self.dispatched += 1;
-        Ok(RpcCall { backend, rtype: req.rtype, deadline_us, frame: out.freeze() })
+        Ok(RpcCall {
+            backend,
+            rtype: req.rtype,
+            deadline_us,
+            frame: out.freeze(),
+        })
     }
 
     /// Total RPCs prepared.
@@ -247,7 +258,12 @@ mod tests {
     use super::*;
 
     fn req(rtype: RequestType, corr: u64) -> Request {
-        Request { rtype, tenant: 3, correlation: corr, body: Bytes::from_static(b"abcdef") }
+        Request {
+            rtype,
+            tenant: 3,
+            correlation: corr,
+            body: Bytes::from_static(b"abcdef"),
+        }
     }
 
     #[test]
@@ -277,7 +293,10 @@ mod tests {
     fn parse_rejects_bad_length() {
         let mut buf = req(RequestType::Set, 1).encode().to_vec();
         buf[19] = 200; // declare a 200-byte body
-        assert!(matches!(Request::parse(&buf), Err(DispatchError::BadLength { .. })));
+        assert!(matches!(
+            Request::parse(&buf),
+            Err(DispatchError::BadLength { .. })
+        ));
     }
 
     #[test]
@@ -285,7 +304,11 @@ mod tests {
         let mut d = Dispatcher::new();
         d.register(RequestType::Search, 3, 1000);
         let backends: Vec<u16> = (0..6)
-            .map(|i| d.dispatch(&req(RequestType::Search, i).encode()).unwrap().backend)
+            .map(|i| {
+                d.dispatch(&req(RequestType::Search, i).encode())
+                    .unwrap()
+                    .backend
+            })
             .collect();
         assert_eq!(backends, vec![0, 1, 2, 0, 1, 2]);
         assert_eq!(d.dispatched_total(), 6);

@@ -159,7 +159,11 @@ mod tests {
         let g = f();
         for a in (0..256).step_by(7) {
             for b in (0..256).step_by(5) {
-                assert_eq!(g.mul(a as u8, b as u8), slow_mul(a as u16, b as u16), "{a}*{b}");
+                assert_eq!(
+                    g.mul(a as u8, b as u8),
+                    slow_mul(a as u16, b as u16),
+                    "{a}*{b}"
+                );
             }
         }
     }

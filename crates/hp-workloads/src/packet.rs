@@ -95,7 +95,10 @@ impl Ipv4Header {
     /// [`PacketError::BadChecksum`] on checksum failure.
     pub fn parse(buf: &[u8]) -> Result<Self, PacketError> {
         if buf.len() < Self::LEN {
-            return Err(PacketError::Truncated { needed: Self::LEN, have: buf.len() });
+            return Err(PacketError::Truncated {
+                needed: Self::LEN,
+                have: buf.len(),
+            });
         }
         if buf[0] != 0x45 {
             return Err(PacketError::BadVersion(buf[0] >> 4));
@@ -162,7 +165,10 @@ impl Ipv6Header {
     /// [`PacketError::Truncated`] or [`PacketError::BadVersion`].
     pub fn parse(buf: &[u8]) -> Result<Self, PacketError> {
         if buf.len() < Self::LEN {
-            return Err(PacketError::Truncated { needed: Self::LEN, have: buf.len() });
+            return Err(PacketError::Truncated {
+                needed: Self::LEN,
+                have: buf.len(),
+            });
         }
         if buf[0] >> 4 != 6 {
             return Err(PacketError::BadVersion(buf[0] >> 4));
@@ -185,7 +191,8 @@ impl Ipv6Header {
 
     /// Serializes the header.
     pub fn write(&self, out: &mut BytesMut) {
-        let word = (6u32 << 28) | ((self.traffic_class as u32) << 20) | (self.flow_label & 0xF_FFFF);
+        let word =
+            (6u32 << 28) | ((self.traffic_class as u32) << 20) | (self.flow_label & 0xF_FFFF);
         out.put_u32(word);
         out.put_u16(self.payload_len);
         out.put_u8(self.next_header);
@@ -232,7 +239,10 @@ impl GreEncapsulator {
 
     /// Creates an encapsulator for the given IPv6 tunnel endpoints.
     pub fn new(tunnel_src: [u8; 16], tunnel_dst: [u8; 16]) -> Self {
-        GreEncapsulator { tunnel_src, tunnel_dst }
+        GreEncapsulator {
+            tunnel_src,
+            tunnel_dst,
+        }
     }
 
     /// Wraps an IPv4 packet in IPv6+GRE.
@@ -249,7 +259,10 @@ impl GreEncapsulator {
         let inner = Ipv4Header::parse(ipv4_packet)?;
         let total = inner.total_len as usize;
         if ipv4_packet.len() < total {
-            return Err(PacketError::Truncated { needed: total, have: ipv4_packet.len() });
+            return Err(PacketError::Truncated {
+                needed: total,
+                have: ipv4_packet.len(),
+            });
         }
         let payload_len = (Self::GRE_LEN + total) as u16;
         let mut out = BytesMut::with_capacity(Ipv6Header::LEN + payload_len as usize);
@@ -285,18 +298,28 @@ impl GreEncapsulator {
         let gre_start = Ipv6Header::LEN;
         let need = gre_start + Self::GRE_LEN;
         if packet.len() < need {
-            return Err(PacketError::Truncated { needed: need, have: packet.len() });
+            return Err(PacketError::Truncated {
+                needed: need,
+                have: packet.len(),
+            });
         }
         let flags = u16::from_be_bytes([packet[gre_start], packet[gre_start + 1]]);
         let proto = u16::from_be_bytes([packet[gre_start + 2], packet[gre_start + 3]]);
         if flags != 0 || proto != GRE_PROTO_IPV4 {
-            return Err(PacketError::UnsupportedGre(if flags != 0 { flags } else { proto }));
+            return Err(PacketError::UnsupportedGre(if flags != 0 {
+                flags
+            } else {
+                proto
+            }));
         }
         let inner_start = gre_start + Self::GRE_LEN;
         let inner_len = outer.payload_len as usize - Self::GRE_LEN;
         let need = inner_start + inner_len;
         if packet.len() < need {
-            return Err(PacketError::Truncated { needed: need, have: packet.len() });
+            return Err(PacketError::Truncated {
+                needed: need,
+                have: packet.len(),
+            });
         }
         Ok(Bytes::copy_from_slice(&packet[inner_start..need]))
     }
@@ -397,7 +420,10 @@ mod tests {
         let wrapped = tun.encapsulate(&inner).unwrap();
         let mut bad = wrapped.to_vec();
         bad[Ipv6Header::LEN] = 0x80; // set the checksum-present flag
-        assert!(matches!(tun.decapsulate(&bad), Err(PacketError::UnsupportedGre(_))));
+        assert!(matches!(
+            tun.decapsulate(&bad),
+            Err(PacketError::UnsupportedGre(_))
+        ));
     }
 
     #[test]

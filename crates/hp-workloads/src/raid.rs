@@ -76,7 +76,10 @@ impl PqRaid {
         if !(2..=255).contains(&n) {
             return Err(RaidError::BadGeometry(n));
         }
-        Ok(PqRaid { n, gf: Gf256::new() })
+        Ok(PqRaid {
+            n,
+            gf: Gf256::new(),
+        })
     }
 
     /// Number of data blocks.
@@ -213,7 +216,11 @@ mod tests {
 
     fn blocks(n: usize, len: usize) -> Vec<Vec<u8>> {
         (0..n)
-            .map(|i| (0..len).map(|j| ((i * 251 + j * 13 + 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 251 + j * 13 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -267,11 +274,20 @@ mod tests {
         let raid = PqRaid::new(4).unwrap();
         let data = blocks(4, 8);
         let (p, q) = raid.compute_pq(&data).unwrap();
-        assert_eq!(raid.recover_two(&data, 2, 2, &p, &q), Err(RaidError::DuplicateFailure(2)));
-        assert_eq!(raid.recover_two(&data, 0, 9, &p, &q), Err(RaidError::BadIndex(9)));
+        assert_eq!(
+            raid.recover_two(&data, 2, 2, &p, &q),
+            Err(RaidError::DuplicateFailure(2))
+        );
+        assert_eq!(
+            raid.recover_two(&data, 0, 9, &p, &q),
+            Err(RaidError::BadIndex(9))
+        );
         assert!(matches!(PqRaid::new(1), Err(RaidError::BadGeometry(1))));
         let ragged = vec![vec![0u8; 4], vec![0u8; 5], vec![0u8; 4], vec![0u8; 4]];
-        assert_eq!(raid.compute_pq(&ragged), Err(RaidError::BlockLengthMismatch));
+        assert_eq!(
+            raid.compute_pq(&ragged),
+            Err(RaidError::BlockLengthMismatch)
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Reed–Solomon erasure coding with a Cauchy generator matrix.
 //!
-//! The paper's "Erasure coding" task "encode[s] data blocks/fragments using
+//! The paper's "Erasure coding" task "encode\[s\] data blocks/fragments using
 //! a Cauchy matrix" (§V-A). This module implements systematic Reed–Solomon
 //! over GF(2^8): `k` data shards are multiplied by a `(k+m) × k` encoding
 //! matrix whose parity rows come from a Cauchy matrix, yielding `m` parity
@@ -34,7 +34,10 @@ impl std::fmt::Display for RsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RsError::BadGeometry { k, m } => {
-                write!(f, "unsupported geometry k={k} m={m} (need k,m >= 1 and k+m <= 255)")
+                write!(
+                    f,
+                    "unsupported geometry k={k} m={m} (need k,m >= 1 and k+m <= 255)"
+                )
             }
             RsError::ShardLengthMismatch => write!(f, "shards have inconsistent lengths"),
             RsError::TooManyErasures { available, needed } => {
@@ -100,7 +103,12 @@ impl ReedSolomon {
                     .collect()
             })
             .collect();
-        Ok(ReedSolomon { k, m, gf, parity_rows })
+        Ok(ReedSolomon {
+            k,
+            m,
+            gf,
+            parity_rows,
+        })
     }
 
     /// Data shard count `k`.
@@ -133,7 +141,10 @@ impl ReedSolomon {
     /// [`RsError::ShardLengthMismatch`] if shard lengths differ.
     pub fn encode<S: AsRef<[u8]>>(&self, data: &[S]) -> Result<Vec<Vec<u8>>, RsError> {
         if data.len() != self.k {
-            return Err(RsError::BadGeometry { k: data.len(), m: self.m });
+            return Err(RsError::BadGeometry {
+                k: data.len(),
+                m: self.m,
+            });
         }
         let len = self.check_lengths(data.iter().map(|s| s.as_ref()))?;
         let mut parity = vec![vec![0u8; len]; self.m];
@@ -157,7 +168,10 @@ impl ReedSolomon {
     /// on malformed input.
     pub fn reconstruct(&self, shards: &[Option<Vec<u8>>]) -> Result<Vec<Vec<u8>>, RsError> {
         if shards.len() != self.k + self.m {
-            return Err(RsError::BadGeometry { k: self.k, m: self.m });
+            return Err(RsError::BadGeometry {
+                k: self.k,
+                m: self.m,
+            });
         }
         let available: Vec<usize> = shards
             .iter()
@@ -165,7 +179,10 @@ impl ReedSolomon {
             .filter_map(|(i, s)| s.is_some().then_some(i))
             .collect();
         if available.len() < self.k {
-            return Err(RsError::TooManyErasures { available: available.len(), needed: self.k });
+            return Err(RsError::TooManyErasures {
+                available: available.len(),
+                needed: self.k,
+            });
         }
         self.check_lengths(shards.iter().flatten().map(|s| s.as_slice()))?;
         let len = shards.iter().flatten().next().map_or(0, |s| s.len());
@@ -206,7 +223,10 @@ impl ReedSolomon {
         if parity.len() != expect.len() {
             return Ok(false);
         }
-        Ok(parity.iter().zip(&expect).all(|(a, b)| a.as_ref() == b.as_slice()))
+        Ok(parity
+            .iter()
+            .zip(&expect)
+            .all(|(a, b)| a.as_ref() == b.as_slice()))
     }
 }
 
@@ -325,9 +345,18 @@ mod tests {
 
     #[test]
     fn geometry_validation() {
-        assert!(matches!(ReedSolomon::new(0, 2), Err(RsError::BadGeometry { .. })));
-        assert!(matches!(ReedSolomon::new(2, 0), Err(RsError::BadGeometry { .. })));
-        assert!(matches!(ReedSolomon::new(200, 56), Err(RsError::BadGeometry { .. })));
+        assert!(matches!(
+            ReedSolomon::new(0, 2),
+            Err(RsError::BadGeometry { .. })
+        ));
+        assert!(matches!(
+            ReedSolomon::new(2, 0),
+            Err(RsError::BadGeometry { .. })
+        ));
+        assert!(matches!(
+            ReedSolomon::new(200, 56),
+            Err(RsError::BadGeometry { .. })
+        ));
         assert!(ReedSolomon::new(200, 55).is_ok());
     }
 

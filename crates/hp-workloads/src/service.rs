@@ -15,9 +15,9 @@ use crate::raid::PqRaid;
 use crate::reed_solomon::ReedSolomon;
 use crate::steering::{FlowKey, PacketSteerer};
 use hp_bytes::Bytes;
+use hp_rand::Rng;
 use hp_sim::rng::Distribution;
 use hp_sim::time::{Clock, Cycles};
-use hp_rand::Rng;
 
 /// The six data-plane tasks of the paper's evaluation (§V-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,12 +77,12 @@ impl WorkloadKind {
     /// processing (drives LLC pressure at high queue counts).
     pub fn buffer_lines(self) -> u64 {
         match self {
-            WorkloadKind::PacketEncap => 24,      // ~1.5 KB packet
-            WorkloadKind::CryptoForward => 24,    // same packets, heavier compute
-            WorkloadKind::PacketSteering => 4,    // headers only
-            WorkloadKind::ErasureCoding => 64,    // 4 KB block
-            WorkloadKind::RaidProtection => 64,   // 4 KB block
-            WorkloadKind::RequestDispatch => 8,   // small RPC frames
+            WorkloadKind::PacketEncap => 24,    // ~1.5 KB packet
+            WorkloadKind::CryptoForward => 24,  // same packets, heavier compute
+            WorkloadKind::PacketSteering => 4,  // headers only
+            WorkloadKind::ErasureCoding => 64,  // 4 KB block
+            WorkloadKind::RaidProtection => 64, // 4 KB block
+            WorkloadKind::RequestDispatch => 8, // small RPC frames
         }
     }
 
@@ -132,12 +132,20 @@ impl ServiceModel {
     /// Creates a model for `kind` with the given service-time shape.
     pub fn new(kind: WorkloadKind, distribution: Distribution, clock: Clock) -> Self {
         let mean_cycles = clock.micros_to_cycles(kind.mean_service_us()).count() as f64;
-        ServiceModel { kind, distribution, mean_cycles }
+        ServiceModel {
+            kind,
+            distribution,
+            mean_cycles,
+        }
     }
 
     /// Creates a model with a custom mean (for sensitivity studies).
     pub fn with_mean_cycles(kind: WorkloadKind, distribution: Distribution, mean: Cycles) -> Self {
-        ServiceModel { kind, distribution, mean_cycles: mean.count() as f64 }
+        ServiceModel {
+            kind,
+            distribution,
+            mean_cycles: mean.count() as f64,
+        }
     }
 
     /// The workload this model describes.
@@ -152,7 +160,12 @@ impl ServiceModel {
 
     /// Draws one service demand.
     pub fn sample(&self, rng: &mut impl Rng) -> Cycles {
-        Cycles(self.distribution.sample(rng, self.mean_cycles).round().max(1.0) as u64)
+        Cycles(
+            self.distribution
+                .sample(rng, self.mean_cycles)
+                .round()
+                .max(1.0) as u64,
+        )
     }
 }
 
@@ -193,15 +206,17 @@ pub fn run_task_once(kind: WorkloadKind, iteration: u64) -> u8 {
         }
         WorkloadKind::ErasureCoding => {
             let rs = ReedSolomon::new(6, 3).expect("valid geometry");
-            let data: Vec<Vec<u8>> =
-                (0..6).map(|i| vec![(i as u64 + iteration) as u8; 4096]).collect();
+            let data: Vec<Vec<u8>> = (0..6)
+                .map(|i| vec![(i as u64 + iteration) as u8; 4096])
+                .collect();
             let parity = rs.encode(&data).expect("well-formed shards");
             parity[2][4095]
         }
         WorkloadKind::RaidProtection => {
             let raid = PqRaid::new(8).expect("valid geometry");
-            let data: Vec<Vec<u8>> =
-                (0..8).map(|i| vec![(i as u64 * 7 + iteration) as u8; 4096]).collect();
+            let data: Vec<Vec<u8>> = (0..8)
+                .map(|i| vec![(i as u64 * 7 + iteration) as u8; 4096])
+                .collect();
             let (p, q) = raid.compute_pq(&data).expect("well-formed blocks");
             p[0] ^ q[4095]
         }
@@ -278,7 +293,10 @@ mod tests {
         let n = 100_000;
         let sum: u64 = (0..n).map(|_| m.sample(&mut rng).count()).sum();
         let mean = sum as f64 / n as f64;
-        assert!((mean - m.mean_cycles()).abs() / m.mean_cycles() < 0.02, "mean {mean}");
+        assert!(
+            (mean - m.mean_cycles()).abs() / m.mean_cycles() < 0.02,
+            "mean {mean}"
+        );
     }
 
     #[test]

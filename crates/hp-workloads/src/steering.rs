@@ -28,9 +28,9 @@ pub struct FlowKey {
 
 /// The standard Microsoft RSS Toeplitz key (40 bytes).
 pub const DEFAULT_RSS_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// Computes the Toeplitz hash of `input` under `key`.
@@ -38,7 +38,10 @@ pub const DEFAULT_RSS_KEY: [u8; 40] = [
 /// For every set bit in the input, XOR in the 32-bit window of the key
 /// starting at that bit position.
 pub fn toeplitz_hash(key: &[u8; 40], input: &[u8]) -> u32 {
-    assert!(input.len() * 8 + 32 <= key.len() * 8, "input too long for 40-byte key");
+    assert!(
+        input.len() * 8 + 32 <= key.len() * 8,
+        "input too long for 40-byte key"
+    );
     let mut result: u32 = 0;
     // Current 32-bit window of the key, starting at bit 0.
     let mut window = u32::from_be_bytes([key[0], key[1], key[2], key[3]]);
@@ -330,7 +333,11 @@ mod tests {
         }
         for (i, f) in flows.iter().enumerate() {
             if i % 2 == 1 {
-                assert_eq!(s.steer(f).unwrap(), dests[i], "flow {i} lost after deletion");
+                assert_eq!(
+                    s.steer(f).unwrap(),
+                    dests[i],
+                    "flow {i} lost after deletion"
+                );
             }
         }
         assert_eq!(s.remove(&flow(77)), None);

@@ -11,7 +11,10 @@ use hyperplane::workloads::service::{calibrate_host_ns, warmup, WorkloadKind};
 
 fn main() {
     warmup();
-    println!("{:<24} {:>14} {:>18}", "workload", "host ns/task", "simulated us/task");
+    println!(
+        "{:<24} {:>14} {:>18}",
+        "workload", "host ns/task", "simulated us/task"
+    );
     println!("{}", "-".repeat(58));
     let mut rows: Vec<(WorkloadKind, f64)> = WorkloadKind::ALL
         .iter()
@@ -25,14 +28,21 @@ fn main() {
         })
         .collect();
     for (kind, ns) in &rows {
-        println!("{:<24} {:>14.0} {:>18.1}", kind.name(), ns, kind.mean_service_us());
+        println!(
+            "{:<24} {:>14.0} {:>18.1}",
+            kind.name(),
+            ns,
+            kind.mean_service_us()
+        );
     }
 
     // Check ordering agreement between host measurement and calibration.
     let mut by_host = rows.clone();
     by_host.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
     rows.sort_by(|a, b| {
-        a.0.mean_service_us().partial_cmp(&b.0.mean_service_us()).expect("finite")
+        a.0.mean_service_us()
+            .partial_cmp(&b.0.mean_service_us())
+            .expect("finite")
     });
     let host_order: Vec<&str> = by_host.iter().map(|(k, _)| k.name()).collect();
     let sim_order: Vec<&str> = rows.iter().map(|(k, _)| k.name()).collect();

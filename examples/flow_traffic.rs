@@ -34,9 +34,21 @@ fn main() {
     let total: u64 = sorted.iter().sum();
     let top8: u64 = sorted[..8].iter().sum();
     println!("=== Emergent queue skew (2000 Zipf flows -> RETA -> 64 queues) ===");
-    println!("hottest queue: {:.1}% of packets", sorted[0] as f64 / total as f64 * 100.0);
-    println!("top 8 queues:  {:.1}% of packets", top8 as f64 / total as f64 * 100.0);
-    println!("cold queues (<0.2% each): {}", sorted.iter().filter(|&&c| (c as f64) < total as f64 * 0.002).count());
+    println!(
+        "hottest queue: {:.1}% of packets",
+        sorted[0] as f64 / total as f64 * 100.0
+    );
+    println!(
+        "top 8 queues:  {:.1}% of packets",
+        top8 as f64 / total as f64 * 100.0
+    );
+    println!(
+        "cold queues (<0.2% each): {}",
+        sorted
+            .iter()
+            .filter(|&&c| (c as f64) < total as f64 * 0.002)
+            .count()
+    );
 
     // ------------------------------------------------------------------
     // Part 2: the data plane under this traffic.
@@ -44,13 +56,20 @@ fn main() {
     println!("\n=== Spinning vs HyperPlane under flow traffic (512 queues) ===");
     let mut cfg =
         ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 512);
-    cfg.traffic = TrafficSource::Flows { flows: 2_000, zipf_s: 1.2 };
+    cfg.traffic = TrafficSource::Flows {
+        flows: 2_000,
+        zipf_s: 1.2,
+    };
     cfg.target_completions = 10_000;
 
     let spin = peak_throughput(&cfg);
     let hp = peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
     println!("spinning:   {:.3} Mtasks/s", spin.throughput_mtps());
-    println!("hyperplane: {:.3} Mtasks/s ({:.2}x)", hp.throughput_mtps(), hp.throughput_tps / spin.throughput_tps);
+    println!(
+        "hyperplane: {:.3} Mtasks/s ({:.2}x)",
+        hp.throughput_mtps(),
+        hp.throughput_tps / spin.throughput_tps
+    );
 
     let spin_zl = run_zero_load(&cfg);
     let hp_zl = run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane()));

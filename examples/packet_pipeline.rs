@@ -69,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         None => std::thread::yield_now(),
                     }
                 };
-                let wrapped = tunnel.encapsulate(&pkt).expect("producer packets are valid");
+                let wrapped = tunnel
+                    .encapsulate(&pkt)
+                    .expect("producer packets are valid");
                 let outer = Ipv6Header::parse(&wrapped).expect("we built it");
                 let flow = FlowKey {
                     src_ip: [pkt[12], pkt[13], pkt[14], pkt[15]],
@@ -78,8 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     dst_port: 443,
                     protocol: pkt[9],
                 };
-                let dest = steerer.steer(&flow).expect("table sized for the flow count");
-                assert_eq!(outer.payload_len as usize + 40, wrapped.len(), "outer length consistent");
+                let dest = steerer
+                    .steer(&flow)
+                    .expect("table sized for the flow count");
+                assert_eq!(
+                    outer.payload_len as usize + 40,
+                    wrapped.len(),
+                    "outer length consistent"
+                );
                 per_dest[dest as usize] += 1;
                 out_bytes += wrapped.len() as u64;
                 processed += 1;
@@ -95,7 +103,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (processed, out_bytes, per_dest, sessions) = dp.join().expect("data plane panicked");
     let dt = start.elapsed().as_secs_f64();
 
-    println!("processed {processed} packets in {dt:.2}s ({:.2} Mpps)", processed as f64 / dt / 1e6);
+    println!(
+        "processed {processed} packets in {dt:.2}s ({:.2} Mpps)",
+        processed as f64 / dt / 1e6
+    );
     println!("encapsulated output: {:.1} MB", out_bytes as f64 / 1e6);
     println!("live sessions in affinity table: {sessions}");
     println!("per-destination packet counts: {per_dest:?}");

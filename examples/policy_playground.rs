@@ -25,21 +25,32 @@ fn grants(rs: &mut ReadySet, rounds: usize, backlogged: &[u32]) -> Vec<u32> {
 fn main() {
     // Round-robin: fair rotation over backlogged queues.
     let mut rr = ReadySet::new(4, ServicePolicy::RoundRobin, PpaKind::BrentKung);
-    println!("round-robin over {{0,1,2,3}}: {:?}", grants(&mut rr, 8, &[0, 1, 2, 3]));
+    println!(
+        "round-robin over {{0,1,2,3}}: {:?}",
+        grants(&mut rr, 8, &[0, 1, 2, 3])
+    );
 
     // Weighted round-robin: a premium tenant (queue 0, weight 4) gets 4 of
     // every 6 grants.
     let mut wrr = ReadySet::new(
         3,
-        ServicePolicy::WeightedRoundRobin { weights: vec![4, 1, 1] },
+        ServicePolicy::WeightedRoundRobin {
+            weights: vec![4, 1, 1],
+        },
         PpaKind::BrentKung,
     );
-    println!("WRR weights [4,1,1]:        {:?}", grants(&mut wrr, 12, &[0, 1, 2]));
+    println!(
+        "WRR weights [4,1,1]:        {:?}",
+        grants(&mut wrr, 12, &[0, 1, 2])
+    );
 
     // Strict priority: queue 0 starves the rest while backlogged — the
     // paper notes this policy is rarely usable for exactly this reason.
     let mut strict = ReadySet::new(3, ServicePolicy::StrictPriority, PpaKind::BrentKung);
-    println!("strict priority:            {:?}", grants(&mut strict, 8, &[0, 1, 2]));
+    println!(
+        "strict priority:            {:?}",
+        grants(&mut strict, 8, &[0, 1, 2])
+    );
 
     // QWAIT-DISABLE as a rate limiter (the paper's congestion-control use
     // case): disable queue 0 for a "timer period", then re-enable.

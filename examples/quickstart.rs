@@ -49,15 +49,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 2: the full simulated data plane.
     // ------------------------------------------------------------------
     println!("\n=== Part 2: spinning vs HyperPlane at 500 queues (SQ traffic) ===");
-    let mut cfg =
-        ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 500);
+    let mut cfg = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 500);
     cfg.target_completions = 10_000;
 
     let spin = peak_throughput(&cfg);
     let hp = peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
     println!("spinning:   {:.3} Mtasks/s", spin.throughput_mtps());
     println!("hyperplane: {:.3} Mtasks/s", hp.throughput_mtps());
-    println!("speedup:    {:.1}x", hp.throughput_tps / spin.throughput_tps);
+    println!(
+        "speedup:    {:.1}x",
+        hp.throughput_tps / spin.throughput_tps
+    );
 
     let spin_zl = run_zero_load(&cfg);
     let hp_zl = run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane()));

@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     weights[0] = 4;
     let mut session = QwaitSession::new(QUEUES, ServicePolicy::WeightedRoundRobin { weights });
 
-    let rings: Vec<_> = (0..QUEUES).map(|_| MpmcRing::<u64>::with_capacity(1024)).collect();
+    let rings: Vec<_> = (0..QUEUES)
+        .map(|_| MpmcRing::<u64>::with_capacity(1024))
+        .collect();
     let doorbells: Vec<Arc<Doorbell>> = (0..QUEUES).map(|_| Arc::new(Doorbell::new())).collect();
     for (i, db) in doorbells.iter().enumerate() {
         session.add(QueueId(i as u32), Arc::clone(db))?;
@@ -93,6 +95,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          approaches 4/7 = 57% under sustained backlog)",
         premium_share * 100.0,
     );
-    assert!(premium_share > 0.25, "weighting must visibly favor the premium queue");
+    assert!(
+        premium_share > 0.25,
+        "weighting must visibly favor the premium queue"
+    );
     Ok(())
 }

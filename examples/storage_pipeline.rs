@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Reed-Solomon (6 data + 3 parity, Cauchy) ===");
     let rs = ReedSolomon::new(6, 3)?;
     let data: Vec<Vec<u8>> = (0..6)
-        .map(|i| (0..BLOCK).map(|j| ((i * 7919 + j * 13) % 251) as u8).collect())
+        .map(|i| {
+            (0..BLOCK)
+                .map(|j| ((i * 7919 + j * 13) % 251) as u8)
+                .collect()
+        })
         .collect();
 
     let t = Instant::now();
@@ -55,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== RAID-6 P+Q (8 data blocks) ===");
     let raid = PqRaid::new(8)?;
     let blocks: Vec<Vec<u8>> = (0..8)
-        .map(|i| (0..BLOCK).map(|j| ((i * 31 + j * 17 + 5) % 256) as u8).collect())
+        .map(|i| {
+            (0..BLOCK)
+                .map(|j| ((i * 31 + j * 17 + 5) % 256) as u8)
+                .collect()
+        })
         .collect();
     let t = Instant::now();
     let (p, q) = raid.compute_pq(&blocks)?;

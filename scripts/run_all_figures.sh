@@ -1,13 +1,41 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure of the paper into results/.
-# Usage: scripts/run_all_figures.sh [--quick]
+# Usage: scripts/run_all_figures.sh [--quick] [--json]
+#   --quick  reduced sweeps for a fast smoke run
+#   --json   also append each table row to results/<bin>.jsonl and write
+#            the trace/metrics artifacts from the trace binary
 set -euo pipefail
 cd "$(dirname "$0")/.."
-mode="${1:-}"
+
+quick=""
+json=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick="--quick" ;;
+    --json) json="--json" ;;
+    *) echo "unknown argument: $arg (expected --quick and/or --json)" >&2; exit 2 ;;
+  esac
+done
+
 mkdir -p results
 cargo build --release -p hp-bench --bins
+
+if [ -n "$json" ]; then
+  # JSONL sinks append per table; clear stale rows from previous runs.
+  rm -f results/*.jsonl
+fi
+
 for bin in table1 hwcost validate notifiers fig3 fig8 fig9 fig10 fig11 fig12 fig13 qos numa ablate summary; do
   echo "== $bin =="
-  ./target/release/$bin $mode --csv | tee "results/$bin.txt"
+  ./target/release/$bin $quick $json --csv | tee "results/$bin.txt"
 done
+
+if [ -n "$json" ]; then
+  echo "== trace =="
+  ./target/release/trace $quick \
+    --trace results/trace.json \
+    --metrics results/metrics.jsonl \
+    --bench results/bench_trace.json | tee results/trace.txt
+fi
+
 echo "All figure outputs written to results/"

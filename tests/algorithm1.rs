@@ -26,7 +26,8 @@ impl Harness {
         let layout = QueueLayout::new(queues, 1, 1);
         let mut dev = HyperPlaneDevice::new(HyperPlaneConfig::table1(), layout.doorbell_range());
         for q in 0..queues {
-            dev.qwait_add(QueueId(q), layout.doorbell(QueueId(q)).line()).unwrap();
+            dev.qwait_add(QueueId(q), layout.doorbell(QueueId(q)).line())
+                .unwrap();
         }
         Harness {
             dev,
@@ -89,8 +90,14 @@ fn every_item_is_eventually_serviced_random_interleavings() {
             }
         }
         let drained = h.drain();
-        assert_eq!(drained, produced, "seed {seed}: lost wake-up — items stranded");
-        assert!(h.depths.iter().all(|d| d.is_empty()), "seed {seed}: queue not drained");
+        assert_eq!(
+            drained, produced,
+            "seed {seed}: lost wake-up — items stranded"
+        );
+        assert!(
+            h.depths.iter().all(|d| d.is_empty()),
+            "seed {seed}: queue not drained"
+        );
     }
 }
 
@@ -130,7 +137,11 @@ fn verify_then_arrival_race_is_safe() {
     h.dev.snoop_getm(h.layout.doorbell(QueueId(0)).line()); // spurious
     assert_eq!(h.consume_once(), None); // re-arms inside VERIFY
     h.produce(0); // the racing arrival
-    assert_eq!(h.consume_once(), Some(0), "arrival after re-arm must not be lost");
+    assert_eq!(
+        h.consume_once(),
+        Some(0),
+        "arrival after re-arm must not be lost"
+    );
 }
 
 #[test]
@@ -144,5 +155,9 @@ fn disabled_queue_items_wait_but_survive() {
     assert_eq!(got, 1, "item 1 (queue 1) services first");
     assert!(h.consume_once().is_none(), "queue 0 is masked");
     h.dev.qwait_enable(QueueId(0));
-    assert_eq!(h.consume_once(), Some(0), "unmasked queue serves its backlog");
+    assert_eq!(
+        h.consume_once(),
+        Some(0),
+        "unmasked queue serves its backlog"
+    );
 }

@@ -18,14 +18,20 @@ fn queue_scalability_claim_holds_for_every_workload() {
     for workload in [WorkloadKind::PacketEncap, WorkloadKind::CryptoForward] {
         let small = quick_cfg(workload, TrafficShape::SingleQueue, 2);
         let large = quick_cfg(workload, TrafficShape::SingleQueue, 600);
-        let spin_ratio = peak_throughput(&large).throughput_tps
-            / peak_throughput(&small).throughput_tps;
+        let spin_ratio =
+            peak_throughput(&large).throughput_tps / peak_throughput(&small).throughput_tps;
         let hp_small = small.with_notifier(Notifier::hyperplane());
         let hp_large = large.with_notifier(Notifier::hyperplane());
         let hp_ratio =
             peak_throughput(&hp_large).throughput_tps / peak_throughput(&hp_small).throughput_tps;
-        assert!(spin_ratio < 0.6, "{workload:?}: spinning kept {spin_ratio} of throughput");
-        assert!(hp_ratio > 0.85, "{workload:?}: hyperplane kept only {hp_ratio}");
+        assert!(
+            spin_ratio < 0.6,
+            "{workload:?}: spinning kept {spin_ratio} of throughput"
+        );
+        assert!(
+            hp_ratio > 0.85,
+            "{workload:?}: hyperplane kept only {hp_ratio}"
+        );
     }
 }
 
@@ -53,13 +59,19 @@ fn spinning_beats_power_optimized_hyperplane_only_at_few_queues() {
     let few = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 1);
     let many = quick_cfg(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 300);
     let spin_few = run_zero_load(&few).mean_latency_us();
-    let c1_few =
-        run_zero_load(&few.clone().with_notifier(Notifier::hyperplane_power_opt())).mean_latency_us();
+    let c1_few = run_zero_load(&few.clone().with_notifier(Notifier::hyperplane_power_opt()))
+        .mean_latency_us();
     let spin_many = run_zero_load(&many).mean_latency_us();
     let c1_many = run_zero_load(&many.clone().with_notifier(Notifier::hyperplane_power_opt()))
         .mean_latency_us();
-    assert!(spin_few < c1_few, "at 1 queue spinning should react faster ({spin_few} vs {c1_few})");
-    assert!(c1_many < spin_many, "at 300 queues C1 HyperPlane should win ({c1_many} vs {spin_many})");
+    assert!(
+        spin_few < c1_few,
+        "at 1 queue spinning should react faster ({spin_few} vs {c1_few})"
+    );
+    assert!(
+        c1_many < spin_many,
+        "at 300 queues C1 HyperPlane should win ({c1_many} vs {spin_many})"
+    );
 }
 
 #[test]
@@ -158,10 +170,19 @@ fn energy_proportionality_power_ordering() {
         .average_power_fraction(&model);
     // Paper Fig. 12(a): spinning burns more at zero load than saturation;
     // HyperPlane idles low; C1 idles lowest (~16%).
-    assert!(spin_zero > spin_sat, "spin zero {spin_zero} vs sat {spin_sat}");
-    assert!(hp_zero < 0.6 * spin_zero, "hp zero {hp_zero} vs spin zero {spin_zero}");
+    assert!(
+        spin_zero > spin_sat,
+        "spin zero {spin_zero} vs sat {spin_sat}"
+    );
+    assert!(
+        hp_zero < 0.6 * spin_zero,
+        "hp zero {hp_zero} vs spin zero {spin_zero}"
+    );
     assert!(c1_zero < hp_zero, "c1 {c1_zero} vs hp {hp_zero}");
-    assert!(c1_zero < 0.25, "c1 zero-load power {c1_zero} (paper: 16.2%)");
+    assert!(
+        c1_zero < 0.25,
+        "c1 zero-load power {c1_zero} (paper: 16.2%)"
+    );
 }
 
 #[test]
@@ -190,13 +211,20 @@ fn service_time_variability_worsens_scale_out_tails() {
 
 #[test]
 fn batching_helps_under_backlog() {
-    let mut one = quick_cfg(WorkloadKind::RequestDispatch, TrafficShape::SingleQueue, 200);
+    let mut one = quick_cfg(
+        WorkloadKind::RequestDispatch,
+        TrafficShape::SingleQueue,
+        200,
+    );
     one.target_completions = 3_000;
     let mut batched = one.clone();
     batched.batch = 8;
     let t1 = peak_throughput(&one).throughput_tps;
     let t8 = peak_throughput(&batched).throughput_tps;
-    assert!(t8 > t1, "batch=8 ({t8}) should beat batch=1 ({t1}) at saturation");
+    assert!(
+        t8 > t1,
+        "batch=8 ({t8}) should beat batch=1 ({t1}) at saturation"
+    );
 }
 
 #[test]
@@ -217,9 +245,16 @@ fn wrr_weights_differentiate_per_tenant_latency() {
     };
     let r = run_at_load(&cfg, peak, 0.85);
     let lat = r.per_queue_latency_us();
-    let q0 = lat.iter().find(|&&(q, _, _)| q == 0).expect("queue 0 completed work").2;
-    let others: Vec<f64> =
-        lat.iter().filter(|&&(q, _, _)| q != 0).map(|&(_, _, us)| us).collect();
+    let q0 = lat
+        .iter()
+        .find(|&&(q, _, _)| q == 0)
+        .expect("queue 0 completed work")
+        .2;
+    let others: Vec<f64> = lat
+        .iter()
+        .filter(|&&(q, _, _)| q != 0)
+        .map(|&(_, _, us)| us)
+        .collect();
     let others_mean = others.iter().sum::<f64>() / others.len() as f64;
     assert!(
         q0 < 0.7 * others_mean,
@@ -246,9 +281,13 @@ fn work_stealing_activates_remote_socket() {
 
 #[test]
 fn results_are_reproducible_with_seed() {
-    let cfg = quick_cfg(WorkloadKind::ErasureCoding, TrafficShape::NonproportionallyConcentrated, 150)
-        .with_notifier(Notifier::hyperplane())
-        .with_seed(777);
+    let cfg = quick_cfg(
+        WorkloadKind::ErasureCoding,
+        TrafficShape::NonproportionallyConcentrated,
+        150,
+    )
+    .with_notifier(Notifier::hyperplane())
+    .with_seed(777);
     let a = peak_throughput(&cfg);
     let b = peak_throughput(&cfg);
     assert_eq!(a.throughput_tps, b.throughput_tps);
@@ -269,6 +308,9 @@ fn different_seeds_give_statistically_close_throughput() {
         .collect();
     let mean = t.iter().sum::<f64>() / t.len() as f64;
     for &x in &t {
-        assert!((x - mean).abs() / mean < 0.15, "seed variance too high: {t:?}");
+        assert!(
+            (x - mean).abs() / mean < 0.15,
+            "seed variance too high: {t:?}"
+        );
     }
 }

@@ -14,9 +14,8 @@ use hp_workloads::service::WorkloadKind;
 /// headroom that recovery work, not queueing collapse, dominates the
 /// fault response.
 fn base(load_fraction: f64) -> ExperimentConfig {
-    let mut cfg =
-        ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 16)
-            .with_notifier(Notifier::hyperplane());
+    let mut cfg = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 16)
+        .with_notifier(Notifier::hyperplane());
     let rate = cfg.capacity_estimate_per_core() * load_fraction;
     cfg = cfg.with_load(Load::RatePerSec(rate));
     cfg.target_completions = 2_000;
@@ -41,7 +40,11 @@ fn watchdog_reports_missed_wakeup_stall_without_timeout() {
     assert!(f.aborted_on_stall, "watchdog_abort should stop the run");
     assert!(f.injected.doorbells_dropped > 0);
     // The data plane cannot have finished its work.
-    assert!(r.completions < 2_000, "completed {} despite total drop", r.completions);
+    assert!(
+        r.completions < 2_000,
+        "completed {} despite total drop",
+        r.completions
+    );
 }
 
 #[test]
@@ -81,7 +84,10 @@ fn same_seed_same_faulty_result() {
     assert_eq!(a.completions, b.completions);
     assert_eq!(a.drops, b.drops);
     assert_eq!(a.throughput_tps.to_bits(), b.throughput_tps.to_bits());
-    assert_eq!(a.latency_cycles.percentile(99.0), b.latency_cycles.percentile(99.0));
+    assert_eq!(
+        a.latency_cycles.percentile(99.0),
+        b.latency_cycles.percentile(99.0)
+    );
     let (fa, fb) = (a.fault_report().unwrap(), b.fault_report().unwrap());
     assert_eq!(fa.injected, fb.injected);
     assert_eq!(fa.qwait_timeouts, fb.qwait_timeouts);
@@ -137,5 +143,8 @@ fn degradation_is_graceful_and_monotone() {
         "degradation curve not monotone: {means:?}"
     );
     // And the degradation is real — total drop costs visible latency.
-    assert!(means[2] > means[0], "drop=0.9 should cost latency: {means:?}");
+    assert!(
+        means[2] > means[0],
+        "drop=0.9 should cost latency: {means:?}"
+    );
 }

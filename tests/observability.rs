@@ -1,0 +1,179 @@
+//! Cross-crate tests of the observability plane: tracing and windowed
+//! metrics must be pure observers (bit-identical results with them on or
+//! off), the Chrome export must carry complete lifecycle spans, window
+//! timestamps must be monotonic, and zero-sample runs must report honest
+//! sentinels instead of fabricated zeros.
+
+use hyperplane::prelude::*;
+use hyperplane::sdp::runner;
+use hyperplane::sim::faults::FaultPlan;
+use hyperplane::sim::trace::TraceKind;
+use std::collections::HashSet;
+
+fn base(notifier: Notifier) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 64)
+        .with_notifier(notifier)
+        .with_seed(0x0B5E_41E5);
+    cfg.target_completions = 2_000;
+    cfg
+}
+
+/// A digest of everything the simulation itself computes. Two runs with
+/// the same seed must agree on every bit of this, whether or not the
+/// observability plane is attached.
+fn digest(r: &ExperimentResult) -> Vec<u64> {
+    let mut d = vec![
+        r.throughput_tps.to_bits(),
+        r.offered_tps.to_bits(),
+        r.completions,
+        r.drops,
+        r.end.since_start().count(),
+        r.mean_latency_us().to_bits(),
+        r.latency_percentile_us(50.0).to_bits(),
+        r.latency_percentile_us(99.0).to_bits(),
+        r.mean_notification_us().to_bits(),
+    ];
+    for c in &r.per_core {
+        d.extend([
+            c.useful_instructions,
+            c.spin_instructions,
+            c.background_instructions,
+            c.active_cycles,
+            c.halt_c0_cycles,
+            c.halt_c1_cycles,
+            c.completions,
+            c.empty_polls,
+            c.spurious,
+            c.qwait_timeouts,
+            c.recoveries,
+        ]);
+    }
+    d
+}
+
+/// The determinism pin: tracing and windowed metrics consume no RNG draws
+/// and schedule no events, so a traced run is bit-identical to a bare one.
+#[test]
+fn tracing_does_not_perturb_results() {
+    for notifier in [Notifier::hyperplane(), Notifier::Spinning] {
+        let bare = runner::run(base(notifier));
+        let traced = runner::run(
+            base(notifier)
+                .with_trace(16_384)
+                .with_metrics_window(100_000),
+        );
+        assert_eq!(
+            digest(&bare),
+            digest(&traced),
+            "observability perturbed the {} simulation",
+            notifier.label()
+        );
+        assert!(traced.trace_records().is_some_and(|t| !t.is_empty()));
+        assert!(!traced.windows().is_empty());
+        assert!(bare.trace_records().is_none());
+        assert!(bare.windows().is_empty());
+    }
+}
+
+/// The Chrome export contains at least one complete enqueue→service
+/// lifecycle span (a `ph:"b"`/`ph:"e"` pair with the same id) and the
+/// top-level structure chrome://tracing and Perfetto expect.
+#[test]
+fn chrome_export_has_complete_lifecycle_spans() {
+    // Drive well below capacity so nearly every enqueued item is serviced
+    // within the run (at saturation most lifecycle spans stay open).
+    let mut cfg = base(Notifier::hyperplane()).with_trace(16_384);
+    let rate = cfg.capacity_estimate_per_core() * cfg.dp_cores as f64 * 0.3;
+    cfg = cfg.with_load(Load::RatePerSec(rate));
+    let r = runner::run(cfg);
+    let json = r.chrome_trace_json().expect("tracing enabled");
+    assert!(
+        json.starts_with("{\"traceEvents\":["),
+        "bad envelope: {}",
+        &json[..40]
+    );
+    assert!(json.contains("\"displayTimeUnit\""));
+
+    // Find an item with both an enqueue and a service-done in the kept
+    // records — a complete lifecycle — and check both async edges made it
+    // into the export.
+    let records = r.trace_records().expect("records kept");
+    let enqueued: HashSet<u64> = records
+        .iter()
+        .filter_map(|rec| match rec.kind {
+            TraceKind::Enqueue { item, .. } => Some(item),
+            _ => None,
+        })
+        .collect();
+    let complete = records
+        .iter()
+        .filter_map(|rec| match rec.kind {
+            TraceKind::ServiceDone { item, .. } if enqueued.contains(&item) => Some(item),
+            _ => None,
+        })
+        .next()
+        .expect("at least one complete enqueue->service lifecycle");
+    assert!(json.contains(&format!("\"ph\":\"b\",\"id\":{complete},")));
+    assert!(json.contains(&format!("\"ph\":\"e\",\"id\":{complete},")));
+
+    // Instant events carry the event taxonomy.
+    for name in ["enqueue", "doorbell-write", "dequeue", "service-done"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{name}\"")),
+            "missing {name} events"
+        );
+    }
+}
+
+/// Per-window metrics have strictly increasing end timestamps and
+/// contiguous nominal boundaries, and the JSONL sink emits one object per
+/// window.
+#[test]
+fn metrics_windows_are_monotonic_and_contiguous() {
+    let r = runner::run(base(Notifier::hyperplane()).with_metrics_window(50_000));
+    let windows = r.windows();
+    assert!(
+        windows.len() >= 2,
+        "expected several windows, got {}",
+        windows.len()
+    );
+    for (i, w) in windows.iter().enumerate() {
+        assert_eq!(w.index as usize, i);
+        assert!(w.end > w.start, "window {i} is empty-range");
+        if i > 0 {
+            assert_eq!(w.start, windows[i - 1].end, "window {i} not contiguous");
+        }
+    }
+    let total: u64 = windows.iter().map(|w| w.completions).sum();
+    assert!(
+        total >= r.completions,
+        "windows lost completions: {total} < {}",
+        r.completions
+    );
+
+    let jsonl = r.metrics_jsonl();
+    assert_eq!(jsonl.lines().count(), windows.len());
+    assert!(jsonl
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
+}
+
+/// A run that completes nothing (every doorbell dropped, no recovery
+/// timeout) reports NaN/None rather than a misleading zero latency.
+#[test]
+fn zero_sample_run_reports_sentinels() {
+    let mut cfg = base(Notifier::hyperplane()).with_faults(FaultPlan {
+        doorbell_drop: 1.0,
+        ..FaultPlan::none()
+    });
+    cfg.target_completions = 100;
+    cfg.max_cycles = 2_000_000;
+    let r = runner::run(cfg);
+    assert_eq!(r.completions, 0, "drops should have starved the run");
+    assert!(r.mean_latency_us().is_nan());
+    assert!(r.latency_percentile_us(99.0).is_nan());
+    assert!(r.mean_notification_us().is_nan());
+    assert_eq!(r.try_mean_latency_us(), None);
+    assert_eq!(r.try_latency_percentile_us(99.0), None);
+    assert_eq!(r.try_mean_notification_us(), None);
+}

@@ -229,7 +229,7 @@ fn histogram_percentile_bounded_error() {
         sorted.sort_unstable();
         let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
         let exact = sorted[rank] as f64;
-        let approx = h.percentile(p) as f64;
+        let approx = h.percentile(p).expect("non-empty histogram") as f64;
         assert!(
             (approx - exact).abs() / exact < 0.05,
             "p{p}: approx {approx} exact {exact}"
@@ -273,7 +273,11 @@ fn mesi_no_stale_copies() {
             let lineno = rng.random_range(0..8u64);
             let is_store = rng.random::<bool>();
             let addr = Addr(0x10_000 + lineno * 64);
-            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let kind = if is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             let r = mem.access(CoreId(core), addr, kind);
             if is_store {
                 last_writer.insert(lineno, core);

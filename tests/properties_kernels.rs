@@ -214,7 +214,9 @@ fn checksum_zero_alias(_orig: &[u8], corrupted: &[u8]) -> bool {
 /// hash of any tuple equals the XOR of per-bit basis hashes.
 #[test]
 fn toeplitz_decomposes_into_bit_basis() {
-    let input = [0x12u8, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0, 0x11, 0x22, 0x33, 0x44];
+    let input = [
+        0x12u8, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0, 0x11, 0x22, 0x33, 0x44,
+    ];
     let mut expect = 0u32;
     for byte in 0..12 {
         for bit in 0..8 {

@@ -11,9 +11,12 @@ use hyperplane::sim::rng::Distribution;
 /// Crypto forwarding: 7 µs mean service dwarfs notification overhead, so
 /// the engine approximates an ideal queueing station.
 fn base(queues: u32) -> ExperimentConfig {
-    let mut cfg =
-        ExperimentConfig::new(WorkloadKind::CryptoForward, TrafficShape::SingleQueue, queues)
-            .with_notifier(Notifier::hyperplane());
+    let mut cfg = ExperimentConfig::new(
+        WorkloadKind::CryptoForward,
+        TrafficShape::SingleQueue,
+        queues,
+    )
+    .with_notifier(Notifier::hyperplane());
     cfg.target_completions = 25_000;
     cfg.queue_cap = 1_000_000;
     cfg
@@ -41,7 +44,10 @@ fn engine_matches_mm1_at_moderate_load() {
         let sim = run_at_rho(base(1), 1.0, rho);
         let theory = analytic::mm1_sojourn(rho / es, 1.0 / es);
         let rel = (sim - theory).abs() / theory;
-        assert!(rel < 0.12, "rho={rho}: sim {sim:.2} vs M/M/1 {theory:.2} (rel {rel:.3})");
+        assert!(
+            rel < 0.12,
+            "rho={rho}: sim {sim:.2} vs M/M/1 {theory:.2} (rel {rel:.3})"
+        );
     }
 }
 
@@ -54,7 +60,10 @@ fn engine_matches_md1_with_constant_service() {
     let sim = run_at_rho(cfg, 1.0, rho);
     let theory = analytic::mg1_sojourn(rho / es, es, 0.0);
     let rel = (sim - theory).abs() / theory;
-    assert!(rel < 0.12, "sim {sim:.2} vs M/D/1 {theory:.2} (rel {rel:.3})");
+    assert!(
+        rel < 0.12,
+        "sim {sim:.2} vs M/D/1 {theory:.2} (rel {rel:.3})"
+    );
 }
 
 #[test]
@@ -66,7 +75,10 @@ fn engine_matches_mm4_under_scale_up() {
     let sim = run_at_rho(cfg, 4.0, rho);
     let theory = analytic::mmc_sojourn(4.0 * rho / es, 1.0 / es, 4);
     let rel = (sim - theory).abs() / theory;
-    assert!(rel < 0.15, "sim {sim:.2} vs M/M/4 {theory:.2} (rel {rel:.3})");
+    assert!(
+        rel < 0.15,
+        "sim {sim:.2} vs M/M/4 {theory:.2} (rel {rel:.3})"
+    );
 }
 
 #[test]
