@@ -19,13 +19,11 @@ use hp_workloads::service::WorkloadKind;
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let sweep = opts.sweep();
 
     // 1. QWAIT latency sensitivity: how conservative is the 50-cycle pick?
-    let mut table = Table::new(
-        "Ablation 1: QWAIT latency sensitivity (request dispatch, 500 queues, SQ)",
-        &["qwait_cycles", "Mtasks/s", "zero_load_avg_us"],
-    );
-    for qwait in [10u64, 50, 200] {
+    let qwaits = [10u64, 50, 200];
+    let qwait_results = sweep.run(qwaits.to_vec(), |qwait| {
         let mut cfg = experiment(
             &opts,
             WorkloadKind::RequestDispatch,
@@ -36,20 +34,20 @@ fn main() {
         cfg.hp.timing.qwait = Cycles(qwait);
         let sat = runner::peak_throughput(&cfg);
         let zl = runner::run_zero_load(&cfg);
-        table.row(vec![
-            qwait.to_string(),
-            f3(sat.throughput_mtps()),
-            f2(zl.mean_latency_us()),
-        ]);
+        (sat.throughput_mtps(), zl.mean_latency_us())
+    });
+    let mut table = Table::new(
+        "Ablation 1: QWAIT latency sensitivity (request dispatch, 500 queues, SQ)",
+        &["qwait_cycles", "Mtasks/s", "zero_load_avg_us"],
+    );
+    for (qwait, &(mtps, us)) in qwaits.iter().zip(&qwait_results) {
+        table.row(vec![qwait.to_string(), f3(mtps), f2(us)]);
     }
     table.print(&opts);
 
     // 2. Batch size under backlog.
-    let mut table = Table::new(
-        "Ablation 2: dequeue batch size (request dispatch, 200 queues, SQ, saturation)",
-        &["batch", "spinning_Mtps", "hyperplane_Mtps"],
-    );
-    for batch in [1usize, 4, 16] {
+    let batches = [1usize, 4, 16];
+    let batch_results = sweep.run(batches.to_vec(), |batch| {
         let mut cfg = experiment(
             &opts,
             WorkloadKind::RequestDispatch,
@@ -59,24 +57,24 @@ fn main() {
         cfg.batch = batch;
         let spin = runner::peak_throughput(&cfg);
         let hp = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
-        table.row(vec![
-            batch.to_string(),
-            f3(spin.throughput_mtps()),
-            f3(hp.throughput_mtps()),
-        ]);
+        (spin.throughput_mtps(), hp.throughput_mtps())
+    });
+    let mut table = Table::new(
+        "Ablation 2: dequeue batch size (request dispatch, 200 queues, SQ, saturation)",
+        &["batch", "spinning_Mtps", "hyperplane_Mtps"],
+    );
+    for (batch, &(spin, hp)) in batches.iter().zip(&batch_results) {
+        table.row(vec![batch.to_string(), f3(spin), f3(hp)]);
     }
     table.print(&opts);
 
     // 3. Service-time CV: HoL blocking in scale-out vs scale-up.
-    let mut table = Table::new(
-        "Ablation 3: service CV vs organization (packet encap, 4 cores, 64 queues, p99 us @55%)",
-        &["cv", "hp_scale_out", "hp_scale_up4", "tail_ratio"],
-    );
-    for (label, dist) in [
+    let dists = [
         ("0", Distribution::Constant),
         ("1", Distribution::Exponential),
         ("4", Distribution::HyperExp { cv: 4.0 }),
-    ] {
+    ];
+    let cv_results = sweep.run(dists.to_vec(), |(_, dist)| {
         let mk = |cluster: usize| {
             let mut cfg = experiment(
                 &opts,
@@ -93,22 +91,21 @@ fn main() {
         let ref_tps = runner::peak_throughput(&mk(4)).throughput_tps;
         let so = runner::run_at_load(&mk(1), ref_tps, 0.55);
         let su = runner::run_at_load(&mk(4), ref_tps, 0.55);
-        table.row(vec![
-            label.to_string(),
-            f2(so.p99_latency_us()),
-            f2(su.p99_latency_us()),
-            f2(so.p99_latency_us() / su.p99_latency_us()),
-        ]);
+        (so.p99_latency_us(), su.p99_latency_us())
+    });
+    let mut table = Table::new(
+        "Ablation 3: service CV vs organization (packet encap, 4 cores, 64 queues, p99 us @55%)",
+        &["cv", "hp_scale_out", "hp_scale_up4", "tail_ratio"],
+    );
+    for ((label, _), &(so, su)) in dists.iter().zip(&cv_results) {
+        table.row(vec![label.to_string(), f2(so), f2(su), f2(so / su)]);
     }
     table.print(&opts);
 
     // 4. Prefetcher degree: accelerates the sequential buffer streams of
     // the storage workloads (64-line blocks).
-    let mut table = Table::new(
-        "Ablation 4: stride-prefetch degree (erasure coding, 64 queues, FB, saturation)",
-        &["degree", "spinning_Mtps", "hyperplane_Mtps"],
-    );
-    for degree in [0usize, 2, 4] {
+    let degrees = [0usize, 2, 4];
+    let degree_results = sweep.run(degrees.to_vec(), |degree| {
         let mut cfg = experiment(
             &opts,
             WorkloadKind::ErasureCoding,
@@ -118,11 +115,14 @@ fn main() {
         cfg.prefetch_degree = degree;
         let spin = runner::peak_throughput(&cfg);
         let hp = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
-        table.row(vec![
-            degree.to_string(),
-            f3(spin.throughput_mtps()),
-            f3(hp.throughput_mtps()),
-        ]);
+        (spin.throughput_mtps(), hp.throughput_mtps())
+    });
+    let mut table = Table::new(
+        "Ablation 4: stride-prefetch degree (erasure coding, 64 queues, FB, saturation)",
+        &["degree", "spinning_Mtps", "hyperplane_Mtps"],
+    );
+    for (degree, &(spin, hp)) in degrees.iter().zip(&degree_results) {
+        table.row(vec![degree.to_string(), f3(spin), f3(hp)]);
     }
     table.print(&opts);
 

@@ -76,14 +76,16 @@ fn main() {
             "rec_mean_us",
         ],
     );
-    for &drop in &drops {
+    let results = opts.sweep().run(drops.clone(), |drop| {
         let mut plan = FaultPlan::none();
         plan.doorbell_drop = drop;
         let cfg = base(16)
             .with_faults(plan)
             .with_qwait_timeout(TIMEOUT_CYCLES)
             .with_watchdog(4_000_000);
-        let r = runner::run(cfg);
+        runner::run(cfg)
+    });
+    for (&drop, r) in drops.iter().zip(&results) {
         let (timeouts, recoveries, rec_mean_us) = match r.fault_report() {
             Some(f) => (
                 f.qwait_timeouts,

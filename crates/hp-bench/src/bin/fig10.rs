@@ -31,30 +31,29 @@ fn multicore(
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let sweep = opts.sweep();
     let loads = opts.thin(&[0.2, 0.35, 0.5, 0.65, 0.8, 0.9]);
 
-    // Reference rate for "100% load": the best configuration's saturation
-    // (scale-up-4 HyperPlane), so all curves share an x-axis.
-    let reference = runner::peak_throughput(&multicore(
-        &opts,
-        TrafficShape::FullyBalanced,
-        Notifier::hyperplane(),
-        4,
-        0.0,
-    ));
-    let ref_tps = reference.throughput_tps;
+    // Reference rates for "100% load": the best configuration's saturation
+    // (scale-up-4 HyperPlane) per shape, so all curves share an x-axis.
+    // Both reference peaks are independent — one two-point sweep.
+    let refs = sweep.run(
+        vec![
+            TrafficShape::FullyBalanced,
+            TrafficShape::ProportionallyConcentrated,
+        ],
+        |shape| {
+            runner::peak_throughput(&multicore(&opts, shape, Notifier::hyperplane(), 4, 0.0))
+                .throughput_tps
+        },
+    );
+    let (ref_tps, pc_ref) = (refs[0], refs[1]);
     println!(
         "Reference saturation (HyperPlane scale-up-4, FB): {:.3} Mtasks/s",
         ref_tps / 1e6
     );
 
-    // (a) FB: 6 curves.
-    let mut table = Table::new(
-        "Fig 10(a): p99 latency (us) vs load — fully balanced, 4 cores, 400 queues",
-        &[
-            "load%", "spin_so", "spin_su2", "spin_su4", "hp_so", "hp_su2", "hp_su4",
-        ],
-    );
+    // (a) FB: 6 curves, fanned as one (load × config) grid.
     let fb_configs: Vec<(Notifier, usize)> = vec![
         (Notifier::Spinning, 1),
         (Notifier::Spinning, 2),
@@ -63,18 +62,56 @@ fn main() {
         (Notifier::hyperplane(), 2),
         (Notifier::hyperplane(), 4),
     ];
+    let mut fb_points = Vec::new();
     for &load in &loads {
-        let mut cells = vec![format!("{:.0}", load * 100.0)];
         for &(notifier, cluster) in &fb_configs {
-            let cfg = multicore(&opts, TrafficShape::FullyBalanced, notifier, cluster, 0.0);
-            let r = runner::run_at_load(&cfg, ref_tps, load);
-            cells.push(f2(r.p99_latency_us()));
+            fb_points.push((load, notifier, cluster));
+        }
+    }
+    let fb_results = sweep.run(fb_points, |(load, notifier, cluster)| {
+        let cfg = multicore(&opts, TrafficShape::FullyBalanced, notifier, cluster, 0.0);
+        runner::run_at_load(&cfg, ref_tps, load).p99_latency_us()
+    });
+    let mut table = Table::new(
+        "Fig 10(a): p99 latency (us) vs load — fully balanced, 4 cores, 400 queues",
+        &[
+            "load%", "spin_so", "spin_su2", "spin_su4", "hp_so", "hp_su2", "hp_su4",
+        ],
+    );
+    for (li, &load) in loads.iter().enumerate() {
+        let mut cells = vec![format!("{:.0}", load * 100.0)];
+        for ci in 0..fb_configs.len() {
+            cells.push(f2(fb_results[li * fb_configs.len() + ci]));
         }
         table.row(cells);
     }
     table.print(&opts);
 
     // (b) PC: scale-out (0%, 10% imbalance) and scale-up-2, both systems.
+    let pc_configs: Vec<(Notifier, usize, f64)> = vec![
+        (Notifier::Spinning, 1, 0.0),
+        (Notifier::Spinning, 1, 0.10),
+        (Notifier::Spinning, 2, 0.0),
+        (Notifier::hyperplane(), 1, 0.0),
+        (Notifier::hyperplane(), 1, 0.10),
+        (Notifier::hyperplane(), 2, 0.0),
+    ];
+    let mut pc_points = Vec::new();
+    for &load in &loads {
+        for &(notifier, cluster, imb) in &pc_configs {
+            pc_points.push((load, notifier, cluster, imb));
+        }
+    }
+    let pc_results = sweep.run(pc_points, |(load, notifier, cluster, imb)| {
+        let cfg = multicore(
+            &opts,
+            TrafficShape::ProportionallyConcentrated,
+            notifier,
+            cluster,
+            imb,
+        );
+        runner::run_at_load(&cfg, pc_ref, load).p99_latency_us()
+    });
     let mut table = Table::new(
         "Fig 10(b): p99 latency (us) vs load — proportionally concentrated",
         &[
@@ -87,45 +124,17 @@ fn main() {
             "hp_su2",
         ],
     );
-    let pc_configs: Vec<(Notifier, usize, f64)> = vec![
-        (Notifier::Spinning, 1, 0.0),
-        (Notifier::Spinning, 1, 0.10),
-        (Notifier::Spinning, 2, 0.0),
-        (Notifier::hyperplane(), 1, 0.0),
-        (Notifier::hyperplane(), 1, 0.10),
-        (Notifier::hyperplane(), 2, 0.0),
-    ];
-    let pc_ref = runner::peak_throughput(&multicore(
-        &opts,
-        TrafficShape::ProportionallyConcentrated,
-        Notifier::hyperplane(),
-        4,
-        0.0,
-    ))
-    .throughput_tps;
-    for &load in &loads {
+    for (li, &load) in loads.iter().enumerate() {
         let mut cells = vec![format!("{:.0}", load * 100.0)];
-        for &(notifier, cluster, imb) in &pc_configs {
-            let cfg = multicore(
-                &opts,
-                TrafficShape::ProportionallyConcentrated,
-                notifier,
-                cluster,
-                imb,
-            );
-            let r = runner::run_at_load(&cfg, pc_ref, load);
-            cells.push(f2(r.p99_latency_us()));
+        for ci in 0..pc_configs.len() {
+            cells.push(f2(pc_results[li * pc_configs.len() + ci]));
         }
         table.row(cells);
     }
     table.print(&opts);
 
     // Saturation-throughput comparison the paper's §V-C text calls out.
-    let mut table = Table::new(
-        "Fig 10 aux: saturation throughput (Mtasks/s) per organization",
-        &["shape", "config", "Mtasks/s"],
-    );
-    for (shape, label, notifier, cluster, imb) in [
+    let aux_configs: Vec<(TrafficShape, &str, Notifier, usize, f64)> = vec![
         (
             TrafficShape::ProportionallyConcentrated,
             "spin scale-out imb10",
@@ -168,11 +177,18 @@ fn main() {
             4,
             0.0,
         ),
-    ] {
-        let r = runner::peak_throughput(&multicore(&opts, shape, notifier, cluster, imb));
+    ];
+    let aux_results = sweep.run(aux_configs.clone(), |(shape, _, notifier, cluster, imb)| {
+        runner::peak_throughput(&multicore(&opts, shape, notifier, cluster, imb))
+    });
+    let mut table = Table::new(
+        "Fig 10 aux: saturation throughput (Mtasks/s) per organization",
+        &["shape", "config", "Mtasks/s"],
+    );
+    for ((shape, label, ..), r) in aux_configs.iter().zip(&aux_results) {
         table.row(vec![
             shape.label().into(),
-            label.into(),
+            (*label).into(),
             f2(r.throughput_mtps()),
         ]);
     }

@@ -15,6 +15,7 @@ use hp_workloads::service::WorkloadKind;
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let sweep = opts.sweep();
     let loads = opts.thin(&[0.02, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 0.95]);
 
     let base = {
@@ -28,9 +29,22 @@ fn main() {
         cfg
     };
     // 100% load = the spinning data plane's own saturation (the paper's
-    // x-axis is load on the data plane).
-    let spin_peak = runner::peak_throughput(&base).throughput_tps;
+    // x-axis is load on the data plane). Probe concurrently: the outer
+    // sweep has nothing to run yet.
+    let spin_peak = runner::peak_throughput_with(&base, opts.threads).throughput_tps;
     let smt = SmtCoRunner::default();
+
+    // Each load level runs the spinning and HyperPlane experiments in one
+    // job; the load ladder itself fans across the pool.
+    let results = sweep.run(loads.clone(), |load| {
+        let spin = runner::run_at_load(&base, spin_peak, load);
+        let hp = runner::run_at_load(
+            &base.clone().with_notifier(Notifier::hyperplane()),
+            spin_peak,
+            load,
+        );
+        (spin, hp)
+    });
 
     let mut table = Table::new(
         "Fig 11(a): IPC breakdown vs load — packet encapsulation, 1 core",
@@ -47,13 +61,7 @@ fn main() {
         &["load%", "with_spinning", "with_hyperplane"],
     );
 
-    for &load in &loads {
-        let spin = runner::run_at_load(&base, spin_peak, load);
-        let hp = runner::run_at_load(
-            &base.clone().with_notifier(Notifier::hyperplane()),
-            spin_peak,
-            load,
-        );
+    for (&load, (spin, hp)) in loads.iter().zip(&results) {
         let st = spin.aggregate_telemetry();
         let ht = hp.aggregate_telemetry();
         table.row(vec![

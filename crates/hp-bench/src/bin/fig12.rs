@@ -14,9 +14,11 @@ use hp_workloads::service::WorkloadKind;
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let sweep = opts.sweep();
     let model = PowerModel::default();
 
-    // (a) Zero-load vs saturation power.
+    // (a) Zero-load vs saturation power — six independent runs (three
+    // notifiers × two operating points) fanned as one sweep.
     let base = {
         let mut cfg = experiment(
             &opts,
@@ -27,18 +29,22 @@ fn main() {
         cfg.target_completions = opts.completions(8_000);
         cfg
     };
+    let systems = [
+        ("spinning", Notifier::Spinning),
+        ("hyperplane", Notifier::hyperplane()),
+        ("hyperplane-C1", Notifier::hyperplane_power_opt()),
+    ];
+    let power = sweep.run(systems.to_vec(), |(_, notifier)| {
+        let cfg = base.clone().with_notifier(notifier);
+        let zero = runner::run_zero_load(&cfg);
+        let sat = runner::peak_throughput(&cfg);
+        (zero, sat)
+    });
     let mut table = Table::new(
         "Fig 12(a): normalized core power (% of peak)",
         &["system", "zero_load", "saturation"],
     );
-    for (label, notifier) in [
-        ("spinning", Notifier::Spinning),
-        ("hyperplane", Notifier::hyperplane()),
-        ("hyperplane-C1", Notifier::hyperplane_power_opt()),
-    ] {
-        let cfg = base.clone().with_notifier(notifier);
-        let zero = runner::run_zero_load(&cfg);
-        let sat = runner::peak_throughput(&cfg);
+    for ((label, _), (zero, sat)) in systems.iter().zip(&power) {
         table.row(vec![
             label.to_string(),
             f2(zero.average_power_fraction(&model) * 100.0),
@@ -59,21 +65,13 @@ fn main() {
         cfg.target_completions = opts.completions(16_000);
         cfg
     };
-    let ref_tps =
-        runner::peak_throughput(&mc.clone().with_notifier(Notifier::hyperplane())).throughput_tps;
+    let ref_tps = runner::peak_throughput_with(
+        &mc.clone().with_notifier(Notifier::hyperplane()),
+        opts.threads,
+    )
+    .throughput_tps;
     let loads = opts.thin(&[0.05, 0.2, 0.35, 0.5, 0.65, 0.8]);
-    let mut table = Table::new(
-        "Fig 12(b): p99 latency (us) vs load — power-optimized HyperPlane",
-        &[
-            "load%",
-            "spinning",
-            "hyperplane",
-            "hyperplane_C1",
-            "C1_vs_hp",
-        ],
-    );
-    let mut zero_gap: Option<(f64, f64, f64)> = None;
-    for &load in &loads {
+    let lat = sweep.run(loads.clone(), |load| {
         let spin =
             runner::run_at_load(&mc.clone().with_notifier(Notifier::Spinning), ref_tps, load);
         let hp = runner::run_at_load(
@@ -86,6 +84,20 @@ fn main() {
             ref_tps,
             load,
         );
+        (spin, hp, c1)
+    });
+    let mut table = Table::new(
+        "Fig 12(b): p99 latency (us) vs load — power-optimized HyperPlane",
+        &[
+            "load%",
+            "spinning",
+            "hyperplane",
+            "hyperplane_C1",
+            "C1_vs_hp",
+        ],
+    );
+    let mut zero_gap: Option<(f64, f64, f64)> = None;
+    for (&load, (spin, hp, c1)) in loads.iter().zip(&lat) {
         if zero_gap.is_none() {
             zero_gap = Some((
                 spin.p99_latency_us(),

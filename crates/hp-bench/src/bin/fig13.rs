@@ -19,36 +19,44 @@ fn main() {
         WorkloadKind::ALL.to_vec()
     };
 
+    let mut points = Vec::new();
+    for workload in &workloads {
+        for shape in [
+            TrafficShape::ProportionallyConcentrated,
+            TrafficShape::FullyBalanced,
+        ] {
+            points.push((*workload, shape));
+        }
+    }
+    let results = opts.sweep().run(points.clone(), |(workload, shape)| {
+        let cfg = experiment(&opts, workload, shape, queues);
+        let hw = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
+        let sw = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::HyperPlane {
+            power_optimized: false,
+            software_ready_set: true,
+        }));
+        (hw, sw)
+    });
+
     let mut table = Table::new(
         "Fig 13: software ready set throughput relative to hardware (%), 1000 queues",
         &["workload", "shape", "hw_Mtps", "sw_Mtps", "sw_relative_%"],
     );
     let mut fb_rel = Vec::new();
     let mut pc_rel = Vec::new();
-    for workload in &workloads {
-        for shape in [
-            TrafficShape::ProportionallyConcentrated,
-            TrafficShape::FullyBalanced,
-        ] {
-            let cfg = experiment(&opts, *workload, shape, queues);
-            let hw = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
-            let sw = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::HyperPlane {
-                power_optimized: false,
-                software_ready_set: true,
-            }));
-            let rel = sw.throughput_tps / hw.throughput_tps * 100.0;
-            match shape {
-                TrafficShape::FullyBalanced => fb_rel.push(rel),
-                _ => pc_rel.push(rel),
-            }
-            table.row(vec![
-                workload.name().to_string(),
-                shape.label().to_string(),
-                f3(hw.throughput_mtps()),
-                f3(sw.throughput_mtps()),
-                format!("{rel:.1}"),
-            ]);
+    for ((workload, shape), (hw, sw)) in points.iter().zip(&results) {
+        let rel = sw.throughput_tps / hw.throughput_tps * 100.0;
+        match shape {
+            TrafficShape::FullyBalanced => fb_rel.push(rel),
+            _ => pc_rel.push(rel),
         }
+        table.row(vec![
+            workload.name().to_string(),
+            shape.label().to_string(),
+            f3(hw.throughput_mtps()),
+            f3(sw.throughput_mtps()),
+            format!("{rel:.1}"),
+        ]);
     }
     table.print(&opts);
 

@@ -17,24 +17,32 @@ const DPDK_POLL_CYCLES: u64 = 100;
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let sweep = opts.sweep();
 
-    // (a) Throughput vs queues, four shapes.
+    // (a) Throughput vs queues, four shapes — one sweep point per
+    // (queue count, shape) cell, fanned across the worker pool.
     let queue_sweep = opts.thin(&[1u32, 100, 200, 400, 600, 800, 1000]);
+    let mut points = Vec::new();
+    for &q in &queue_sweep {
+        for shape in TrafficShape::ALL {
+            points.push((q, shape));
+        }
+    }
+    let peaks = sweep.run(points, |(q, shape)| {
+        let mut cfg = experiment(&opts, WorkloadKind::PacketEncap, shape, q);
+        cfg.poll_overhead_cycles = DPDK_POLL_CYCLES;
+        runner::peak_throughput(&cfg)
+    });
     let mut table = Table::new(
         "Fig 3(a): DPDK-class throughput (Mtasks/s), packet encapsulation, 1 core",
         &["queues", "FB", "PC", "NC", "SQ"],
     );
-    for &q in &queue_sweep {
+    for (qi, &q) in queue_sweep.iter().enumerate() {
         let mut cells = vec![q.to_string()];
-        for shape in TrafficShape::ALL {
-            if (q as usize) < 1 {
-                cells.push("-".into());
-                continue;
-            }
-            let mut cfg = experiment(&opts, WorkloadKind::PacketEncap, shape, q);
-            cfg.poll_overhead_cycles = DPDK_POLL_CYCLES;
-            let r = runner::peak_throughput(&cfg);
-            cells.push(f3(r.throughput_mtps()));
+        for si in 0..TrafficShape::ALL.len() {
+            cells.push(f3(
+                peaks[qi * TrafficShape::ALL.len() + si].throughput_mtps()
+            ));
         }
         table.row(cells);
     }
@@ -42,12 +50,7 @@ fn main() {
 
     // (b) Light-traffic latency vs queues (~0.01 MPPS offered).
     let lat_sweep = opts.thin(&[1u32, 64, 128, 256, 384, 512]);
-    let mut table = Table::new(
-        "Fig 3(b): round-trip latency under light traffic (~0.01 MPPS)",
-        &["queues", "avg_us", "p99_us"],
-    );
-    let mut cdf_rows: Vec<(u32, Vec<(f64, f64)>)> = Vec::new();
-    for &q in &lat_sweep {
+    let light = sweep.run(lat_sweep.clone(), |q| {
         let mut cfg = experiment(
             &opts,
             WorkloadKind::PacketEncap,
@@ -56,8 +59,14 @@ fn main() {
         );
         cfg.poll_overhead_cycles = DPDK_POLL_CYCLES;
         cfg.target_completions = opts.completions(6_000);
-        let cfg = cfg.with_load(Load::RatePerSec(10_000.0));
-        let r = runner::run(cfg);
+        runner::run(cfg.with_load(Load::RatePerSec(10_000.0)))
+    });
+    let mut table = Table::new(
+        "Fig 3(b): round-trip latency under light traffic (~0.01 MPPS)",
+        &["queues", "avg_us", "p99_us"],
+    );
+    let mut cdf_rows: Vec<(u32, Vec<(f64, f64)>)> = Vec::new();
+    for (&q, r) in lat_sweep.iter().zip(&light) {
         table.row(vec![
             q.to_string(),
             f2(r.mean_latency_us()),

@@ -21,32 +21,46 @@ fn main() {
         WorkloadKind::ALL.to_vec()
     };
 
+    // The full grid is one flat point list so the sweep executor can keep
+    // every worker busy across workload/shape boundaries; rows are grouped
+    // back into per-workload tables afterwards (results come back in point
+    // order).
+    let mut points = Vec::new();
+    for workload in &workloads {
+        for shape in &shapes {
+            for &q in &queue_sweep {
+                points.push((*workload, *shape, q));
+            }
+        }
+    }
+    let results = opts.sweep().run(points.clone(), |(workload, shape, q)| {
+        let cfg = experiment(&opts, workload, shape, q);
+        let spin = runner::peak_throughput(&cfg);
+        let hp = runner::peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
+        (spin, hp)
+    });
+
     let mut improvements: Vec<f64> = Vec::new();
+    let mut it = points.iter().zip(&results).peekable();
     for workload in &workloads {
         let mut table = Table::new(
             &format!("Fig 8: peak throughput (Mtasks/s) — {workload}"),
             &["shape", "queues", "spinning", "hyperplane", "speedup"],
         );
-        for shape in &shapes {
-            for &q in &queue_sweep {
-                let cfg = experiment(&opts, *workload, *shape, q);
-                let spin = runner::peak_throughput(&cfg);
-                let hp =
-                    runner::peak_throughput(&cfg.clone().with_notifier(Notifier::hyperplane()));
-                let speedup = hp.throughput_tps / spin.throughput_tps;
-                // The paper's 4.1x average is over configurations where
-                // queue scalability matters (multi-queue points).
-                if q > 1 {
-                    improvements.push(speedup);
-                }
-                table.row(vec![
-                    shape.label().to_string(),
-                    q.to_string(),
-                    f3(spin.throughput_mtps()),
-                    f3(hp.throughput_mtps()),
-                    ratio(speedup),
-                ]);
+        while let Some(((_, shape, q), (spin, hp))) = it.next_if(|((w, _, _), _)| w == workload) {
+            let speedup = hp.throughput_tps / spin.throughput_tps;
+            // The paper's 4.1x average is over configurations where
+            // queue scalability matters (multi-queue points).
+            if *q > 1 {
+                improvements.push(speedup);
             }
+            table.row(vec![
+                shape.label().to_string(),
+                q.to_string(),
+                f3(spin.throughput_mtps()),
+                f3(hp.throughput_mtps()),
+                ratio(speedup),
+            ]);
         }
         table.print(&opts);
     }

@@ -22,9 +22,29 @@ fn main() {
         WorkloadKind::ALL.to_vec()
     };
 
+    // All (workload, queues) points fan out together; the three notifier
+    // variants of one point stay inside one job (they share nothing).
+    let mut points = Vec::new();
+    for workload in &workloads {
+        for &q in &queue_sweep {
+            points.push((*workload, q));
+        }
+    }
+    let results = opts.sweep().run(points, |(workload, q)| {
+        // Arrivals concentrated in one queue; the rest are empty — the
+        // zero-load sweep isolates the cost of checking empty queues.
+        let cfg = experiment(&opts, workload, TrafficShape::SingleQueue, q);
+        let spin = runner::run_zero_load(&cfg);
+        let hp = runner::run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane()));
+        let c1 =
+            runner::run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane_power_opt()));
+        (spin, hp, c1)
+    });
+
     let mut ratios_avg = Vec::new();
     let mut ratios_tail = Vec::new();
     let mut crossovers = Vec::new();
+    let mut it = results.iter();
 
     for workload in &workloads {
         let mut table = Table::new(
@@ -43,13 +63,7 @@ fn main() {
         let mut hp_pts = Vec::new();
         let mut spin_tail_pts = Vec::new();
         for &q in &queue_sweep {
-            // Arrivals concentrated in one queue; the rest are empty — the
-            // zero-load sweep isolates the cost of checking empty queues.
-            let cfg = experiment(&opts, *workload, TrafficShape::SingleQueue, q);
-            let spin = runner::run_zero_load(&cfg);
-            let hp = runner::run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane()));
-            let c1 =
-                runner::run_zero_load(&cfg.clone().with_notifier(Notifier::hyperplane_power_opt()));
+            let (spin, hp, c1) = it.next().expect("one result per sweep point");
             ratios_avg.push(spin.mean_latency_us() / hp.mean_latency_us());
             ratios_tail.push(spin.p99_latency_us() / hp.p99_latency_us());
             if crossover.is_none() && c1.mean_latency_us() <= spin.mean_latency_us() {

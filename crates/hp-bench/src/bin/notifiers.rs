@@ -20,6 +20,26 @@ fn main() {
         ("hyperplane", Notifier::hyperplane()),
     ];
 
+    let mut points = Vec::new();
+    for &q in &queue_sweep {
+        for (_, notifier) in notifiers {
+            points.push((q, notifier));
+        }
+    }
+    let results = opts.sweep().run(points, |(q, notifier)| {
+        let cfg = experiment(
+            &opts,
+            WorkloadKind::PacketEncap,
+            TrafficShape::SingleQueue,
+            q,
+        )
+        .with_notifier(notifier);
+        (
+            runner::peak_throughput(&cfg).throughput_mtps(),
+            runner::run_zero_load(&cfg).mean_latency_us(),
+        )
+    });
+
     let mut tput = Table::new(
         "Peak throughput (Mtasks/s) — packet encapsulation, SQ traffic, 1 core",
         &["queues", "interrupt", "spinning", "hyperplane"],
@@ -28,19 +48,13 @@ fn main() {
         "Zero-load mean latency (us)",
         &["queues", "interrupt", "spinning", "hyperplane"],
     );
-    for &q in &queue_sweep {
+    for (qi, &q) in queue_sweep.iter().enumerate() {
         let mut t_cells = vec![q.to_string()];
         let mut l_cells = vec![q.to_string()];
-        for (_, notifier) in notifiers {
-            let cfg = experiment(
-                &opts,
-                WorkloadKind::PacketEncap,
-                TrafficShape::SingleQueue,
-                q,
-            )
-            .with_notifier(notifier);
-            t_cells.push(f3(runner::peak_throughput(&cfg).throughput_mtps()));
-            l_cells.push(f2(runner::run_zero_load(&cfg).mean_latency_us()));
+        for ni in 0..notifiers.len() {
+            let (mtps, us) = results[qi * notifiers.len() + ni];
+            t_cells.push(f3(mtps));
+            l_cells.push(f2(us));
         }
         tput.row(t_cells);
         lat.row(l_cells);

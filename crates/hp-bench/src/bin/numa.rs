@@ -21,6 +21,31 @@ fn cfg(opts: &HarnessOpts, shape: TrafficShape, steal: bool) -> ExperimentConfig
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let sweep = opts.sweep();
+    let shapes = [
+        TrafficShape::SingleQueue, // extreme skew: all load on socket 0
+        TrafficShape::ProportionallyConcentrated,
+        TrafficShape::FullyBalanced,
+    ];
+
+    // Common load reference per shape so latency cells are comparable.
+    let refs = sweep.run(shapes.to_vec(), |shape| {
+        runner::peak_throughput(&cfg(&opts, shape, true)).throughput_tps
+    });
+
+    let mut points = Vec::new();
+    for (shape, &ref_tps) in shapes.iter().zip(&refs) {
+        for steal in [false, true] {
+            points.push((*shape, steal, ref_tps));
+        }
+    }
+    let results = sweep.run(points.clone(), |(shape, steal, ref_tps)| {
+        let c = cfg(&opts, shape, steal);
+        let sat = runner::peak_throughput(&c);
+        let loaded = runner::run_at_load(&c, ref_tps, 0.6);
+        (sat, loaded)
+    });
+
     let mut table = Table::new(
         "NUMA work stealing: 2 sockets x 2 cores, crypto forwarding",
         &[
@@ -31,26 +56,15 @@ fn main() {
             "busy_cores",
         ],
     );
-    for shape in [
-        TrafficShape::SingleQueue, // extreme skew: all load on socket 0
-        TrafficShape::ProportionallyConcentrated,
-        TrafficShape::FullyBalanced,
-    ] {
-        // Common load reference so latency cells are comparable.
-        let ref_tps = runner::peak_throughput(&cfg(&opts, shape, true)).throughput_tps;
-        for steal in [false, true] {
-            let c = cfg(&opts, shape, steal);
-            let sat = runner::peak_throughput(&c);
-            let loaded = runner::run_at_load(&c, ref_tps, 0.6);
-            let busy = sat.per_core.iter().filter(|t| t.completions > 50).count();
-            table.row(vec![
-                shape.label().to_string(),
-                if steal { "yes" } else { "no" }.to_string(),
-                f3(sat.throughput_mtps()),
-                f2(loaded.p99_latency_us()),
-                busy.to_string(),
-            ]);
-        }
+    for ((shape, steal, _), (sat, loaded)) in points.iter().zip(&results) {
+        let busy = sat.per_core.iter().filter(|t| t.completions > 50).count();
+        table.row(vec![
+            shape.label().to_string(),
+            if *steal { "yes" } else { "no" }.to_string(),
+            f3(sat.throughput_mtps()),
+            f2(loaded.p99_latency_us()),
+            busy.to_string(),
+        ]);
     }
     table.print(&opts);
 

@@ -25,7 +25,7 @@ fn main() {
     .with_notifier(Notifier::hyperplane());
     base.target_completions = opts.completions(24_000);
 
-    let peak = runner::peak_throughput(&base).throughput_tps;
+    let peak = runner::peak_throughput_with(&base, opts.threads).throughput_tps;
 
     // Premium tenant on queue 0 (weight 8); best-effort tenants elsewhere.
     let mut weighted = base.clone();
@@ -40,8 +40,12 @@ fn main() {
         "QoS: per-queue mean latency (us) at 80% load, RR vs WRR[q0=8]",
         &["queue", "round_robin", "wrr_8_1", "speedup_q0"],
     );
-    let rr = runner::run_at_load(&base, peak, 0.8);
-    let wrr = runner::run_at_load(&weighted, peak, 0.8);
+    // The RR and WRR drives are independent: run them as a two-point sweep.
+    let mut results = opts.sweep().run(vec![base, weighted], |cfg| {
+        runner::run_at_load(&cfg, peak, 0.8)
+    });
+    let wrr = results.pop().expect("two sweep results");
+    let rr = results.pop().expect("two sweep results");
     let rr_lat = rr.per_queue_latency_us();
     let wrr_lat = wrr.per_queue_latency_us();
     for q in 0..QUEUES {

@@ -28,6 +28,24 @@ fn main() {
         TrafficShape::NonproportionallyConcentrated,
     ];
 
+    let mut points = Vec::new();
+    for workload in &workloads {
+        for shape in shapes {
+            for &q in &queue_sweep {
+                points.push((*workload, shape, q));
+            }
+        }
+    }
+    let results = opts.sweep().run(points.clone(), |(workload, shape, q)| {
+        let cfg = experiment(&opts, workload, shape, q);
+        let hp_cfg = cfg.clone().with_notifier(Notifier::hyperplane());
+        let ts = runner::peak_throughput(&cfg).throughput_tps;
+        let th = runner::peak_throughput(&hp_cfg).throughput_tps;
+        let ls = runner::run_zero_load(&cfg).p99_latency_us();
+        let lh = runner::run_zero_load(&hp_cfg).p99_latency_us();
+        (th / ts, ls / lh)
+    });
+
     let mut tput = Vec::new();
     let mut tail = Vec::new();
     let mut table = Table::new(
@@ -40,26 +58,16 @@ fn main() {
             "p99_improvement",
         ],
     );
-    for workload in &workloads {
-        for shape in shapes {
-            for &q in &queue_sweep {
-                let cfg = experiment(&opts, *workload, shape, q);
-                let hp_cfg = cfg.clone().with_notifier(Notifier::hyperplane());
-                let ts = runner::peak_throughput(&cfg).throughput_tps;
-                let th = runner::peak_throughput(&hp_cfg).throughput_tps;
-                let ls = runner::run_zero_load(&cfg).p99_latency_us();
-                let lh = runner::run_zero_load(&hp_cfg).p99_latency_us();
-                tput.push(th / ts);
-                tail.push(ls / lh);
-                table.row(vec![
-                    workload.name().into(),
-                    shape.label().into(),
-                    q.to_string(),
-                    ratio(th / ts),
-                    ratio(ls / lh),
-                ]);
-            }
-        }
+    for ((workload, shape, q), &(t, l)) in points.iter().zip(&results) {
+        tput.push(t);
+        tail.push(l);
+        table.row(vec![
+            workload.name().into(),
+            shape.label().into(),
+            q.to_string(),
+            ratio(t),
+            ratio(l),
+        ]);
     }
     table.print(&opts);
 

@@ -39,35 +39,42 @@ fn main() {
     );
 
     // M/M/1 and M/G/1: one HyperPlane core, one queue.
+    let mut mg1_points = Vec::new();
     for (dist, scv, name) in [
         (Distribution::Exponential, 1.0, "M/M/1"),
         (Distribution::Constant, 0.0, "M/D/1"),
         (Distribution::HyperExp { cv: 2.0 }, 4.0, "M/H2/1 (cv=2)"),
     ] {
         for rho in [0.3, 0.6, 0.8] {
-            let mut cfg = experiment(&opts, workload, TrafficShape::SingleQueue, 1)
-                .with_notifier(Notifier::hyperplane());
-            cfg.service_dist = dist;
-            cfg.target_completions = opts.completions(40_000);
-            cfg.queue_cap = 100_000; // theory assumes no drops
-            let lambda_per_us = rho / es_us;
-            let cfg = cfg.with_load(Load::RatePerSec(lambda_per_us * 1e6));
-            let sim = runner::run(cfg).mean_latency_us();
-            let theory = analytic::mg1_sojourn(lambda_per_us, es_us, scv);
-            let delta = (sim - theory) / theory * 100.0;
-            table.row(vec![
-                name.to_string(),
-                format!("{:.0}%", rho * 100.0),
-                f2(theory),
-                f2(sim),
-                format!("{delta:+.1}"),
-            ]);
+            mg1_points.push((dist, scv, name, rho));
         }
+    }
+    let mg1_sims = opts.sweep().run(mg1_points.clone(), |(dist, _, _, rho)| {
+        let mut cfg = experiment(&opts, workload, TrafficShape::SingleQueue, 1)
+            .with_notifier(Notifier::hyperplane());
+        cfg.service_dist = dist;
+        cfg.target_completions = opts.completions(40_000);
+        cfg.queue_cap = 100_000; // theory assumes no drops
+        let lambda_per_us = rho / es_us;
+        let cfg = cfg.with_load(Load::RatePerSec(lambda_per_us * 1e6));
+        runner::run(cfg).mean_latency_us()
+    });
+    for ((_, scv, name, rho), &sim) in mg1_points.iter().zip(&mg1_sims) {
+        let theory = analytic::mg1_sojourn(rho / es_us, es_us, *scv);
+        let delta = (sim - theory) / theory * 100.0;
+        table.row(vec![
+            name.to_string(),
+            format!("{:.0}%", rho * 100.0),
+            f2(theory),
+            f2(sim),
+            format!("{delta:+.1}"),
+        ]);
     }
 
     // M/M/c: four cores scale-up sharing one hot queue class. Use FB over
     // 4 queues so all cores can serve concurrently.
-    for rho in [0.3, 0.6, 0.8] {
+    let rhos = [0.3, 0.6, 0.8];
+    let mmc_sims = opts.sweep().run(rhos.to_vec(), |rho| {
         let mut cfg = experiment(&opts, workload, TrafficShape::FullyBalanced, 4)
             .with_cores(4, 4)
             .with_notifier(Notifier::hyperplane());
@@ -76,8 +83,10 @@ fn main() {
         cfg.queue_cap = 100_000;
         let lambda_per_us = 4.0 * rho / es_us;
         let cfg = cfg.with_load(Load::RatePerSec(lambda_per_us * 1e6));
-        let sim = runner::run(cfg).mean_latency_us();
-        let theory = analytic::mmc_sojourn(lambda_per_us, 1.0 / es_us, 4);
+        runner::run(cfg).mean_latency_us()
+    });
+    for (&rho, &sim) in rhos.iter().zip(&mmc_sims) {
+        let theory = analytic::mmc_sojourn(4.0 * rho / es_us, 1.0 / es_us, 4);
         let delta = (sim - theory) / theory * 100.0;
         table.row(vec![
             "M/M/4 (scale-up)".to_string(),

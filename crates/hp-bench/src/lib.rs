@@ -8,7 +8,11 @@
 //! * `--quick` — cut sample counts and sweep points for a fast smoke run;
 //! * `--csv` — emit machine-readable CSV after the human-readable table;
 //! * `--json` — additionally append every table row as a JSON object to
-//!   `results/<binary>.jsonl` (one line per row, ready for `jq`/pandas).
+//!   `results/<binary>.jsonl` (one line per row, ready for `jq`/pandas);
+//! * `--threads N` — worker threads for independent sweep points (default:
+//!   all hardware threads). Every simulation is a pure function of its
+//!   seeded config, so any `N` — including `--threads 1` — produces
+//!   byte-identical tables and JSONL.
 //!
 //! The shared helpers here keep the binaries small: aligned table
 //! printing, CSV/JSONL emission, and the harness-wide experiment defaults.
@@ -18,6 +22,7 @@
 
 pub mod microbench;
 pub mod plot;
+pub mod sweep;
 
 use hp_bytes::json::JsonWriter;
 use hp_sdp::config::ExperimentConfig;
@@ -34,6 +39,8 @@ pub struct HarnessOpts {
     pub csv: bool,
     /// Append table rows as JSONL under `results/<bin>.jsonl`.
     pub json: bool,
+    /// Worker threads for fanning out independent sweep points.
+    pub threads: usize,
     /// Binary name (file stem of `argv[0]`), used for the JSONL path.
     pub bin: String,
 }
@@ -47,12 +54,29 @@ impl HarnessOpts {
             .map(PathBuf::from)
             .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
             .unwrap_or_else(|| "bench".to_string());
+        let threads = match args.iter().position(|a| a == "--threads") {
+            Some(i) => args
+                .get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("error: --threads requires a positive integer");
+                    std::process::exit(2);
+                }),
+            None => hp_par::available_parallelism(),
+        };
         HarnessOpts {
             quick: args.iter().any(|a| a == "--quick"),
             csv: args.iter().any(|a| a == "--csv"),
             json: args.iter().any(|a| a == "--json"),
+            threads,
             bin,
         }
+    }
+
+    /// The sweep executor for this option set.
+    pub fn sweep(&self) -> sweep::SweepRunner {
+        sweep::SweepRunner::new(self.threads)
     }
 
     /// Path of the JSONL sink for this binary (`results/<bin>.jsonl`).
@@ -235,6 +259,7 @@ mod tests {
             quick,
             csv: false,
             json: false,
+            threads: 1,
             bin: "test".to_string(),
         }
     }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod dir;
 pub mod system;
 pub mod types;
 

@@ -17,9 +17,9 @@
 //!   directories.
 
 use crate::cache::{CacheConfig, Insert, MesiState, SetAssocCache};
+use crate::dir::DirTable;
 use crate::types::{AccessKind, Addr, CoreId, HitLevel, LineAddr};
 use hp_sim::time::Cycles;
-use std::collections::HashMap;
 
 /// Access latencies for each level of the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,7 +131,7 @@ impl CoreMemStats {
 pub struct MemSystem {
     l1s: Vec<SetAssocCache>,
     llc: SetAssocCache,
-    directory: HashMap<u64, DirEntry>,
+    directory: DirTable<DirEntry>,
     latency: LatencyModel,
     stats: Vec<CoreMemStats>,
     getm_count: u64,
@@ -186,7 +186,7 @@ impl MemSystem {
                 .map(|_| SetAssocCache::new(config.l1))
                 .collect(),
             llc: SetAssocCache::new(config.llc),
-            directory: HashMap::new(),
+            directory: DirTable::new(),
             latency: config.latency,
             stats: vec![CoreMemStats::default(); config.cores],
             getm_count: 0,
@@ -259,12 +259,12 @@ impl MemSystem {
         if self.l1s[core.0].state(line).is_some() {
             return;
         }
-        if let Some(entry) = self.directory.get(&line.0) {
+        if let Some(entry) = self.directory.get(line.0) {
             if entry.owner.is_some() {
                 return;
             }
         }
-        self.directory.entry(line.0).or_default().sharers |= 1 << core.0;
+        self.directory.entry_or_default(line.0).sharers |= 1 << core.0;
         self.fill_llc(line);
         self.fill_l1(core, line, MesiState::Shared);
         self.prefetch_fills += 1;
@@ -285,7 +285,7 @@ impl MemSystem {
             };
         }
 
-        let entry = self.directory.entry(line.0).or_default();
+        let entry = self.directory.entry_or_default(line.0);
         let level = if let Some(owner) = entry.owner {
             if owner == core {
                 // Directory thought we owned it but the L1 evicted it
@@ -312,7 +312,7 @@ impl MemSystem {
         // upgrade this enables is exactly why QWAIT's re-arm must issue a
         // GetS probe (modeled by `probe_shared`).
         let sole = {
-            let entry = self.directory.get(&line.0).expect("just inserted");
+            let entry = self.directory.get(line.0).expect("just inserted");
             entry.sharers == (1 << core.0) && entry.owner.is_none()
         };
         let state = if sole {
@@ -321,8 +321,8 @@ impl MemSystem {
             MesiState::Shared
         };
         if sole {
-            self.directory.get_mut(&line.0).expect("present").owner = Some(core);
-            self.directory.get_mut(&line.0).expect("present").sharers = 0;
+            self.directory.get_mut(line.0).expect("present").owner = Some(core);
+            self.directory.get_mut(line.0).expect("present").sharers = 0;
         }
         self.fill_llc(line);
         self.fill_l1(core, line, state);
@@ -358,7 +358,7 @@ impl MemSystem {
                 // Upgrade: GetM invalidating other sharers; directory access.
                 self.getm_count += 1;
                 self.invalidate_others(core, line);
-                let entry = self.directory.entry(line.0).or_default();
+                let entry = self.directory.entry_or_default(line.0);
                 entry.owner = Some(core);
                 entry.sharers = 0;
                 self.l1s[core.0].set_state(line, MesiState::Modified);
@@ -376,7 +376,7 @@ impl MemSystem {
         self.getm_count += 1;
         let remote_owner = self
             .directory
-            .get(&line.0)
+            .get(line.0)
             .and_then(|e| e.owner)
             .filter(|&o| o != core);
         let level = if let Some(owner) = remote_owner {
@@ -393,7 +393,7 @@ impl MemSystem {
             HitLevel::Memory
         };
 
-        let entry = self.directory.entry(line.0).or_default();
+        let entry = self.directory.entry_or_default(line.0);
         entry.owner = Some(core);
         entry.sharers = 0;
         self.fill_llc(line);
@@ -415,7 +415,7 @@ impl MemSystem {
     /// line has no owner and the writes cannot be performed locally",
     /// §III-B).
     pub fn probe_shared(&mut self, line: LineAddr) -> Cycles {
-        if let Some(entry) = self.directory.get_mut(&line.0) {
+        if let Some(entry) = self.directory.get_mut(line.0) {
             if let Some(owner) = entry.owner.take() {
                 entry.sharers |= 1 << owner.0;
                 self.l1s[owner.0].set_state(line, MesiState::Shared);
@@ -427,8 +427,8 @@ impl MemSystem {
     }
 
     fn invalidate_others(&mut self, core: CoreId, line: LineAddr) {
-        let sharers = self.directory.get(&line.0).map(|e| e.sharers).unwrap_or(0);
-        let owner = self.directory.get(&line.0).and_then(|e| e.owner);
+        let sharers = self.directory.get(line.0).map(|e| e.sharers).unwrap_or(0);
+        let owner = self.directory.get(line.0).and_then(|e| e.owner);
         for i in 0..self.l1s.len() {
             let holds = (sharers >> i) & 1 == 1 || owner == Some(CoreId(i));
             if i != core.0 && holds && self.l1s[i].invalidate(line).is_some() {
@@ -441,7 +441,7 @@ impl MemSystem {
         if let Insert::Evicted(victim, victim_state) = self.l1s[core.0].insert(line, state) {
             // Writeback of M lines lands in the LLC; directory forgets the
             // private copy either way.
-            if let Some(entry) = self.directory.get_mut(&victim.0) {
+            if let Some(entry) = self.directory.get_mut(victim.0) {
                 if entry.owner == Some(core) {
                     entry.owner = None;
                 }
@@ -461,7 +461,7 @@ impl MemSystem {
                     self.invalidations += 1;
                 }
             }
-            self.directory.remove(&victim.0);
+            self.directory.remove(victim.0);
         }
     }
 }

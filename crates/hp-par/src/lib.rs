@@ -1,0 +1,202 @@
+//! # hp-par — hermetic scoped-thread parallelism
+//!
+//! A dependency-free stand-in for the slice of `rayon` the HyperPlane
+//! workspace needs: fan a vector of independent jobs across a bounded set
+//! of worker threads and collect the results **in input order**. Like
+//! `hp-rand` and `hp-bytes`, it exists because the workspace must build in
+//! hermetic offline environments — so the executor is ~100 lines of
+//! `std::thread::scope`, not an external crate.
+//!
+//! ## Determinism contract
+//!
+//! [`par_map`] guarantees that the returned vector is ordered by input
+//! index regardless of worker count or OS scheduling, and that each job
+//! runs exactly once. Jobs must be independent (they only share `&F`); for
+//! pure jobs — such as `Engine::run`, which is a deterministic function of
+//! its `ExperimentConfig` — the output is therefore *bit-identical* for
+//! any `threads` value, including 1. This is the property the parallel
+//! sweep executor's byte-identical-JSONL acceptance test pins.
+//!
+//! Worker panics propagate to the caller (via `std::thread::scope`), so a
+//! failed job cannot be silently dropped from the results.
+//!
+//! ## Example
+//!
+//! ```
+//! let squares = hp_par::par_map(4, (0u64..100).collect(), |x| x * x);
+//! assert_eq!(squares[7], 49); // input order, any thread count
+//! assert_eq!(squares, hp_par::par_map(1, (0u64..100).collect(), |x| x * x));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of hardware threads available to this process (1 if unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every element of `items` using up to `threads` scoped
+/// worker threads and returns the results **in input order**.
+///
+/// `threads` is clamped to `[1, items.len()]`; with one worker (or one
+/// item) the map degenerates to a plain serial loop with no threads
+/// spawned, so `--threads 1` reproduces serial behaviour exactly. Workers
+/// pull jobs from a shared queue, so uneven job costs balance
+/// automatically.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (after all workers have been
+/// joined by the scope).
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let jobs: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // A poisoned lock means a sibling worker panicked while
+                // holding it; the panic is already propagating through the
+                // scope, so just take the inner value and wind down.
+                let job = jobs.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+                let Some((idx, item)) = job else { break };
+                let out = f(item);
+                results.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|r| r.expect("every job ran exactly once"))
+        .collect()
+}
+
+/// A reusable handle bundling a worker-thread budget, for callers that
+/// thread a `--threads N` option through several sweep phases.
+///
+/// The pool is *scoped*: threads live only for the duration of each
+/// [`ThreadPool::par_map`] call (workers borrow the job closure, which a
+/// persistent pool could not do without `unsafe` or `Arc` plumbing), so a
+/// `ThreadPool` is just a validated thread count. Spawn cost is
+/// microseconds per call against sweep points that each run for
+/// milliseconds to seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to [`available_parallelism`].
+    pub fn machine_sized() -> Self {
+        Self::new(available_parallelism())
+    }
+
+    /// The worker budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// [`par_map`] with this pool's worker budget.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        par_map(self.threads, items, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_input_order_for_any_thread_count() {
+        let input: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map(threads, input.clone(), |x| x * 3 + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let out = par_map(7, (0..100).collect::<Vec<i32>>(), |x| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(8, empty, |x: u8| x).is_empty());
+        assert_eq!(par_map(8, vec![9u8], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn uneven_job_costs_still_order_correctly() {
+        // Early jobs sleep longest: without index tracking, results would
+        // come back reversed.
+        let got = par_map(4, (0u64..16).collect(), |x| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - x));
+            x
+        });
+        assert_eq!(got, (0u64..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, (0..8).collect::<Vec<i32>>(), |x| {
+                if x == 5 {
+                    panic!("job failed");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_is_a_validated_thread_count() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+        assert_eq!(ThreadPool::new(6).threads(), 6);
+        assert!(ThreadPool::machine_sized().threads() >= 1);
+        assert_eq!(
+            ThreadPool::new(3).par_map((0..9).collect::<Vec<i32>>(), |x| -x),
+            (0..9).map(|x| -x).collect::<Vec<i32>>()
+        );
+    }
+}

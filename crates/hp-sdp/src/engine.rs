@@ -204,6 +204,10 @@ pub struct Engine {
     item_seq: u64,
     enq_slot: Vec<u64>,
     deq_slot: Vec<u64>,
+    /// Reusable dequeue buffer: filled by `dequeue_batch`, borrowed by
+    /// `process_items`, retained across steps so the hot loop never
+    /// allocates.
+    deq_scratch: Vec<WorkItem>,
     warmup_completions: u64,
     measure_start: Option<SimTime>,
     saturation_rate: f64,
@@ -377,6 +381,7 @@ impl Engine {
             item_seq: 0,
             enq_slot: vec![0; n_queues],
             deq_slot: vec![0; n_queues],
+            deq_scratch: Vec::with_capacity(cfg.batch.max(IRQ_NAPI_BUDGET)),
             warmup_completions,
             measure_start: None,
             saturation_rate: rate,
@@ -652,9 +657,13 @@ impl Engine {
         let prod = self.producer_core(q);
         let slot = self.enq_slot[qi];
         self.enq_slot[qi] += 1;
-        let lines: Vec<Addr> = self.layout.buffer_lines(q, slot).collect();
-        for a in lines {
-            self.mem.access(prod, a, AccessKind::Store);
+        {
+            // Split borrow: the line iterator borrows `layout` while the
+            // accesses mutate `mem` — no per-arrival Vec needed.
+            let Self { layout, mem, .. } = self;
+            for a in layout.buffer_lines(q, slot) {
+                mem.access(prod, a, AccessKind::Store);
+            }
         }
         let ring = self.mem.access(prod, self.doorbell[qi], AccessKind::Store);
         self.tracer
@@ -868,10 +877,11 @@ impl Engine {
         let sync = if self.cfg.cluster > 1 { CAS_CYCLES } else { 0 };
         total += sync;
         let batch = self.cfg.batch.min(self.queues[qi].depth());
-        let (items, deq_cost) = self.dequeue_batch(c, q, batch);
-        total += deq_cost;
+        total += self.dequeue_batch(c, q, batch);
         let deq_instant = now + Cycles(total);
+        let items = std::mem::take(&mut self.deq_scratch);
         total += self.process_items(now, c, q, &items, total, deq_instant);
+        self.deq_scratch = items;
         self.core_ptr[c] = (ptr + 1) % qlist_len;
         self.telem[c].active_cycles += total;
         self.ev.schedule_after(Cycles(total), Ev::CoreStep(c));
@@ -902,10 +912,11 @@ impl Engine {
         // re-arm (drained) or reschedule ourselves (still backlogged).
         let batch = IRQ_NAPI_BUDGET.min(self.queues[qi].depth());
         if batch > 0 {
-            let (items, deq_cost) = self.dequeue_batch(c, q, batch);
-            total += deq_cost;
+            total += self.dequeue_batch(c, q, batch);
             let deq_instant = now + Cycles(total);
+            let items = std::mem::take(&mut self.deq_scratch);
             total += self.process_items(now, c, q, &items, total, deq_instant);
+            self.deq_scratch = items;
         }
         if self.queues[qi].is_empty() {
             self.irq_armed[qi] = true;
@@ -1012,9 +1023,9 @@ impl Engine {
         }
 
         let batch = self.cfg.batch.min(self.queues[qi].depth());
-        let (items, deq_cost) = self.dequeue_batch(c, qid, batch);
-        total += deq_cost;
+        total += self.dequeue_batch(c, qid, batch);
         let deq_instant = now + Cycles(total);
+        let items = std::mem::take(&mut self.deq_scratch);
 
         // QWAIT-RECONSIDER placement (paper §III-B): Algorithm 1's default
         // reconsiders *between* dequeue and process, allowing a sibling
@@ -1028,6 +1039,7 @@ impl Engine {
             total += self.reconsider(c, group, qid, now);
         }
         total += self.process_items(now, c, qid, &items, total, deq_instant);
+        self.deq_scratch = items;
         if self.cfg.in_order {
             // Charge the instruction cost now; fire the device-state
             // change when processing completes in simulated time.
@@ -1201,7 +1213,10 @@ impl Engine {
     /// Dequeues up to `batch` items from `q`: descriptor read + doorbell
     /// decrement (a consumer store, issued while the entry is disarmed so
     /// it cannot self-wake — §III-B). Returns the items and cycles charged.
-    fn dequeue_batch(&mut self, c: usize, q: QueueId, batch: usize) -> (Vec<WorkItem>, u64) {
+    /// The dequeued items land in `self.deq_scratch` (cleared first) so the
+    /// per-step buffer is reused instead of reallocated; callers
+    /// `mem::take` it around `process_items` and put it back.
+    fn dequeue_batch(&mut self, c: usize, q: QueueId, batch: usize) -> u64 {
         let core = self.dp_core(c);
         let qi = q.0 as usize;
         let mut cost = 0u64;
@@ -1215,17 +1230,17 @@ impl Engine {
             .access(core, self.doorbell[qi], AccessKind::Store)
             .latency
             .count();
-        let mut items = Vec::with_capacity(batch);
+        self.deq_scratch.clear();
         for _ in 0..batch {
             match self.queues[qi].dequeue() {
                 Some(item) => {
                     self.telem[c].useful_instructions += DEQ_INSTR;
-                    items.push(item);
+                    self.deq_scratch.push(item);
                 }
                 None => break,
             }
         }
-        (items, cost)
+        cost
     }
 
     /// Transport-processes `items` from `q`: buffer streaming, service
@@ -1248,10 +1263,12 @@ impl Engine {
             // Stream the payload buffer lines (MLP-overlapped).
             let slot = self.deq_slot[qi];
             self.deq_slot[qi] += 1;
-            let lines: Vec<Addr> = self.layout.buffer_lines(q, slot).collect();
             let mut buf_lat = 0u64;
-            for a in lines {
-                buf_lat += self.mem.access(core, a, AccessKind::Load).latency.count();
+            {
+                let Self { layout, mem, .. } = self;
+                for a in layout.buffer_lines(q, slot) {
+                    buf_lat += mem.access(core, a, AccessKind::Load).latency.count();
+                }
             }
             total += buf_lat / MLP;
 

@@ -1,0 +1,48 @@
+//! Single-thread simulation-kernel speed measurement.
+//!
+//! Runs two bare (untraced) configurations that exercise the engine hot
+//! loop — the event scheduler, the coherence directory, and per-event
+//! bookkeeping — and reports events/sec from `hp_sim::profile`. This is
+//! the number `BENCH_speed.json` records as
+//! `single_thread_events_per_sec`.
+//!
+//! ```sh
+//! cargo run --release --example speed
+//! ```
+
+use hyperplane::prelude::*;
+use hyperplane::traffic::shape::TrafficShape;
+use hyperplane::workloads::service::WorkloadKind;
+
+fn measure(label: &str, cfg: ExperimentConfig) -> (u64, f64) {
+    // Warm caches/allocator with one short run, then measure.
+    let mut warm = cfg.clone();
+    warm.target_completions = 1_000;
+    let _ = run(warm);
+    let r = run(cfg);
+    let events = r.kernel_profile().map(|p| p.total_events()).unwrap_or(0);
+    let eps = r.events_per_sec_wall();
+    println!(
+        "{label:>28}: {events:>9} events in {:.3} s wall  ({:.0} events/s)",
+        r.wall_secs(),
+        eps
+    );
+    (events, eps)
+}
+
+fn main() {
+    let mut spin = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::SingleQueue, 500);
+    spin.target_completions = 8_000;
+    let mut hp = spin.clone().with_notifier(Notifier::hyperplane());
+    hp.target_completions = 60_000;
+
+    let (se, sw) = measure("spinning sq500 saturation", spin);
+    let (he, hw) = measure("hyperplane sq500 saturation", hp);
+    let total = se + he;
+    let secs = se as f64 / sw + he as f64 / hw;
+    println!(
+        "{:>28}: {total} events in {secs:.3} s wall  ({:.0} events/s)",
+        "combined",
+        total as f64 / secs
+    );
+}

@@ -1,21 +1,37 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure of the paper into results/.
-# Usage: scripts/run_all_figures.sh [--quick] [--json]
-#   --quick  reduced sweeps for a fast smoke run
-#   --json   also append each table row to results/<bin>.jsonl and write
-#            the trace/metrics artifacts from the trace binary
+# Usage: scripts/run_all_figures.sh [--quick] [--json] [--threads N]
+#   --quick      reduced sweeps for a fast smoke run
+#   --json       also append each table row to results/<bin>.jsonl and write
+#                the trace/metrics artifacts from the trace binary
+#   --threads N  worker threads per binary (default: all cores; results are
+#                byte-identical for any N, --threads 1 runs fully serial)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=""
 json=""
+threads=""
+expect_threads=""
 for arg in "$@"; do
+  if [ -n "$expect_threads" ]; then
+    case "$arg" in
+      ''|*[!0-9]*|0)
+        echo "--threads expects a positive integer, got: $arg" >&2; exit 2 ;;
+      *) threads="--threads $arg"; expect_threads="" ;;
+    esac
+    continue
+  fi
   case "$arg" in
     --quick) quick="--quick" ;;
     --json) json="--json" ;;
-    *) echo "unknown argument: $arg (expected --quick and/or --json)" >&2; exit 2 ;;
+    --threads) expect_threads=1 ;;
+    *) echo "unknown argument: $arg (expected --quick, --json, and/or --threads N)" >&2; exit 2 ;;
   esac
 done
+if [ -n "$expect_threads" ]; then
+  echo "--threads expects a positive integer" >&2; exit 2
+fi
 
 mkdir -p results
 cargo build --release -p hp-bench --bins
@@ -27,12 +43,14 @@ fi
 
 for bin in table1 hwcost validate notifiers fig3 fig8 fig9 fig10 fig11 fig12 fig13 qos numa ablate summary; do
   echo "== $bin =="
-  ./target/release/$bin $quick $json --csv | tee "results/$bin.txt"
+  # shellcheck disable=SC2086  # word-splitting of the flag strings is intended
+  ./target/release/$bin $quick $json $threads --csv | tee "results/$bin.txt"
 done
 
 if [ -n "$json" ]; then
   echo "== trace =="
-  ./target/release/trace $quick \
+  # shellcheck disable=SC2086
+  ./target/release/trace $quick $threads \
     --trace results/trace.json \
     --metrics results/metrics.jsonl \
     --bench results/bench_trace.json | tee results/trace.txt

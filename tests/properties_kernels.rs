@@ -4,6 +4,7 @@
 
 use hp_rand::rngs::SmallRng;
 use hp_rand::{Rng, SeedableRng};
+use hyperplane::mem::dir::DirTable;
 use hyperplane::queues::sim::{QueueId, QueueLayout};
 use hyperplane::sim::event::EventQueue;
 use hyperplane::sim::time::SimTime;
@@ -11,7 +12,8 @@ use hyperplane::workloads::dispatch::{Dispatcher, Request, RequestType};
 use hyperplane::workloads::gf256::Gf256;
 use hyperplane::workloads::packet::{build_ipv4_packet, internet_checksum, GreEncapsulator};
 use hyperplane::workloads::steering::{toeplitz_hash, FlowKey, PacketSteerer, DEFAULT_RSS_KEY};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 fn random_bytes(rng: &mut SmallRng, len: usize) -> Vec<u8> {
     (0..len).map(|_| rng.random()).collect()
@@ -179,6 +181,91 @@ fn event_queue_total_order() {
                 }
             }
             last = Some((t, id));
+        }
+    }
+}
+
+/// The calendar-wheel event queue is observationally equivalent to a
+/// reference binary heap ordered by (time, insertion sequence), under
+/// arbitrary interleavings of schedules and pops. Offsets are drawn to
+/// exercise every internal regime: time ties (FIFO), the one-cycle wheel
+/// window, the far-horizon heap, and distant one-shot timers.
+#[test]
+fn calendar_queue_matches_reference_heap() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF_0009);
+    for _case in 0..60 {
+        let mut q = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut next_id = 0u32;
+        let n_ops = rng.random_range(1..400usize);
+        for _ in 0..n_ops {
+            if rng.random::<bool>() || model.is_empty() {
+                let off = match rng.random_range(0..4u8) {
+                    0 => rng.random_range(0..8u64),    // ties and immediate wakes
+                    1 => rng.random_range(0..4096),    // within the wheel window
+                    2 => rng.random_range(0..1 << 20), // far-horizon heap
+                    _ => 1 << 40,                      // distant one-shot timer
+                };
+                q.schedule_at(SimTime(now + off), next_id);
+                model.push(Reverse((now + off, seq, next_id)));
+                seq += 1;
+                next_id += 1;
+            } else {
+                let (t, id) = q.pop().expect("model is non-empty");
+                let Reverse((mt, _, mid)) = model.pop().expect("checked non-empty");
+                assert_eq!((t.0, id), (mt, mid));
+                now = mt;
+            }
+        }
+        while let Some(Reverse((mt, _, mid))) = model.pop() {
+            assert_eq!(q.pop(), Some((SimTime(mt), mid)));
+        }
+        assert!(q.pop().is_none());
+    }
+}
+
+/// Scheduling behind the queue's notion of "now" is a model bug, not a
+/// recoverable condition: the queue must refuse rather than misorder.
+#[test]
+#[should_panic(expected = "scheduling into the past")]
+fn calendar_queue_rejects_past_schedules() {
+    let mut q = EventQueue::new();
+    q.schedule_at(SimTime(100), 0u32);
+    q.pop();
+    q.schedule_at(SimTime(5), 1u32);
+}
+
+/// The open-addressed directory table behaves exactly like a `HashMap`
+/// under random insert/lookup/mutate/remove churn. Keys are clustered to
+/// force probe chains and exercise backward-shift deletion.
+#[test]
+fn dir_table_matches_hashmap_model() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF_000A);
+    for _case in 0..40 {
+        let mut t: DirTable<u64> = DirTable::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let n_ops = rng.random_range(1..600usize);
+        for _ in 0..n_ops {
+            let key = rng.random_range(0..200u64) * 0x9E37_79B9;
+            match rng.random_range(0..4u8) {
+                0 => {
+                    *t.entry_or_default(key) += 1;
+                    *model.entry(key).or_default() += 1;
+                }
+                1 => assert_eq!(t.get(key), model.get(&key)),
+                2 => {
+                    if let Some(v) = t.get_mut(key) {
+                        *v ^= 0xFF;
+                    }
+                    if let Some(v) = model.get_mut(&key) {
+                        *v ^= 0xFF;
+                    }
+                }
+                _ => assert_eq!(t.remove(key), model.remove(&key)),
+            }
+            assert_eq!(t.len(), model.len());
         }
     }
 }
