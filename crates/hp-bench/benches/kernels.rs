@@ -1,0 +1,134 @@
+//! Named microbenches for the simulation's hot kernels (ISSUE 4).
+//!
+//! Three kernels dominate the engine profile: the memory-system access
+//! path (L1 hit / LLC hit / remote ping-pong / invalidation mixes — the
+//! mixes the spinning and HyperPlane sq500 configs actually produce), the
+//! calendar-wheel event queue (schedule/pop per simulated event), and the
+//! alias-sampler draw (per arrival). `BENCH_speed.json` records the
+//! end-to-end events/s these feed into; these benches isolate each kernel
+//! so a regression is attributable.
+
+use hp_bench::microbench::Criterion;
+use hp_bench::{criterion_group, criterion_main};
+use hp_mem::system::{MemSystem, MemSystemConfig};
+use hp_mem::types::{AccessKind, Addr, CoreId};
+use hp_rand::rngs::SmallRng;
+use hp_rand::{Rng, SeedableRng};
+use hp_sim::event::EventQueue;
+use hp_sim::time::{Cycles, SimTime};
+use hp_traffic::alias::AliasTable;
+use std::hint::black_box;
+
+fn bench_mem_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem_access");
+
+    // Stable-state L1 hit: repeated loads to a small resident working set
+    // (the MRU filter + stable-state short-circuit path).
+    g.bench_function("l1_hit_load", |b| {
+        let mut m = MemSystem::new(MemSystemConfig::cmp(4));
+        for i in 0..8u64 {
+            m.access(CoreId(0), Addr(0x1000 + i * 64), AccessKind::Load);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(m.access(CoreId(0), Addr(0x1000 + (i % 8) * 64), AccessKind::Load))
+        })
+    });
+
+    // LLC hit: a 1000-line poll working set that exceeds the 512-line L1
+    // (the spinning sq500 steady state — every poll misses L1, hits LLC).
+    g.bench_function("llc_hit_load", |b| {
+        let mut m = MemSystem::new(MemSystemConfig::cmp(4));
+        for i in 0..1000u64 {
+            m.access(CoreId(0), Addr(0x10_0000 + i * 64), AccessKind::Load);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(m.access(
+                CoreId(0),
+                Addr(0x10_0000 + (i % 1000) * 64),
+                AccessKind::Load,
+            ))
+        })
+    });
+
+    // Remote ping-pong: producer stores / consumer loads alternating on
+    // the same doorbell-like line set (the HyperPlane sq500 steady state).
+    g.bench_function("remote_pingpong", |b| {
+        let mut m = MemSystem::new(MemSystemConfig::cmp(4));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let a = Addr(0x20_0000 + (i % 500) * 64);
+            m.access(CoreId(2), a, AccessKind::Store);
+            black_box(m.access(CoreId(0), a, AccessKind::Load))
+        })
+    });
+
+    // Invalidation mix: two writers alternating on one line (GetM +
+    // invalidate on every access).
+    g.bench_function("invalidate_mix", |b| {
+        let mut m = MemSystem::new(MemSystemConfig::cmp(4));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let core = CoreId((i & 1) as usize);
+            black_box(m.access(core, Addr(0x30_0000), AccessKind::Store))
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_calendar_wheel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calendar_wheel");
+
+    // Steady-state schedule/pop with a realistic standing population
+    // (arrival + per-core steps in flight), near-future delays.
+    g.bench_function("schedule_pop", |b| {
+        let mut ev: EventQueue<u32> = EventQueue::new();
+        for i in 0..8u32 {
+            ev.schedule_at(SimTime(i as u64 * 100), i);
+        }
+        let mut d = 0u64;
+        b.iter(|| {
+            let (_, payload) = ev.pop().expect("standing population");
+            d = (d * 25 + 13) % 4096;
+            ev.schedule_after(Cycles(d + 1), payload);
+            black_box(payload)
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_alias_sampler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alias_sampler");
+
+    // One draw from a 500-way skewed table (per-arrival queue pick).
+    let weights: Vec<f64> = (0..500).map(|i| 1.0 / (i + 1) as f64).collect();
+    let table = AliasTable::new(&weights).expect("valid weights");
+    let mut rng = SmallRng::seed_from_u64(42);
+    g.bench_function("draw_500", |b| b.iter(|| black_box(table.sample(&mut rng))));
+
+    // Baseline: the raw RNG draws a sample costs (range + f64).
+    g.bench_function("rng_pair", |b| {
+        b.iter(|| {
+            let i = rng.random_range(0..500usize);
+            let x = rng.random::<f64>();
+            black_box((i, x))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mem_access,
+    bench_calendar_wheel,
+    bench_alias_sampler
+);
+criterion_main!(benches);

@@ -6,7 +6,10 @@
 //!   `chrome://tracing`);
 //! * a windowed-metrics JSONL time series (one JSON object per window);
 //! * optionally a small benchmark summary JSON (`--bench`) with the
-//!   headline throughput/latency numbers of the quickstart configuration.
+//!   headline throughput/latency numbers of the quickstart configuration;
+//! * optionally the sim-kernel profile as JSON (`--profile`): per-event
+//!   counts and attributed cycles plus the memory-system fast-path
+//!   counters, so the hot-path cycle share is measurable from the CLI.
 //!
 //! ```sh
 //! cargo run --release -p hp-bench --bin trace -- \
@@ -72,6 +75,7 @@ fn main() {
     let trace_path = arg("--trace").unwrap_or_else(|| "trace.json".into());
     let metrics_path = arg("--metrics").unwrap_or_else(|| "metrics.jsonl".into());
     let bench_path = arg("--bench");
+    let profile_path = arg("--profile");
 
     // A moderate-load run gives a readable trace: lifecycle spans with
     // visible queueing, periodic halts, and non-degenerate windows.
@@ -129,6 +133,12 @@ fn main() {
             r.wall_secs(),
             r.events_per_sec_wall()
         );
+    }
+
+    if let Some(path) = profile_path {
+        let json = r.profile_json().expect("profiling is always collected");
+        std::fs::write(&path, &json).expect("write profile JSON");
+        println!("kernel profile -> {path}");
     }
 
     if let Some(path) = bench_path {

@@ -12,7 +12,11 @@
 //!   combinational loop.
 //!
 //! Both must select the same QID on every input — a property the test
-//! suite checks exhaustively and by randomized search.
+//! suite checks exhaustively and by randomized search. Because they agree,
+//! the simulated [`ReadySet::select`] computes the shared function — a
+//! circular first-fit — directly over packed 64-bit ready/mask words
+//! (one `trailing_zeros` per word); the gate-level models remain as the
+//! behavioural oracle and for [`PpaKind::gate_levels`] ablations.
 
 use hp_queues::sim::QueueId;
 
@@ -45,7 +49,9 @@ impl PpaKind {
 }
 
 /// Ripple-priority circular scan: first set bit of `req` at or after
-/// `priority_pos`, wrapping.
+/// `priority_pos`, wrapping. Gate-level model, kept as the oracle the
+/// packed-bitmap [`ReadySet::select`] is tested against.
+#[cfg(test)]
 fn ripple_select(req: &[bool], priority_pos: usize) -> Option<usize> {
     let n = req.len();
     (0..n).map(|i| (priority_pos + i) % n).find(|&idx| req[idx])
@@ -53,6 +59,7 @@ fn ripple_select(req: &[bool], priority_pos: usize) -> Option<usize> {
 
 /// Exclusive prefix-OR via the Brent–Kung (Blelloch) network. Returns the
 /// exclusive scan and the number of combine levels used.
+#[cfg(test)]
 fn brent_kung_exclusive_prefix_or(x: &[bool]) -> (Vec<bool>, u32) {
     let n = x.len().next_power_of_two().max(1);
     let mut a = vec![false; n];
@@ -90,6 +97,7 @@ fn brent_kung_exclusive_prefix_or(x: &[bool]) -> (Vec<bool>, u32) {
 /// Brent–Kung select: thermometer-mask the requests at/after the priority
 /// position, isolate the lowest set bit with a prefix-OR network, and fall
 /// back to the unmasked vector for wrap-around.
+#[cfg(test)]
 fn brent_kung_select(req: &[bool], priority_pos: usize) -> Option<usize> {
     let n = req.len();
     if n == 0 {
@@ -149,8 +157,12 @@ pub struct ReadySetStats {
 #[derive(Debug)]
 pub struct ReadySet {
     n: usize,
-    ready: Vec<bool>,
-    mask: Vec<bool>,
+    /// Ready bits, packed 64 per word (bit `i%64` of word `i/64`).
+    /// Bits at indices `>= n` are never set, so word scans cannot grant
+    /// an out-of-range QID.
+    ready: Vec<u64>,
+    /// Enable-mask bits, packed the same way (tail bits stay zero).
+    mask: Vec<u64>,
     policy: ServicePolicy,
     ppa: PpaKind,
     /// Next-priority position for round-robin.
@@ -176,10 +188,18 @@ impl ReadySet {
             // QID 0 opens holding priority with a full credit of its weight.
             wrr_credit = weights[0].max(1);
         }
+        let words = n.div_ceil(64);
+        let mut mask = vec![!0u64; words];
+        // Clear the tail bits past `n` so word scans and popcounts never
+        // see a phantom QID.
+        let tail = n % 64;
+        if tail != 0 {
+            mask[words - 1] = (1u64 << tail) - 1;
+        }
         ReadySet {
             n,
-            ready: vec![false; n],
-            mask: vec![true; n],
+            ready: vec![0u64; words],
+            mask,
             policy,
             ppa,
             rr_next: 0,
@@ -225,23 +245,26 @@ impl ReadySet {
     /// Panics if `qid` is out of range.
     pub fn activate(&mut self, qid: QueueId) {
         self.check(qid);
-        if !self.ready[qid.0 as usize] {
+        let (w, b) = (qid.0 as usize / 64, qid.0 as usize % 64);
+        if self.ready[w] & (1 << b) == 0 {
             self.stats.activations += 1;
         }
-        self.ready[qid.0 as usize] = true;
+        self.ready[w] |= 1 << b;
     }
 
     /// Whether `qid`'s ready bit is set.
     pub fn is_ready(&self, qid: QueueId) -> bool {
         self.check(qid);
-        self.ready[qid.0 as usize]
+        self.ready[qid.0 as usize / 64] & (1 << (qid.0 as usize % 64)) != 0
     }
 
     /// Number of QIDs currently ready and unmasked.
     pub fn ready_count(&self) -> usize {
-        (0..self.n)
-            .filter(|&i| self.ready[i] && self.mask[i])
-            .count()
+        self.ready
+            .iter()
+            .zip(&self.mask)
+            .map(|(r, m)| (r & m).count_ones() as usize)
+            .sum()
     }
 
     /// `QWAIT-ENABLE`: allow `qid` to be selected again.
@@ -251,7 +274,7 @@ impl ReadySet {
     /// Panics if `qid` is out of range.
     pub fn enable(&mut self, qid: QueueId) {
         self.check(qid);
-        self.mask[qid.0 as usize] = true;
+        self.mask[qid.0 as usize / 64] |= 1 << (qid.0 as usize % 64);
     }
 
     /// `QWAIT-DISABLE`: temporarily inhibit `qid` (e.g. rate limiting /
@@ -262,20 +285,45 @@ impl ReadySet {
     /// Panics if `qid` is out of range.
     pub fn disable(&mut self, qid: QueueId) {
         self.check(qid);
-        self.mask[qid.0 as usize] = false;
+        self.mask[qid.0 as usize / 64] &= !(1 << (qid.0 as usize % 64));
     }
 
     /// Whether `qid` is currently enabled.
     pub fn is_enabled(&self, qid: QueueId) -> bool {
         self.check(qid);
-        self.mask[qid.0 as usize]
+        self.mask[qid.0 as usize / 64] & (1 << (qid.0 as usize % 64)) != 0
+    }
+
+    /// First ready-and-unmasked index at or after `pos`, wrapping — the
+    /// circular first-fit both gate-level PPA models compute (they agree
+    /// on every input; see the exhaustive/randomized agreement tests).
+    /// One `trailing_zeros` per 64-QID word instead of the former
+    /// per-select `Vec<bool>` materialisation + prefix network: this is
+    /// the QWAIT hot path, run once per data-plane grant.
+    fn scan_from(&self, pos: usize) -> Option<usize> {
+        let words = self.ready.len();
+        let (w0, b0) = (pos / 64, pos % 64);
+        // `off == 0` keeps only bits at/after pos; `off == words` wraps
+        // back into the start word for the bits below pos.
+        for off in 0..=words {
+            let wi = (w0 + off) % words;
+            let mut v = self.ready[wi] & self.mask[wi];
+            if off == 0 {
+                v &= !0u64 << b0;
+            } else if off == words {
+                v &= (1u64 << b0).wrapping_sub(1);
+            }
+            if v != 0 {
+                return Some(wi * 64 + v.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// Arbitrates and returns the next QID per the service policy, clearing
     /// its ready bit. Returns `None` when no unmasked QID is ready (QWAIT
     /// would halt the core).
     pub fn select(&mut self) -> Option<QueueId> {
-        let req: Vec<bool> = (0..self.n).map(|i| self.ready[i] && self.mask[i]).collect();
         let pos = match &self.policy {
             ServicePolicy::StrictPriority => 0,
             ServicePolicy::RoundRobin => self.rr_next,
@@ -287,15 +335,11 @@ impl ReadySet {
                 }
             }
         };
-        let idx = match self.ppa {
-            PpaKind::Ripple => ripple_select(&req, pos),
-            PpaKind::BrentKung => brent_kung_select(&req, pos),
-        };
-        let Some(idx) = idx else {
+        let Some(idx) = self.scan_from(pos) else {
             self.stats.empty_polls += 1;
             return None;
         };
-        self.ready[idx] = false;
+        self.ready[idx / 64] &= !(1u64 << (idx % 64));
         match &self.policy {
             ServicePolicy::StrictPriority => {}
             ServicePolicy::RoundRobin => self.rr_next = (idx + 1) % self.n,
@@ -359,6 +403,41 @@ mod tests {
             assert_eq!(
                 ripple_select(&req, pos),
                 brent_kung_select(&req, pos),
+                "n={n} pos={pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_scan_matches_gate_level_oracle() {
+        use hp_sim::rng::splitmix64;
+        for trial in 0..200u64 {
+            let n = 1 + (splitmix64(trial) % 300) as usize;
+            let mut rs = ReadySet::new(n, ServicePolicy::RoundRobin, PpaKind::BrentKung);
+            let req: Vec<bool> = (0..n)
+                .map(|i| splitmix64(trial * 7777 + i as u64).is_multiple_of(3))
+                .collect();
+            for (i, &r) in req.iter().enumerate() {
+                if r {
+                    rs.activate(QueueId(i as u32));
+                }
+                // A few masked QIDs too.
+                if splitmix64(trial * 31 + i as u64).is_multiple_of(7) {
+                    rs.disable(QueueId(i as u32));
+                }
+            }
+            let eff: Vec<bool> = (0..n)
+                .map(|i| rs.is_ready(QueueId(i as u32)) && rs.is_enabled(QueueId(i as u32)))
+                .collect();
+            let pos = (splitmix64(trial + 555) % n as u64) as usize;
+            assert_eq!(
+                rs.scan_from(pos),
+                ripple_select(&eff, pos),
+                "n={n} pos={pos}"
+            );
+            assert_eq!(
+                rs.scan_from(pos),
+                brent_kung_select(&eff, pos),
                 "n={n} pos={pos}"
             );
         }

@@ -4,6 +4,20 @@
 //! per-line coherence state, and LRU victims. Data contents are never
 //! modeled — the simulation operates on semantic state (queues, doorbells)
 //! held elsewhere.
+//!
+//! ## Layout
+//!
+//! The array is stored structure-of-arrays: one flat `keys` vector (packed
+//! valid-bit + tag), one `states` vector, one `last_used` vector, each
+//! indexed by *slot* = `set * ways + way`. A probe of an N-way set is N
+//! consecutive `u64` compares on one or two host cache lines, instead of
+//! walking a `Vec<Vec<Way>>` of 24-byte structs through two levels of
+//! indirection. Slots are stable handles: a line's slot never changes
+//! while the line is resident, which is what lets [`MemSystem`]'s MRU
+//! filter and the epoch-memoized sequences skip re-probing
+//! (see `crate::system`).
+//!
+//! [`MemSystem`]: crate::system::MemSystem
 
 use crate::types::{LineAddr, LINE_BYTES};
 
@@ -61,14 +75,6 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    tag: u64,
-    state: MesiState,
-    last_used: u64,
-    valid: bool,
-}
-
 /// Outcome of inserting a line into a cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Insert {
@@ -77,6 +83,9 @@ pub enum Insert {
     /// Inserted by evicting the returned line (with its state at eviction).
     Evicted(LineAddr, MesiState),
 }
+
+/// Sentinel slot index meaning "not resident" (returned alongside a miss).
+pub const NO_SLOT: usize = usize::MAX;
 
 /// A set-associative tag array with true-LRU replacement.
 ///
@@ -93,8 +102,15 @@ pub enum Insert {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<Way>>,
+    /// Per-slot `(tag << 1) | 1`, or 0 for an invalid way. Packing the
+    /// valid bit into the tag word makes a probe a single compare per way.
+    keys: Vec<u64>,
+    states: Vec<MesiState>,
+    last_used: Vec<u64>,
+    ways: usize,
     set_mask: u64,
+    /// `log2(sets)`: shift that strips the set index off a line address.
+    tag_shift: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -105,20 +121,15 @@ impl SetAssocCache {
     /// Builds an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
+        assert!(config.ways > 0, "cache needs at least one way");
+        let slots = sets * config.ways;
         SetAssocCache {
-            sets: vec![
-                vec![
-                    Way {
-                        tag: 0,
-                        state: MesiState::Shared,
-                        last_used: 0,
-                        valid: false
-                    };
-                    config.ways
-                ];
-                sets
-            ],
+            keys: vec![0; slots],
+            states: vec![MesiState::Shared; slots],
+            last_used: vec![0; slots],
+            ways: config.ways,
             set_mask: sets as u64 - 1,
+            tag_shift: (sets as u64 - 1).trailing_ones(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -126,42 +137,109 @@ impl SetAssocCache {
         }
     }
 
+    /// Packed probe key for `line`: valid bit in bit 0, tag above it.
+    #[inline]
+    fn key_of(&self, line: LineAddr) -> u64 {
+        ((line.0 >> self.tag_shift) << 1) | 1
+    }
+
     #[inline]
     fn set_of(&self, line: LineAddr) -> usize {
         (line.0 & self.set_mask) as usize
     }
 
+    /// Slot holding `line`, if resident. No LRU or counter side effects.
     #[inline]
-    fn tag_of(&self, line: LineAddr) -> u64 {
-        line.0 >> self.set_mask.trailing_ones()
+    pub fn probe(&self, line: LineAddr) -> Option<usize> {
+        let base = self.set_of(line) * self.ways;
+        let needle = self.key_of(line);
+        (base..base + self.ways).find(|&i| self.keys[i] == needle)
+    }
+
+    /// Whether `slot` still holds `line`.
+    ///
+    /// Only meaningful for a slot previously obtained by probing *this*
+    /// line (slots are per-set, and a line maps to exactly one set, so a
+    /// stale slot from the right set can only match if the same line was
+    /// re-inserted there).
+    #[inline]
+    pub fn slot_holds(&self, slot: usize, line: LineAddr) -> bool {
+        self.keys[slot] == self.key_of(line)
+    }
+
+    /// Bounds-checked variant of [`slot_holds`](Self::slot_holds) for
+    /// `u32` slot hints that may be the "unknown" sentinel (`u32::MAX`) or
+    /// stale. Same precondition: the hint must have been recorded while
+    /// *this* line was resident at that slot.
+    #[inline]
+    pub fn hint_holds(&self, slot: u32, line: LineAddr) -> bool {
+        (slot as usize) < self.keys.len() && self.keys[slot as usize] == self.key_of(line)
     }
 
     /// Looks up `line`, updating LRU and hit/miss counters. Returns its
     /// state if present.
     pub fn lookup(&mut self, line: LineAddr) -> Option<MesiState> {
+        self.lookup_slot(line).0
+    }
+
+    /// [`lookup`](Self::lookup) that also returns the hit slot
+    /// ([`NO_SLOT`] on a miss), so callers can follow up with the `_at`
+    /// accessors instead of re-probing the set.
+    #[inline]
+    pub fn lookup_slot(&mut self, line: LineAddr) -> (Option<MesiState>, usize) {
         self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_of(line);
-        let tag = self.tag_of(line);
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                way.last_used = tick;
+        match self.probe(line) {
+            Some(i) => {
+                self.last_used[i] = self.tick;
                 self.hits += 1;
-                return Some(way.state);
+                (Some(self.states[i]), i)
+            }
+            None => {
+                self.misses += 1;
+                (None, NO_SLOT)
             }
         }
-        self.misses += 1;
-        None
+    }
+
+    /// Re-touches a known-resident `slot` exactly as a
+    /// [`lookup`](Self::lookup) hit would: bumps the tick, refreshes LRU,
+    /// and counts a hit. Returns the line's state.
+    ///
+    /// This is the O(1) fast path behind the MRU filter: byte-identical
+    /// bookkeeping to a full set probe that hits.
+    #[inline]
+    pub fn hit_at(&mut self, slot: usize) -> MesiState {
+        self.tick += 1;
+        self.last_used[slot] = self.tick;
+        self.hits += 1;
+        self.states[slot]
+    }
+
+    /// State of a resident slot (no side effects).
+    #[inline]
+    pub fn state_at(&self, slot: usize) -> MesiState {
+        self.states[slot]
+    }
+
+    /// Sets the state of a resident slot directly (no probe, no LRU).
+    #[inline]
+    pub fn set_state_at(&mut self, slot: usize, state: MesiState) {
+        self.states[slot] = state;
+    }
+
+    /// Re-inserts a known-resident slot: equivalent to
+    /// [`insert`](Self::insert) when the line is already present (state
+    /// update + LRU refresh, reported as `Placed`), minus the probe.
+    #[inline]
+    pub fn refresh_at(&mut self, slot: usize, state: MesiState) {
+        self.tick += 1;
+        self.last_used[slot] = self.tick;
+        self.states[slot] = state;
     }
 
     /// Returns the state of `line` without touching LRU or counters.
     pub fn state(&self, line: LineAddr) -> Option<MesiState> {
-        let set = self.set_of(line);
-        let tag = self.tag_of(line);
-        self.sets[set]
-            .iter()
-            .find(|w| w.valid && w.tag == tag)
-            .map(|w| w.state)
+        self.probe(line).map(|i| self.states[i])
     }
 
     /// Sets the coherence state of a resident line.
@@ -169,15 +247,13 @@ impl SetAssocCache {
     /// Returns `false` if the line is not resident (caller decides whether
     /// that is an error).
     pub fn set_state(&mut self, line: LineAddr, state: MesiState) -> bool {
-        let set = self.set_of(line);
-        let tag = self.tag_of(line);
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                way.state = state;
-                return true;
+        match self.probe(line) {
+            Some(i) => {
+                self.states[i] = state;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Inserts `line` with `state`, evicting the LRU way if the set is full.
@@ -185,54 +261,60 @@ impl SetAssocCache {
     /// If the line is already resident, its state is updated in place and
     /// the call reports [`Insert::Placed`].
     pub fn insert(&mut self, line: LineAddr, state: MesiState) -> Insert {
+        self.insert_slot(line, state).0
+    }
+
+    /// [`insert`](Self::insert) that also returns the slot the line landed
+    /// in, so callers can seed an MRU filter without re-probing.
+    pub fn insert_slot(&mut self, line: LineAddr, state: MesiState) -> (Insert, usize) {
         self.tick += 1;
         let tick = self.tick;
         let set_idx = self.set_of(line);
-        let tag = self.tag_of(line);
-        let shift = self.set_mask.trailing_ones();
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.ways;
+        let needle = self.key_of(line);
 
-        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
-            way.state = state;
-            way.last_used = tick;
-            return Insert::Placed;
+        // Resident: update in place. Then first invalid way, then LRU
+        // victim — the same precedence (and tie-breaking by way order) as
+        // the per-set representation this replaced.
+        let mut victim = base;
+        for i in base..base + self.ways {
+            if self.keys[i] == needle {
+                self.states[i] = state;
+                self.last_used[i] = tick;
+                return (Insert::Placed, i);
+            }
         }
-        if let Some(way) = set.iter_mut().find(|w| !w.valid) {
-            *way = Way {
-                tag,
-                state,
-                last_used: tick,
-                valid: true,
-            };
-            return Insert::Placed;
+        for i in base..base + self.ways {
+            if self.keys[i] == 0 {
+                self.keys[i] = needle;
+                self.states[i] = state;
+                self.last_used[i] = tick;
+                return (Insert::Placed, i);
+            }
         }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| w.last_used)
-            .expect("ways > 0");
-        let evicted_line = LineAddr((victim.tag << shift) | set_idx as u64);
-        let evicted_state = victim.state;
-        *victim = Way {
-            tag,
-            state,
-            last_used: tick,
-            valid: true,
-        };
+        for i in base + 1..base + self.ways {
+            if self.last_used[i] < self.last_used[victim] {
+                victim = i;
+            }
+        }
+        let evicted_line = LineAddr(((self.keys[victim] >> 1) << self.tag_shift) | set_idx as u64);
+        let evicted_state = self.states[victim];
+        self.keys[victim] = needle;
+        self.states[victim] = state;
+        self.last_used[victim] = tick;
         self.evictions += 1;
-        Insert::Evicted(evicted_line, evicted_state)
+        (Insert::Evicted(evicted_line, evicted_state), victim)
     }
 
     /// Invalidates `line` if resident; returns its state at invalidation.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<MesiState> {
-        let set = self.set_of(line);
-        let tag = self.tag_of(line);
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                way.valid = false;
-                return Some(way.state);
+        match self.probe(line) {
+            Some(i) => {
+                self.keys[i] = 0;
+                Some(self.states[i])
             }
+            None => None,
         }
-        None
     }
 
     /// `(hits, misses, evictions)` since construction.
@@ -242,7 +324,7 @@ impl SetAssocCache {
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.valid).count()
+        self.keys.iter().filter(|&&k| k != 0).count()
     }
 }
 
@@ -351,5 +433,40 @@ mod tests {
             c.insert(LineAddr(i), MesiState::Shared);
         }
         assert!(c.occupancy() <= 64);
+    }
+
+    #[test]
+    fn slot_handles_track_residency() {
+        let mut c = tiny();
+        let (_, slot) = c.insert_slot(LineAddr(4), MesiState::Exclusive);
+        assert!(c.slot_holds(slot, LineAddr(4)));
+        assert_eq!(c.state_at(slot), MesiState::Exclusive);
+        c.set_state_at(slot, MesiState::Modified);
+        assert_eq!(c.state(LineAddr(4)), Some(MesiState::Modified));
+        c.invalidate(LineAddr(4));
+        assert!(!c.slot_holds(slot, LineAddr(4)));
+    }
+
+    #[test]
+    fn hit_at_matches_lookup_bookkeeping() {
+        // Two caches, same geometry: one re-touches via the slot fast
+        // path, the other via full lookups. All counters and the next LRU
+        // eviction decision must be identical.
+        let mut fast = tiny();
+        let mut slow = tiny();
+        for c in [&mut fast, &mut slow] {
+            c.insert(LineAddr(0), MesiState::Shared);
+            c.insert(LineAddr(2), MesiState::Shared);
+        }
+        let slot = fast.probe(LineAddr(2)).unwrap();
+        assert_eq!(fast.hit_at(slot), MesiState::Shared);
+        assert_eq!(slow.lookup(LineAddr(2)), Some(MesiState::Shared));
+        assert_eq!(fast.counters(), slow.counters());
+        // Line 0 is now LRU in both: the next insert must evict it.
+        assert_eq!(
+            fast.insert(LineAddr(4), MesiState::Shared),
+            slow.insert(LineAddr(4), MesiState::Shared)
+        );
+        assert_eq!(fast.state(LineAddr(0)), None);
     }
 }

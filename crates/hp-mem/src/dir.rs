@@ -190,25 +190,64 @@ impl<V: Default> DirTable<V> {
     /// if absent — the `HashMap::entry(k).or_default()` idiom.
     #[inline]
     pub fn entry_or_default(&mut self, key: u64) -> &mut V {
-        let (i, found) = self.probe(key);
-        let i = if found {
-            i
-        } else {
-            if (self.len + 1) * 10 > self.slots.len() * 7 {
-                self.grow();
-                let (j, _) = self.probe(key);
-                self.slots[j] = Slot::Full(key, V::default());
-                self.len += 1;
-                j
-            } else {
-                self.slots[i] = Slot::Full(key, V::default());
-                self.len += 1;
-                i
-            }
-        };
+        let i = self.entry_slot(key);
         match &mut self.slots[i] {
             Slot::Full(_, v) => v,
             Slot::Empty => unreachable!(),
+        }
+    }
+
+    /// Like [`entry_or_default`](DirTable::entry_or_default), but returns
+    /// the slot *index* instead of a borrow, so a read-modify-write
+    /// transaction can probe once and then use
+    /// [`at`](DirTable::at)/[`at_mut`](DirTable::at_mut) for the write-back.
+    ///
+    /// The returned index is invalidated by any subsequent insertion or
+    /// removal (growth and backward-shift deletion both move entries);
+    /// callers must not hold it across such calls.
+    #[inline]
+    pub fn entry_slot(&mut self, key: u64) -> usize {
+        let (i, found) = self.probe(key);
+        if found {
+            i
+        } else if (self.len + 1) * 10 > self.slots.len() * 7 {
+            self.grow();
+            let (j, _) = self.probe(key);
+            self.slots[j] = Slot::Full(key, V::default());
+            self.len += 1;
+            j
+        } else {
+            self.slots[i] = Slot::Full(key, V::default());
+            self.len += 1;
+            i
+        }
+    }
+
+    /// Borrows the value in a slot returned by
+    /// [`entry_slot`](DirTable::entry_slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (i.e. the handle is stale).
+    #[inline]
+    pub fn at(&self, slot: usize) -> &V {
+        match &self.slots[slot] {
+            Slot::Full(_, v) => v,
+            Slot::Empty => panic!("stale DirTable slot handle"),
+        }
+    }
+
+    /// Mutably borrows the value in a slot returned by
+    /// [`entry_slot`](DirTable::entry_slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (i.e. the handle is stale).
+    #[inline]
+    pub fn at_mut(&mut self, slot: usize) -> &mut V {
+        match &mut self.slots[slot] {
+            Slot::Full(_, v) => v,
+            Slot::Empty => panic!("stale DirTable slot handle"),
         }
     }
 
@@ -279,6 +318,18 @@ mod tests {
         *t.get_mut(42).unwrap() += 9;
         assert_eq!(t.get(42), Some(&10));
         assert!(t.get_mut(43).is_none());
+    }
+
+    #[test]
+    fn entry_slot_round_trips_through_at() {
+        let mut t: DirTable<u64> = DirTable::new();
+        let s = t.entry_slot(640);
+        assert_eq!(*t.at(s), 0, "fresh entry defaults");
+        *t.at_mut(s) = 99;
+        assert_eq!(t.get(640), Some(&99));
+        // Re-probing the same key without intervening inserts/removes
+        // yields the same slot.
+        assert_eq!(t.entry_slot(640), s);
     }
 
     #[test]

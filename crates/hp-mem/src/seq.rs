@@ -1,0 +1,98 @@
+//! Epoch-memoized access sequences.
+//!
+//! The software data plane issues *deterministic* per-packet access
+//! sequences: a spin-poll is always the same doorbell + descriptor load
+//! pair, a service routine always walks the same buffer lines of a slot.
+//! Once such a sequence has executed entirely as L1 load hits, re-walking
+//! it access by access is pure simulator overhead — nothing about it can
+//! change until some coherence event disturbs the issuing core's L1.
+//!
+//! [`SeqMemo`] captures one such sequence: the `(line, slot)` pairs it
+//! touched, their aggregate latency, and the core's *disturb epoch* at
+//! sealing time (see `MemSystem::epochs`). Replay
+//! (`MemSystem::replay_memo`) is an O(1) epoch compare in the common case,
+//! falling back to per-line residency checks, and applies exactly the side
+//! effects the recorded loads would have had. Any miss, store, or remote
+//! access in a recorded sequence marks the memo broken; it simply
+//! re-records on the next use.
+//!
+//! The memo is deliberately loads-only: every store can change directory
+//! state or emit a GetM the monitoring set must observe, so stores always
+//! take the full path.
+
+use crate::types::CoreId;
+
+/// A recorded, replayable sequence of L1 load hits by one core.
+///
+/// Lifecycle: [`begin`](SeqMemo::begin) → `MemSystem::record_access` per
+/// access → `MemSystem::seal_memo` → `MemSystem::replay_memo` on later
+/// occurrences (falling back to re-recording when replay returns `None`).
+///
+/// # Examples
+///
+/// ```
+/// use hp_mem::seq::SeqMemo;
+/// use hp_mem::system::{MemSystem, MemSystemConfig};
+/// use hp_mem::types::{AccessKind, Addr, CoreId};
+///
+/// let mut mem = MemSystem::new(MemSystemConfig::cmp(1));
+/// mem.access(CoreId(0), Addr(0x40), AccessKind::Load); // warm the line
+///
+/// let mut memo = SeqMemo::default();
+/// memo.begin(CoreId(0));
+/// mem.record_access(&mut memo, CoreId(0), Addr(0x40), AccessKind::Load);
+/// mem.seal_memo(&mut memo);
+/// assert!(memo.is_ready());
+/// assert!(mem.replay_memo(&mut memo).is_some());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SeqMemo {
+    /// Recording core (index).
+    pub(crate) core: usize,
+    /// `(line address, L1 slot)` per recorded access, in issue order.
+    pub(crate) lines: Vec<(u64, u32)>,
+    /// Recording core's disturb epoch at seal (refreshed on successful
+    /// revalidation).
+    pub(crate) epoch: u64,
+    /// Total latency of the recorded accesses, in cycles.
+    pub(crate) latency: u64,
+    /// Sealed and replayable.
+    pub(crate) ready: bool,
+    /// Saw a non-memoizable access since `begin`.
+    pub(crate) broken: bool,
+}
+
+impl SeqMemo {
+    /// Starts (or restarts) a recording for `core`, discarding any
+    /// previous contents.
+    pub fn begin(&mut self, core: CoreId) {
+        self.core = core.0;
+        self.lines.clear();
+        self.epoch = 0;
+        self.latency = 0;
+        self.ready = false;
+        self.broken = false;
+    }
+
+    /// Whether the memo is sealed and eligible for replay.
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// The recording core. A caller reusing a memo across cores must
+    /// re-record when the issuing core changes: replay applies the side
+    /// effects to the *recorded* core's cache.
+    pub fn core(&self) -> CoreId {
+        CoreId(self.core)
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}

@@ -15,11 +15,40 @@
 //! * Sharer bitmasks may be stale after silent L1 evictions of Shared lines;
 //!   invalidations sent to non-holders are harmless, as in real imprecise
 //!   directories.
+//!
+//! # Fast path (DESIGN.md §12)
+//!
+//! The overwhelming majority of simulated accesses hit a line already held
+//! locally in a stable MESI state and cannot generate coherence traffic.
+//! Three mechanisms exploit this without changing any observable result:
+//!
+//! * **MRU line filter** — per core, the last-touched `(line, slot)` pair is
+//!   remembered. An access that hits it resolves with one tag compare and
+//!   the same bookkeeping a full set probe would have performed.
+//! * **Stable-state short-circuit** — a load to a locally resident line, or
+//!   a store to a line in M/E, completes inside the L1 without constructing
+//!   a directory transaction. Stores to Shared lines and all misses (the
+//!   only accesses that can produce GetM traffic, including doorbell-range
+//!   snoops) always take the slow path.
+//! * **Epoch-memoized sequences** — deterministic per-packet access
+//!   sequences are recorded once ([`SeqMemo`]) and replayed in O(1) checks
+//!   while the issuing core's *disturb epoch* is unchanged (no line left or
+//!   was downgraded in its L1).
+//!
+//! All fast paths replicate the slow path's side effects exactly (LRU
+//! ticks, hit counters, telemetry), which is what keeps same-seed runs
+//! bit-identical — enforced by the `shadow-check` feature, which embeds a
+//! [`crate::reference::RefMemSystem`] and asserts equal results on every
+//! access.
 
 use crate::cache::{CacheConfig, Insert, MesiState, SetAssocCache};
 use crate::dir::DirTable;
+use crate::seq::SeqMemo;
 use crate::types::{AccessKind, Addr, CoreId, HitLevel, LineAddr};
 use hp_sim::time::Cycles;
+
+#[cfg(feature = "shadow-check")]
+use crate::reference::RefMemSystem;
 
 /// Access latencies for each level of the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +77,9 @@ impl Default for LatencyModel {
 }
 
 impl LatencyModel {
-    fn of(&self, level: HitLevel) -> Cycles {
+    /// Latency charged for an access satisfied at `level`.
+    #[inline]
+    pub fn of_level(&self, level: HitLevel) -> Cycles {
         match level {
             HitLevel::L1 => self.l1_hit,
             HitLevel::Llc => self.llc_hit,
@@ -70,12 +101,44 @@ pub struct AccessResult {
     pub getm: Option<LineAddr>,
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+/// Sentinel for [`DirEntry::owner`]: no owning core.
+const NO_OWNER: u8 = u8::MAX;
+/// Sentinel for [`DirEntry::llc_slot`]: hint unknown.
+const NO_HINT: u32 = u32::MAX;
+
+/// One directory entry, packed to 16 bytes (the directory is the hottest
+/// associative structure in the simulator; see `crate::dir`).
+#[derive(Debug, Clone, Copy)]
 struct DirEntry {
-    /// Core holding the line in M or E, if any.
-    owner: Option<CoreId>,
     /// Bitmask of cores that may hold the line in S.
     sharers: u64,
+    /// LLC slot the line occupied when last filled — a self-validating
+    /// hint (checked with `hint_holds` before use) that turns the common
+    /// LLC touch into an O(1) slot refresh instead of a 16-way probe.
+    llc_slot: u32,
+    /// Core holding the line in M or E ([`NO_OWNER`] if none).
+    owner: u8,
+}
+
+impl Default for DirEntry {
+    fn default() -> Self {
+        DirEntry {
+            sharers: 0,
+            llc_slot: NO_HINT,
+            owner: NO_OWNER,
+        }
+    }
+}
+
+impl DirEntry {
+    #[inline]
+    fn owner(&self) -> Option<CoreId> {
+        if self.owner == NO_OWNER {
+            None
+        } else {
+            Some(CoreId(self.owner as usize))
+        }
+    }
 }
 
 /// Per-core access telemetry.
@@ -108,6 +171,30 @@ impl CoreMemStats {
     }
 }
 
+/// Counters for the memory-system fast paths (wall-clock observability
+/// only — none of these feed back into simulated behaviour).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastPathStats {
+    /// Accesses resolved by the per-core MRU line filter.
+    pub mru_hits: u64,
+    /// Slow-path accesses that still short-circuited in the L1 (stable
+    /// local state, no directory transaction constructed).
+    pub stable_hits: u64,
+    /// Memoized sequences replayed in O(1).
+    pub seq_replays: u64,
+    /// Individual accesses covered by those replays.
+    pub seq_replayed_accesses: u64,
+}
+
+/// The last-touched line of one core: `slot` is where `line` lived in the
+/// core's L1 when touched. Validity is self-checking (`slot_holds`), so no
+/// invalidation hooks are needed anywhere in the coherence protocol.
+#[derive(Debug, Clone, Copy)]
+struct MruLine {
+    line: LineAddr,
+    slot: usize,
+}
+
 /// The modeled multicore memory hierarchy.
 ///
 /// # Examples
@@ -127,7 +214,7 @@ impl CoreMemStats {
 /// assert_eq!(r.level, HitLevel::L1);
 /// assert!(r.getm.is_none());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemSystem {
     l1s: Vec<SetAssocCache>,
     llc: SetAssocCache,
@@ -140,6 +227,22 @@ pub struct MemSystem {
     /// Last line loaded per core (stride detection).
     last_load: Vec<Option<u64>>,
     prefetch_fills: u64,
+    /// Whether the MRU filter and memo replay are consulted. Off, every
+    /// access takes the slow path; results are identical either way (the
+    /// fast paths replicate slow-path bookkeeping exactly), which the
+    /// digest-equality tests in `tests/observability.rs` pin.
+    fast_path: bool,
+    /// Per-core MRU line filter.
+    mru: Vec<Option<MruLine>>,
+    /// Per-core disturb epoch: bumped whenever a line leaves the core's L1
+    /// (own eviction, external invalidation, inclusive back-invalidation)
+    /// or is downgraded by a remote reader/probe. An unchanged epoch
+    /// proves every previously resident line is still resident in the
+    /// same slot — the O(1) validity test for [`SeqMemo`] replay.
+    epochs: Vec<u64>,
+    fastpath: FastPathStats,
+    #[cfg(feature = "shadow-check")]
+    shadow: Box<RefMemSystem>,
 }
 
 /// Configuration for [`MemSystem`].
@@ -158,6 +261,10 @@ pub struct MemSystemConfig {
     /// into the L1 off the critical path (conservatively skipping lines
     /// owned by another core).
     pub prefetch_degree: usize,
+    /// Whether the wall-clock fast paths (MRU filter, memo replay) are
+    /// enabled. Simulated results are identical either way; disabling is
+    /// for A/B equivalence tests and debugging.
+    pub fast_path: bool,
 }
 
 impl MemSystemConfig {
@@ -174,6 +281,7 @@ impl MemSystemConfig {
             llc: CacheConfig::llc(cores),
             latency: LatencyModel::default(),
             prefetch_degree: 0,
+            fast_path: true,
         }
     }
 }
@@ -194,6 +302,12 @@ impl MemSystem {
             prefetch_degree: config.prefetch_degree,
             last_load: vec![None; config.cores],
             prefetch_fills: 0,
+            fast_path: config.fast_path,
+            mru: vec![None; config.cores],
+            epochs: vec![0; config.cores],
+            fastpath: FastPathStats::default(),
+            #[cfg(feature = "shadow-check")]
+            shadow: Box::new(RefMemSystem::new(config)),
         }
     }
 
@@ -217,6 +331,21 @@ impl MemSystem {
         self.invalidations
     }
 
+    /// Fast-path hit counters (wall-clock observability only).
+    pub fn fastpath_stats(&self) -> FastPathStats {
+        self.fastpath
+    }
+
+    /// MESI state of `line` in `core`'s L1, if resident (introspection for
+    /// tests comparing against the reference implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for this system.
+    pub fn l1_state(&self, core: CoreId, line: LineAddr) -> Option<MesiState> {
+        self.l1s[core.0].state(line)
+    }
+
     fn record(&mut self, core: CoreId, level: HitLevel) {
         let s = &mut self.stats[core.0];
         match level {
@@ -234,7 +363,32 @@ impl MemSystem {
     /// Panics if `core` is out of range for this system.
     pub fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> AccessResult {
         assert!(core.0 < self.l1s.len(), "unknown {core}");
+        #[cfg(feature = "shadow-check")]
+        let expected = self.shadow.access(core, addr, kind);
+        let r = self.access_inner(core, addr, kind);
+        #[cfg(feature = "shadow-check")]
+        {
+            assert_eq!(
+                r, expected,
+                "fast path diverged from reference at {addr} ({kind:?} by {core})"
+            );
+            debug_assert_eq!(self.getm_count, self.shadow.getm_total());
+            debug_assert_eq!(self.invalidations, self.shadow.invalidation_total());
+        }
+        r
+    }
+
+    #[inline]
+    fn access_inner(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> AccessResult {
         let line = addr.line();
+        // The MRU filter is only consulted when the prefetcher is off:
+        // the prefetcher's stride detector must observe every load, which
+        // the filter would bypass.
+        if self.fast_path && self.prefetch_degree == 0 {
+            if let Some(r) = self.try_mru(core, line, kind) {
+                return r;
+            }
+        }
         match kind {
             AccessKind::Load => {
                 let r = self.load(core, line);
@@ -253,6 +407,37 @@ impl MemSystem {
         }
     }
 
+    /// MRU line filter: if `line` is the core's last-touched line, still
+    /// resident, and the access cannot change directory state (any load,
+    /// or a store to M/E), resolve it with the exact bookkeeping a full
+    /// probe would have performed. Stores to Shared lines fall through so
+    /// the GetM upgrade (and its monitoring-set visibility) is untouched.
+    #[inline]
+    fn try_mru(&mut self, core: CoreId, line: LineAddr, kind: AccessKind) -> Option<AccessResult> {
+        let m = self.mru[core.0]?;
+        if m.line != line || !self.l1s[core.0].slot_holds(m.slot, line) {
+            return None;
+        }
+        let state = self.l1s[core.0].state_at(m.slot);
+        match kind {
+            AccessKind::Load => {}
+            AccessKind::Store => match state {
+                MesiState::Modified => {}
+                MesiState::Exclusive => self.l1s[core.0].set_state_at(m.slot, MesiState::Modified),
+                // S->M upgrade is a visible GetM: slow path.
+                MesiState::Shared => return None,
+            },
+        }
+        self.l1s[core.0].hit_at(m.slot);
+        self.fastpath.mru_hits += 1;
+        self.stats[core.0].l1_hits += 1;
+        Some(AccessResult {
+            latency: self.latency.l1_hit,
+            level: HitLevel::L1,
+            getm: None,
+        })
+    }
+
     /// Off-critical-path fill of `line` into `core`'s L1 (next-line
     /// prefetch). Conservative: never disturbs a line owned elsewhere.
     fn prefetch_fill(&mut self, core: CoreId, line: LineAddr) {
@@ -260,12 +445,15 @@ impl MemSystem {
             return;
         }
         if let Some(entry) = self.directory.get(line.0) {
-            if entry.owner.is_some() {
+            if entry.owner != NO_OWNER {
                 return;
             }
         }
         self.directory.entry_or_default(line.0).sharers |= 1 << core.0;
-        self.fill_llc(line);
+        let ls = self.fill_llc_slot(line);
+        if let Some(entry) = self.directory.get_mut(line.0) {
+            entry.llc_slot = ls;
+        }
         self.fill_l1(core, line, MesiState::Shared);
         self.prefetch_fills += 1;
     }
@@ -276,80 +464,115 @@ impl MemSystem {
     }
 
     fn load(&mut self, core: CoreId, line: LineAddr) -> AccessResult {
-        if self.l1s[core.0].lookup(line).is_some() {
+        let (hit, slot) = self.l1s[core.0].lookup_slot(line);
+        if hit.is_some() {
+            // Stable-state short-circuit: resident in M/E/S, nothing to
+            // tell the directory.
+            self.mru[core.0] = Some(MruLine { line, slot });
+            self.fastpath.stable_hits += 1;
             self.record(core, HitLevel::L1);
             return AccessResult {
-                latency: self.latency.of(HitLevel::L1),
+                latency: self.latency.l1_hit,
                 level: HitLevel::L1,
                 getm: None,
             };
         }
 
-        let entry = self.directory.entry_or_default(line.0);
-        let level = if let Some(owner) = entry.owner {
+        // One directory probe for the whole transaction: read the entry,
+        // compute the outcome, write it back before any fill can move
+        // table slots. `llc_at` is the LLC slot the line is known to
+        // occupy (hint or probe); `None` means a full fill must run.
+        let dslot = self.directory.entry_slot(line.0);
+        let e = *self.directory.at(dslot);
+        let me = 1u64 << core.0;
+        let mut llc_at = None;
+        if self.llc.hint_holds(e.llc_slot, line) {
+            llc_at = Some(e.llc_slot);
+        }
+        let mut sharers;
+        let level = if let Some(owner) = e.owner() {
             if owner == core {
                 // Directory thought we owned it but the L1 evicted it
                 // silently (E) or wrote it back; treat as LLC hit.
-                entry.owner = None;
-                entry.sharers |= 1 << core.0;
+                sharers = e.sharers | me;
                 HitLevel::Llc
             } else {
                 // Downgrade the remote owner to Shared; cache-to-cache fill.
-                entry.owner = None;
-                entry.sharers |= (1 << owner.0) | (1 << core.0);
+                sharers = e.sharers | (1 << owner.0) | me;
                 self.l1s[owner.0].set_state(line, MesiState::Shared);
+                self.epochs[owner.0] += 1;
                 HitLevel::RemoteL1
             }
-        } else if self.llc.lookup(line).is_some() {
-            entry.sharers |= 1 << core.0;
-            HitLevel::Llc
         } else {
-            entry.sharers |= 1 << core.0;
-            HitLevel::Memory
+            sharers = e.sharers | me;
+            match llc_at {
+                // Known-resident: replicate the lookup hit in place.
+                Some(ls) => {
+                    self.llc.hit_at(ls as usize);
+                    HitLevel::Llc
+                }
+                None => {
+                    let (llc_hit, ls) = self.llc.lookup_slot(line);
+                    if llc_hit.is_some() {
+                        llc_at = Some(ls as u32);
+                        HitLevel::Llc
+                    } else {
+                        HitLevel::Memory
+                    }
+                }
+            }
         };
 
         // Take exclusive (E) if we are the only holder; the silent E->M
         // upgrade this enables is exactly why QWAIT's re-arm must issue a
         // GetS probe (modeled by `probe_shared`).
-        let sole = {
-            let entry = self.directory.get(line.0).expect("just inserted");
-            entry.sharers == (1 << core.0) && entry.owner.is_none()
-        };
-        let state = if sole {
+        let mut owner = NO_OWNER;
+        let state = if sharers == me {
+            owner = core.0 as u8;
+            sharers = 0;
             MesiState::Exclusive
         } else {
             MesiState::Shared
         };
-        if sole {
-            self.directory.get_mut(line.0).expect("present").owner = Some(core);
-            self.directory.get_mut(line.0).expect("present").sharers = 0;
+        *self.directory.at_mut(dslot) = DirEntry {
+            sharers,
+            llc_slot: llc_at.unwrap_or(NO_HINT),
+            owner,
+        };
+        match llc_at {
+            // Already resident: refresh in place instead of re-probing.
+            Some(ls) => self.llc.refresh_at(ls as usize, MesiState::Shared),
+            None => {
+                let ls = self.fill_llc_slot(line);
+                self.directory
+                    .get_mut(line.0)
+                    .expect("entry written this transaction")
+                    .llc_slot = ls;
+            }
         }
-        self.fill_llc(line);
         self.fill_l1(core, line, state);
         self.record(core, level);
         AccessResult {
-            latency: self.latency.of(level),
+            latency: self.latency.of_level(level),
             level,
             getm: None,
         }
     }
 
     fn store(&mut self, core: CoreId, line: LineAddr) -> AccessResult {
-        match self.l1s[core.0].lookup(line) {
-            Some(MesiState::Modified) => {
+        let (hit, slot) = self.l1s[core.0].lookup_slot(line);
+        match hit {
+            Some(MesiState::Modified) | Some(MesiState::Exclusive) => {
+                // Stable-state short-circuit; E->M is a silent upgrade
+                // with no interconnect transaction.
+                if hit == Some(MesiState::Exclusive) {
+                    self.l1s[core.0].set_state_at(slot, MesiState::Modified);
+                }
+                self.mru[core.0] = Some(MruLine { line, slot });
+                self.fastpath.stable_hits += 1;
                 self.record(core, HitLevel::L1);
                 return AccessResult {
-                    latency: self.latency.of(HitLevel::L1),
-                    level: HitLevel::L1,
-                    getm: None,
-                };
-            }
-            Some(MesiState::Exclusive) => {
-                // Silent E->M upgrade: no interconnect transaction.
-                self.l1s[core.0].set_state(line, MesiState::Modified);
-                self.record(core, HitLevel::L1);
-                return AccessResult {
-                    latency: self.latency.of(HitLevel::L1),
+                    latency: self.latency.l1_hit,
                     level: HitLevel::L1,
                     getm: None,
                 };
@@ -357,14 +580,19 @@ impl MemSystem {
             Some(MesiState::Shared) => {
                 // Upgrade: GetM invalidating other sharers; directory access.
                 self.getm_count += 1;
-                self.invalidate_others(core, line);
-                let entry = self.directory.entry_or_default(line.0);
-                entry.owner = Some(core);
-                entry.sharers = 0;
-                self.l1s[core.0].set_state(line, MesiState::Modified);
+                let dslot = self.directory.entry_slot(line.0);
+                let e = *self.directory.at(dslot);
+                self.invalidate_holders(core, line, e.sharers, e.owner());
+                *self.directory.at_mut(dslot) = DirEntry {
+                    sharers: 0,
+                    llc_slot: e.llc_slot,
+                    owner: core.0 as u8,
+                };
+                self.l1s[core.0].set_state_at(slot, MesiState::Modified);
+                self.mru[core.0] = Some(MruLine { line, slot });
                 self.record(core, HitLevel::Llc);
                 return AccessResult {
-                    latency: self.latency.of(HitLevel::Llc),
+                    latency: self.latency.llc_hit,
                     level: HitLevel::Llc,
                     getm: Some(line),
                 };
@@ -372,35 +600,63 @@ impl MemSystem {
             None => {}
         }
 
-        // Write miss: GetM.
+        // Write miss: GetM. Same single-probe read/write-back shape as
+        // `load`.
         self.getm_count += 1;
-        let remote_owner = self
-            .directory
-            .get(line.0)
-            .and_then(|e| e.owner)
-            .filter(|&o| o != core);
+        let dslot = self.directory.entry_slot(line.0);
+        let e = *self.directory.at(dslot);
+        let remote_owner = e.owner().filter(|&o| o != core);
+        let mut llc_at = None;
+        if self.llc.hint_holds(e.llc_slot, line) {
+            llc_at = Some(e.llc_slot);
+        }
         let level = if let Some(owner) = remote_owner {
             // The owner's copy may already be gone (silent E-state
             // eviction); the invalidation message is sent regardless.
-            let _ = self.l1s[owner.0].invalidate(line);
+            if self.l1s[owner.0].invalidate(line).is_some() {
+                self.epochs[owner.0] += 1;
+            }
             self.invalidations += 1;
             HitLevel::RemoteL1
-        } else if self.llc.lookup(line).is_some() {
-            self.invalidate_others(core, line);
-            HitLevel::Llc
         } else {
-            self.invalidate_others(core, line);
-            HitLevel::Memory
+            let lvl = match llc_at {
+                Some(ls) => {
+                    self.llc.hit_at(ls as usize);
+                    HitLevel::Llc
+                }
+                None => {
+                    let (llc_hit, ls) = self.llc.lookup_slot(line);
+                    if llc_hit.is_some() {
+                        llc_at = Some(ls as u32);
+                        HitLevel::Llc
+                    } else {
+                        HitLevel::Memory
+                    }
+                }
+            };
+            self.invalidate_holders(core, line, e.sharers, e.owner());
+            lvl
         };
 
-        let entry = self.directory.entry_or_default(line.0);
-        entry.owner = Some(core);
-        entry.sharers = 0;
-        self.fill_llc(line);
+        *self.directory.at_mut(dslot) = DirEntry {
+            sharers: 0,
+            llc_slot: llc_at.unwrap_or(NO_HINT),
+            owner: core.0 as u8,
+        };
+        match llc_at {
+            Some(ls) => self.llc.refresh_at(ls as usize, MesiState::Shared),
+            None => {
+                let ls = self.fill_llc_slot(line);
+                self.directory
+                    .get_mut(line.0)
+                    .expect("entry written this transaction")
+                    .llc_slot = ls;
+            }
+        }
         self.fill_l1(core, line, MesiState::Modified);
         self.record(core, level);
         AccessResult {
-            latency: self.latency.of(level),
+            latency: self.latency.of_level(level),
             level,
             getm: Some(line),
         }
@@ -415,54 +671,219 @@ impl MemSystem {
     /// line has no owner and the writes cannot be performed locally",
     /// §III-B).
     pub fn probe_shared(&mut self, line: LineAddr) -> Cycles {
+        #[cfg(feature = "shadow-check")]
+        let expected = self.shadow.probe_shared(line);
+        let r = self.probe_shared_inner(line);
+        #[cfg(feature = "shadow-check")]
+        assert_eq!(
+            r, expected,
+            "probe_shared diverged from reference at {line}"
+        );
+        r
+    }
+
+    fn probe_shared_inner(&mut self, line: LineAddr) -> Cycles {
         if let Some(entry) = self.directory.get_mut(line.0) {
-            if let Some(owner) = entry.owner.take() {
-                entry.sharers |= 1 << owner.0;
-                self.l1s[owner.0].set_state(line, MesiState::Shared);
-                self.fill_llc(line);
+            if entry.owner != NO_OWNER {
+                let owner = entry.owner as usize;
+                entry.sharers |= 1 << owner;
+                entry.owner = NO_OWNER;
+                let hint = entry.llc_slot;
+                self.l1s[owner].set_state(line, MesiState::Shared);
+                self.epochs[owner] += 1;
+                if self.llc.hint_holds(hint, line) {
+                    self.llc.refresh_at(hint as usize, MesiState::Shared);
+                } else {
+                    let ls = self.fill_llc_slot(line);
+                    if let Some(entry) = self.directory.get_mut(line.0) {
+                        entry.llc_slot = ls;
+                    }
+                }
                 return self.latency.remote_l1;
             }
         }
         self.latency.llc_hit
     }
 
-    fn invalidate_others(&mut self, core: CoreId, line: LineAddr) {
-        let sharers = self.directory.get(line.0).map(|e| e.sharers).unwrap_or(0);
-        let owner = self.directory.get(line.0).and_then(|e| e.owner);
-        for i in 0..self.l1s.len() {
-            let holds = (sharers >> i) & 1 == 1 || owner == Some(CoreId(i));
-            if i != core.0 && holds && self.l1s[i].invalidate(line).is_some() {
+    /// Invalidates every L1 copy of `line` held by a core other than
+    /// `core`, per the directory's (possibly stale, always superset)
+    /// sharer/owner view. Walks only the set bits instead of every core.
+    fn invalidate_holders(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        sharers: u64,
+        owner: Option<CoreId>,
+    ) {
+        let mut mask = sharers;
+        if let Some(o) = owner {
+            mask |= 1 << o.0;
+        }
+        mask &= !(1u64 << core.0);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.l1s[i].invalidate(line).is_some() {
                 self.invalidations += 1;
+                self.epochs[i] += 1;
             }
         }
     }
 
     fn fill_l1(&mut self, core: CoreId, line: LineAddr, state: MesiState) {
-        if let Insert::Evicted(victim, victim_state) = self.l1s[core.0].insert(line, state) {
+        let (insert, slot) = self.l1s[core.0].insert_slot(line, state);
+        self.mru[core.0] = Some(MruLine { line, slot });
+        if let Insert::Evicted(victim, victim_state) = insert {
+            self.epochs[core.0] += 1;
             // Writeback of M lines lands in the LLC; directory forgets the
             // private copy either way.
+            let mut victim_hint = NO_HINT;
             if let Some(entry) = self.directory.get_mut(victim.0) {
-                if entry.owner == Some(core) {
-                    entry.owner = None;
+                if entry.owner == core.0 as u8 {
+                    entry.owner = NO_OWNER;
                 }
                 entry.sharers &= !(1 << core.0);
+                victim_hint = entry.llc_slot;
             }
             if victim_state == MesiState::Modified {
-                self.fill_llc(victim);
+                if self.llc.hint_holds(victim_hint, victim) {
+                    self.llc.refresh_at(victim_hint as usize, MesiState::Shared);
+                } else {
+                    let ls = self.fill_llc_slot(victim);
+                    if let Some(entry) = self.directory.get_mut(victim.0) {
+                        entry.llc_slot = ls;
+                    }
+                }
             }
         }
     }
 
-    fn fill_llc(&mut self, line: LineAddr) {
-        if let Insert::Evicted(victim, _) = self.llc.insert(line, MesiState::Shared) {
-            // Inclusive LLC: back-invalidate all private copies.
-            for i in 0..self.l1s.len() {
+    /// `fill_llc` of the original transaction model: inserts `line` into
+    /// the LLC (inclusive back-invalidation on eviction) and returns the
+    /// slot it landed in, which callers cache as the directory's
+    /// `llc_slot` hint.
+    fn fill_llc_slot(&mut self, line: LineAddr) -> u32 {
+        let (insert, slot) = self.llc.insert_slot(line, MesiState::Shared);
+        if let Insert::Evicted(victim, _) = insert {
+            // Inclusive LLC: back-invalidate all private copies. The
+            // directory's sharer/owner view is a superset of actual
+            // holders (silent evictions leave stale bits, never missing
+            // ones), so walking its bits reaches every copy.
+            let holders = match self.directory.remove(victim.0) {
+                Some(e) => {
+                    e.sharers
+                        | if e.owner != NO_OWNER {
+                            1u64 << e.owner
+                        } else {
+                            0
+                        }
+                }
+                None => 0,
+            };
+            let mut mask = holders;
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
                 if self.l1s[i].invalidate(victim).is_some() {
                     self.invalidations += 1;
+                    self.epochs[i] += 1;
                 }
             }
-            self.directory.remove(victim.0);
         }
+        slot as u32
+    }
+
+    // ---- Epoch-memoized access sequences -------------------------------
+
+    /// Performs `access` while recording it into `memo` (between
+    /// [`SeqMemo::begin`] and [`MemSystem::seal_memo`]). Only loads that
+    /// hit the L1 are memoizable; any other access marks the memo broken
+    /// (it simply records nothing and replay stays disabled).
+    pub fn record_access(
+        &mut self,
+        memo: &mut SeqMemo,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+    ) -> AccessResult {
+        let r = self.access(core, addr, kind);
+        if !self.fast_path
+            || self.prefetch_degree != 0
+            || kind != AccessKind::Load
+            || r.level != HitLevel::L1
+        {
+            memo.broken = true;
+        } else if !memo.broken {
+            let m = self.mru[core.0].expect("an L1 load hit always sets the MRU line");
+            debug_assert_eq!(m.line, addr.line());
+            memo.lines.push((m.line.0, m.slot as u32));
+            memo.latency += r.latency.count();
+        }
+        r
+    }
+
+    /// Finalizes a recording: the memo becomes replayable iff every
+    /// access since [`SeqMemo::begin`] was a memoizable L1 load hit.
+    pub fn seal_memo(&self, memo: &mut SeqMemo) {
+        memo.ready = !memo.broken && !memo.lines.is_empty();
+        if memo.ready {
+            memo.epoch = self.epochs[memo.core];
+        }
+    }
+
+    /// Replays a sealed memo in O(1) validity checks: if the recording
+    /// core's disturb epoch is unchanged (or every recorded line provably
+    /// still sits in its recorded slot), applies exactly the side effects
+    /// the recorded loads would have had — per-line LRU touches and hit
+    /// counters, `l1_hits` telemetry, MRU update — and returns their total
+    /// latency. Returns `None` when the memo must be re-recorded.
+    pub fn replay_memo(&mut self, memo: &mut SeqMemo) -> Option<Cycles> {
+        if !memo.ready || !self.fast_path || self.prefetch_degree != 0 {
+            return None;
+        }
+        let core = memo.core;
+        if memo.epoch != self.epochs[core] {
+            // The core was disturbed since sealing; fall back to per-line
+            // revalidation (residency in the recorded slot is all a load
+            // hit needs).
+            let l1 = &self.l1s[core];
+            if memo
+                .lines
+                .iter()
+                .all(|&(k, s)| l1.slot_holds(s as usize, LineAddr(k)))
+            {
+                memo.epoch = self.epochs[core];
+            } else {
+                memo.ready = false;
+                return None;
+            }
+        }
+        #[cfg(feature = "shadow-check")]
+        for &(k, _) in &memo.lines {
+            let r = self
+                .shadow
+                .access(CoreId(core), LineAddr(k).base(), AccessKind::Load);
+            assert_eq!(
+                r.level,
+                HitLevel::L1,
+                "memo replay diverged from reference at {}",
+                LineAddr(k)
+            );
+        }
+        let l1 = &mut self.l1s[core];
+        for &(_, s) in &memo.lines {
+            l1.hit_at(s as usize);
+        }
+        let n = memo.lines.len() as u64;
+        self.stats[core].l1_hits += n;
+        let &(k, s) = memo.lines.last().expect("ready memo is non-empty");
+        self.mru[core] = Some(MruLine {
+            line: LineAddr(k),
+            slot: s as usize,
+        });
+        self.fastpath.seq_replays += 1;
+        self.fastpath.seq_replayed_accesses += n;
+        Some(Cycles(memo.latency))
     }
 }
 
@@ -649,5 +1070,138 @@ mod tests {
     fn rejects_out_of_range_core() {
         let mut m = sys(1);
         m.access(CoreId(5), Addr(0), AccessKind::Load);
+    }
+
+    // ---- Fast-path specific tests --------------------------------------
+
+    /// A short deterministic trace mixing hits, misses, upgrades, and
+    /// cross-core traffic, used by the on/off equivalence tests below.
+    fn mixed_trace(m: &mut MemSystem) -> Vec<AccessResult> {
+        let mut out = Vec::new();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..4000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let core = CoreId(((x >> 8) % 4) as usize);
+            let addr = Addr((x >> 16) % 128 * 64);
+            let kind = if x.is_multiple_of(3) {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            out.push(m.access(core, addr, kind));
+            if x.is_multiple_of(17) {
+                m.probe_shared(addr.line());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fast_path_off_is_bit_identical() {
+        let mut fast = MemSystem::new(MemSystemConfig::cmp(4));
+        let mut slow_cfg = MemSystemConfig::cmp(4);
+        slow_cfg.fast_path = false;
+        let mut slow = MemSystem::new(slow_cfg);
+        assert_eq!(mixed_trace(&mut fast), mixed_trace(&mut slow));
+        for c in 0..4 {
+            let (a, b) = (fast.core_stats(CoreId(c)), slow.core_stats(CoreId(c)));
+            assert_eq!(a.l1_hits, b.l1_hits, "core {c}");
+            assert_eq!(a.llc_hits, b.llc_hits, "core {c}");
+            assert_eq!(a.remote_hits, b.remote_hits, "core {c}");
+            assert_eq!(a.dram_fetches, b.dram_fetches, "core {c}");
+        }
+        assert_eq!(fast.getm_total(), slow.getm_total());
+        assert_eq!(fast.invalidation_total(), slow.invalidation_total());
+        assert!(
+            fast.fastpath_stats().mru_hits > 0,
+            "the trace should exercise the MRU filter"
+        );
+        assert_eq!(slow.fastpath_stats().mru_hits, 0);
+    }
+
+    #[test]
+    fn mru_filter_skips_shared_stores() {
+        let mut m = sys(2);
+        m.access(CoreId(0), Addr(0x4000), AccessKind::Load);
+        m.access(CoreId(1), Addr(0x4000), AccessKind::Load); // both Shared
+        m.access(CoreId(0), Addr(0x4000), AccessKind::Load); // MRU primed, S
+        let r = m.access(CoreId(0), Addr(0x4000), AccessKind::Store);
+        assert!(
+            r.getm.is_some(),
+            "S->M through the MRU line must remain a visible GetM"
+        );
+        let r = m.access(CoreId(1), Addr(0x4000), AccessKind::Load);
+        assert_ne!(r.level, HitLevel::L1, "core 1's copy was invalidated");
+    }
+
+    #[test]
+    fn memo_replays_stable_sequences_exactly() {
+        let mut m = sys(2);
+        let lines = [Addr(0x1000), Addr(0x1040), Addr(0x1080)];
+        for a in lines {
+            m.access(CoreId(0), a, AccessKind::Load);
+        }
+        // Record the sequence (all hits now).
+        let mut memo = SeqMemo::default();
+        memo.begin(CoreId(0));
+        let mut recorded = Cycles::ZERO;
+        for a in lines {
+            recorded += m
+                .record_access(&mut memo, CoreId(0), a, AccessKind::Load)
+                .latency;
+        }
+        m.seal_memo(&mut memo);
+        assert!(memo.is_ready());
+
+        // Replay against a clone executing the real accesses.
+        let mut reference = m.clone();
+        let replayed = m.replay_memo(&mut memo).expect("memo should replay");
+        assert_eq!(replayed, recorded);
+        let mut executed = Cycles::ZERO;
+        for a in lines {
+            executed += reference.access(CoreId(0), a, AccessKind::Load).latency;
+        }
+        assert_eq!(replayed, executed);
+        assert_eq!(
+            m.core_stats(CoreId(0)).l1_hits,
+            reference.core_stats(CoreId(0)).l1_hits,
+            "replay must apply identical telemetry"
+        );
+        assert_eq!(m.fastpath_stats().seq_replays, 1);
+        assert_eq!(m.fastpath_stats().seq_replayed_accesses, 3);
+    }
+
+    #[test]
+    fn memo_invalidated_by_remote_disturbance() {
+        let mut m = sys(2);
+        let a = Addr(0x2000);
+        m.access(CoreId(0), a, AccessKind::Load);
+        let mut memo = SeqMemo::default();
+        memo.begin(CoreId(0));
+        m.record_access(&mut memo, CoreId(0), a, AccessKind::Load);
+        m.seal_memo(&mut memo);
+        assert!(memo.is_ready());
+        // A remote store invalidates core 0's copy: the memo must refuse
+        // to replay (the load would now be a coherence transaction).
+        m.access(CoreId(1), a, AccessKind::Store);
+        assert_eq!(m.replay_memo(&mut memo), None);
+        let r = m.access(CoreId(0), a, AccessKind::Load);
+        assert_eq!(r.level, HitLevel::RemoteL1);
+    }
+
+    #[test]
+    fn memo_with_miss_or_store_never_seals() {
+        let mut m = sys(2);
+        let mut memo = SeqMemo::default();
+        memo.begin(CoreId(0));
+        m.record_access(&mut memo, CoreId(0), Addr(0x3000), AccessKind::Load); // miss
+        m.seal_memo(&mut memo);
+        assert!(!memo.is_ready(), "a miss breaks the memo");
+        memo.begin(CoreId(0));
+        m.record_access(&mut memo, CoreId(0), Addr(0x3000), AccessKind::Store);
+        m.seal_memo(&mut memo);
+        assert!(!memo.is_ready(), "stores are never memoized");
     }
 }

@@ -297,6 +297,12 @@ pub struct ExperimentConfig {
     /// Next-line prefetcher degree for DP cores (0 = Table I baseline,
     /// none). Ablation: accelerates the sequential buffer-streaming loads.
     pub prefetch_degree: usize,
+    /// Memory-system fast path (DESIGN.md §12): per-core MRU filter,
+    /// stable-state short-circuit, and epoch-memoized access sequences.
+    /// Bit-identical to the slow path by construction (pinned by the
+    /// shadow-check feature and the observability digests); the knob
+    /// exists for A/B measurement and as a belt-and-braces escape hatch.
+    pub mem_fast_path: bool,
     /// Fault-injection plan (default: inject nothing). Fault decisions
     /// draw from a dedicated RNG stream, so the same seed produces
     /// byte-identical traffic with or without faults.
@@ -361,6 +367,7 @@ impl ExperimentConfig {
             interrupt_cost_us: 2.0,
             traffic: TrafficSource::Shape,
             prefetch_degree: 0,
+            mem_fast_path: true,
             faults: FaultPlan::none(),
             qwait_timeout_cycles: None,
             qwait_backoff_max_cycles: 2_000_000,

@@ -68,6 +68,7 @@ pub struct ExperimentResult {
     windows: Vec<WindowSample>,
     trace: Option<Vec<TraceRecord>>,
     profile: Option<KernelProfile>,
+    fastpath: hp_mem::system::FastPathStats,
     wall_secs: f64,
 }
 
@@ -100,6 +101,7 @@ impl ExperimentResult {
             windows: Vec::new(),
             trace: None,
             profile: None,
+            fastpath: hp_mem::system::FastPathStats::default(),
             wall_secs: 0.0,
         }
     }
@@ -200,6 +202,50 @@ impl ExperimentResult {
     /// Aggregated DP-core cache behaviour: hit/miss counts per level.
     pub fn mem_stats(&self) -> hp_mem::system::CoreMemStats {
         self.mem_stats
+    }
+
+    /// Attaches memory-system fast-path counters (engine internal).
+    pub(crate) fn with_fastpath(mut self, fastpath: hp_mem::system::FastPathStats) -> Self {
+        self.fastpath = fastpath;
+        self
+    }
+
+    /// Memory-system fast-path counters (DESIGN.md §12): MRU filter hits,
+    /// stable-state short-circuits, and memo replays. All zero when
+    /// `mem_fast_path` is disabled.
+    pub fn fastpath_stats(&self) -> hp_mem::system::FastPathStats {
+        self.fastpath
+    }
+
+    /// The sim-kernel profile plus the fast-path counters as a JSON
+    /// object (the `trace --profile` payload): per-event-type counts and
+    /// attributed simulated cycles, total events, wall seconds, and
+    /// events/s. Returns `None` when no profile was collected.
+    pub fn profile_json(&self) -> Option<String> {
+        let p = self.profile.as_ref()?;
+        let mut out = String::from("{\"kernels\":[");
+        for (i, (label, count, cycles)) in p.rows().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":\"{label}\",\"events\":{count},\"sim_cycles\":{cycles}}}"
+            ));
+        }
+        let f = &self.fastpath;
+        out.push_str(&format!(
+            "],\"total_events\":{},\"wall_secs\":{:.6},\"events_per_sec\":{:.0},\
+             \"fast_path\":{{\"mru_hits\":{},\"stable_hits\":{},\
+             \"seq_replays\":{},\"seq_replayed_accesses\":{}}}}}",
+            p.total_events(),
+            self.wall_secs,
+            self.events_per_sec_wall(),
+            f.mru_hits,
+            f.stable_hits,
+            f.seq_replays,
+            f.seq_replayed_accesses,
+        ));
+        Some(out)
     }
 
     /// Attaches the notification-latency histogram (engine internal).

@@ -11,7 +11,7 @@
 //! The kernel profile (`hp_sim::profile`) shows the event mix is dominated
 //! by short-delay self-reschedules: poll-loop iterations tens of cycles
 //! out, service completions a few thousand cycles out. The queue therefore
-//! keeps a **calendar wheel** of [`WHEEL_SLOTS`] one-cycle buckets covering
+//! keeps a **calendar wheel** of `WHEEL_SLOTS` one-cycle buckets covering
 //! the window `[base, base + WHEEL_SLOTS)`, backed by a binary heap for the
 //! far horizon:
 //!

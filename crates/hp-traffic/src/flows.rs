@@ -172,6 +172,21 @@ impl FlowTrafficGenerator {
         }
     }
 
+    /// Draws `n` consecutive arrivals, appending `(gap, queue)` pairs to
+    /// `out` — the exact sequence `n` [`Self::next_arrival`] calls would
+    /// produce. Mirrors [`crate::generator::TrafficGenerator::fill_arrivals`];
+    /// the flow id is deliberately dropped (the engine routes on queue).
+    pub fn fill_arrivals(
+        &mut self,
+        out: &mut std::collections::VecDeque<(Cycles, QueueId)>,
+        n: usize,
+    ) {
+        for _ in 0..n {
+            let a = self.next_arrival();
+            out.push_back((a.gap, a.queue));
+        }
+    }
+
     /// The 5-tuple of flow `i`.
     ///
     /// # Panics

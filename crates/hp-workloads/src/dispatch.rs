@@ -195,6 +195,11 @@ pub struct RpcCall {
 pub struct Dispatcher {
     /// Per-type (backend_count, deadline_us); index by type code.
     routes: [(u16, u32); 5],
+    /// Per-type memoized frame prefix: the leading bytes of every RPC
+    /// frame for the type (magic, type code, hop count) are invariant
+    /// once registered, so dispatch copies them instead of re-serializing
+    /// field by field.
+    prefix: [[u8; 4]; 5],
     /// Round-robin cursors per type.
     cursors: [u16; 5],
     dispatched: u64,
@@ -208,7 +213,10 @@ impl Dispatcher {
 
     /// Registers `backends` servers for `rtype` with a per-call deadline.
     pub fn register(&mut self, rtype: RequestType, backends: u16, deadline_us: u32) {
-        self.routes[rtype.code() as usize] = (backends, deadline_us);
+        let idx = rtype.code() as usize;
+        self.routes[idx] = (backends, deadline_us);
+        let magic = REQUEST_MAGIC.to_be_bytes();
+        self.prefix[idx] = [magic[0], magic[1], rtype.code(), 1];
     }
 
     /// Parses an inbound frame, classifies it, and builds the RPC to the
@@ -228,11 +236,10 @@ impl Dispatcher {
         let backend = self.cursors[idx] % backends;
         self.cursors[idx] = self.cursors[idx].wrapping_add(1);
         // RPC frame: original header fields re-serialized with the hop
-        // metadata the backend tier needs.
+        // metadata the backend tier needs. The type-invariant prefix is
+        // copied from the template prepared at registration.
         let mut out = BytesMut::with_capacity(Request::HEADER_LEN + req.body.len() + 8);
-        out.put_u16(REQUEST_MAGIC);
-        out.put_u8(req.rtype.code());
-        out.put_u8(1); // hop count
+        out.put_slice(&self.prefix[idx]);
         out.put_u32(req.tenant);
         out.put_u64(req.correlation);
         out.put_u32(deadline_us);
@@ -333,5 +340,29 @@ mod tests {
         assert_eq!(rpc.frame[3], 1, "hop count");
         let deadline = u32::from_be_bytes(rpc.frame[16..20].try_into().unwrap());
         assert_eq!(deadline, 2500);
+    }
+
+    /// The memoized per-type prefix produces byte-identical frames to
+    /// field-by-field serialization, for every type.
+    #[test]
+    fn prefix_template_matches_field_serialization() {
+        let mut d = Dispatcher::new();
+        for t in RequestType::ALL {
+            d.register(t, 2, 750);
+        }
+        for (i, t) in RequestType::ALL.into_iter().enumerate() {
+            let r = req(t, i as u64);
+            let rpc = d.dispatch(&r.encode()).unwrap();
+            let mut expect = BytesMut::new();
+            expect.put_u16(REQUEST_MAGIC);
+            expect.put_u8(t.code());
+            expect.put_u8(1);
+            expect.put_u32(r.tenant);
+            expect.put_u64(r.correlation);
+            expect.put_u32(750);
+            expect.put_u32(r.body.len() as u32);
+            expect.put_slice(&r.body);
+            assert_eq!(&rpc.frame[..], &expect[..], "{t:?} frame diverged");
+        }
     }
 }

@@ -177,3 +177,54 @@ fn zero_sample_run_reports_sentinels() {
     assert_eq!(r.try_latency_percentile_us(99.0), None);
     assert_eq!(r.try_mean_notification_us(), None);
 }
+
+/// The memory-system fast path (DESIGN.md §12: MRU filter, stable-state
+/// short-circuit, memoized sequences — plus batched arrival generation)
+/// is bit-invisible at the experiment level. Same seed, fast path on vs
+/// off, across the notifier styles and a Fig. 10-style multicore
+/// imbalanced variant: every digest bit must agree.
+#[test]
+fn mem_fast_path_is_bit_identical_across_configs() {
+    let mut fig10 = ExperimentConfig::new(
+        WorkloadKind::PacketEncap,
+        TrafficShape::ProportionallyConcentrated,
+        400,
+    )
+    .with_cores(4, 1)
+    .with_notifier(Notifier::hyperplane())
+    .with_seed(0x0B5E_41E5);
+    fig10.imbalance = 0.10;
+    fig10.target_completions = 2_000;
+
+    for cfg in [
+        base(Notifier::Spinning),
+        base(Notifier::hyperplane()),
+        fig10,
+    ] {
+        let fast = runner::run(cfg.clone());
+        let mut slow_cfg = cfg.clone();
+        slow_cfg.mem_fast_path = false;
+        let slow = runner::run(slow_cfg);
+        assert_eq!(
+            digest(&fast),
+            digest(&slow),
+            "fast path perturbed the {} / {} simulation",
+            cfg.notifier.label(),
+            cfg.shape.label()
+        );
+        let fp = fast.fastpath_stats();
+        let sp = slow.fastpath_stats();
+        // The knob gates the MRU filter and memo replay; the stable-state
+        // short-circuit is structural and counts on both paths.
+        assert_eq!(
+            (sp.mru_hits, sp.seq_replays),
+            (0, 0),
+            "disabled fast path still fired"
+        );
+        assert!(
+            fp.mru_hits + fp.stable_hits > 0,
+            "enabled fast path never fired on {}",
+            cfg.notifier.label()
+        );
+    }
+}

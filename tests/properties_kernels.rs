@@ -316,3 +316,168 @@ fn toeplitz_decomposes_into_bit_basis() {
     }
     assert_eq!(toeplitz_hash(&DEFAULT_RSS_KEY, &input), expect);
 }
+
+/// Snapshot of one core's telemetry as a comparable tuple.
+fn stats_tuple(s: hyperplane::mem::system::CoreMemStats) -> (u64, u64, u64, u64) {
+    (s.l1_hits, s.llc_hits, s.remote_hits, s.dram_fetches)
+}
+
+/// The fast-path `MemSystem` agrees access-for-access with the
+/// deliberately-different reference implementation (array-of-structs sets,
+/// std `HashMap` directory) on randomized multi-core load/store/probe
+/// traces: identical `AccessResult`s, identical per-core telemetry,
+/// identical interconnect counters, identical final MESI states.
+#[test]
+fn mem_system_matches_reference_for_random_traces() {
+    use hyperplane::mem::reference::RefMemSystem;
+    use hyperplane::mem::{AccessKind, Addr, CoreId, MemSystem, MemSystemConfig};
+
+    let mut rng = SmallRng::seed_from_u64(0xBEEF_000B);
+    for _case in 0..25 {
+        let cores = 1usize << rng.random_range(0..3u32);
+        let cfg = MemSystemConfig::cmp(cores);
+        let mut fast = MemSystem::new(cfg);
+        let mut reference = RefMemSystem::new(cfg);
+        // A small, clustered line space forces sharing, ping-pong, set
+        // conflicts, and eviction churn within a short trace.
+        let lines = rng.random_range(4..120u64);
+        let n_ops = rng.random_range(1..800usize);
+        let mut touched = Vec::new();
+        for _ in 0..n_ops {
+            let line = rng.random_range(0..lines);
+            let addr = Addr(line * hyperplane::mem::LINE_BYTES);
+            touched.push(addr.line());
+            if rng.random_range(0..10u8) == 0 {
+                // Doorbell-style monitoring probe: downgrades an M/E
+                // holder to S, exactly as QWAIT's snoop does.
+                let a = fast.probe_shared(addr.line());
+                let b = reference.probe_shared(addr.line());
+                assert_eq!(a, b, "probe_shared latency diverged");
+                continue;
+            }
+            let core = CoreId(rng.random_range(0..cores));
+            let kind = if rng.random_range(0..10u8) < 3 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let a = fast.access(core, addr, kind);
+            let b = reference.access(core, addr, kind);
+            assert_eq!(a, b, "{kind:?} by {core:?} at {addr:?} diverged");
+        }
+        for c in 0..cores {
+            assert_eq!(
+                stats_tuple(fast.core_stats(CoreId(c))),
+                stats_tuple(reference.core_stats(CoreId(c))),
+                "core {c} telemetry diverged"
+            );
+            for &l in &touched {
+                assert_eq!(
+                    fast.l1_state(CoreId(c), l),
+                    reference.l1_state(CoreId(c), l),
+                    "final MESI state diverged for core {c} line {l:?}"
+                );
+            }
+        }
+        assert_eq!(fast.getm_total(), reference.getm_total());
+        assert_eq!(fast.invalidation_total(), reference.invalidation_total());
+    }
+}
+
+/// Disabling the wall-clock fast path (MRU filter, stable-state
+/// short-circuit, memo replay) is observationally invisible: the same
+/// trace produces identical results and telemetry either way.
+#[test]
+fn mem_fast_path_toggle_is_invisible() {
+    use hyperplane::mem::{AccessKind, Addr, CoreId, MemSystem, MemSystemConfig};
+
+    let mut rng = SmallRng::seed_from_u64(0xBEEF_000C);
+    for _case in 0..25 {
+        let cores = 1usize << rng.random_range(0..3u32);
+        let mut cfg = MemSystemConfig::cmp(cores);
+        cfg.fast_path = true;
+        let mut on = MemSystem::new(cfg);
+        cfg.fast_path = false;
+        let mut off = MemSystem::new(cfg);
+        let lines = rng.random_range(4..120u64);
+        for _ in 0..rng.random_range(1..800usize) {
+            let addr = Addr(rng.random_range(0..lines) * hyperplane::mem::LINE_BYTES);
+            let core = CoreId(rng.random_range(0..cores));
+            let kind = if rng.random_range(0..10u8) < 3 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            assert_eq!(on.access(core, addr, kind), off.access(core, addr, kind));
+        }
+        for c in 0..cores {
+            assert_eq!(
+                stats_tuple(on.core_stats(CoreId(c))),
+                stats_tuple(off.core_stats(CoreId(c)))
+            );
+        }
+        assert_eq!(on.getm_total(), off.getm_total());
+        assert_eq!(on.invalidation_total(), off.invalidation_total());
+    }
+}
+
+/// Epoch-memoized sequence replay is indistinguishable from re-walking
+/// the accesses: a twin system that never memoizes charges the same
+/// cycles and accumulates the same telemetry, across random disturbances
+/// (remote stores that invalidate recorded lines and break the memo).
+#[test]
+fn seq_memo_replay_equals_plain_access_walk() {
+    use hyperplane::mem::{AccessKind, Addr, CoreId, MemSystem, MemSystemConfig, SeqMemo};
+
+    let mut rng = SmallRng::seed_from_u64(0xBEEF_000D);
+    for _case in 0..40 {
+        let cfg = MemSystemConfig::cmp(4);
+        let mut memoized = MemSystem::new(cfg);
+        let mut plain = MemSystem::new(cfg);
+        let core = CoreId(0);
+        let seq_len = rng.random_range(1..5usize);
+        let seq: Vec<Addr> = (0..seq_len)
+            .map(|i| Addr((0x40 + i as u64) * hyperplane::mem::LINE_BYTES))
+            .collect();
+        let mut memo = SeqMemo::default();
+        for _round in 0..rng.random_range(2..40usize) {
+            let cost_memoized = match memoized.replay_memo(&mut memo) {
+                Some(c) => c.count(),
+                None => {
+                    memo.begin(core);
+                    let mut t = 0;
+                    for &a in &seq {
+                        t += memoized
+                            .record_access(&mut memo, core, a, AccessKind::Load)
+                            .latency
+                            .count();
+                    }
+                    memoized.seal_memo(&mut memo);
+                    t
+                }
+            };
+            let cost_plain: u64 = seq
+                .iter()
+                .map(|&a| plain.access(core, a, AccessKind::Load).latency.count())
+                .sum();
+            assert_eq!(cost_memoized, cost_plain, "replay mispriced the walk");
+            if rng.random_range(0..4u8) == 0 {
+                // Remote store to a recorded line: invalidates core 0's
+                // copy, bumps its epoch, and must break the memo.
+                let victim = seq[rng.random_range(0..seq.len())];
+                let a = memoized.access(CoreId(2), victim, AccessKind::Store);
+                let b = plain.access(CoreId(2), victim, AccessKind::Store);
+                assert_eq!(a, b);
+            }
+        }
+        for c in 0..4 {
+            assert_eq!(
+                stats_tuple(memoized.core_stats(CoreId(c))),
+                stats_tuple(plain.core_stats(CoreId(c))),
+                "memoized telemetry diverged on core {c}"
+            );
+        }
+        assert_eq!(memoized.getm_total(), plain.getm_total());
+        assert_eq!(memoized.invalidation_total(), plain.invalidation_total());
+    }
+}
