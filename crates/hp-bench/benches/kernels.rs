@@ -79,6 +79,28 @@ fn bench_mem_access(c: &mut Criterion) {
         })
     });
 
+    // S-state LLC hit: two cores share a 1000-line read-only set that
+    // overcommits each L1, so every poll is an LLC hit on a stably-shared
+    // line — the sharer-set join arm of the shared-line fast path
+    // (DESIGN.md §13; evictions are tracked, so joins, not peeks).
+    g.bench_function("s_state_llc_hit", |b| {
+        let mut m = MemSystem::new(MemSystemConfig::cmp(4));
+        for core in [CoreId(0), CoreId(1)] {
+            for i in 0..1000u64 {
+                m.access(core, Addr(0x40_0000 + i * 64), AccessKind::Load);
+            }
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(m.access(
+                CoreId(0),
+                Addr(0x40_0000 + (i % 1000) * 64),
+                AccessKind::Load,
+            ))
+        })
+    });
+
     g.finish();
 }
 
@@ -101,6 +123,104 @@ fn bench_calendar_wheel(c: &mut Criterion) {
         })
     });
 
+    // Same-cycle batch pop: eight events land on one bucket; one
+    // `pop_batch` returns the head and drains the rest in a single
+    // occupancy-word clear (the engine's main-loop fast path for
+    // same-instant event runs).
+    g.bench_function("pop_batch_run", |b| {
+        let mut ev: EventQueue<u32> = EventQueue::new();
+        let mut run = std::collections::VecDeque::new();
+        for i in 0..8u32 {
+            ev.schedule_at(SimTime(100), i);
+        }
+        b.iter(|| {
+            let (t, head) = ev.pop_batch(&mut run).expect("standing run");
+            let next = t + Cycles(97);
+            ev.schedule_at(next, head);
+            for p in run.drain(..) {
+                ev.schedule_at(next, p);
+            }
+            black_box(head)
+        })
+    });
+
+    g.finish();
+}
+
+/// The engine's per-queue hot state, reproduced at both layouts the SoA
+/// refactor chose between: the packed row holds exactly the poll/arrival
+/// prefix (one host line), the padded row models the pre-refactor struct
+/// where cold latency accumulators ride in the same allocation.
+fn bench_soa_rows(c: &mut Criterion) {
+    #[derive(Clone, Copy)]
+    struct HotRow {
+        doorbell: u64,
+        descriptor: u64,
+        db_hint: u64,
+        desc_hint: u64,
+        depth: u32,
+        _group: u32,
+    }
+    #[derive(Clone, Copy)]
+    struct PaddedRow {
+        hot: HotRow,
+        _cold: [u64; 12], // latency stats, slot counters, IRQ state
+    }
+
+    let mut g = c.benchmark_group("soa_arrival_touch");
+    // Arrival touch: random queue, read the row's poll prefix (doorbell,
+    // descriptor, both hints — what one spin_step reads), bump the
+    // backlog mirror (the enqueue-site depth update).
+    let n = 500usize;
+    g.bench_function("packed_rows", |b| {
+        let mut rows = vec![
+            HotRow {
+                doorbell: 1,
+                descriptor: 2,
+                db_hint: 0,
+                desc_hint: 0,
+                depth: 0,
+                _group: 0,
+            };
+            n
+        ];
+        let mut x = 0x9E37_79B9u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let q = (x >> 33) as usize % n;
+            let row = &mut rows[q];
+            row.depth = row.depth.wrapping_add(1);
+            black_box(
+                row.doorbell + row.descriptor + row.db_hint + row.desc_hint + row.depth as u64,
+            )
+        })
+    });
+    g.bench_function("padded_rows", |b| {
+        let mut rows = vec![
+            PaddedRow {
+                hot: HotRow {
+                    doorbell: 1,
+                    descriptor: 2,
+                    db_hint: 0,
+                    desc_hint: 0,
+                    depth: 0,
+                    _group: 0,
+                },
+                _cold: [0; 12],
+            };
+            n
+        ];
+        let mut x = 0x9E37_79B9u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let q = (x >> 33) as usize % n;
+            let row = &mut rows[q].hot;
+            row.depth = row.depth.wrapping_add(1);
+            black_box(
+                row.doorbell + row.descriptor + row.db_hint + row.desc_hint + row.depth as u64,
+            )
+        })
+    });
     g.finish();
 }
 
@@ -129,6 +249,7 @@ criterion_group!(
     benches,
     bench_mem_access,
     bench_calendar_wheel,
+    bench_soa_rows,
     bench_alias_sampler
 );
 criterion_main!(benches);

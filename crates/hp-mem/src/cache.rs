@@ -7,15 +7,21 @@
 //!
 //! ## Layout
 //!
-//! The array is stored structure-of-arrays: one flat `keys` vector (packed
-//! valid-bit + tag), one `states` vector, one `last_used` vector, each
-//! indexed by *slot* = `set * ways + way`. A probe of an N-way set is N
-//! consecutive `u64` compares on one or two host cache lines, instead of
-//! walking a `Vec<Vec<Way>>` of 24-byte structs through two levels of
-//! indirection. Slots are stable handles: a line's slot never changes
-//! while the line is resident, which is what lets [`MemSystem`]'s MRU
-//! filter and the epoch-memoized sequences skip re-probing
-//! (see `crate::system`).
+//! The array is one flat vector of 16-byte per-slot records, indexed by
+//! *slot* = `set * ways + way`: a packed valid-bit + tag word, and a
+//! `meta` word holding the LRU tick and the MESI state
+//! (`(tick << 2) | state`). A probe of an N-way set is N strided `u64`
+//! compares over one or two host cache lines, and — the hot case for the
+//! spin-polling data plane — a hint-directed touch of a known slot
+//! (tag check + LRU/state update) reads and writes a *single* host cache
+//! line, where split tag/state/LRU vectors cost three. Slots are stable
+//! handles: a line's slot never changes while the line is resident, which
+//! is what lets [`MemSystem`]'s MRU filter and the epoch-memoized
+//! sequences skip re-probing (see `crate::system`).
+//!
+//! The tick is strictly monotonic and every assignment of a slot's `meta`
+//! uses a fresh tick, so two valid slots never share a tick and comparing
+//! packed `meta` words orders slots exactly like comparing raw LRU ticks.
 //!
 //! [`MemSystem`]: crate::system::MemSystem
 
@@ -30,6 +36,24 @@ pub enum MesiState {
     Exclusive,
     /// Shared: read-only copy, possibly one of many.
     Shared,
+}
+
+#[inline]
+fn code_of(state: MesiState) -> u64 {
+    match state {
+        MesiState::Modified => 0,
+        MesiState::Exclusive => 1,
+        MesiState::Shared => 2,
+    }
+}
+
+#[inline]
+fn state_of(meta: u64) -> MesiState {
+    match meta & 3 {
+        0 => MesiState::Modified,
+        1 => MesiState::Exclusive,
+        _ => MesiState::Shared,
+    }
 }
 
 /// Geometry of a cache.
@@ -87,6 +111,38 @@ pub enum Insert {
 /// Sentinel slot index meaning "not resident" (returned alongside a miss).
 pub const NO_SLOT: usize = usize::MAX;
 
+/// A placement decision captured during a [`lookup_or_plan`] miss scan,
+/// to be applied by [`fill_planned`] once the rest of the transaction
+/// (directory + LLC bookkeeping) has run.
+///
+/// The plan is valid only while the set is untouched between the scan
+/// and the fill. `MemSystem` guarantees that on LLC-hit load paths (a
+/// core's own L1 set is never mutated mid-transaction there); paths
+/// that can back-invalidate (an LLC fill) must discard the plan and
+/// fall back to [`insert_slot_missed`](SetAssocCache::insert_slot_missed).
+///
+/// [`lookup_or_plan`]: SetAssocCache::lookup_or_plan
+/// [`fill_planned`]: SetAssocCache::fill_planned
+#[derive(Debug, Clone, Copy)]
+pub struct PlacePlan {
+    /// Slot the fill will land in (first invalid way, else LRU victim).
+    slot: u32,
+    /// Set index, carried so the fill needs no division by `ways`.
+    set: u32,
+    /// Whether `slot` was invalid at scan time (fill without eviction).
+    invalid: bool,
+}
+
+/// One cache way: packed valid-bit + tag, and packed LRU tick + state.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// `(tag << 1) | 1`, or 0 for an invalid way. Packing the valid bit
+    /// into the tag word makes a probe a single compare per way.
+    key: u64,
+    /// `(last_used_tick << 2) | mesi_code`.
+    meta: u64,
+}
+
 /// A set-associative tag array with true-LRU replacement.
 ///
 /// # Examples
@@ -102,11 +158,7 @@ pub const NO_SLOT: usize = usize::MAX;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    /// Per-slot `(tag << 1) | 1`, or 0 for an invalid way. Packing the
-    /// valid bit into the tag word makes a probe a single compare per way.
-    keys: Vec<u64>,
-    states: Vec<MesiState>,
-    last_used: Vec<u64>,
+    slots: Vec<Slot>,
     ways: usize,
     set_mask: u64,
     /// `log2(sets)`: shift that strips the set index off a line address.
@@ -124,9 +176,13 @@ impl SetAssocCache {
         assert!(config.ways > 0, "cache needs at least one way");
         let slots = sets * config.ways;
         SetAssocCache {
-            keys: vec![0; slots],
-            states: vec![MesiState::Shared; slots],
-            last_used: vec![0; slots],
+            slots: vec![
+                Slot {
+                    key: 0,
+                    meta: code_of(MesiState::Shared),
+                };
+                slots
+            ],
             ways: config.ways,
             set_mask: sets as u64 - 1,
             tag_shift: (sets as u64 - 1).trailing_ones(),
@@ -148,12 +204,29 @@ impl SetAssocCache {
         (line.0 & self.set_mask) as usize
     }
 
+    /// Set index `line` maps to (stable geometry fact, no side effects).
+    ///
+    /// Exposed so the epoch-memoized sequences in [`MemSystem`] can
+    /// partition a core's disturb tracking by set.
+    ///
+    /// [`MemSystem`]: crate::system::MemSystem
+    #[inline]
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        self.set_of(line)
+    }
+
+    /// Number of sets in this cache.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        (self.set_mask as usize) + 1
+    }
+
     /// Slot holding `line`, if resident. No LRU or counter side effects.
     #[inline]
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
         let base = self.set_of(line) * self.ways;
         let needle = self.key_of(line);
-        (base..base + self.ways).find(|&i| self.keys[i] == needle)
+        (base..base + self.ways).find(|&i| self.slots[i].key == needle)
     }
 
     /// Whether `slot` still holds `line`.
@@ -164,7 +237,7 @@ impl SetAssocCache {
     /// re-inserted there).
     #[inline]
     pub fn slot_holds(&self, slot: usize, line: LineAddr) -> bool {
-        self.keys[slot] == self.key_of(line)
+        self.slots[slot].key == self.key_of(line)
     }
 
     /// Bounds-checked variant of [`slot_holds`](Self::slot_holds) for
@@ -173,7 +246,7 @@ impl SetAssocCache {
     /// *this* line was resident at that slot.
     #[inline]
     pub fn hint_holds(&self, slot: u32, line: LineAddr) -> bool {
-        (slot as usize) < self.keys.len() && self.keys[slot as usize] == self.key_of(line)
+        (slot as usize) < self.slots.len() && self.slots[slot as usize].key == self.key_of(line)
     }
 
     /// Looks up `line`, updating LRU and hit/miss counters. Returns its
@@ -190,15 +263,113 @@ impl SetAssocCache {
         self.tick += 1;
         match self.probe(line) {
             Some(i) => {
-                self.last_used[i] = self.tick;
+                let s = &mut self.slots[i];
+                s.meta = (self.tick << 2) | (s.meta & 3);
                 self.hits += 1;
-                (Some(self.states[i]), i)
+                (Some(state_of(s.meta)), i)
             }
             None => {
                 self.misses += 1;
                 (None, NO_SLOT)
             }
         }
+    }
+
+    /// Fused [`lookup_slot`](Self::lookup_slot) + miss-placement scan:
+    /// one pass over the set that either hits (identical bookkeeping to
+    /// `lookup_slot`) or returns the [`PlacePlan`] a subsequent
+    /// [`place_absent`](Self::insert_slot_missed) scan would compute —
+    /// first invalid way, else the LRU victim, same way-order
+    /// tie-breaking. Halves the set scans on the miss→fill path.
+    #[inline]
+    pub fn lookup_or_plan(&mut self, line: LineAddr) -> Result<(MesiState, usize), PlacePlan> {
+        self.tick += 1;
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let needle = self.key_of(line);
+        let mut invalid = NO_SLOT;
+        let mut victim = base;
+        for i in base..base + self.ways {
+            let s = self.slots[i];
+            if s.key == needle {
+                let sm = &mut self.slots[i];
+                sm.meta = (self.tick << 2) | (sm.meta & 3);
+                self.hits += 1;
+                return Ok((state_of(sm.meta), i));
+            }
+            if s.key == 0 {
+                if invalid == NO_SLOT {
+                    invalid = i;
+                }
+            } else if s.meta < self.slots[victim].meta {
+                victim = i;
+            }
+        }
+        self.misses += 1;
+        let (slot, inv) = if invalid != NO_SLOT {
+            (invalid, true)
+        } else {
+            (victim, false)
+        };
+        Err(PlacePlan {
+            slot: slot as u32,
+            set: set as u32,
+            invalid: inv,
+        })
+    }
+
+    /// Applies a [`PlacePlan`] from [`lookup_or_plan`](Self::lookup_or_plan):
+    /// byte-identical bookkeeping to
+    /// [`insert_slot_missed`](Self::insert_slot_missed) — same tick
+    /// advance, same slot choice, same counters — minus the second set
+    /// scan. Caller must guarantee the set is untouched since the scan
+    /// (checked in debug builds by recomputing the decision).
+    #[inline]
+    pub fn fill_planned(&mut self, line: LineAddr, state: MesiState, plan: PlacePlan) -> Insert {
+        debug_assert!(self.probe(line).is_none(), "line is resident: {line}");
+        #[cfg(debug_assertions)]
+        {
+            // The plan must still be what a fresh scan would decide.
+            let base = plan.set as usize * self.ways;
+            let mut invalid = NO_SLOT;
+            let mut victim = base;
+            for i in base..base + self.ways {
+                let s = self.slots[i];
+                if s.key == 0 {
+                    if invalid == NO_SLOT {
+                        invalid = i;
+                    }
+                } else if s.meta < self.slots[victim].meta {
+                    victim = i;
+                }
+            }
+            if invalid != NO_SLOT {
+                debug_assert!(plan.invalid && plan.slot as usize == invalid, "stale plan");
+            } else {
+                debug_assert!(!plan.invalid && plan.slot as usize == victim, "stale plan");
+            }
+        }
+        self.tick += 1;
+        let i = plan.slot as usize;
+        let fresh = Slot {
+            key: self.key_of(line),
+            meta: (self.tick << 2) | code_of(state),
+        };
+        if plan.invalid {
+            self.slots[i] = fresh;
+            return Insert::Placed;
+        }
+        let evicted_line = LineAddr(((self.slots[i].key >> 1) << self.tag_shift) | plan.set as u64);
+        let evicted_state = state_of(self.slots[i].meta);
+        self.slots[i] = fresh;
+        self.evictions += 1;
+        Insert::Evicted(evicted_line, evicted_state)
+    }
+
+    /// Slot a [`PlacePlan`] will fill (for MRU seeding without re-probe).
+    #[inline]
+    pub fn plan_slot(plan: &PlacePlan) -> usize {
+        plan.slot as usize
     }
 
     /// Re-touches a known-resident `slot` exactly as a
@@ -210,21 +381,35 @@ impl SetAssocCache {
     #[inline]
     pub fn hit_at(&mut self, slot: usize) -> MesiState {
         self.tick += 1;
-        self.last_used[slot] = self.tick;
+        let s = &mut self.slots[slot];
+        s.meta = (self.tick << 2) | (s.meta & 3);
         self.hits += 1;
-        self.states[slot]
+        state_of(s.meta)
+    }
+
+    /// Fused [`hit_at`](Self::hit_at) + [`refresh_at`](Self::refresh_at)
+    /// on the same slot: advances the tick twice, counts one hit, and
+    /// leaves the slot's LRU stamp and state exactly as the two separate
+    /// calls would. One read-modify-write of one slot record instead of
+    /// two — the hint-directed LLC touch in `MemSystem`'s load path.
+    #[inline]
+    pub fn hit_refresh_at(&mut self, slot: usize, state: MesiState) {
+        self.tick += 2;
+        self.slots[slot].meta = (self.tick << 2) | code_of(state);
+        self.hits += 1;
     }
 
     /// State of a resident slot (no side effects).
     #[inline]
     pub fn state_at(&self, slot: usize) -> MesiState {
-        self.states[slot]
+        state_of(self.slots[slot].meta)
     }
 
     /// Sets the state of a resident slot directly (no probe, no LRU).
     #[inline]
     pub fn set_state_at(&mut self, slot: usize, state: MesiState) {
-        self.states[slot] = state;
+        let s = &mut self.slots[slot];
+        s.meta = (s.meta & !3) | code_of(state);
     }
 
     /// Re-inserts a known-resident slot: equivalent to
@@ -233,13 +418,12 @@ impl SetAssocCache {
     #[inline]
     pub fn refresh_at(&mut self, slot: usize, state: MesiState) {
         self.tick += 1;
-        self.last_used[slot] = self.tick;
-        self.states[slot] = state;
+        self.slots[slot].meta = (self.tick << 2) | code_of(state);
     }
 
     /// Returns the state of `line` without touching LRU or counters.
     pub fn state(&self, line: LineAddr) -> Option<MesiState> {
-        self.probe(line).map(|i| self.states[i])
+        self.probe(line).map(|i| state_of(self.slots[i].meta))
     }
 
     /// Sets the coherence state of a resident line.
@@ -249,7 +433,7 @@ impl SetAssocCache {
     pub fn set_state(&mut self, line: LineAddr, state: MesiState) -> bool {
         match self.probe(line) {
             Some(i) => {
-                self.states[i] = state;
+                self.set_state_at(i, state);
                 true
             }
             None => false,
@@ -268,40 +452,71 @@ impl SetAssocCache {
     /// in, so callers can seed an MRU filter without re-probing.
     pub fn insert_slot(&mut self, line: LineAddr, state: MesiState) -> (Insert, usize) {
         self.tick += 1;
-        let tick = self.tick;
-        let set_idx = self.set_of(line);
-        let base = set_idx * self.ways;
+        let base = self.set_of(line) * self.ways;
         let needle = self.key_of(line);
 
         // Resident: update in place. Then first invalid way, then LRU
         // victim — the same precedence (and tie-breaking by way order) as
         // the per-set representation this replaced.
+        for i in base..base + self.ways {
+            if self.slots[i].key == needle {
+                self.slots[i].meta = (self.tick << 2) | code_of(state);
+                return (Insert::Placed, i);
+            }
+        }
+        self.place_absent(base, self.set_of(line), needle, state)
+    }
+
+    /// [`insert_slot`](Self::insert_slot) for a line the caller has just
+    /// proven absent (a `lookup_slot`/`probe` miss on this line with no
+    /// intervening mutation): skips the resident scan, otherwise
+    /// byte-identical bookkeeping — same tick advance, same first-invalid
+    /// way / LRU-victim precedence, same counters.
+    pub fn insert_slot_missed(&mut self, line: LineAddr, state: MesiState) -> (Insert, usize) {
+        debug_assert!(self.probe(line).is_none(), "line is resident: {line}");
+        self.tick += 1;
+        let set = self.set_of(line);
+        let needle = self.key_of(line);
+        self.place_absent(set * self.ways, set, needle, state)
+    }
+
+    /// Places a known-absent `needle` into the set at `base`: first
+    /// invalid way wins, otherwise the LRU victim is evicted. Single pass:
+    /// the victim scan runs ahead of the invalid-way check, but an invalid
+    /// way always returns before the victim is used, preserving the
+    /// two-pass precedence exactly.
+    #[inline]
+    fn place_absent(
+        &mut self,
+        base: usize,
+        set_idx: usize,
+        needle: u64,
+        state: MesiState,
+    ) -> (Insert, usize) {
+        let tick = self.tick;
         let mut victim = base;
         for i in base..base + self.ways {
-            if self.keys[i] == needle {
-                self.states[i] = state;
-                self.last_used[i] = tick;
+            let s = self.slots[i];
+            if s.key == 0 {
+                self.slots[i] = Slot {
+                    key: needle,
+                    meta: (tick << 2) | code_of(state),
+                };
                 return (Insert::Placed, i);
             }
-        }
-        for i in base..base + self.ways {
-            if self.keys[i] == 0 {
-                self.keys[i] = needle;
-                self.states[i] = state;
-                self.last_used[i] = tick;
-                return (Insert::Placed, i);
-            }
-        }
-        for i in base + 1..base + self.ways {
-            if self.last_used[i] < self.last_used[victim] {
+            // Valid slots never share a tick, so comparing packed meta
+            // words orders them exactly like comparing LRU ticks.
+            if s.meta < self.slots[victim].meta {
                 victim = i;
             }
         }
-        let evicted_line = LineAddr(((self.keys[victim] >> 1) << self.tag_shift) | set_idx as u64);
-        let evicted_state = self.states[victim];
-        self.keys[victim] = needle;
-        self.states[victim] = state;
-        self.last_used[victim] = tick;
+        let evicted_line =
+            LineAddr(((self.slots[victim].key >> 1) << self.tag_shift) | set_idx as u64);
+        let evicted_state = state_of(self.slots[victim].meta);
+        self.slots[victim] = Slot {
+            key: needle,
+            meta: (tick << 2) | code_of(state),
+        };
         self.evictions += 1;
         (Insert::Evicted(evicted_line, evicted_state), victim)
     }
@@ -310,8 +525,8 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<MesiState> {
         match self.probe(line) {
             Some(i) => {
-                self.keys[i] = 0;
-                Some(self.states[i])
+                self.slots[i].key = 0;
+                Some(state_of(self.slots[i].meta))
             }
             None => None,
         }
@@ -324,7 +539,7 @@ impl SetAssocCache {
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.keys.iter().filter(|&&k| k != 0).count()
+        self.slots.iter().filter(|s| s.key != 0).count()
     }
 }
 
@@ -468,5 +683,52 @@ mod tests {
             slow.insert(LineAddr(4), MesiState::Shared)
         );
         assert_eq!(fast.state(LineAddr(0)), None);
+    }
+
+    #[test]
+    fn hit_refresh_matches_separate_calls() {
+        // hit_refresh_at must leave counters, LRU order, and state exactly
+        // as hit_at followed by refresh_at would.
+        let mut fused = tiny();
+        let mut split = tiny();
+        for c in [&mut fused, &mut split] {
+            c.insert(LineAddr(0), MesiState::Exclusive);
+            c.insert(LineAddr(2), MesiState::Shared);
+        }
+        let slot = fused.probe(LineAddr(0)).unwrap();
+        fused.hit_refresh_at(slot, MesiState::Shared);
+        split.hit_at(slot);
+        split.refresh_at(slot, MesiState::Shared);
+        assert_eq!(fused.counters(), split.counters());
+        assert_eq!(fused.state(LineAddr(0)), split.state(LineAddr(0)));
+        // Same LRU decision next.
+        assert_eq!(
+            fused.insert(LineAddr(4), MesiState::Shared),
+            split.insert(LineAddr(4), MesiState::Shared)
+        );
+    }
+
+    #[test]
+    fn insert_slot_missed_matches_insert_slot() {
+        // Drive two caches through the same mixed trace; inserts of
+        // known-absent lines go through the missed variant on one side.
+        let mut a = tiny();
+        let mut b = tiny();
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let line = LineAddr((x >> 33) % 16);
+            if a.lookup(line).is_none() {
+                b.lookup(line);
+                assert_eq!(
+                    a.insert_slot_missed(line, MesiState::Shared),
+                    b.insert_slot(line, MesiState::Shared)
+                );
+            } else {
+                b.lookup(line);
+            }
+            assert_eq!(a.counters(), b.counters());
+        }
+        assert_eq!(a.occupancy(), b.occupancy());
     }
 }

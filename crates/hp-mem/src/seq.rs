@@ -1,4 +1,4 @@
-//! Epoch-memoized access sequences.
+//! Epoch-memoized access sequences, partitioned by L1 set.
 //!
 //! The software data plane issues *deterministic* per-packet access
 //! sequences: a spin-poll is always the same doorbell + descriptor load
@@ -8,19 +8,36 @@
 //! change until some coherence event disturbs the issuing core's L1.
 //!
 //! [`SeqMemo`] captures one such sequence: the `(line, slot)` pairs it
-//! touched, their aggregate latency, and the core's *disturb epoch* at
-//! sealing time (see `MemSystem::epochs`). Replay
-//! (`MemSystem::replay_memo`) is an O(1) epoch compare in the common case,
-//! falling back to per-line residency checks, and applies exactly the side
-//! effects the recorded loads would have had. Any miss, store, or remote
-//! access in a recorded sequence marks the memo broken; it simply
-//! re-records on the next use.
+//! touched, their aggregate latency, and — per recorded line — the
+//! issuing core's *disturb epoch for that line's L1 set* at sealing time
+//! (see `MemSystem::epochs`). Disturb epochs are kept per `(core, L1
+//! set)`, not per core: a producer store that invalidates one doorbell
+//! line only bumps the epoch of the set that line maps to, so a core
+//! polling hundreds of queues keeps every memo whose partition of the
+//! poll set was untouched. Replay (`MemSystem::replay_memo`) is one epoch
+//! compare per recorded line in the common case, falling back to per-line
+//! residency checks, and applies exactly the side effects the recorded
+//! loads would have had. Any miss, store, or remote access in a recorded
+//! sequence marks the memo broken; it simply re-records on the next use.
 //!
 //! The memo is deliberately loads-only: every store can change directory
 //! state or emit a GetM the monitoring set must observe, so stores always
 //! take the full path.
 
 use crate::types::CoreId;
+
+/// One recorded L1 load hit: the line, the L1 slot it occupied, and the
+/// `(core, set)` disturb epoch observed when the memo was sealed.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SeqEntry {
+    /// Line address.
+    pub(crate) line: u64,
+    /// L1 slot the line occupied when recorded.
+    pub(crate) slot: u32,
+    /// Disturb epoch of the recording core's L1 set holding this line,
+    /// captured at seal (refreshed on successful revalidation).
+    pub(crate) epoch: u64,
+}
 
 /// A recorded, replayable sequence of L1 load hits by one core.
 ///
@@ -49,11 +66,8 @@ use crate::types::CoreId;
 pub struct SeqMemo {
     /// Recording core (index).
     pub(crate) core: usize,
-    /// `(line address, L1 slot)` per recorded access, in issue order.
-    pub(crate) lines: Vec<(u64, u32)>,
-    /// Recording core's disturb epoch at seal (refreshed on successful
-    /// revalidation).
-    pub(crate) epoch: u64,
+    /// Recorded accesses, in issue order.
+    pub(crate) lines: Vec<SeqEntry>,
     /// Total latency of the recorded accesses, in cycles.
     pub(crate) latency: u64,
     /// Sealed and replayable.
@@ -68,7 +82,6 @@ impl SeqMemo {
     pub fn begin(&mut self, core: CoreId) {
         self.core = core.0;
         self.lines.clear();
-        self.epoch = 0;
         self.latency = 0;
         self.ready = false;
         self.broken = false;

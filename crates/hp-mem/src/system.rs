@@ -41,7 +41,7 @@
 //! [`crate::reference::RefMemSystem`] and asserts equal results on every
 //! access.
 
-use crate::cache::{CacheConfig, Insert, MesiState, SetAssocCache};
+use crate::cache::{CacheConfig, Insert, MesiState, PlacePlan, SetAssocCache};
 use crate::dir::DirTable;
 use crate::seq::SeqMemo;
 use crate::types::{AccessKind, Addr, CoreId, HitLevel, LineAddr};
@@ -105,6 +105,8 @@ pub struct AccessResult {
 const NO_OWNER: u8 = u8::MAX;
 /// Sentinel for [`DirEntry::llc_slot`]: hint unknown.
 const NO_HINT: u32 = u32::MAX;
+/// Sentinel for `MemSystem::dir_hints`: no directory slot recorded.
+const NO_DIR_SLOT: u32 = u32::MAX;
 
 /// One directory entry, packed to 16 bytes (the directory is the hottest
 /// associative structure in the simulator; see `crate::dir`).
@@ -184,6 +186,20 @@ pub struct FastPathStats {
     pub seq_replays: u64,
     /// Individual accesses covered by those replays.
     pub seq_replayed_accesses: u64,
+    /// Loads on a stably-shared LLC line resolved by the read-only
+    /// directory peek: the write-back would have been an identity write,
+    /// so no directory state is touched at all (DESIGN.md §13).
+    pub s_state_peeks: u64,
+    /// Loads re-taking an unowned line the core was sole holder of
+    /// (post-eviction reload in E): one directory word written, no
+    /// transition logic walked.
+    pub stable_reloads: u64,
+    /// Loads joining the sharer set of an unowned line: one directory
+    /// word written (sharer bit added), no transition logic walked.
+    pub shared_joins: u64,
+    /// L1 evictions whose victim's directory entry was found via the
+    /// per-slot hint (generation-validated), skipping the hash probe.
+    pub dir_hint_hits: u64,
 }
 
 /// The last-touched line of one core: `slot` is where `line` lived in the
@@ -193,6 +209,32 @@ pub struct FastPathStats {
 struct MruLine {
     line: LineAddr,
     slot: usize,
+}
+
+/// A caller-owned, self-validating cache of one line's directory slot
+/// and L1 slot, for callers that re-access the same line periodically
+/// (the spin-poll sweep). Pass to [`MemSystem::load_hinted`]: a hint
+/// whose directory slot still holds the line's entry skips the directory
+/// hash probe entirely, and the L1 slot lets
+/// [`MemSystem::l1_hint_resident`] answer the residency question with a
+/// single compare instead of a set scan. Both validations are sound on
+/// their own — keys/tags are unique per structure, so a slot holding the
+/// key *is* the key's entry, wherever churn may have moved things — and
+/// a stale or default hint just falls back to the probe: the hint can
+/// never change an access's outcome, only its wall-clock cost.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadHint {
+    dir_slot: u32,
+    l1_slot: u32,
+}
+
+impl Default for LoadHint {
+    fn default() -> Self {
+        LoadHint {
+            dir_slot: NO_DIR_SLOT,
+            l1_slot: u32::MAX,
+        }
+    }
 }
 
 /// The modeled multicore memory hierarchy.
@@ -234,12 +276,28 @@ pub struct MemSystem {
     fast_path: bool,
     /// Per-core MRU line filter.
     mru: Vec<Option<MruLine>>,
-    /// Per-core disturb epoch: bumped whenever a line leaves the core's L1
-    /// (own eviction, external invalidation, inclusive back-invalidation)
-    /// or is downgraded by a remote reader/probe. An unchanged epoch
-    /// proves every previously resident line is still resident in the
-    /// same slot — the O(1) validity test for [`SeqMemo`] replay.
+    /// Disturb epochs, one per `(core, L1 set)` — flat, indexed
+    /// `core * l1_sets + set`. Bumped whenever a line leaves that set of
+    /// the core's L1 (own eviction, external invalidation, inclusive
+    /// back-invalidation) or is downgraded there by a remote reader/probe.
+    /// An unchanged epoch proves every line previously resident in that
+    /// set is still resident in the same slot with the same state — the
+    /// per-partition validity test for [`SeqMemo`] replay. Partitioning
+    /// by set is what lets a core polling hundreds of queues keep memos
+    /// whose lines' sets were untouched while other partitions churn.
     epochs: Vec<u64>,
+    /// Sets per L1 (epoch partition count per core).
+    l1_sets: usize,
+    /// Slots per L1 (`sets * ways`; stride of `dir_hints` per core).
+    l1_slots: usize,
+    /// Per-`(core, L1 slot)` directory-slot hints, flat-indexed
+    /// `core * l1_slots + slot`: the directory slot of the entry for the
+    /// line currently filling that L1 slot, recorded at fill time. Lets
+    /// the victim path on the *next* fill of that slot update the
+    /// victim's directory entry without a hash probe; validated by
+    /// `slot_holds` (sound on its own — a slot holding the key *is* the
+    /// key's unique entry), with any stale hint falling back to the probe.
+    dir_hints: Vec<u32>,
     fastpath: FastPathStats,
     #[cfg(feature = "shadow-check")]
     shadow: Box<RefMemSystem>,
@@ -304,7 +362,10 @@ impl MemSystem {
             prefetch_fills: 0,
             fast_path: config.fast_path,
             mru: vec![None; config.cores],
-            epochs: vec![0; config.cores],
+            epochs: vec![0; config.cores * config.l1.sets()],
+            l1_sets: config.l1.sets(),
+            l1_slots: config.l1.sets() * config.l1.ways,
+            dir_hints: vec![NO_DIR_SLOT; config.cores * config.l1.sets() * config.l1.ways],
             fastpath: FastPathStats::default(),
             #[cfg(feature = "shadow-check")]
             shadow: Box::new(RefMemSystem::new(config)),
@@ -346,6 +407,35 @@ impl MemSystem {
         self.l1s[core.0].state(line)
     }
 
+    /// Index into `epochs` for `core`'s L1 set holding `line`.
+    #[inline]
+    fn epoch_idx(&self, core: usize, line: LineAddr) -> usize {
+        core * self.l1_sets + self.l1s[core].set_index(line)
+    }
+
+    /// Whether `line` is currently resident in `core`'s L1 (read-only, no
+    /// LRU or counter side effects). The engine uses this to gate memo
+    /// re-recording: a poll set too large for the L1 never produces a
+    /// replayable memo, so re-recording it every sweep is pure churn.
+    #[inline]
+    pub fn l1_resident(&self, core: CoreId, addr: Addr) -> bool {
+        self.l1s[core.0].probe(addr.line()).is_some()
+    }
+
+    /// [`l1_resident`](Self::l1_resident) answered from a [`LoadHint`]'s
+    /// L1 slot: a single tag compare instead of a set scan. The hint's
+    /// slot is written back on every hinted-load and stable-hit exit, and
+    /// a resident line's slot cannot change while it stays resident, so
+    /// for a line accessed exclusively through [`load_hinted`] by one
+    /// core this is decision-equivalent to the scan: the hint validates
+    /// iff the line is resident. (A stale hint on a still-resident line
+    /// would only arise if some *other* path refilled the line; that can
+    /// only delay memo re-recording — never change simulated outcomes.)
+    #[inline]
+    pub fn l1_hint_resident(&self, core: CoreId, hint: &LoadHint, addr: Addr) -> bool {
+        self.l1s[core.0].hint_holds(hint.l1_slot, addr.line())
+    }
+
     fn record(&mut self, core: CoreId, level: HitLevel) {
         let s = &mut self.stats[core.0];
         match level {
@@ -371,6 +461,37 @@ impl MemSystem {
             assert_eq!(
                 r, expected,
                 "fast path diverged from reference at {addr} ({kind:?} by {core})"
+            );
+            debug_assert_eq!(self.getm_count, self.shadow.getm_total());
+            debug_assert_eq!(self.invalidations, self.shadow.invalidation_total());
+        }
+        r
+    }
+
+    /// [`access`](Self::access) for a load, with a caller-owned
+    /// [`LoadHint`] that skips the directory hash probe while the
+    /// line's entry provably has not moved. Byte-identical outcomes to
+    /// `access(core, addr, AccessKind::Load)` — same MRU filter, same
+    /// shadow-check, same prefetcher interaction (the hint is simply not
+    /// consulted while the prefetcher is on).
+    pub fn load_hinted(&mut self, core: CoreId, addr: Addr, hint: &mut LoadHint) -> AccessResult {
+        assert!(core.0 < self.l1s.len(), "unknown {core}");
+        #[cfg(feature = "shadow-check")]
+        let expected = self.shadow.access(core, addr, AccessKind::Load);
+        let line = addr.line();
+        let r = if self.fast_path && self.prefetch_degree == 0 {
+            match self.try_mru(core, line, AccessKind::Load) {
+                Some(r) => r,
+                None => self.load_with(core, line, Some(hint)),
+            }
+        } else {
+            self.access_inner(core, addr, AccessKind::Load)
+        };
+        #[cfg(feature = "shadow-check")]
+        {
+            assert_eq!(
+                r, expected,
+                "fast path diverged from reference at {addr} (hinted load by {core})"
             );
             debug_assert_eq!(self.getm_count, self.shadow.getm_total());
             debug_assert_eq!(self.invalidations, self.shadow.invalidation_total());
@@ -454,7 +575,7 @@ impl MemSystem {
         if let Some(entry) = self.directory.get_mut(line.0) {
             entry.llc_slot = ls;
         }
-        self.fill_l1(core, line, MesiState::Shared);
+        self.fill_l1(core, line, MesiState::Shared, NO_DIR_SLOT, None);
         self.prefetch_fills += 1;
     }
 
@@ -464,27 +585,103 @@ impl MemSystem {
     }
 
     fn load(&mut self, core: CoreId, line: LineAddr) -> AccessResult {
-        let (hit, slot) = self.l1s[core.0].lookup_slot(line);
-        if hit.is_some() {
-            // Stable-state short-circuit: resident in M/E/S, nothing to
-            // tell the directory.
-            self.mru[core.0] = Some(MruLine { line, slot });
-            self.fastpath.stable_hits += 1;
-            self.record(core, HitLevel::L1);
-            return AccessResult {
-                latency: self.latency.l1_hit,
-                level: HitLevel::L1,
-                getm: None,
-            };
-        }
+        self.load_with(core, line, None)
+    }
+
+    fn load_with(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        hint: Option<&mut LoadHint>,
+    ) -> AccessResult {
+        // One pass over the L1 set: either a hit, or the placement plan
+        // the post-transaction fill will use (valid because nothing below
+        // touches this core's set on the LLC-hit paths).
+        let plan = match self.l1s[core.0].lookup_or_plan(line) {
+            Ok((_state, slot)) => {
+                // Stable-state short-circuit: resident in M/E/S, nothing
+                // to tell the directory.
+                self.mru[core.0] = Some(MruLine { line, slot });
+                self.fastpath.stable_hits += 1;
+                self.record(core, HitLevel::L1);
+                if let Some(h) = hint {
+                    h.l1_slot = slot as u32;
+                }
+                return AccessResult {
+                    latency: self.latency.l1_hit,
+                    level: HitLevel::L1,
+                    getm: None,
+                };
+            }
+            Err(plan) => plan,
+        };
 
         // One directory probe for the whole transaction: read the entry,
         // compute the outcome, write it back before any fill can move
         // table slots. `llc_at` is the LLC slot the line is known to
-        // occupy (hint or probe); `None` means a full fill must run.
-        let dslot = self.directory.entry_slot(line.0);
+        // occupy (hint or probe); `None` means a full fill must run. A
+        // valid caller hint replaces the probe with a direct index.
+        let dslot = match &hint {
+            Some(h) if self.directory.slot_holds(h.dir_slot as usize, line.0) => {
+                h.dir_slot as usize
+            }
+            _ => self.directory.entry_slot(line.0),
+        };
         let e = *self.directory.at(dslot);
         let me = 1u64 << core.0;
+
+        // Spinning-path fast route (DESIGN.md §13): a load of an unowned
+        // line whose LLC slot hint validates is an LLC hit whose entire
+        // directory transition is known up front — at most one word
+        // written back, and for a stably-shared line (our sharer bit
+        // already set) the write-back is an identity write, so the
+        // directory is only *read*. The general walk below computes the
+        // same outcome; this route just skips constructing it. Invariant
+        // argument: with no owner there is no copy to downgrade or
+        // invalidate, so no coherence transition can be missed; the LLC
+        // touch and L1 fill below are the exact bookkeeping the general
+        // path performs (fused hit+refresh, fill after a proven miss).
+        if self.fast_path && e.owner == NO_OWNER && self.llc.hint_holds(e.llc_slot, line) {
+            let ls = e.llc_slot as usize;
+            let state = if e.sharers | me == me {
+                // Sole holder re-takes the line in E (the usual reload of
+                // a line this core's L1 evicted).
+                *self.directory.at_mut(dslot) = DirEntry {
+                    sharers: 0,
+                    llc_slot: e.llc_slot,
+                    owner: core.0 as u8,
+                };
+                self.fastpath.stable_reloads += 1;
+                MesiState::Exclusive
+            } else if e.sharers & me != 0 {
+                // Stably shared: sharers, owner, and hint all unchanged —
+                // read-only peek, nothing written.
+                self.fastpath.s_state_peeks += 1;
+                MesiState::Shared
+            } else {
+                // Join the sharer set: one word written.
+                *self.directory.at_mut(dslot) = DirEntry {
+                    sharers: e.sharers | me,
+                    llc_slot: e.llc_slot,
+                    owner: NO_OWNER,
+                };
+                self.fastpath.shared_joins += 1;
+                MesiState::Shared
+            };
+            self.llc.hit_refresh_at(ls, MesiState::Shared);
+            let l1_slot = self.fill_l1(core, line, state, dslot as u32, Some(plan));
+            self.record(core, HitLevel::Llc);
+            if let Some(h) = hint {
+                h.dir_slot = dslot as u32;
+                h.l1_slot = l1_slot as u32;
+            }
+            return AccessResult {
+                latency: self.latency.llc_hit,
+                level: HitLevel::Llc,
+                getm: None,
+            };
+        }
+
         let mut llc_at = None;
         if self.llc.hint_holds(e.llc_slot, line) {
             llc_at = Some(e.llc_slot);
@@ -500,7 +697,8 @@ impl MemSystem {
                 // Downgrade the remote owner to Shared; cache-to-cache fill.
                 sharers = e.sharers | (1 << owner.0) | me;
                 self.l1s[owner.0].set_state(line, MesiState::Shared);
-                self.epochs[owner.0] += 1;
+                let ei = self.epoch_idx(owner.0, line);
+                self.epochs[ei] += 1;
                 HitLevel::RemoteL1
             }
         } else {
@@ -539,18 +737,32 @@ impl MemSystem {
             llc_slot: llc_at.unwrap_or(NO_HINT),
             owner,
         };
-        match llc_at {
+        let (fill_dslot, fill_plan) = match llc_at {
             // Already resident: refresh in place instead of re-probing.
-            Some(ls) => self.llc.refresh_at(ls as usize, MesiState::Shared),
-            None => {
-                let ls = self.fill_llc_slot(line);
-                self.directory
-                    .get_mut(line.0)
-                    .expect("entry written this transaction")
-                    .llc_slot = ls;
+            // The L1 set is untouched, so the lookup's plan still holds.
+            Some(ls) => {
+                self.llc.refresh_at(ls as usize, MesiState::Shared);
+                (dslot as u32, Some(plan))
             }
+            None => {
+                // `fill_llc_slot` may delete an entry (inclusive
+                // back-invalidation), moving others; re-find the slot.
+                // The back-invalidation can also free a way in this
+                // core's target set, so the placement plan is stale.
+                let ls = self.fill_llc_slot(line);
+                let j = self
+                    .directory
+                    .find_slot(line.0)
+                    .expect("entry written this transaction");
+                self.directory.at_mut(j).llc_slot = ls;
+                (j as u32, None)
+            }
+        };
+        let l1_slot = self.fill_l1(core, line, state, fill_dslot, fill_plan);
+        if let Some(h) = hint {
+            h.dir_slot = fill_dslot;
+            h.l1_slot = l1_slot as u32;
         }
-        self.fill_l1(core, line, state);
         self.record(core, level);
         AccessResult {
             latency: self.latency.of_level(level),
@@ -560,45 +772,47 @@ impl MemSystem {
     }
 
     fn store(&mut self, core: CoreId, line: LineAddr) -> AccessResult {
-        let (hit, slot) = self.l1s[core.0].lookup_slot(line);
-        match hit {
-            Some(MesiState::Modified) | Some(MesiState::Exclusive) => {
-                // Stable-state short-circuit; E->M is a silent upgrade
-                // with no interconnect transaction.
-                if hit == Some(MesiState::Exclusive) {
-                    self.l1s[core.0].set_state_at(slot, MesiState::Modified);
+        let plan = match self.l1s[core.0].lookup_or_plan(line) {
+            Ok((hit, slot)) => match hit {
+                MesiState::Modified | MesiState::Exclusive => {
+                    // Stable-state short-circuit; E->M is a silent upgrade
+                    // with no interconnect transaction.
+                    if hit == MesiState::Exclusive {
+                        self.l1s[core.0].set_state_at(slot, MesiState::Modified);
+                    }
+                    self.mru[core.0] = Some(MruLine { line, slot });
+                    self.fastpath.stable_hits += 1;
+                    self.record(core, HitLevel::L1);
+                    return AccessResult {
+                        latency: self.latency.l1_hit,
+                        level: HitLevel::L1,
+                        getm: None,
+                    };
                 }
-                self.mru[core.0] = Some(MruLine { line, slot });
-                self.fastpath.stable_hits += 1;
-                self.record(core, HitLevel::L1);
-                return AccessResult {
-                    latency: self.latency.l1_hit,
-                    level: HitLevel::L1,
-                    getm: None,
-                };
-            }
-            Some(MesiState::Shared) => {
-                // Upgrade: GetM invalidating other sharers; directory access.
-                self.getm_count += 1;
-                let dslot = self.directory.entry_slot(line.0);
-                let e = *self.directory.at(dslot);
-                self.invalidate_holders(core, line, e.sharers, e.owner());
-                *self.directory.at_mut(dslot) = DirEntry {
-                    sharers: 0,
-                    llc_slot: e.llc_slot,
-                    owner: core.0 as u8,
-                };
-                self.l1s[core.0].set_state_at(slot, MesiState::Modified);
-                self.mru[core.0] = Some(MruLine { line, slot });
-                self.record(core, HitLevel::Llc);
-                return AccessResult {
-                    latency: self.latency.llc_hit,
-                    level: HitLevel::Llc,
-                    getm: Some(line),
-                };
-            }
-            None => {}
-        }
+                MesiState::Shared => {
+                    // Upgrade: GetM invalidating other sharers; directory
+                    // access.
+                    self.getm_count += 1;
+                    let dslot = self.directory.entry_slot(line.0);
+                    let e = *self.directory.at(dslot);
+                    self.invalidate_holders(core, line, e.sharers, e.owner());
+                    *self.directory.at_mut(dslot) = DirEntry {
+                        sharers: 0,
+                        llc_slot: e.llc_slot,
+                        owner: core.0 as u8,
+                    };
+                    self.l1s[core.0].set_state_at(slot, MesiState::Modified);
+                    self.mru[core.0] = Some(MruLine { line, slot });
+                    self.record(core, HitLevel::Llc);
+                    return AccessResult {
+                        latency: self.latency.llc_hit,
+                        level: HitLevel::Llc,
+                        getm: Some(line),
+                    };
+                }
+            },
+            Err(plan) => plan,
+        };
 
         // Write miss: GetM. Same single-probe read/write-back shape as
         // `load`.
@@ -614,7 +828,8 @@ impl MemSystem {
             // The owner's copy may already be gone (silent E-state
             // eviction); the invalidation message is sent regardless.
             if self.l1s[owner.0].invalidate(line).is_some() {
-                self.epochs[owner.0] += 1;
+                let ei = self.epoch_idx(owner.0, line);
+                self.epochs[ei] += 1;
             }
             self.invalidations += 1;
             HitLevel::RemoteL1
@@ -643,17 +858,24 @@ impl MemSystem {
             llc_slot: llc_at.unwrap_or(NO_HINT),
             owner: core.0 as u8,
         };
-        match llc_at {
-            Some(ls) => self.llc.refresh_at(ls as usize, MesiState::Shared),
-            None => {
-                let ls = self.fill_llc_slot(line);
-                self.directory
-                    .get_mut(line.0)
-                    .expect("entry written this transaction")
-                    .llc_slot = ls;
+        let (fill_dslot, fill_plan) = match llc_at {
+            Some(ls) => {
+                self.llc.refresh_at(ls as usize, MesiState::Shared);
+                (dslot as u32, Some(plan))
             }
-        }
-        self.fill_l1(core, line, MesiState::Modified);
+            None => {
+                // LLC fill may back-invalidate into this core's target
+                // set: re-find the directory slot, drop the stale plan.
+                let ls = self.fill_llc_slot(line);
+                let j = self
+                    .directory
+                    .find_slot(line.0)
+                    .expect("entry written this transaction");
+                self.directory.at_mut(j).llc_slot = ls;
+                (j as u32, None)
+            }
+        };
+        self.fill_l1(core, line, MesiState::Modified, fill_dslot, fill_plan);
         self.record(core, level);
         AccessResult {
             latency: self.latency.of_level(level),
@@ -690,7 +912,8 @@ impl MemSystem {
                 entry.owner = NO_OWNER;
                 let hint = entry.llc_slot;
                 self.l1s[owner].set_state(line, MesiState::Shared);
-                self.epochs[owner] += 1;
+                let ei = self.epoch_idx(owner, line);
+                self.epochs[ei] += 1;
                 if self.llc.hint_holds(hint, line) {
                     self.llc.refresh_at(hint as usize, MesiState::Shared);
                 } else {
@@ -725,20 +948,56 @@ impl MemSystem {
             mask &= mask - 1;
             if self.l1s[i].invalidate(line).is_some() {
                 self.invalidations += 1;
-                self.epochs[i] += 1;
+                let ei = self.epoch_idx(i, line);
+                self.epochs[ei] += 1;
             }
         }
     }
 
-    fn fill_l1(&mut self, core: CoreId, line: LineAddr, state: MesiState) {
-        let (insert, slot) = self.l1s[core.0].insert_slot(line, state);
+    /// `dslot` is the directory slot of `line`'s entry if the caller
+    /// holds a still-valid handle (else [`NO_DIR_SLOT`]); it is cached
+    /// per L1 slot so the *next* eviction from that slot can update the
+    /// victim's directory entry probe-free.
+    /// `plan` is the placement decision captured by the lookup-miss scan,
+    /// valid only when nothing touched the core's L1 set since (callers
+    /// that ran an LLC fill — which can back-invalidate — pass `None`).
+    /// Returns the L1 slot the line was filled into.
+    fn fill_l1(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        state: MesiState,
+        dslot: u32,
+        plan: Option<PlacePlan>,
+    ) -> usize {
+        let (insert, slot) = match plan {
+            Some(p) => (
+                self.l1s[core.0].fill_planned(line, state, p),
+                SetAssocCache::plan_slot(&p),
+            ),
+            None => self.l1s[core.0].insert_slot_missed(line, state),
+        };
         self.mru[core.0] = Some(MruLine { line, slot });
+        let hi = core.0 * self.l1_slots + slot;
+        let victim_dslot = self.dir_hints[hi];
+        self.dir_hints[hi] = dslot;
         if let Insert::Evicted(victim, victim_state) = insert {
-            self.epochs[core.0] += 1;
+            // The victim shares the inserted line's set.
+            let ei = self.epoch_idx(core.0, victim);
+            self.epochs[ei] += 1;
             // Writeback of M lines lands in the LLC; directory forgets the
-            // private copy either way.
+            // private copy either way. The victim's entry is found via the
+            // slot hint recorded when the victim was filled; `slot_holds`
+            // is the full validity proof (unique keys), so the hash probe
+            // is skipped on the steady-state eviction path.
             let mut victim_hint = NO_HINT;
-            if let Some(entry) = self.directory.get_mut(victim.0) {
+            let entry = if self.directory.slot_holds(victim_dslot as usize, victim.0) {
+                self.fastpath.dir_hint_hits += 1;
+                Some(self.directory.at_mut(victim_dslot as usize))
+            } else {
+                self.directory.get_mut(victim.0)
+            };
+            if let Some(entry) = entry {
                 if entry.owner == core.0 as u8 {
                     entry.owner = NO_OWNER;
                 }
@@ -756,6 +1015,7 @@ impl MemSystem {
                 }
             }
         }
+        slot
     }
 
     /// `fill_llc` of the original transaction model: inserts `line` into
@@ -786,7 +1046,8 @@ impl MemSystem {
                 mask &= mask - 1;
                 if self.l1s[i].invalidate(victim).is_some() {
                     self.invalidations += 1;
-                    self.epochs[i] += 1;
+                    let ei = self.epoch_idx(i, victim);
+                    self.epochs[ei] += 1;
                 }
             }
         }
@@ -816,70 +1077,87 @@ impl MemSystem {
         } else if !memo.broken {
             let m = self.mru[core.0].expect("an L1 load hit always sets the MRU line");
             debug_assert_eq!(m.line, addr.line());
-            memo.lines.push((m.line.0, m.slot as u32));
+            memo.lines.push(crate::seq::SeqEntry {
+                line: m.line.0,
+                slot: m.slot as u32,
+                epoch: 0,
+            });
             memo.latency += r.latency.count();
         }
         r
     }
 
     /// Finalizes a recording: the memo becomes replayable iff every
-    /// access since [`SeqMemo::begin`] was a memoizable L1 load hit.
+    /// access since [`SeqMemo::begin`] was a memoizable L1 load hit. Each
+    /// recorded line captures the disturb epoch of the L1 set it maps to.
     pub fn seal_memo(&self, memo: &mut SeqMemo) {
         memo.ready = !memo.broken && !memo.lines.is_empty();
         if memo.ready {
-            memo.epoch = self.epochs[memo.core];
+            let base = memo.core * self.l1_sets;
+            let l1 = &self.l1s[memo.core];
+            for e in &mut memo.lines {
+                e.epoch = self.epochs[base + l1.set_index(LineAddr(e.line))];
+            }
         }
     }
 
-    /// Replays a sealed memo in O(1) validity checks: if the recording
-    /// core's disturb epoch is unchanged (or every recorded line provably
-    /// still sits in its recorded slot), applies exactly the side effects
-    /// the recorded loads would have had — per-line LRU touches and hit
-    /// counters, `l1_hits` telemetry, MRU update — and returns their total
-    /// latency. Returns `None` when the memo must be re-recorded.
+    /// Replays a sealed memo with per-partition validity checks: if every
+    /// recorded line's `(core, L1 set)` disturb epoch is unchanged (or
+    /// every recorded line provably still sits in its recorded slot),
+    /// applies exactly the side effects the recorded loads would have had
+    /// — per-line LRU touches and hit counters, `l1_hits` telemetry, MRU
+    /// update — and returns their total latency. Returns `None` when the
+    /// memo must be re-recorded.
     pub fn replay_memo(&mut self, memo: &mut SeqMemo) -> Option<Cycles> {
         if !memo.ready || !self.fast_path || self.prefetch_degree != 0 {
             return None;
         }
         let core = memo.core;
-        if memo.epoch != self.epochs[core] {
-            // The core was disturbed since sealing; fall back to per-line
-            // revalidation (residency in the recorded slot is all a load
-            // hit needs).
-            let l1 = &self.l1s[core];
+        let base = core * self.l1_sets;
+        let l1 = &self.l1s[core];
+        let undisturbed = memo
+            .lines
+            .iter()
+            .all(|e| self.epochs[base + l1.set_index(LineAddr(e.line))] == e.epoch);
+        if !undisturbed {
+            // Some partition was disturbed since sealing; fall back to
+            // per-line revalidation (residency in the recorded slot is
+            // all a load hit needs) and re-capture the set epochs.
             if memo
                 .lines
                 .iter()
-                .all(|&(k, s)| l1.slot_holds(s as usize, LineAddr(k)))
+                .all(|e| l1.slot_holds(e.slot as usize, LineAddr(e.line)))
             {
-                memo.epoch = self.epochs[core];
+                for e in &mut memo.lines {
+                    e.epoch = self.epochs[base + self.l1s[core].set_index(LineAddr(e.line))];
+                }
             } else {
                 memo.ready = false;
                 return None;
             }
         }
         #[cfg(feature = "shadow-check")]
-        for &(k, _) in &memo.lines {
+        for e in &memo.lines {
             let r = self
                 .shadow
-                .access(CoreId(core), LineAddr(k).base(), AccessKind::Load);
+                .access(CoreId(core), LineAddr(e.line).base(), AccessKind::Load);
             assert_eq!(
                 r.level,
                 HitLevel::L1,
                 "memo replay diverged from reference at {}",
-                LineAddr(k)
+                LineAddr(e.line)
             );
         }
         let l1 = &mut self.l1s[core];
-        for &(_, s) in &memo.lines {
-            l1.hit_at(s as usize);
+        for e in &memo.lines {
+            l1.hit_at(e.slot as usize);
         }
         let n = memo.lines.len() as u64;
         self.stats[core].l1_hits += n;
-        let &(k, s) = memo.lines.last().expect("ready memo is non-empty");
+        let last = memo.lines.last().expect("ready memo is non-empty");
         self.mru[core] = Some(MruLine {
-            line: LineAddr(k),
-            slot: s as usize,
+            line: LineAddr(last.line),
+            slot: last.slot as usize,
         });
         self.fastpath.seq_replays += 1;
         self.fastpath.seq_replayed_accesses += n;

@@ -303,6 +303,14 @@ pub struct ExperimentConfig {
     /// shadow-check feature and the observability digests); the knob
     /// exists for A/B measurement and as a belt-and-braces escape hatch.
     pub mem_fast_path: bool,
+    /// Same-cycle batch pop (DESIGN.md §13): the engine drains each wheel
+    /// bucket's same-instant event run in one occupancy-bitmap scan
+    /// (`EventQueue::pop_batch`) instead of re-scanning per event. Pure
+    /// constant-factor change — the per-event processing order is exactly
+    /// the single-pop `(time, seq)` order (pinned by the observability
+    /// digests and `tests/properties_kernels.rs`); the knob exists for A/B
+    /// measurement.
+    pub batch_pop: bool,
     /// Fault-injection plan (default: inject nothing). Fault decisions
     /// draw from a dedicated RNG stream, so the same seed produces
     /// byte-identical traffic with or without faults.
@@ -368,6 +376,7 @@ impl ExperimentConfig {
             traffic: TrafficSource::Shape,
             prefetch_degree: 0,
             mem_fast_path: true,
+            batch_pop: true,
             faults: FaultPlan::none(),
             qwait_timeout_cycles: None,
             qwait_backoff_max_cycles: 2_000_000,

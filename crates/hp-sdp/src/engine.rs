@@ -32,7 +32,7 @@ use crate::result::{ExperimentResult, FaultReport};
 use crate::telemetry::{CoreTelemetry, HaltState, HaltTracker};
 use hp_core::qwait::{HyperPlaneDevice, RearmAction};
 use hp_mem::seq::SeqMemo;
-use hp_mem::system::MemSystem;
+use hp_mem::system::{LoadHint, MemSystem};
 use hp_mem::types::{AccessKind, Addr, CoreId, LineAddr};
 use hp_queues::sim::{QueueId, QueueLayout, SimQueue, WorkItem};
 use hp_rand::rngs::SmallRng;
@@ -187,6 +187,42 @@ impl ArrivalStream {
     }
 }
 
+/// Per-queue hot row: every per-qid scalar the engine touches on an
+/// arrival, poll, dequeue, or completion, packed into one struct so the
+/// whole set is one host cache line instead of 5–6 scattered `Vec`
+/// touches per event (the SoA→row repack of DESIGN.md §13). Field order
+/// is hottest-first: the poll path reads only the two addresses. Bulky or
+/// cold per-queue state (the `SimQueue` itself, the poll memos) stays in
+/// separate vectors so a row stays line-sized.
+#[derive(Debug, Clone)]
+struct QRow {
+    /// Resolved doorbell address (primary or conflict-spare).
+    doorbell: Addr,
+    /// Queue-head descriptor address (`layout.descriptor(q)`, precomputed
+    /// so the poll loop does no address arithmetic).
+    descriptor: Addr,
+    /// Cached directory slots for the two poll lines, fed back by
+    /// [`MemSystem::load_hinted`] so the steady-state sweep skips the
+    /// directory hash probe (self-validating; never affects outcomes).
+    db_hint: LoadHint,
+    desc_hint: LoadHint,
+    /// Backlog mirror of `queues[qi].depth()`, maintained at the single
+    /// enqueue and dequeue sites so poll/VERIFY/watchdog depth reads never
+    /// touch the cold `SimQueue` allocation (debug builds assert the two
+    /// agree after every update).
+    depth: u32,
+    /// Sharing group serving this queue.
+    group: u32,
+    /// Interrupt baseline: raise an IRQ on the next arrival.
+    irq_armed: bool,
+    /// Producer-side buffer slot cursor.
+    enq_slot: u64,
+    /// Consumer-side buffer slot cursor.
+    deq_slot: u64,
+    /// Post-warmup per-queue latency accumulator.
+    latency: OnlineStats,
+}
+
 /// The experiment engine. Construct with [`Engine::new`], drive with
 /// [`Engine::run`].
 #[derive(Debug)]
@@ -194,11 +230,10 @@ pub struct Engine {
     cfg: ExperimentConfig,
     mem: MemSystem,
     layout: QueueLayout,
-    /// Resolved doorbell address per queue (primary or conflict-spare).
-    doorbell: Vec<Addr>,
+    /// Per-queue hot state, indexed by qid (see [`QRow`]).
+    qrows: Vec<QRow>,
     queues: Vec<SimQueue>,
     devices: Vec<HyperPlaneDevice>,
-    group_of_queue: Vec<usize>,
     queues_of_group: Vec<Vec<QueueId>>,
     core_group: Vec<usize>,
     core_ptr: Vec<usize>,
@@ -207,7 +242,6 @@ pub struct Engine {
     halted_by_group: Vec<Vec<usize>>,
     /// Interrupt baseline: queues whose IRQ is armed (raise on next
     /// arrival) and the per-group pending-IRQ FIFO.
-    irq_armed: Vec<bool>,
     irq_pending: Vec<std::collections::VecDeque<u32>>,
     trackers: Vec<HaltTracker>,
     telem: Vec<CoreTelemetry>,
@@ -218,16 +252,17 @@ pub struct Engine {
     /// [`ArrivalStream`]; draws are bit-identical to per-item sampling).
     service_buf: std::collections::VecDeque<Cycles>,
     ev: EventQueue<Ev>,
+    /// Tail of the same-instant event run `pop_batch` drained: the main
+    /// loop consumes from here first, so per-event processing order is
+    /// exactly single-pop order. Empty when `batch_pop` is off.
+    pending: std::collections::VecDeque<Ev>,
     latency: Histogram,
     notify_latency: Histogram,
-    per_queue_latency: Vec<OnlineStats>,
     poll_cost_ewma: f64,
     completions: u64,
     completions_measured: u64,
     drops: u64,
     item_seq: u64,
-    enq_slot: Vec<u64>,
-    deq_slot: Vec<u64>,
     /// Reusable dequeue buffer: filled by `dequeue_batch`, borrowed by
     /// `process_items`, retained across steps so the hot loop never
     /// allocates.
@@ -237,6 +272,13 @@ pub struct Engine {
     /// of both lines is undisturbed; any producer doorbell write bumps
     /// the core's disturb epoch and forces a re-record.
     poll_memos: Vec<SeqMemo>,
+    /// Packed ready bits over `poll_memos` (bit `q` set ⟺ the memo is
+    /// sealed and worth attempting to replay). Large sweeps (sq500) never
+    /// seal, so their polls read one hot bitmap word instead of pulling a
+    /// cold `SeqMemo` line into the host cache every visit. Purely a
+    /// heuristic gate: replay and plain access are state-identical
+    /// (shadow-check), so a stale clear bit only costs a replay miss.
+    memo_ready: Vec<u64>,
     warmup_completions: u64,
     measure_start: Option<SimTime>,
     saturation_rate: f64,
@@ -355,6 +397,23 @@ impl Engine {
 
         let core_group: Vec<usize> = (0..cfg.dp_cores).map(|c| c / cfg.cluster).collect();
 
+        // Pack the per-queue hot scalars into rows (after conflict-spare
+        // doorbell resolution so the stored address is final).
+        let qrows: Vec<QRow> = (0..cfg.queues as usize)
+            .map(|q| QRow {
+                doorbell: doorbell[q],
+                descriptor: layout.descriptor(QueueId(q as u32)),
+                db_hint: LoadHint::default(),
+                desc_hint: LoadHint::default(),
+                depth: 0,
+                group: group_of_queue[q] as u32,
+                irq_armed: true,
+                enq_slot: 0,
+                deq_slot: 0,
+                latency: OnlineStats::new(),
+            })
+            .collect();
+
         let rate = match cfg.load {
             Load::RatePerSec(r) => r,
             Load::Saturation => {
@@ -383,17 +442,15 @@ impl Engine {
         Ok(Engine {
             mem,
             layout,
-            doorbell,
+            qrows,
             queues,
             devices,
-            group_of_queue,
             queues_of_group,
             core_group,
             core_ptr: vec![0; cfg.dp_cores],
             empty_streak: vec![0; cfg.dp_cores],
             halted: vec![false; cfg.dp_cores],
             halted_by_group: vec![Vec::new(); groups],
-            irq_armed: vec![true; n_queues],
             irq_pending: vec![std::collections::VecDeque::new(); groups],
             trackers: vec![HaltTracker::new(); cfg.dp_cores],
             telem: vec![CoreTelemetry::default(); cfg.dp_cores],
@@ -402,18 +459,17 @@ impl Engine {
             service_rng: rngs.stream(2),
             service_buf: std::collections::VecDeque::with_capacity(ARRIVAL_BLOCK),
             ev: EventQueue::new(),
+            pending: std::collections::VecDeque::new(),
             latency: Histogram::new(),
             notify_latency: Histogram::new(),
-            per_queue_latency: vec![OnlineStats::new(); n_queues],
             poll_cost_ewma: 20.0,
             completions: 0,
             completions_measured: 0,
             drops: 0,
             item_seq: 0,
-            enq_slot: vec![0; n_queues],
-            deq_slot: vec![0; n_queues],
             deq_scratch: Vec::with_capacity(cfg.batch.max(IRQ_NAPI_BUDGET)),
             poll_memos: vec![SeqMemo::default(); n_queues],
+            memo_ready: vec![0; n_queues.div_ceil(64)],
             warmup_completions,
             measure_start: None,
             saturation_rate: rate,
@@ -479,8 +535,25 @@ impl Engine {
             if self.aborted_on_stall {
                 break;
             }
-            let Some((now, ev)) = self.ev.pop() else {
-                break; // cannot happen: arrivals self-perpetuate
+            // Take the next event: drain the pending same-instant run
+            // first, then pull the next run (or single event) from the
+            // wheel. Stop checks, the profile tally, and window closing
+            // below run per event either way, so the batch is purely a
+            // bucket-bookkeeping amortization.
+            let (now, ev) = match self.pending.pop_front() {
+                Some(ev) => (self.ev.now(), ev),
+                None if self.cfg.batch_pop => {
+                    let Some(pair) = self.ev.pop_batch(&mut self.pending) else {
+                        break; // cannot happen: arrivals self-perpetuate
+                    };
+                    pair
+                }
+                None => {
+                    let Some(pair) = self.ev.pop() else {
+                        break; // cannot happen: arrivals self-perpetuate
+                    };
+                    pair
+                }
             };
             if now.since_start().count() > self.cfg.max_cycles {
                 break;
@@ -524,6 +597,19 @@ impl Engine {
         self.finish(wall_start.elapsed().as_secs_f64())
     }
 
+    /// Timestamp of the next pending event, counting the batch tail the
+    /// main loop has already drained from the wheel (those fire at the
+    /// current instant). Must be used instead of `ev.peek_time()` anywhere
+    /// inside event handling — the fast-forward path in particular — so
+    /// batch popping cannot make the future look emptier than it is.
+    fn next_event_time(&self) -> Option<SimTime> {
+        if self.pending.is_empty() {
+            self.ev.peek_time()
+        } else {
+            Some(self.ev.now())
+        }
+    }
+
     /// Closes every metrics window whose nominal boundary is at or before
     /// `now_cycles` (lazy closing — see [`crate::metrics`]).
     fn close_metrics_windows(&mut self, now_cycles: u64) {
@@ -554,8 +640,8 @@ impl Engine {
             })
             .collect();
         WindowObservation {
-            backlog: self.queues.iter().map(|q| q.depth() as u64).sum(),
-            event_queue_depth: self.ev.len() as u64,
+            backlog: self.qrows.iter().map(|r| r.depth as u64).sum(),
+            event_queue_depth: (self.ev.len() + self.pending.len()) as u64,
             cores_halted: self.halted.iter().filter(|&&h| h).count() as u64,
             halt_cycles,
             spin_instructions: self.telem.iter().map(|t| t.spin_instructions).sum(),
@@ -623,7 +709,7 @@ impl Engine {
             self.saturation_rate,
             end,
         )
-        .with_per_queue(self.per_queue_latency)
+        .with_per_queue(self.qrows.into_iter().map(|r| r.latency).collect())
         .with_notify_latency(self.notify_latency)
         .with_mem_stats(mem_stats)
         .with_fastpath(self.mem.fastpath_stats())
@@ -655,7 +741,7 @@ impl Engine {
             Some(c) => c.min(self.cfg.queue_cap),
             None => self.cfg.queue_cap,
         };
-        if self.queues[qi].depth() >= cap {
+        if self.qrows[qi].depth as usize >= cap {
             self.drops += 1;
             self.queues[qi].record_drop();
             return;
@@ -664,7 +750,7 @@ impl Engine {
         // The owning group's partition is no longer provably empty: its
         // spinning cores must complete a fresh full sweep before they may
         // fast-forward again.
-        let g = self.group_of_queue[qi];
+        let g = self.qrows[qi].group as usize;
         for c in 0..self.cfg.dp_cores {
             if self.core_group[c] == g {
                 self.empty_streak[c] = 0;
@@ -690,6 +776,8 @@ impl Engine {
         };
         self.item_seq += 1;
         self.queues[qi].enqueue(item);
+        self.qrows[qi].depth += 1;
+        debug_assert_eq!(self.qrows[qi].depth as usize, self.queues[qi].depth());
         self.tracer.emit(
             now,
             TraceKind::Enqueue {
@@ -700,8 +788,8 @@ impl Engine {
 
         // Producer writes the payload buffers then rings the doorbell.
         let prod = self.producer_core(q);
-        let slot = self.enq_slot[qi];
-        self.enq_slot[qi] += 1;
+        let slot = self.qrows[qi].enq_slot;
+        self.qrows[qi].enq_slot += 1;
         {
             // Split borrow: the line iterator borrows `layout` while the
             // accesses mutate `mem` — no per-arrival Vec needed.
@@ -710,14 +798,16 @@ impl Engine {
                 mem.access(prod, a, AccessKind::Store);
             }
         }
-        let ring = self.mem.access(prod, self.doorbell[qi], AccessKind::Store);
+        let ring = self
+            .mem
+            .access(prod, self.qrows[qi].doorbell, AccessKind::Store);
         self.tracer
             .emit(now, TraceKind::DoorbellWrite { queue: q.0 });
 
         // Interrupt baseline: a doorbell write to an armed queue raises a
         // per-queue interrupt; delivery pays the kernel path cost.
-        if matches!(self.cfg.notifier, Notifier::Interrupt) && self.irq_armed[qi] {
-            self.irq_armed[qi] = false;
+        if matches!(self.cfg.notifier, Notifier::Interrupt) && self.qrows[qi].irq_armed {
+            self.qrows[qi].irq_armed = false;
             self.irq_pending[g].push_back(q.0);
             if let Some(core) = self.halted_by_group[g].pop() {
                 debug_assert!(self.halted[core]);
@@ -871,7 +961,11 @@ impl Engine {
         let group = self.core_group[c];
         let core = self.dp_core(c);
         let qlist_len = self.queues_of_group[group].len();
-        let ptr = self.core_ptr[c] % qlist_len;
+        // `core_ptr` is kept in-range by every writer; the sweep advance
+        // below wraps by compare instead of `%` (an integer divide on the
+        // hottest line in the simulator).
+        let ptr = self.core_ptr[c];
+        debug_assert!(ptr < qlist_len);
         let q = self.queues_of_group[group][ptr];
         let qi = q.0 as usize;
 
@@ -885,47 +979,76 @@ impl Engine {
             let Self {
                 mem,
                 poll_memos,
-                layout,
-                doorbell,
+                qrows,
+                memo_ready,
                 ..
             } = self;
-            let m = &mut poll_memos[qi];
-            let replayed = if m.core() == core {
-                mem.replay_memo(m)
+            let row = &mut qrows[qi];
+            let (w, bit) = (qi / 64, 1u64 << (qi % 64));
+            // The bitmap gate keeps sq500-class polls off the cold memo
+            // vector entirely; when the bit is set the memo is sealed and
+            // a replay attempt is worth the line touch.
+            let replayed = if memo_ready[w] & bit != 0 {
+                let m = &mut poll_memos[qi];
+                if m.core() == core {
+                    mem.replay_memo(m)
+                } else {
+                    None // queue last polled by a sibling core: re-record
+                }
             } else {
-                None // queue last polled by a sibling core: re-record
+                None
             };
             match replayed {
                 Some(cycles) => cycles.count(),
-                None => {
+                // Re-record only when the doorbell line is still L1-resident:
+                // then the pair will be L1 hits and the memo can replay on
+                // the next visit. When the poll set exceeds the L1 (sq500),
+                // the line was evicted since the last visit, the memo could
+                // never survive a lap, and begin/record/seal every poll is
+                // pure churn — take the plain path. Residency is simulator
+                // state, so the gate is deterministic, and both paths issue
+                // the identical loads (pinned by shadow-check).
+                None if mem.l1_hint_resident(core, &row.db_hint, row.doorbell) => {
+                    let m = &mut poll_memos[qi];
                     m.begin(core);
-                    let poll = mem.record_access(m, core, doorbell[qi], AccessKind::Load);
-                    let desc = mem.record_access(m, core, layout.descriptor(q), AccessKind::Load);
+                    let poll = mem.record_access(m, core, row.doorbell, AccessKind::Load);
+                    let desc = mem.record_access(m, core, row.descriptor, AccessKind::Load);
                     mem.seal_memo(m);
+                    if m.is_ready() {
+                        memo_ready[w] |= bit;
+                    } else {
+                        memo_ready[w] &= !bit;
+                    }
+                    poll.latency.count() + desc.latency.count()
+                }
+                None => {
+                    memo_ready[w] &= !bit;
+                    let poll = mem.load_hinted(core, row.doorbell, &mut row.db_hint);
+                    let desc = mem.load_hinted(core, row.descriptor, &mut row.desc_hint);
                     poll.latency.count() + desc.latency.count()
                 }
             }
         } else {
-            let poll = self.mem.access(core, self.doorbell[qi], AccessKind::Load);
-            let desc = self
-                .mem
-                .access(core, self.layout.descriptor(q), AccessKind::Load);
+            let row = &self.qrows[qi];
+            let (db, desc_addr) = (row.doorbell, row.descriptor);
+            let poll = self.mem.access(core, db, AccessKind::Load);
+            let desc = self.mem.access(core, desc_addr, AccessKind::Load);
             poll.latency.count() + desc.latency.count()
         };
         let poll_cost = self.cfg.poll_overhead_cycles + mem_lat;
         self.poll_cost_ewma = 0.98 * self.poll_cost_ewma + 0.02 * poll_cost as f64;
 
-        if self.queues[qi].is_empty() {
+        if self.qrows[qi].depth == 0 {
             self.telem[c].spin_instructions += POLL_INSTR;
             self.telem[c].active_cycles += poll_cost;
             self.telem[c].empty_polls += 1;
-            self.core_ptr[c] = (ptr + 1) % qlist_len;
+            self.core_ptr[c] = if ptr + 1 == qlist_len { 0 } else { ptr + 1 };
             self.empty_streak[c] += 1;
 
             // Fast-forward: a full sweep found nothing; nothing can change
             // until the next system event.
             if self.empty_streak[c] >= qlist_len {
-                if let Some(t_next) = self.ev.peek_time() {
+                if let Some(t_next) = self.next_event_time() {
                     let resume_at = now + Cycles(poll_cost);
                     if t_next > resume_at {
                         let dt = t_next.since(resume_at).count();
@@ -950,13 +1073,13 @@ impl Engine {
 
         let sync = if self.cfg.cluster > 1 { CAS_CYCLES } else { 0 };
         total += sync;
-        let batch = self.cfg.batch.min(self.queues[qi].depth());
+        let batch = self.cfg.batch.min(self.qrows[qi].depth as usize);
         total += self.dequeue_batch(c, q, batch);
         let deq_instant = now + Cycles(total);
         let items = std::mem::take(&mut self.deq_scratch);
         total += self.process_items(now, c, q, &items, total, deq_instant);
         self.deq_scratch = items;
-        self.core_ptr[c] = (ptr + 1) % qlist_len;
+        self.core_ptr[c] = if ptr + 1 == qlist_len { 0 } else { ptr + 1 };
         self.telem[c].active_cycles += total;
         self.ev.schedule_after(Cycles(total), Ev::CoreStep(c));
     }
@@ -984,7 +1107,7 @@ impl Engine {
 
         // NAPI budget: drain up to IRQ_NAPI_BUDGET items, then either
         // re-arm (drained) or reschedule ourselves (still backlogged).
-        let batch = IRQ_NAPI_BUDGET.min(self.queues[qi].depth());
+        let batch = IRQ_NAPI_BUDGET.min(self.qrows[qi].depth as usize);
         if batch > 0 {
             total += self.dequeue_batch(c, q, batch);
             let deq_instant = now + Cycles(total);
@@ -992,8 +1115,8 @@ impl Engine {
             total += self.process_items(now, c, q, &items, total, deq_instant);
             self.deq_scratch = items;
         }
-        if self.queues[qi].is_empty() {
-            self.irq_armed[qi] = true;
+        if self.qrows[qi].depth == 0 {
+            self.qrows[qi].irq_armed = true;
         } else {
             self.irq_pending[group].push_back(q.0);
         }
@@ -1080,11 +1203,11 @@ impl Engine {
         let qi = qid.0 as usize;
         let verify_mem = self
             .mem
-            .access(core, self.doorbell[qid.0 as usize], AccessKind::Load);
+            .access(core, self.qrows[qi].doorbell, AccessKind::Load);
         total += verify_mem.latency.count() + self.devices[group].timing().verify.count();
         self.telem[c].useful_instructions += QWAIT_INSTR / 2;
 
-        let depth = self.queues[qi].depth() as u64;
+        let depth = self.qrows[qi].depth as u64;
         let (ready, action) = self.devices[group].qwait_verify(qid, depth);
         if let RearmAction::ProbeShared(line) = action {
             total += self.mem.probe_shared(line).count();
@@ -1096,7 +1219,7 @@ impl Engine {
             return;
         }
 
-        let batch = self.cfg.batch.min(self.queues[qi].depth());
+        let batch = self.cfg.batch.min(self.qrows[qi].depth as usize);
         total += self.dequeue_batch(c, qid, batch);
         let deq_instant = now + Cycles(total);
         let items = std::mem::take(&mut self.deq_scratch);
@@ -1137,7 +1260,7 @@ impl Engine {
     fn reconsider(&mut self, c: usize, group: usize, qid: QueueId, now: SimTime) -> u64 {
         let mut cost = self.devices[group].timing().verify.count();
         self.telem[c].useful_instructions += QWAIT_INSTR / 2;
-        let depth_after = self.queues[qid.0 as usize].depth() as u64;
+        let depth_after = self.qrows[qid.0 as usize].depth as u64;
         let action = self.devices[group].qwait_reconsider(qid, depth_after);
         if let RearmAction::ProbeShared(line) = action {
             cost += self.mem.probe_shared(line).count();
@@ -1238,15 +1361,15 @@ impl Engine {
             cost += self.cfg.poll_overhead_cycles;
             cost += self
                 .mem
-                .access(core, self.doorbell[qi], AccessKind::Load)
+                .access(core, self.qrows[qi].doorbell, AccessKind::Load)
                 .latency
                 .count();
             self.telem[c].useful_instructions += POLL_INSTR;
             if self.devices[group].line_of(q).is_none() {
                 cost += self.devices[group].timing().monitor_lookup.count();
-                let _ = self.devices[group].qwait_add(q, self.doorbell[qi].line());
+                let _ = self.devices[group].qwait_add(q, self.qrows[qi].doorbell.line());
             }
-            if !self.queues[qi].is_empty() {
+            if self.qrows[qi].depth > 0 {
                 self.devices[group].force_activate(q);
                 found = true;
             }
@@ -1262,7 +1385,7 @@ impl Engine {
         let Some(period) = self.cfg.watchdog_period_cycles else {
             return;
         };
-        let backlog: usize = self.queues.iter().map(|q| q.depth()).sum();
+        let backlog: usize = self.qrows.iter().map(|r| r.depth as usize).sum();
         let progressed = self.completions > self.watchdog_last_completions;
         self.watchdog_last_completions = self.completions;
         let all_halted = self.halted.iter().all(|&h| h);
@@ -1293,17 +1416,15 @@ impl Engine {
     fn dequeue_batch(&mut self, c: usize, q: QueueId, batch: usize) -> u64 {
         let core = self.dp_core(c);
         let qi = q.0 as usize;
+        let row = &self.qrows[qi];
+        let (desc_addr, db) = (row.descriptor, row.doorbell);
         let mut cost = 0u64;
         cost += self
             .mem
-            .access(core, self.layout.descriptor(q), AccessKind::Load)
+            .access(core, desc_addr, AccessKind::Load)
             .latency
             .count();
-        cost += self
-            .mem
-            .access(core, self.doorbell[qi], AccessKind::Store)
-            .latency
-            .count();
+        cost += self.mem.access(core, db, AccessKind::Store).latency.count();
         self.deq_scratch.clear();
         for _ in 0..batch {
             match self.queues[qi].dequeue() {
@@ -1314,6 +1435,8 @@ impl Engine {
                 None => break,
             }
         }
+        self.qrows[qi].depth -= self.deq_scratch.len() as u32;
+        debug_assert_eq!(self.qrows[qi].depth as usize, self.queues[qi].depth());
         cost
     }
 
@@ -1332,11 +1455,12 @@ impl Engine {
     ) -> u64 {
         let core = self.dp_core(c);
         let qi = q.0 as usize;
+        let desc_addr = self.qrows[qi].descriptor;
         let mut total = 0u64;
         for item in items {
             // Stream the payload buffer lines (MLP-overlapped).
-            let slot = self.deq_slot[qi];
-            self.deq_slot[qi] += 1;
+            let slot = self.qrows[qi].deq_slot;
+            self.qrows[qi].deq_slot += 1;
             let mut buf_lat = 0u64;
             {
                 let Self { layout, mem, .. } = self;
@@ -1355,7 +1479,7 @@ impl Engine {
             // (modeled as a store to the descriptor line).
             total += self
                 .mem
-                .access(core, self.layout.descriptor(q), AccessKind::Store)
+                .access(core, desc_addr, AccessKind::Store)
                 .latency
                 .count();
             self.telem[c].useful_instructions += NOTIFY_INSTR;
@@ -1404,7 +1528,7 @@ impl Engine {
         if self.measure_start.is_some() && self.completions > self.warmup_completions {
             self.completions_measured += 1;
             self.latency.record(lat);
-            self.per_queue_latency[q.0 as usize].record(lat as f64);
+            self.qrows[q.0 as usize].latency.record(lat as f64);
         }
     }
 }

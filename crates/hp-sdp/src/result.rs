@@ -236,7 +236,9 @@ impl ExperimentResult {
         out.push_str(&format!(
             "],\"total_events\":{},\"wall_secs\":{:.6},\"events_per_sec\":{:.0},\
              \"fast_path\":{{\"mru_hits\":{},\"stable_hits\":{},\
-             \"seq_replays\":{},\"seq_replayed_accesses\":{}}}}}",
+             \"seq_replays\":{},\"seq_replayed_accesses\":{},\
+             \"s_state_peeks\":{},\"stable_reloads\":{},\
+             \"shared_joins\":{},\"dir_hint_hits\":{}}}}}",
             p.total_events(),
             self.wall_secs,
             self.events_per_sec_wall(),
@@ -244,6 +246,10 @@ impl ExperimentResult {
             f.stable_hits,
             f.seq_replays,
             f.seq_replayed_accesses,
+            f.s_state_peeks,
+            f.stable_reloads,
+            f.shared_joins,
+            f.dir_hint_hits,
         ));
         Some(out)
     }

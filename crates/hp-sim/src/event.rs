@@ -88,11 +88,19 @@ impl<E> Ord for Scheduled<E> {
 /// of the most recently popped event (initially [`SimTime::ZERO`]).
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    /// One bucket per cycle of the window `[base, base + WHEEL_SLOTS)`;
-    /// slot index is `time & WHEEL_MASK`. Within a bucket all events share
-    /// one timestamp, so FIFO order is insertion order.
-    wheel: Vec<VecDeque<E>>,
-    /// Occupancy bitmap over `wheel` (bit set ⇔ bucket non-empty).
+    /// First event of each one-cycle bucket of the window
+    /// `[base, base + WHEEL_SLOTS)`; slot index is `time & WHEEL_MASK`.
+    /// Storing the head inline means the dominant singleton-bucket case
+    /// (one self-reschedule per instant) touches only this dense array
+    /// and the occupancy bitmap — never a `VecDeque`'s heap buffer.
+    /// Invariant: `heads[slot]` is `Some` ⇔ the bucket's occupancy bit is
+    /// set; `tails[slot]` is non-empty only while the head is `Some`.
+    heads: Vec<Option<E>>,
+    /// Overflow beyond each bucket's inline head, in insertion order.
+    /// Within a bucket all events share one timestamp, so head-then-tail
+    /// FIFO order is insertion order.
+    tails: Vec<VecDeque<E>>,
+    /// Occupancy bitmap over the buckets (bit set ⇔ bucket non-empty).
     occupied: [u64; WHEEL_WORDS],
     /// Events in the wheel.
     near_len: usize,
@@ -117,7 +125,8 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            wheel: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            heads: (0..WHEEL_SLOTS).map(|_| None).collect(),
+            tails: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
             occupied: [0; WHEEL_WORDS],
             near_len: 0,
             far: BinaryHeap::new(),
@@ -169,8 +178,13 @@ impl<E> EventQueue<E> {
     #[inline]
     fn bucket_push(&mut self, t: u64, payload: E) {
         let slot = (t as usize) & WHEEL_MASK;
-        self.occupied[slot / 64] |= 1 << (slot % 64);
-        self.wheel[slot].push_back(payload);
+        let (w, bit) = (slot / 64, 1u64 << (slot % 64));
+        if self.occupied[w] & bit == 0 {
+            self.occupied[w] |= bit;
+            self.heads[slot] = Some(payload);
+        } else {
+            self.tails[slot].push_back(payload);
+        }
         self.near_len += 1;
     }
 
@@ -224,10 +238,11 @@ impl<E> EventQueue<E> {
         let off = self.first_occupied_offset();
         let t = self.base + off as u64;
         let slot = (t as usize) & WHEEL_MASK;
-        let payload = self.wheel[slot].pop_front().expect("occupied bucket");
+        let payload = self.heads[slot].take().expect("occupied bucket");
         self.near_len -= 1;
-        if self.wheel[slot].is_empty() {
-            self.occupied[slot / 64] &= !(1 << (slot % 64));
+        match self.tails[slot].pop_front() {
+            Some(next) => self.heads[slot] = Some(next),
+            None => self.occupied[slot / 64] &= !(1 << (slot % 64)),
         }
         debug_assert!(t >= self.now.0);
         self.now = SimTime(t);
@@ -236,6 +251,54 @@ impl<E> EventQueue<E> {
             self.migrate_due();
         }
         Some((self.now, payload))
+    }
+
+    /// Removes the earliest event *run* — every pending event sharing the
+    /// earliest timestamp — returning the first event and appending the
+    /// rest to `out`, in exactly the order repeated [`EventQueue::pop`]
+    /// calls would have produced, and advances the clock to that
+    /// timestamp. Returns `None` when the queue is empty (then `out` is
+    /// untouched).
+    ///
+    /// One wheel bucket holds the events of exactly one instant, so the
+    /// run is the whole first occupied bucket: the occupancy bitmap is
+    /// scanned once and the bucket bookkeeping is paid once for the run
+    /// instead of per event. The run's head is returned directly, so the
+    /// dominant singleton-run case costs the same as a plain `pop` — the
+    /// spill to `out` only happens when a run really has a tail. Events
+    /// scheduled *while the batch is being consumed* for this same
+    /// instant carry later sequence numbers; they land in the (now empty)
+    /// bucket and come out of the next `pop`/`pop_batch` — after the
+    /// drained run, exactly as single-event popping would order them.
+    pub fn pop_batch(&mut self, out: &mut VecDeque<E>) -> Option<(SimTime, E)> {
+        if self.near_len == 0 {
+            // Jump the window to the far horizon's first instant; events at
+            // exactly that instant migrate into the bucket in `(time, seq)`
+            // order before the drain below.
+            let Reverse(head) = self.far.peek()?;
+            self.base = head.time.0;
+            self.migrate_due();
+        }
+        let off = self.first_occupied_offset();
+        let t = self.base + off as u64;
+        debug_assert!(t >= self.now.0);
+        self.now = SimTime(t);
+        if t > self.base {
+            // Advancing the window cannot migrate events *at* `t` (far
+            // events are at or beyond the old `base + WHEEL_SLOTS`, which
+            // exceeds `t`), so the bucket drained below is the full run.
+            self.base = t;
+            self.migrate_due();
+        }
+        let slot = (t as usize) & WHEEL_MASK;
+        let first = self.heads[slot].take().expect("occupied bucket");
+        let rest = self.tails[slot].len();
+        if rest > 0 {
+            out.extend(self.tails[slot].drain(..));
+        }
+        self.near_len -= 1 + rest;
+        self.occupied[slot / 64] &= !(1 << (slot % 64));
+        Some((self.now, first))
     }
 
     /// Timestamp of the earliest pending event without removing it.
@@ -457,6 +520,69 @@ mod tests {
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_matches_pop_sequence() {
+        // Two queues fed identically; one drained by pop, one by
+        // pop_batch. The concatenated batch runs must equal the pop order.
+        let times = [5u64, 5, 5, 9, 9, 4096, 4096, 70_000, 70_000, 70_001];
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            a.schedule_at(SimTime(t), i);
+            b.schedule_at(SimTime(t), i);
+        }
+        let mut by_pop = Vec::new();
+        while let Some((t, p)) = a.pop() {
+            by_pop.push((t, p));
+        }
+        let mut by_batch = Vec::new();
+        let mut run = VecDeque::new();
+        while let Some((t, head)) = b.pop_batch(&mut run) {
+            assert_eq!(b.now(), t);
+            by_batch.push((t, head));
+            for p in run.drain(..) {
+                by_batch.push((t, p));
+            }
+        }
+        assert_eq!(by_pop, by_batch);
+        assert_eq!(b.pop_batch(&mut run), None);
+        assert!(run.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_orders_same_instant_reschedules_after_the_run() {
+        // An event scheduled for the *current* instant while a batch is
+        // outstanding must fire after the drained run (it has a later
+        // seq), exactly as with single pops.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(3), "a");
+        q.schedule_at(SimTime(3), "b");
+        let mut run = VecDeque::new();
+        assert_eq!(q.pop_batch(&mut run), Some((SimTime(3), "a")));
+        assert_eq!(run, ["b"]);
+        run.clear();
+        q.schedule_at(SimTime(3), "c");
+        q.schedule_at(SimTime(3), "d");
+        assert_eq!(q.pop_batch(&mut run), Some((SimTime(3), "c")));
+        assert_eq!(run, ["d"]);
+    }
+
+    #[test]
+    fn pop_batch_interleaves_with_pop() {
+        let mut q = EventQueue::new();
+        for i in 0..6 {
+            q.schedule_at(SimTime(10), i);
+        }
+        q.schedule_at(SimTime(11), 6);
+        assert_eq!(q.pop(), Some((SimTime(10), 0)));
+        let mut run = VecDeque::new();
+        assert_eq!(q.pop_batch(&mut run), Some((SimTime(10), 1)));
+        assert_eq!(run, [2, 3, 4, 5]);
+        run.clear();
+        assert_eq!(q.pop_batch(&mut run), Some((SimTime(11), 6)));
+        assert!(run.is_empty(), "singleton run spills nothing");
     }
 
     #[test]

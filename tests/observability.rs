@@ -228,3 +228,53 @@ fn mem_fast_path_is_bit_identical_across_configs() {
         );
     }
 }
+
+/// Same-cycle batch popping (DESIGN.md §13: one `pop_batch` drains a whole
+/// same-instant event run instead of a pop per event) is bit-invisible:
+/// same seed, `batch_pop` on vs off, across the notifier styles and the
+/// Fig. 10-style imbalanced multicore variant, every digest bit agrees —
+/// including with `mem_fast_path` toggled off at the same time, so the two
+/// knobs cannot mask each other's effects.
+#[test]
+fn batch_pop_is_bit_identical_across_configs() {
+    let mut fig10 = ExperimentConfig::new(
+        WorkloadKind::PacketEncap,
+        TrafficShape::ProportionallyConcentrated,
+        400,
+    )
+    .with_cores(4, 1)
+    .with_notifier(Notifier::hyperplane())
+    .with_seed(0x0B5E_41E5);
+    fig10.imbalance = 0.10;
+    fig10.target_completions = 2_000;
+
+    for cfg in [
+        base(Notifier::Spinning),
+        base(Notifier::hyperplane()),
+        fig10,
+    ] {
+        let batched = runner::run(cfg.clone());
+        let mut single_cfg = cfg.clone();
+        single_cfg.batch_pop = false;
+        let single = runner::run(single_cfg);
+        assert_eq!(
+            digest(&batched),
+            digest(&single),
+            "batch pop perturbed the {} / {} simulation",
+            cfg.notifier.label(),
+            cfg.shape.label()
+        );
+
+        let mut bare_cfg = cfg.clone();
+        bare_cfg.batch_pop = false;
+        bare_cfg.mem_fast_path = false;
+        let bare = runner::run(bare_cfg);
+        assert_eq!(
+            digest(&batched),
+            digest(&bare),
+            "batch pop + mem fast path jointly perturbed the {} / {} simulation",
+            cfg.notifier.label(),
+            cfg.shape.label()
+        );
+    }
+}
