@@ -299,6 +299,12 @@ pub struct MemSystem {
     /// key's unique entry), with any stale hint falling back to the probe.
     dir_hints: Vec<u32>,
     fastpath: FastPathStats,
+    /// Silent-eviction mode (see [`MemSystemConfig::silent_evictions`]).
+    silent_evictions: bool,
+    /// Invalidation messages addressed to a directory-listed holder whose
+    /// copy was already gone (silently evicted): pure stale-sharer cost.
+    /// Always zero in visible-eviction mode, where the directory is exact.
+    stale_invalidations: u64,
     #[cfg(feature = "shadow-check")]
     shadow: Box<RefMemSystem>,
 }
@@ -323,6 +329,16 @@ pub struct MemSystemConfig {
     /// enabled. Simulated results are identical either way; disabling is
     /// for A/B equivalence tests and debugging.
     pub fast_path: bool,
+    /// Silent-eviction mode (DESIGN.md §14): S/E victims leave the L1
+    /// with *no* directory message, as on real hardware. The directory's
+    /// sharer/owner view decays into a strict superset of actual holders;
+    /// stale bits are priced where they are next consulted (invalidation
+    /// fan-out, stale-owner probes). Off (the default), evictions are
+    /// fully visible and the directory stays exact — the configuration
+    /// the `shadow-check` reference oracle models. Unlike `fast_path`,
+    /// this knob *changes simulated behaviour*: it is protocol fidelity,
+    /// not a wall-clock optimization.
+    pub silent_evictions: bool,
 }
 
 impl MemSystemConfig {
@@ -340,6 +356,7 @@ impl MemSystemConfig {
             latency: LatencyModel::default(),
             prefetch_degree: 0,
             fast_path: true,
+            silent_evictions: false,
         }
     }
 }
@@ -367,6 +384,8 @@ impl MemSystem {
             l1_slots: config.l1.sets() * config.l1.ways,
             dir_hints: vec![NO_DIR_SLOT; config.cores * config.l1.sets() * config.l1.ways],
             fastpath: FastPathStats::default(),
+            silent_evictions: config.silent_evictions,
+            stale_invalidations: 0,
             #[cfg(feature = "shadow-check")]
             shadow: Box::new(RefMemSystem::new(config)),
         }
@@ -390,6 +409,18 @@ impl MemSystem {
     /// Total invalidation messages sent.
     pub fn invalidation_total(&self) -> u64 {
         self.invalidations
+    }
+
+    /// Invalidation messages that found no copy to kill (stale sharer or
+    /// owner bits left by silent evictions). Zero in visible-eviction
+    /// mode.
+    pub fn stale_invalidation_total(&self) -> u64 {
+        self.stale_invalidations
+    }
+
+    /// Whether silent-eviction mode is on.
+    pub fn silent_evictions(&self) -> bool {
+        self.silent_evictions
     }
 
     /// Fast-path hit counters (wall-clock observability only).
@@ -426,7 +457,8 @@ impl MemSystem {
     /// L1 slot: a single tag compare instead of a set scan. The hint's
     /// slot is written back on every hinted-load and stable-hit exit, and
     /// a resident line's slot cannot change while it stays resident, so
-    /// for a line accessed exclusively through [`load_hinted`] by one
+    /// for a line accessed exclusively through
+    /// [`load_hinted`](Self::load_hinted) by one
     /// core this is decision-equivalent to the scan: the hint validates
     /// iff the line is resident. (A stale hint on a still-resident line
     /// would only arise if some *other* path refilled the line; that can
@@ -453,11 +485,14 @@ impl MemSystem {
     /// Panics if `core` is out of range for this system.
     pub fn access(&mut self, core: CoreId, addr: Addr, kind: AccessKind) -> AccessResult {
         assert!(core.0 < self.l1s.len(), "unknown {core}");
+        // The reference system models visible evictions only; under
+        // silent-eviction mode it is not a valid oracle (the directories
+        // legitimately diverge), so the shadow is bypassed entirely.
         #[cfg(feature = "shadow-check")]
-        let expected = self.shadow.access(core, addr, kind);
+        let expected = (!self.silent_evictions).then(|| self.shadow.access(core, addr, kind));
         let r = self.access_inner(core, addr, kind);
         #[cfg(feature = "shadow-check")]
-        {
+        if let Some(expected) = expected {
             assert_eq!(
                 r, expected,
                 "fast path diverged from reference at {addr} ({kind:?} by {core})"
@@ -477,7 +512,8 @@ impl MemSystem {
     pub fn load_hinted(&mut self, core: CoreId, addr: Addr, hint: &mut LoadHint) -> AccessResult {
         assert!(core.0 < self.l1s.len(), "unknown {core}");
         #[cfg(feature = "shadow-check")]
-        let expected = self.shadow.access(core, addr, AccessKind::Load);
+        let expected =
+            (!self.silent_evictions).then(|| self.shadow.access(core, addr, AccessKind::Load));
         let line = addr.line();
         let r = if self.fast_path && self.prefetch_degree == 0 {
             match self.try_mru(core, line, AccessKind::Load) {
@@ -488,7 +524,7 @@ impl MemSystem {
             self.access_inner(core, addr, AccessKind::Load)
         };
         #[cfg(feature = "shadow-check")]
-        {
+        if let Some(expected) = expected {
             assert_eq!(
                 r, expected,
                 "fast path diverged from reference at {addr} (hinted load by {core})"
@@ -795,7 +831,7 @@ impl MemSystem {
                     self.getm_count += 1;
                     let dslot = self.directory.entry_slot(line.0);
                     let e = *self.directory.at(dslot);
-                    self.invalidate_holders(core, line, e.sharers, e.owner());
+                    let stale = self.invalidate_holders(core, line, e.sharers, e.owner());
                     *self.directory.at_mut(dslot) = DirEntry {
                         sharers: 0,
                         llc_slot: e.llc_slot,
@@ -804,8 +840,20 @@ impl MemSystem {
                     self.l1s[core.0].set_state_at(slot, MesiState::Modified);
                     self.mru[core.0] = Some(MruLine { line, slot });
                     self.record(core, HitLevel::Llc);
+                    // Stale-sharer pricing (silent-eviction mode): the
+                    // GetM cannot complete until every *listed* sharer
+                    // acks, including ones whose copy silently vanished —
+                    // the doorbell write pays a remote round-trip for
+                    // directory staleness. `stale` is always 0 in
+                    // visible-eviction mode, keeping that path
+                    // bit-identical.
+                    let latency = if stale > 0 {
+                        self.latency.llc_hit.max(self.latency.remote_l1)
+                    } else {
+                        self.latency.llc_hit
+                    };
                     return AccessResult {
-                        latency: self.latency.llc_hit,
+                        latency,
                         level: HitLevel::Llc,
                         getm: Some(line),
                     };
@@ -824,12 +872,16 @@ impl MemSystem {
         if self.llc.hint_holds(e.llc_slot, line) {
             llc_at = Some(e.llc_slot);
         }
+        let mut stale = 0u64;
         let level = if let Some(owner) = remote_owner {
             // The owner's copy may already be gone (silent E-state
-            // eviction); the invalidation message is sent regardless.
+            // eviction); the invalidation message is sent regardless,
+            // and the RemoteL1 level already prices the round-trip.
             if self.l1s[owner.0].invalidate(line).is_some() {
                 let ei = self.epoch_idx(owner.0, line);
                 self.epochs[ei] += 1;
+            } else {
+                self.stale_invalidations += 1;
             }
             self.invalidations += 1;
             HitLevel::RemoteL1
@@ -849,7 +901,7 @@ impl MemSystem {
                     }
                 }
             };
-            self.invalidate_holders(core, line, e.sharers, e.owner());
+            stale = self.invalidate_holders(core, line, e.sharers, e.owner());
             lvl
         };
 
@@ -877,8 +929,15 @@ impl MemSystem {
         };
         self.fill_l1(core, line, MesiState::Modified, fill_dslot, fill_plan);
         self.record(core, level);
+        // Stale-sharer pricing: a GetM that had to message a vanished
+        // sharer waits on that ack like any remote round-trip (no-op in
+        // visible-eviction mode, where `stale` is always 0).
+        let mut latency = self.latency.of_level(level);
+        if stale > 0 {
+            latency = latency.max(self.latency.remote_l1);
+        }
         AccessResult {
-            latency: self.latency.of_level(level),
+            latency,
             level,
             getm: Some(line),
         }
@@ -894,13 +953,15 @@ impl MemSystem {
     /// §III-B).
     pub fn probe_shared(&mut self, line: LineAddr) -> Cycles {
         #[cfg(feature = "shadow-check")]
-        let expected = self.shadow.probe_shared(line);
+        let expected = (!self.silent_evictions).then(|| self.shadow.probe_shared(line));
         let r = self.probe_shared_inner(line);
         #[cfg(feature = "shadow-check")]
-        assert_eq!(
-            r, expected,
-            "probe_shared diverged from reference at {line}"
-        );
+        if let Some(expected) = expected {
+            assert_eq!(
+                r, expected,
+                "probe_shared diverged from reference at {line}"
+            );
+        }
         r
     }
 
@@ -931,18 +992,24 @@ impl MemSystem {
     /// Invalidates every L1 copy of `line` held by a core other than
     /// `core`, per the directory's (possibly stale, always superset)
     /// sharer/owner view. Walks only the set bits instead of every core.
+    ///
+    /// Returns the number of *stale* messages sent — directory-listed
+    /// holders whose copy was already (silently) gone. Always zero in
+    /// visible-eviction mode; in silent mode callers price the fan-out
+    /// wait on the store path with it.
     fn invalidate_holders(
         &mut self,
         core: CoreId,
         line: LineAddr,
         sharers: u64,
         owner: Option<CoreId>,
-    ) {
+    ) -> u64 {
         let mut mask = sharers;
         if let Some(o) = owner {
             mask |= 1 << o.0;
         }
         mask &= !(1u64 << core.0);
+        let mut stale = 0u64;
         while mask != 0 {
             let i = mask.trailing_zeros() as usize;
             mask &= mask - 1;
@@ -950,8 +1017,12 @@ impl MemSystem {
                 self.invalidations += 1;
                 let ei = self.epoch_idx(i, line);
                 self.epochs[ei] += 1;
+            } else {
+                stale += 1;
             }
         }
+        self.stale_invalidations += stale;
+        stale
     }
 
     /// `dslot` is the directory slot of `line`'s entry if the caller
@@ -985,6 +1056,22 @@ impl MemSystem {
             // The victim shares the inserted line's set.
             let ei = self.epoch_idx(core.0, victim);
             self.epochs[ei] += 1;
+            // Silent-eviction mode: clean (S/E) victims drop with no
+            // directory message, exactly as real L1s do. The victim's
+            // sharer bit — or, for E, its owner claim — goes stale, and
+            // the directory's view becomes a strict superset of actual
+            // holders. Soundness rests on the superset only ever being
+            // consulted conservatively: invalidations to absent copies
+            // are no-op messages (counted and priced as
+            // `stale_invalidations`), a stale owner is downgraded or
+            // probed at remote-L1 cost, and `owner == NO_OWNER` still
+            // proves no writable copy exists because silent eviction
+            // never *clears* an owner claim. M victims always write back
+            // visibly — dropping dirty data would break the data model,
+            // not just timing.
+            if self.silent_evictions && victim_state != MesiState::Modified {
+                return slot;
+            }
             // Writeback of M lines lands in the LLC; directory forgets the
             // private copy either way. The victim's entry is found via the
             // slot hint recorded when the victim was filled; `slot_holds`

@@ -3,6 +3,7 @@
 
 use hp_core::qwait::HyperPlaneConfig;
 use hp_mem::system::MemSystemConfig;
+use hp_sim::chaos::{ChaosError, ChaosSchedule};
 use hp_sim::faults::{FaultPlan, FaultPlanError};
 use hp_sim::rng::Distribution;
 use hp_sim::time::Clock;
@@ -57,6 +58,9 @@ pub enum ConfigError {
     BadFlowTraffic(&'static str),
     /// The fault plan has an out-of-range probability.
     BadFaultPlan(FaultPlanError),
+    /// The chaos schedule is malformed (zero-period burst, inverted or
+    /// overlapping phase window, invalid phase plan, zero churn period).
+    BadChaos(ChaosError),
     /// `target_completions` was zero — the run would end before the
     /// warmup finishes and every measured metric would be vacuous.
     ZeroTargetCompletions,
@@ -100,6 +104,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadImbalance(x) => write!(f, "imbalance {x} outside [0,1)"),
             ConfigError::BadFlowTraffic(why) => write!(f, "flow traffic: {why}"),
             ConfigError::BadFaultPlan(e) => write!(f, "fault plan: {e}"),
+            ConfigError::BadChaos(e) => write!(f, "chaos schedule: {e}"),
             ConfigError::ZeroTargetCompletions => {
                 write!(f, "target_completions must be at least 1")
             }
@@ -119,6 +124,12 @@ impl std::error::Error for ConfigError {}
 impl From<FaultPlanError> for ConfigError {
     fn from(e: FaultPlanError) -> Self {
         ConfigError::BadFaultPlan(e)
+    }
+}
+
+impl From<ChaosError> for ConfigError {
+    fn from(e: ChaosError) -> Self {
+        ConfigError::BadChaos(e)
     }
 }
 
@@ -315,6 +326,23 @@ pub struct ExperimentConfig {
     /// draw from a dedicated RNG stream, so the same seed produces
     /// byte-identical traffic with or without faults.
     pub faults: FaultPlan,
+    /// Chaos schedule layered over `faults` (default: inert): correlated
+    /// fault bursts, phase-windowed campaigns, and Algorithm-1
+    /// doorbell-reallocation churn. Pure configuration — a chaos run
+    /// replays bit-identically from its seed.
+    pub chaos: ChaosSchedule,
+    /// Silent-eviction mode in the memory system (DESIGN.md §14): clean
+    /// S/E victims leave L1s with no directory message, so sharer bits
+    /// decay stale and are priced on the notification path. Protocol
+    /// fidelity, not an optimization: simulated results *change* when
+    /// this is on, and the shadow-check oracle is bypassed (it models
+    /// visible evictions only).
+    pub silent_evictions: bool,
+    /// Conservation audit (DESIGN.md §14): track every item's
+    /// enqueue/dequeue/service lifecycle and prove exactly-once service
+    /// at the end of the run. Pure observation — an audited run is
+    /// bit-identical to a bare one; off (the default) it costs nothing.
+    pub audit: bool,
     /// Resilience: a halted HyperPlane core re-polls its ready set after
     /// this many cycles even without a wake-up (guards against lost
     /// doorbell notifications). `None` disables the timeout — a missed
@@ -378,6 +406,9 @@ impl ExperimentConfig {
             mem_fast_path: true,
             batch_pop: true,
             faults: FaultPlan::none(),
+            chaos: ChaosSchedule::none(),
+            silent_evictions: false,
+            audit: false,
             qwait_timeout_cycles: None,
             qwait_backoff_max_cycles: 2_000_000,
             watchdog_period_cycles: None,
@@ -415,6 +446,24 @@ impl ExperimentConfig {
     /// Builder-style: set the fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Builder-style: layer a chaos schedule over the fault plan.
+    pub fn with_chaos(mut self, chaos: ChaosSchedule) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Builder-style: enable silent-eviction mode in the memory system.
+    pub fn with_silent_evictions(mut self) -> Self {
+        self.silent_evictions = true;
+        self
+    }
+
+    /// Builder-style: enable the conservation audit.
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
         self
     }
 
@@ -509,6 +558,7 @@ impl ExperimentConfig {
             return Err(ConfigError::ZeroTargetCompletions);
         }
         self.faults.validate()?;
+        self.chaos.validate()?;
         if let Some(t) = self.qwait_timeout_cycles {
             if t < self.hp.timing.qwait.0 {
                 return Err(ConfigError::QwaitTimeoutTooShort {
@@ -630,6 +680,42 @@ mod tests {
             .with_qwait_timeout(10_000)
             .with_watchdog(100_000);
         good.validate().unwrap();
+    }
+
+    #[test]
+    fn chaos_and_silent_eviction_knobs_validate() {
+        use hp_sim::chaos::ChaosSchedule;
+        let base =
+            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 100);
+        // A malformed schedule is rejected through the config layer.
+        assert!(matches!(
+            base.clone()
+                .with_chaos(ChaosSchedule::none().with_churn(0))
+                .validate(),
+            Err(ConfigError::BadChaos(_))
+        ));
+        let mut bad_phase = FaultPlan::none();
+        bad_phase.spurious = -0.5;
+        assert!(matches!(
+            base.clone()
+                .with_chaos(ChaosSchedule::none().with_phase(0, 100, bad_phase))
+                .validate(),
+            Err(ConfigError::BadChaos(_))
+        ));
+        // The full robustness stack validates together.
+        base.with_chaos(
+            ChaosSchedule::none()
+                .with_burst(1_000_000, 250_000, 3.0)
+                .with_phase(2_000_000, 4_000_000, FaultPlan::parse("drop=0.9").unwrap())
+                .with_churn(500_000),
+        )
+        .with_silent_evictions()
+        .with_audit()
+        .with_faults(FaultPlan::parse("drop=0.25,evict=0.01").unwrap())
+        .with_qwait_timeout(10_000)
+        .with_watchdog(100_000)
+        .validate()
+        .unwrap();
     }
 
     #[test]

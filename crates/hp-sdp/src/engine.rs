@@ -36,6 +36,7 @@ use hp_mem::system::{LoadHint, MemSystem};
 use hp_mem::types::{AccessKind, Addr, CoreId, LineAddr};
 use hp_queues::sim::{QueueId, QueueLayout, SimQueue, WorkItem};
 use hp_rand::rngs::SmallRng;
+use hp_sim::audit::Auditor;
 use hp_sim::event::EventQueue;
 use hp_sim::faults::{DoorbellFate, FaultInjector};
 use hp_sim::profile::KernelProfile;
@@ -90,6 +91,7 @@ const EV_LABELS: &[&str] = &[
     "delayed-snoop",
     "qwait-timeout",
     "watchdog",
+    "churn",
 ];
 
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +130,9 @@ enum Ev {
     },
     /// Periodic no-progress watchdog tick.
     Watchdog,
+    /// Chaos-plane doorbell churn tick: the control plane re-homes one
+    /// queue's doorbell through Algorithm 1 while traffic is live.
+    Churn,
 }
 
 impl Ev {
@@ -141,6 +146,7 @@ impl Ev {
             Ev::DelayedSnoop { .. } => 4,
             Ev::QwaitTimeout { .. } => 5,
             Ev::Watchdog => 6,
+            Ev::Churn => 7,
         }
     }
 }
@@ -290,6 +296,22 @@ pub struct Engine {
     /// Per-core current re-poll timeout (exponential backoff state).
     qwait_backoff: Vec<u64>,
     recovery_latency: Histogram,
+    /// Per-fault-class recovery accounting: sweeps that had to re-register
+    /// an evicted monitoring entry vs. sweeps that only found backlog a
+    /// lost doorbell never announced.
+    eviction_recoveries: u64,
+    doorbell_recoveries: u64,
+    eviction_recovery_latency: Histogram,
+    doorbell_recovery_latency: Histogram,
+    /// Chaos plane: next instant the effective fault plan can change
+    /// (`u64::MAX` when the schedule is inert), the next spare doorbell
+    /// index shared with Algorithm-1 conflict resolution at build time,
+    /// and completed churn reallocations.
+    chaos_next: u64,
+    next_spare: u64,
+    churn_reallocations: u64,
+    /// Conservation auditor (pure observer; inert unless `cfg.audit`).
+    audit: Auditor,
     watchdog_last_completions: u64,
     first_stall: Option<SimTime>,
     stall_events: u64,
@@ -338,6 +360,7 @@ impl Engine {
         let mut mem_cfg = cfg.machine.mem_config();
         mem_cfg.prefetch_degree = cfg.prefetch_degree;
         mem_cfg.fast_path = cfg.mem_fast_path;
+        mem_cfg.silent_evictions = cfg.silent_evictions;
         let mem = MemSystem::new(mem_cfg);
         let layout = QueueLayout::new(cfg.queues, cfg.workload.buffer_lines(), 4);
         let queues: Vec<SimQueue> = (0..cfg.queues).map(|q| SimQueue::new(QueueId(q))).collect();
@@ -371,8 +394,8 @@ impl Engine {
         // One HyperPlane device per group (the scale-out/up-2 partitioned
         // ready-set variants of Fig. 10); unused for spinning.
         let mut devices = Vec::new();
+        let mut next_spare = 0u64;
         if matches!(cfg.notifier, Notifier::HyperPlane { .. }) {
-            let mut next_spare = 0u64;
             for group_queues in queues_of_group.iter().take(groups) {
                 let mut dev = HyperPlaneDevice::new(cfg.hp.clone(), layout.doorbell_range());
                 for &q in group_queues {
@@ -436,8 +459,20 @@ impl Engine {
         let warmup_completions = (cfg.target_completions / 5).max(1);
         // Faults draw from their own stream (3): the same seed produces
         // byte-identical arrival/service sequences with or without faults.
-        let faults = FaultInjector::from_rng(cfg.faults.clone(), rngs.stream(3));
+        let mut faults = FaultInjector::from_rng(cfg.faults.clone(), rngs.stream(3));
+        // Chaos plane: install whatever plan the schedule dictates at t=0
+        // (a phase or burst may open the run) and note the first instant
+        // it can change. Swapping plans never touches the fault stream.
+        if cfg.chaos.is_active() {
+            faults.set_plan(cfg.chaos.effective_plan(&cfg.faults, 0));
+        }
+        let chaos_next = cfg.chaos.next_boundary(0).unwrap_or(u64::MAX);
         let timeout_base = cfg.qwait_timeout_cycles.unwrap_or(0);
+        let audit = if cfg.audit {
+            Auditor::enabled((cfg.target_completions + warmup_completions) as usize)
+        } else {
+            Auditor::disabled()
+        };
 
         Ok(Engine {
             mem,
@@ -477,6 +512,14 @@ impl Engine {
             qwait_epoch: vec![0; cfg.dp_cores],
             qwait_backoff: vec![timeout_base; cfg.dp_cores],
             recovery_latency: Histogram::new(),
+            eviction_recoveries: 0,
+            doorbell_recoveries: 0,
+            eviction_recovery_latency: Histogram::new(),
+            doorbell_recovery_latency: Histogram::new(),
+            chaos_next,
+            next_spare,
+            churn_reallocations: 0,
+            audit,
             watchdog_last_completions: 0,
             first_stall: None,
             stall_events: 0,
@@ -526,6 +569,11 @@ impl Engine {
         if let Some(period) = self.cfg.watchdog_period_cycles {
             self.ev.schedule_at(SimTime(period), Ev::Watchdog);
         }
+        if let Some(churn) = self.cfg.chaos.churn {
+            if !self.devices.is_empty() {
+                self.ev.schedule_at(SimTime(churn.period), Ev::Churn);
+            }
+        }
         self.warmup_span = Some(self.tracer.begin_span(SimTime::ZERO, "warmup"));
         let stop_completions = self.cfg.target_completions + self.warmup_completions;
         loop {
@@ -566,6 +614,16 @@ impl Engine {
             if now.since_start().count() >= self.metrics_next {
                 self.close_metrics_windows(now.since_start().count());
             }
+            // Chaos regime change: swap the effective fault plan at the
+            // boundary, before handling the event, mirroring the metrics
+            // windows. `set_plan` never touches the fault stream, so the
+            // swap itself is invisible to the draw sequence.
+            if now.since_start().count() >= self.chaos_next {
+                let t = now.since_start().count();
+                self.faults
+                    .set_plan(self.cfg.chaos.effective_plan(&self.cfg.faults, t));
+                self.chaos_next = self.cfg.chaos.next_boundary(t).unwrap_or(u64::MAX);
+            }
             match ev {
                 Ev::Arrival => self.on_arrival(now),
                 Ev::CoreStep(c) => self.on_core_step(now, c),
@@ -592,6 +650,7 @@ impl Engine {
                 }
                 Ev::QwaitTimeout { core, epoch } => self.on_qwait_timeout(now, core, epoch),
                 Ev::Watchdog => self.on_watchdog(now),
+                Ev::Churn => self.on_churn(now),
             }
         }
         self.finish(wall_start.elapsed().as_secs_f64())
@@ -687,6 +746,7 @@ impl Engine {
             mem_stats.dram_fetches += s.dram_fetches;
         }
         let fault_report = (self.cfg.faults.is_active()
+            || self.cfg.chaos.is_active()
             || self.cfg.qwait_timeout_cycles.is_some()
             || self.cfg.watchdog_period_cycles.is_some())
         .then(|| FaultReport {
@@ -694,11 +754,19 @@ impl Engine {
             qwait_timeouts: self.telem.iter().map(|t| t.qwait_timeouts).sum(),
             recoveries: self.telem.iter().map(|t| t.recoveries).sum(),
             recovery_latency_cycles: self.recovery_latency.clone(),
+            eviction_recoveries: self.eviction_recoveries,
+            doorbell_recoveries: self.doorbell_recoveries,
+            eviction_recovery_latency: self.eviction_recovery_latency.clone(),
+            doorbell_recovery_latency: self.doorbell_recovery_latency.clone(),
+            churn_reallocations: self.churn_reallocations,
             first_stall: self.first_stall,
             stall_events: self.stall_events,
             aborted_on_stall: self.aborted_on_stall,
             queue_drops: self.queues.iter().map(|q| q.dropped()).sum(),
         });
+        // Conservation reconciliation: the engine's own residual backlog,
+        // read before the per-queue stats move out of `qrows`.
+        let residual_backlog: u64 = self.qrows.iter().map(|r| r.depth as u64).sum();
         let mut result = ExperimentResult::new(
             &self.cfg,
             throughput,
@@ -723,6 +791,9 @@ impl Engine {
         if let Some(report) = fault_report {
             result = result.with_faults(report);
         }
+        if self.audit.is_enabled() {
+            result = result.with_audit(self.audit.finalize(residual_backlog));
+        }
         result
     }
 
@@ -736,8 +807,10 @@ impl Engine {
         self.ev.schedule_after(gap, Ev::Arrival);
 
         let qi = q.0 as usize;
-        // The fault plan may narrow the cap to force overflow drops.
-        let cap = match self.cfg.faults.queue_cap {
+        // The fault plan may narrow the cap to force overflow drops. Read
+        // the injector's *current* plan, not the base config, so chaos
+        // phases that carry a cap take effect inside their windows.
+        let cap = match self.faults.plan().queue_cap {
             Some(c) => c.min(self.cfg.queue_cap),
             None => self.cfg.queue_cap,
         };
@@ -785,6 +858,7 @@ impl Engine {
                 item: item.id,
             },
         );
+        self.audit.on_enqueue(item.id, now.since_start().count());
 
         // Producer writes the payload buffers then rings the doorbell.
         let prod = self.producer_core(q);
@@ -1307,16 +1381,30 @@ impl Engine {
             .emit(now, TraceKind::WakeTimeout { core: c as u32 });
         let group = self.core_group[c];
         let halted_at = self.trackers[c].halted_since();
-        let (found, sweep_cost) = self.recovery_sweep(c, group);
+        let (found, sweep_cost, reregistered) = self.recovery_sweep(c, group);
         // The sweep runs on the briefly-resumed core: its cycles are
         // active, not halted.
         self.trackers[c].resume(now, &mut self.telem[c]);
         self.telem[c].active_cycles += sweep_cost;
         if found {
             // Missed wake-up recovered: how long did work sit unnoticed?
+            // Attribute it per fault class: a sweep that had to re-insert
+            // an evicted monitoring entry recovered from an eviction; one
+            // that only found unannounced backlog recovered from a lost
+            // (or not-yet-delivered) doorbell.
             if let Some(since) = halted_at {
-                self.recovery_latency
-                    .record(now.saturating_since(since).count());
+                let lat = now.saturating_since(since).count();
+                self.recovery_latency.record(lat);
+                if reregistered {
+                    self.eviction_recovery_latency.record(lat);
+                } else {
+                    self.doorbell_recovery_latency.record(lat);
+                }
+            }
+            if reregistered {
+                self.eviction_recoveries += 1;
+            } else {
+                self.doorbell_recoveries += 1;
             }
             self.telem[c].recoveries += 1;
             self.tracer
@@ -1350,11 +1438,14 @@ impl Engine {
     /// re-registers entries lost to monitoring-set eviction (Algorithm 1's
     /// `QWAIT-ADD` retry; a Cuckoo conflict just leaves the queue for the
     /// next sweep), and forces backlogged queues into the ready set.
-    /// Returns whether any backlog was found and the cycles charged.
-    fn recovery_sweep(&mut self, c: usize, group: usize) -> (bool, u64) {
+    /// Returns whether any backlog was found, the cycles charged, and
+    /// whether the sweep had to re-register an evicted monitoring entry
+    /// (the eviction fault class, as opposed to a lost doorbell).
+    fn recovery_sweep(&mut self, c: usize, group: usize) -> (bool, u64, bool) {
         let core = self.dp_core(c);
         let mut cost = 0u64;
         let mut found = false;
+        let mut reregistered = false;
         let qids = self.queues_of_group[group].clone();
         for q in qids {
             let qi = q.0 as usize;
@@ -1368,13 +1459,14 @@ impl Engine {
             if self.devices[group].line_of(q).is_none() {
                 cost += self.devices[group].timing().monitor_lookup.count();
                 let _ = self.devices[group].qwait_add(q, self.qrows[qi].doorbell.line());
+                reregistered = true;
             }
             if self.qrows[qi].depth > 0 {
                 self.devices[group].force_activate(q);
                 found = true;
             }
         }
-        (found, cost)
+        (found, cost, reregistered)
     }
 
     /// Periodic no-progress check: a stall is backlog with zero
@@ -1401,6 +1493,66 @@ impl Engine {
             }
         }
         self.ev.schedule_at(now + Cycles(period), Ev::Watchdog);
+    }
+
+    /// Chaos-plane doorbell churn: the control plane re-homes one live
+    /// queue's doorbell to a fresh spare line through Algorithm 1's
+    /// QWAIT-ADD retry — tear-down, reallocate, re-register — while
+    /// traffic is in flight. Wake-ups snooped on the old line between
+    /// tear-down and the producer's next ring are genuinely lost; a
+    /// careful driver therefore finishes the migration by syncing the
+    /// queue's backlog into the device (the re-check in Algorithm 1),
+    /// so churn alone never strands work.
+    fn on_churn(&mut self, now: SimTime) {
+        let Some(churn) = self.cfg.chaos.churn else {
+            return;
+        };
+        self.ev.schedule_at(now + Cycles(churn.period), Ev::Churn);
+        if self.devices.is_empty() {
+            return;
+        }
+        let qi = self.faults.pick(self.qrows.len());
+        let q = QueueId(qi as u32);
+        let g = self.qrows[qi].group as usize;
+        // Tear down the current registration (it may already be gone if
+        // the fault plane evicted it; the re-add below repairs that too).
+        let _ = self.devices[g].qwait_remove(q);
+        // Re-home to the next spare line, retrying past Cuckoo conflicts.
+        // Spares are a finite reserved range; once the driver has burned
+        // them all, churn degrades to re-registering the current line.
+        let spares = QueueLayout::spare_doorbells(self.cfg.queues);
+        let mut rehomed = false;
+        while self.next_spare < spares {
+            let addr = self.layout.spare_doorbell(self.next_spare);
+            self.next_spare += 1;
+            match self.devices[g].qwait_add(q, addr.line()) {
+                Ok(()) => {
+                    self.qrows[qi].doorbell = addr;
+                    // The poll memo and directory hint cache the old
+                    // line; drop both so nothing replays a stale address.
+                    self.qrows[qi].db_hint = LoadHint::default();
+                    self.poll_memos[qi] = SeqMemo::default();
+                    self.memo_ready[qi / 64] &= !(1u64 << (qi % 64));
+                    rehomed = true;
+                    break;
+                }
+                Err(hp_core::qwait::QwaitError::Conflict(_)) => continue,
+                Err(e) => panic!("churn re-registration failed: {e}"),
+            }
+        }
+        if !rehomed {
+            let _ = self.devices[g].qwait_add(q, self.qrows[qi].doorbell.line());
+        }
+        self.churn_reallocations += 1;
+        self.tracer
+            .emit(now, TraceKind::FaultEvicted { queue: q.0 });
+        // Driver-side migration sync: backlog enqueued before the move
+        // announced itself on the old line, so activate the new entry.
+        if self.qrows[qi].depth > 0 {
+            self.devices[g].force_activate(q);
+            self.tracer.emit(now, TraceKind::ReadyInsert { queue: q.0 });
+            self.wake_one(now, g);
+        }
     }
 
     /// Dequeues up to `batch` items from `q` and performs transport
@@ -1430,6 +1582,7 @@ impl Engine {
             match self.queues[qi].dequeue() {
                 Some(item) => {
                     self.telem[c].useful_instructions += DEQ_INSTR;
+                    self.audit.on_dequeue(item.id);
                     self.deq_scratch.push(item);
                 }
                 None => break,
@@ -1512,6 +1665,8 @@ impl Engine {
 
     fn record_completion(&mut self, done_at: SimTime, item: WorkItem, q: QueueId) {
         self.completions += 1;
+        self.audit
+            .on_service(item.id, done_at.since_start().count());
         let lat = done_at.saturating_since(item.arrival).count();
         // The windowed series covers the whole run — warmup included —
         // precisely so the warmup transient is visible in the time series.

@@ -5,6 +5,7 @@ use crate::config::ExperimentConfig;
 use crate::metrics::WindowSample;
 use crate::power::PowerModel;
 use crate::telemetry::{CoreTelemetry, SmtCoRunner};
+use hp_sim::audit::AuditReport;
 use hp_sim::faults::FaultCounters;
 use hp_sim::profile::KernelProfile;
 use hp_sim::stats::{Histogram, OnlineStats};
@@ -34,12 +35,53 @@ pub struct FaultReport {
     pub aborted_on_stall: bool,
     /// Arrivals refused at the (possibly fault-narrowed) queue cap.
     pub queue_drops: u64,
+    /// Recoveries whose sweep re-registered an evicted monitoring-set
+    /// entry (eviction fault class — the entry itself was gone).
+    pub eviction_recoveries: u64,
+    /// Recoveries of a missed doorbell with the monitoring entry intact
+    /// (lost-notification fault class).
+    pub doorbell_recoveries: u64,
+    /// Recovery latency for the eviction class, cycles.
+    pub eviction_recovery_latency: Histogram,
+    /// Recovery latency for the lost-doorbell class, cycles.
+    pub doorbell_recovery_latency: Histogram,
+    /// Algorithm-1 doorbell reallocations performed by chaos churn.
+    pub churn_reallocations: u64,
 }
 
 impl FaultReport {
     /// Whether the watchdog ever saw a missed-wakeup/livelock stall.
     pub fn stalled(&self) -> bool {
         self.stall_events > 0
+    }
+
+    /// Per-fault-class recovery SLO rows:
+    /// `(class, recoveries, p99 recovery latency in cycles)`. The p99 is
+    /// `None` for a class that never recovered anything.
+    pub fn recovery_slo(&self) -> Vec<(&'static str, u64, Option<u64>)> {
+        vec![
+            (
+                "eviction",
+                self.eviction_recoveries,
+                self.eviction_recovery_latency.percentile(99.0),
+            ),
+            (
+                "lost-doorbell",
+                self.doorbell_recoveries,
+                self.doorbell_recovery_latency.percentile(99.0),
+            ),
+        ]
+    }
+
+    /// Whether every class's worst recovery latency fits under `bound`
+    /// cycles (vacuously true for classes that never recovered).
+    pub fn recovery_within(&self, bound: u64) -> bool {
+        [
+            &self.eviction_recovery_latency,
+            &self.doorbell_recovery_latency,
+        ]
+        .iter()
+        .all(|h| h.percentile(100.0).is_none_or(|max| max <= bound))
     }
 }
 
@@ -65,6 +107,7 @@ pub struct ExperimentResult {
     notify_latency: Histogram,
     mem_stats: hp_mem::system::CoreMemStats,
     faults: Option<FaultReport>,
+    audit: Option<AuditReport>,
     windows: Vec<WindowSample>,
     trace: Option<Vec<TraceRecord>>,
     profile: Option<KernelProfile>,
@@ -98,6 +141,7 @@ impl ExperimentResult {
             notify_latency: Histogram::new(),
             mem_stats: hp_mem::system::CoreMemStats::default(),
             faults: None,
+            audit: None,
             windows: Vec::new(),
             trace: None,
             profile: None,
@@ -121,6 +165,18 @@ impl ExperimentResult {
     /// Whether the watchdog detected a missed-wakeup/livelock stall.
     pub fn stalled(&self) -> bool {
         self.faults.as_ref().is_some_and(|f| f.stalled())
+    }
+
+    /// Attaches the conservation-audit report (engine internal).
+    pub(crate) fn with_audit(mut self, audit: AuditReport) -> Self {
+        self.audit = Some(audit);
+        self
+    }
+
+    /// The conservation-audit report, if the audit was enabled for this
+    /// run.
+    pub fn audit_report(&self) -> Option<&AuditReport> {
+        self.audit.as_ref()
     }
 
     /// Attaches the windowed-metrics time series (engine internal).

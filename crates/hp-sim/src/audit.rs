@@ -1,0 +1,311 @@
+//! Notification-conservation auditing: a zero-cost-when-disabled observer
+//! that proves every enqueued notification is serviced exactly once.
+//!
+//! The HyperPlane recovery machinery (QWAIT timeouts, backoff epochs, the
+//! watchdog, monitoring-set re-registration) exists to uphold one
+//! end-to-end invariant under faults: **conservation** — no enqueued item
+//! is ever lost (a missed wake-up that recovery never repairs) and none is
+//! ever serviced twice (a timeout racing a real doorbell, or a spurious
+//! wake-up double-draining a queue). The [`Auditor`] checks that invariant
+//! directly instead of inferring it from throughput.
+//!
+//! Like [`crate::trace::Tracer`], the auditor obeys the observer
+//! contract:
+//!
+//! * **Pure.** It draws no randomness and schedules no events; a run with
+//!   the auditor attached is bit-identical to a bare run of the same seed.
+//! * **Zero cost when disabled.** Every hook begins with an `enabled`
+//!   check and returns immediately; a disabled auditor holds no memory.
+//! * **Bounded.** State is one byte plus one timestamp per item id, dense
+//!   in the engine's item-sequence space.
+//!
+//! The engine calls [`Auditor::on_enqueue`] when an item is admitted,
+//! [`Auditor::on_dequeue`] when a worker pops it, and
+//! [`Auditor::on_service`] when its service completes. At the end of the
+//! run, [`Auditor::finalize`] reconciles the auditor's view against the
+//! engine's residual backlog: any item the auditor still holds as
+//! enqueued beyond what the queues actually contain was *lost*, and any
+//! shortfall means items materialized without an enqueue.
+
+/// Per-item lifecycle states tracked by the auditor.
+const UNSEEN: u8 = 0;
+const ENQUEUED: u8 = 1;
+const DEQUEUED: u8 = 2;
+const SERVICED: u8 = 3;
+
+/// Conservation violations and lifecycle totals, produced by
+/// [`Auditor::finalize`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Items the auditor saw enqueued.
+    pub enqueued: u64,
+    /// Items the auditor saw dequeued.
+    pub dequeued: u64,
+    /// Items the auditor saw serviced.
+    pub serviced: u64,
+    /// Items still enqueued-but-not-dequeued when the run ended.
+    pub still_enqueued: u64,
+    /// Items dequeued-but-not-serviced when the run ended (in a worker's
+    /// batch at the horizon — legitimate in-flight work).
+    pub in_flight: u64,
+    /// The engine's own residual queue backlog at the horizon, for
+    /// reconciliation against `still_enqueued`.
+    pub residual_backlog: u64,
+    /// Enqueued items that vanished: `still_enqueued` in excess of the
+    /// engine's residual backlog. A non-zero value is a lost wake-up the
+    /// recovery machinery never repaired.
+    pub lost: u64,
+    /// Dequeues of an item already dequeued or serviced — a double
+    /// service in the making.
+    pub double_dequeues: u64,
+    /// Service completions for an item already serviced.
+    pub double_services: u64,
+    /// Dequeues or services of an item never enqueued.
+    pub phantoms: u64,
+    /// Worst observed enqueue-to-service latency, cycles, over items that
+    /// completed. Under faults this bounds the recovery the run actually
+    /// delivered.
+    pub max_enqueue_to_service_cycles: u64,
+}
+
+impl AuditReport {
+    /// Whether conservation held: nothing lost, nothing double-handled,
+    /// nothing phantom, and the auditor's residual view agrees exactly
+    /// with the engine's backlog.
+    pub fn ok(&self) -> bool {
+        self.lost == 0
+            && self.double_dequeues == 0
+            && self.double_services == 0
+            && self.phantoms == 0
+            && self.still_enqueued == self.residual_backlog
+    }
+
+    /// Total violation count across every class.
+    pub fn violations(&self) -> u64 {
+        self.lost
+            + self.double_dequeues
+            + self.double_services
+            + self.phantoms
+            + self.still_enqueued.abs_diff(self.residual_backlog)
+    }
+}
+
+/// The conservation auditor. Construct with [`Auditor::disabled`] (the
+/// default, free) or [`Auditor::enabled`].
+#[derive(Debug, Clone, Default)]
+pub struct Auditor {
+    enabled: bool,
+    /// Lifecycle state per item id (dense in the engine's item-sequence
+    /// space, grown on demand).
+    state: Vec<u8>,
+    /// Enqueue timestamp per item id, cycles; valid while state >=
+    /// ENQUEUED.
+    enq_at: Vec<u64>,
+    enqueued: u64,
+    dequeued: u64,
+    serviced: u64,
+    double_dequeues: u64,
+    double_services: u64,
+    phantoms: u64,
+    max_enqueue_to_service: u64,
+}
+
+impl Auditor {
+    /// An inert auditor: every hook returns immediately, no allocation.
+    pub fn disabled() -> Self {
+        Auditor::default()
+    }
+
+    /// A live auditor, pre-sized for roughly `items` ids.
+    pub fn enabled(items: usize) -> Self {
+        Auditor {
+            enabled: true,
+            state: Vec::with_capacity(items),
+            enq_at: Vec::with_capacity(items),
+            ..Auditor::default()
+        }
+    }
+
+    /// Whether the auditor is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn slot(&mut self, item: u64) -> usize {
+        let i = item as usize;
+        if i >= self.state.len() {
+            self.state.resize(i + 1, UNSEEN);
+            self.enq_at.resize(i + 1, 0);
+        }
+        i
+    }
+
+    /// Records the admission of `item` at `now` (cycles).
+    #[inline]
+    pub fn on_enqueue(&mut self, item: u64, now: u64) {
+        if !self.enabled {
+            return;
+        }
+        let i = self.slot(item);
+        // Item ids are unique by construction; a repeat enqueue would be
+        // an engine bug and shows up as a phantom on the later dequeue.
+        self.state[i] = ENQUEUED;
+        self.enq_at[i] = now;
+        self.enqueued += 1;
+    }
+
+    /// Records a worker popping `item`.
+    #[inline]
+    pub fn on_dequeue(&mut self, item: u64) {
+        if !self.enabled {
+            return;
+        }
+        let i = self.slot(item);
+        match self.state[i] {
+            ENQUEUED => {
+                self.state[i] = DEQUEUED;
+                self.dequeued += 1;
+            }
+            DEQUEUED | SERVICED => self.double_dequeues += 1,
+            _ => self.phantoms += 1,
+        }
+    }
+
+    /// Records the service completion of `item` at `now` (cycles).
+    #[inline]
+    pub fn on_service(&mut self, item: u64, now: u64) {
+        if !self.enabled {
+            return;
+        }
+        let i = self.slot(item);
+        match self.state[i] {
+            DEQUEUED => {
+                self.state[i] = SERVICED;
+                self.serviced += 1;
+                let wait = now.saturating_sub(self.enq_at[i]);
+                if wait > self.max_enqueue_to_service {
+                    self.max_enqueue_to_service = wait;
+                }
+            }
+            SERVICED => self.double_services += 1,
+            // Service without a dequeue (ENQUEUED or UNSEEN) is a phantom.
+            _ => self.phantoms += 1,
+        }
+    }
+
+    /// Reconciles against the engine's residual queue backlog and
+    /// produces the report. Call once, at the end of the run.
+    pub fn finalize(&self, residual_backlog: u64) -> AuditReport {
+        let mut still_enqueued = 0u64;
+        let mut in_flight = 0u64;
+        for &s in &self.state {
+            match s {
+                ENQUEUED => still_enqueued += 1,
+                DEQUEUED => in_flight += 1,
+                _ => {}
+            }
+        }
+        AuditReport {
+            enqueued: self.enqueued,
+            dequeued: self.dequeued,
+            serviced: self.serviced,
+            still_enqueued,
+            in_flight,
+            residual_backlog,
+            lost: still_enqueued.saturating_sub(residual_backlog),
+            double_dequeues: self.double_dequeues,
+            double_services: self.double_services,
+            phantoms: self.phantoms,
+            max_enqueue_to_service_cycles: self.max_enqueue_to_service,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_auditor_is_inert_and_allocation_free() {
+        let mut a = Auditor::disabled();
+        assert!(!a.is_enabled());
+        a.on_enqueue(0, 10);
+        a.on_dequeue(0);
+        a.on_service(0, 20);
+        assert_eq!(a.state.capacity(), 0);
+        let r = a.finalize(0);
+        assert_eq!(r, AuditReport::default());
+        assert!(r.ok());
+    }
+
+    #[test]
+    fn clean_lifecycle_conserves() {
+        let mut a = Auditor::enabled(8);
+        for item in 0..5u64 {
+            a.on_enqueue(item, item * 100);
+        }
+        for item in 0..4u64 {
+            a.on_dequeue(item);
+            a.on_service(item, 1_000 + item);
+        }
+        // Item 4 legitimately remains queued at the horizon.
+        let r = a.finalize(1);
+        assert!(r.ok(), "{r:?}");
+        assert_eq!((r.enqueued, r.dequeued, r.serviced), (5, 4, 4));
+        assert_eq!(r.still_enqueued, 1);
+        assert_eq!(r.lost, 0);
+        // Item 0 waits longest: enqueued at 0, serviced at 1_000.
+        assert_eq!(r.max_enqueue_to_service_cycles, 1_000);
+    }
+
+    #[test]
+    fn lost_item_detected_via_backlog_reconciliation() {
+        let mut a = Auditor::enabled(4);
+        a.on_enqueue(0, 0);
+        a.on_enqueue(1, 0);
+        a.on_dequeue(0);
+        a.on_service(0, 5);
+        // Item 1 never dequeued — and the engine says its queues are
+        // empty. That is a lost notification.
+        let r = a.finalize(0);
+        assert!(!r.ok());
+        assert_eq!(r.lost, 1);
+        assert_eq!(r.violations(), 2); // lost + backlog mismatch
+    }
+
+    #[test]
+    fn double_service_and_double_dequeue_detected() {
+        let mut a = Auditor::enabled(4);
+        a.on_enqueue(0, 0);
+        a.on_dequeue(0);
+        a.on_dequeue(0); // double dequeue
+        a.on_service(0, 10);
+        a.on_service(0, 20); // double service
+        let r = a.finalize(0);
+        assert!(!r.ok());
+        assert_eq!(r.double_dequeues, 1);
+        assert_eq!(r.double_services, 1);
+    }
+
+    #[test]
+    fn phantom_lifecycle_detected() {
+        let mut a = Auditor::enabled(4);
+        a.on_dequeue(7); // never enqueued
+        a.on_enqueue(1, 0);
+        a.on_service(1, 5); // serviced without a dequeue
+        let r = a.finalize(0);
+        assert!(!r.ok());
+        assert_eq!(r.phantoms, 2);
+    }
+
+    #[test]
+    fn in_flight_work_is_not_a_violation() {
+        let mut a = Auditor::enabled(2);
+        a.on_enqueue(0, 0);
+        a.on_dequeue(0);
+        // Run ends while the worker still holds item 0.
+        let r = a.finalize(0);
+        assert!(r.ok(), "{r:?}");
+        assert_eq!(r.in_flight, 1);
+    }
+}

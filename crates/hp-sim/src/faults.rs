@@ -67,6 +67,9 @@ pub enum FaultPlanError {
     },
     /// A spec-string entry is not `key=value`.
     BadEntry(String),
+    /// A spec-string key appears more than once. Last-write-wins parsing
+    /// silently masks the earlier value, so duplicates are rejected.
+    DuplicateKey(String),
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -84,6 +87,9 @@ impl std::fmt::Display for FaultPlanError {
             }
             FaultPlanError::BadEntry(e) => {
                 write!(f, "fault spec entry `{e}` is not of the form key=value")
+            }
+            FaultPlanError::DuplicateKey(k) => {
+                write!(f, "fault knob `{k}` appears more than once in the spec")
             }
         }
     }
@@ -180,10 +186,11 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// [`FaultPlanError`] on unknown keys, malformed entries, unparsable
-    /// values, or out-of-range probabilities.
+    /// [`FaultPlanError`] on unknown keys, duplicate keys, malformed
+    /// entries, unparsable values, or out-of-range probabilities.
     pub fn parse(spec: &str) -> Result<Self, FaultPlanError> {
         let mut plan = FaultPlan::none();
+        let mut seen: Vec<&str> = Vec::new();
         for entry in spec.split(',') {
             let entry = entry.trim();
             if entry.is_empty() {
@@ -192,6 +199,10 @@ impl FaultPlan {
             let (key, value) = entry
                 .split_once('=')
                 .ok_or_else(|| FaultPlanError::BadEntry(entry.to_string()))?;
+            if seen.contains(&key) {
+                return Err(FaultPlanError::DuplicateKey(key.to_string()));
+            }
+            seen.push(key);
             fn parsed<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, FaultPlanError> {
                 value.parse().map_err(|_| FaultPlanError::BadValue {
                     key: key.to_string(),
@@ -212,6 +223,23 @@ impl FaultPlan {
         }
         plan.validate()?;
         Ok(plan)
+    }
+
+    /// This plan with every probability multiplied by `factor` and clamped
+    /// to `[0, 1]`. Duration and cap knobs are unchanged — a chaos burst
+    /// makes faults *more frequent*, not individually longer. The result
+    /// of scaling a valid plan by a non-negative finite factor is always
+    /// valid.
+    pub fn scaled(&self, factor: f64) -> FaultPlan {
+        let scale = |p: f64| (p * factor).clamp(0.0, 1.0);
+        FaultPlan {
+            doorbell_drop: scale(self.doorbell_drop),
+            doorbell_delay: scale(self.doorbell_delay),
+            eviction: scale(self.eviction),
+            spurious: scale(self.spurious),
+            straggler: scale(self.straggler),
+            ..self.clone()
+        }
     }
 }
 
@@ -306,6 +334,20 @@ impl FaultInjector {
     /// The plan this injector draws from.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Swaps the active plan without touching the RNG stream or counters.
+    ///
+    /// This is how a chaos schedule (see [`crate::chaos`]) modulates fault
+    /// intensity mid-run: the draw sequence stays a pure function of
+    /// `(stream seed, call sequence)`, only the thresholds move. Note the
+    /// class-independence guarantee weakens across a swap — a class that
+    /// toggles between zero and non-zero rates starts or stops consuming
+    /// draws at the swap boundary, which is deterministic but does shift
+    /// later draws of other classes. Schedules are part of the seed-stable
+    /// configuration, so replays remain bit-identical.
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
     }
 
     /// Faults injected so far.
@@ -491,6 +533,90 @@ mod tests {
             FaultPlan::parse("drop=1.5"),
             Err(FaultPlanError::BadProbability { field: "drop", .. })
         ));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_keys() {
+        // Last-write-wins would silently take drop=0.9 here; the parser
+        // must refuse instead.
+        for spec in [
+            "drop=0.1,drop=0.9",
+            "drop=0.1, drop=0.1",
+            "cap=8,delay=0.2,cap=16",
+            "stall_cycles=10,stall_cycles=20",
+        ] {
+            match FaultPlan::parse(spec) {
+                Err(FaultPlanError::DuplicateKey(k)) => {
+                    assert!(
+                        spec.contains(&format!("{k}=")),
+                        "wrong key `{k}` for {spec}"
+                    );
+                }
+                other => panic!("{spec}: expected DuplicateKey, got {other:?}"),
+            }
+        }
+        // Distinct keys still parse, and an identical-value duplicate is
+        // rejected just the same (the hazard is the masked intent, not
+        // the masked value).
+        FaultPlan::parse("drop=0.1,delay=0.1").unwrap();
+        assert!(matches!(
+            FaultPlan::parse("evict=0.5,evict=0.5"),
+            Err(FaultPlanError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn display_roundtrip_never_emits_duplicates() {
+        // Every Display output must re-parse under the duplicate-rejecting
+        // grammar.
+        let plan = FaultPlan {
+            doorbell_drop: 0.25,
+            doorbell_delay: 0.1,
+            delay_cycles: 1234,
+            eviction: 0.01,
+            spurious: 0.02,
+            straggler: 0.005,
+            stall_cycles: 777,
+            queue_cap: Some(4),
+        };
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn scaled_clamps_and_preserves_durations() {
+        let plan = FaultPlan::parse("drop=0.4,evict=0.02,delay_cycles=4000,cap=8").unwrap();
+        let hot = plan.scaled(3.0);
+        assert_eq!(hot.doorbell_drop, 1.0);
+        assert!((hot.eviction - 0.06).abs() < 1e-12);
+        assert_eq!(hot.delay_cycles, 4000);
+        assert_eq!(hot.queue_cap, Some(8));
+        hot.validate().unwrap();
+        let cold = plan.scaled(0.0);
+        assert!(!FaultPlan {
+            queue_cap: None,
+            ..cold
+        }
+        .is_active());
+    }
+
+    #[test]
+    fn set_plan_keeps_stream_position() {
+        // Two injectors on the same seed: one swaps to an identical plan
+        // mid-sequence, the other never swaps. Draws must agree.
+        let plan = FaultPlan {
+            doorbell_drop: 0.3,
+            ..FaultPlan::none()
+        };
+        let mut a = FaultInjector::new(plan.clone(), 9);
+        let mut b = FaultInjector::new(plan.clone(), 9);
+        for i in 0..400 {
+            if i == 200 {
+                a.set_plan(plan.clone());
+            }
+            assert_eq!(a.doorbell_fate(), b.doorbell_fate());
+        }
+        assert_eq!(a.counters(), b.counters());
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! * [`faults`] — the deterministic [`faults::FaultPlan`] /
 //!   [`faults::FaultInjector`] fault-injection plane (dropped/delayed
 //!   doorbells, evictions, spurious wake-ups, stragglers).
+//! * [`chaos`] — time-structured fault campaigns on top of [`faults`]:
+//!   correlated bursts, phase windows, doorbell-reallocation churn.
+//! * [`audit`] — the zero-cost-when-disabled [`audit::Auditor`]
+//!   notification-conservation observer (no lost wake-ups, no double
+//!   service).
 //! * [`trace`] — the zero-cost-when-disabled [`trace::Tracer`] ring
 //!   buffer of typed lifecycle records, plus the Chrome
 //!   `trace_event` exporter [`trace::chrome_trace`].
@@ -75,6 +80,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod chaos;
 pub mod event;
 pub mod faults;
 pub mod profile;

@@ -148,3 +148,116 @@ fn degradation_is_graceful_and_monotone() {
         "drop=0.9 should cost latency: {means:?}"
     );
 }
+
+#[test]
+fn watchdog_detects_stall_within_one_period() {
+    // The watchdog fires on period ticks; with abort armed the run ends
+    // at the very tick that first observed the stall, so the detection
+    // bound is the period itself.
+    let period = 1_000_000;
+    let mut cfg = base(0.5).with_faults(full_drop()).with_watchdog(period);
+    cfg.watchdog_abort = true;
+    cfg.max_cycles = 500_000_000;
+    let r = runner::run(cfg);
+    let f = r.fault_report().expect("faulty run carries a report");
+    let first = f.first_stall.expect("total drop must stall").0;
+    assert_eq!(first % period, 0, "watchdog fired off its tick grid");
+    assert!(r.end.0 >= first);
+    assert!(
+        r.end.0 - first <= period,
+        "abort did not stop within one period of detection: first={} end={}",
+        first,
+        r.end.0
+    );
+}
+
+#[test]
+fn spurious_wakeups_never_double_service() {
+    // QWAIT-VERIFY must filter spurious activations, and timeout sweeps
+    // racing real doorbells must not double-drain a queue: the auditor
+    // demands exactly-once service, across seeds.
+    for seed in [3u64, 0xABCD] {
+        let cfg = base(0.6)
+            .with_faults(FaultPlan::parse("spurious=0.3,drop=0.3").unwrap())
+            .with_qwait_timeout(20_000)
+            .with_watchdog(4_000_000)
+            .with_audit()
+            .with_seed(seed);
+        let r = runner::run(cfg);
+        let a = r.audit_report().expect("auditor was enabled");
+        assert!(a.ok(), "seed {seed:#x}: conservation violated: {a:?}");
+        assert_eq!(a.double_services, 0);
+        assert_eq!(a.double_dequeues, 0);
+        assert_eq!(a.phantoms, 0);
+        // Every engine completion is an audited exactly-once service.
+        assert_eq!(a.serviced, r.completions);
+    }
+}
+
+#[test]
+fn conservation_holds_under_silent_evictions_and_chaos() {
+    // The harshest shipped configuration: silent evictions, a correlated
+    // burst, a storm phase, and live doorbell churn. Conservation must
+    // hold, churn must actually fire, and the run must be reproducible.
+    use hp_sim::chaos::ChaosSchedule;
+    let storm = FaultPlan::parse("drop=0.5,delay=0.2,evict=0.01,spurious=0.05").unwrap();
+    let mk = || {
+        base(0.5)
+            .with_faults(storm.scaled(0.5))
+            .with_chaos(
+                ChaosSchedule::none()
+                    .with_burst(2_000_000, 500_000, 2.0)
+                    .with_phase(3_000_000, 6_000_000, storm.clone())
+                    .with_churn(2_500_000),
+            )
+            .with_silent_evictions()
+            .with_audit()
+            .with_qwait_timeout(20_000)
+            .with_watchdog(4_000_000)
+            .with_seed(0xC4A0_5C4A)
+    };
+    let r = runner::run(mk());
+    let a = r.audit_report().expect("auditor was enabled");
+    assert!(a.ok(), "conservation violated under full chaos: {a:?}");
+    assert_eq!(a.lost, 0);
+    assert!(r.completions >= 2_000, "chaos run did not finish its work");
+    let f = r.fault_report().unwrap();
+    assert!(f.churn_reallocations > 0, "doorbell churn never fired");
+    // Chaos plan swaps happen at schedule boundaries only, never touching
+    // the fault stream: the whole run replays bit-identically.
+    let r2 = runner::run(mk());
+    assert_eq!(r.completions, r2.completions);
+    assert_eq!(r.throughput_tps.to_bits(), r2.throughput_tps.to_bits());
+    assert_eq!(f.injected, r2.fault_report().unwrap().injected);
+    assert_eq!(r.audit_report(), r2.audit_report());
+}
+
+#[test]
+fn recoveries_are_attributed_to_their_fault_class() {
+    // Pure doorbell drop: every recovery is lost-doorbell class (no
+    // monitoring entry was ever evicted, so no sweep re-registers one).
+    let cfg = base(0.5)
+        .with_faults(full_drop())
+        .with_qwait_timeout(20_000)
+        .with_watchdog(4_000_000);
+    let r = runner::run(cfg);
+    let f = r.fault_report().unwrap();
+    assert!(f.doorbell_recoveries > 0);
+    assert_eq!(f.eviction_recoveries, 0, "no evictions were injected");
+    assert_eq!(f.recoveries, f.doorbell_recoveries + f.eviction_recoveries);
+    assert_eq!(
+        f.recovery_latency_cycles.count(),
+        f.doorbell_recovery_latency.count() + f.eviction_recovery_latency.count()
+    );
+
+    // Pure eviction: recoveries must re-register entries — eviction class.
+    let cfg = base(0.5)
+        .with_faults(FaultPlan::parse("evict=0.05").unwrap())
+        .with_qwait_timeout(20_000)
+        .with_watchdog(4_000_000);
+    let r = runner::run(cfg);
+    let f = r.fault_report().unwrap();
+    assert!(f.injected.evictions > 0, "eviction plan never fired");
+    assert!(f.eviction_recoveries > 0, "evictions never classed");
+    assert_eq!(f.recoveries, f.doorbell_recoveries + f.eviction_recoveries);
+}
