@@ -9,11 +9,15 @@
 //!   headline throughput/latency numbers of the quickstart configuration;
 //! * optionally the sim-kernel profile as JSON (`--profile`): per-event
 //!   counts and attributed cycles plus the memory-system fast-path
-//!   counters, so the hot-path cycle share is measurable from the CLI.
+//!   counters, so the hot-path cycle share is measurable from the CLI;
+//! * optionally the latency-attribution artifact (`--attrib`, schema
+//!   `hp-attrib-v1`): end-to-end latency decomposed into additive phase
+//!   components per queue / per core, with tail exemplars — the input
+//!   format of the `attrib-diff` comparison tool (DESIGN.md §15).
 //!
 //! ```sh
 //! cargo run --release -p hp-bench --bin trace -- \
-//!     --quick --trace out.json --metrics out.jsonl
+//!     --quick --trace out.json --metrics out.jsonl --attrib attrib.json
 //! ```
 
 use hp_bench::{HarnessOpts, Table};
@@ -76,6 +80,7 @@ fn main() {
     let metrics_path = arg("--metrics").unwrap_or_else(|| "metrics.jsonl".into());
     let bench_path = arg("--bench");
     let profile_path = arg("--profile");
+    let attrib_path = arg("--attrib");
 
     // A moderate-load run gives a readable trace: lifecycle spans with
     // visible queueing, periodic halts, and non-degenerate windows.
@@ -85,7 +90,10 @@ fn main() {
         .with_metrics_window(200_000);
     cfg.target_completions = opts.completions(12_000);
     let rate = cfg.capacity_estimate_per_core() * cfg.dp_cores as f64 * 0.30;
-    let cfg = cfg.with_load(Load::RatePerSec(rate));
+    let mut cfg = cfg.with_load(Load::RatePerSec(rate));
+    if attrib_path.is_some() {
+        cfg = cfg.with_attrib();
+    }
 
     println!(
         "trace: {} / {} / {} queues / {} @ {:.2} Mtasks/s offered",
@@ -96,7 +104,13 @@ fn main() {
         rate / 1e6
     );
 
-    let r = runner::run(cfg);
+    // Routed through the sweep harness so `--threads N` exercises the
+    // worker pool; a one-config sweep returns exactly one result.
+    let r = opts
+        .sweep()
+        .run(vec![cfg], runner::run)
+        .pop()
+        .expect("one sweep result");
 
     let chrome = r.chrome_trace_json().expect("tracing was enabled");
     std::fs::write(&trace_path, &chrome).expect("write trace JSON");
@@ -115,7 +129,38 @@ fn main() {
         trace_path,
         chrome.len()
     );
+    if r.trace_dropped() > 0 {
+        println!(
+            "WARNING: trace ring dropped {} of {} records — the trace file \
+             is truncated (raise trace capacity); attribution is unaffected",
+            r.trace_dropped(),
+            r.trace_emitted()
+        );
+    }
     println!("metrics: {} windows -> {}", r.windows().len(), metrics_path);
+
+    if let Some(path) = &attrib_path {
+        let json = r.attrib_json().expect("attribution was enabled");
+        std::fs::write(path, &json).expect("write attribution JSON");
+        let a = r.attrib_report().expect("attribution was enabled");
+        println!(
+            "attribution: {} chains ({} incomplete), conserved: {} -> {path}",
+            a.completed,
+            a.incomplete,
+            a.conserved()
+        );
+        let mut t = Table::new("Latency attribution", &["phase", "cycles", "share", "p99"]);
+        for ph in hp_sim::attrib::Phase::ALL {
+            let h = &a.phase_hists[ph as usize];
+            t.row(vec![
+                ph.name().to_string(),
+                a.phase_total(ph).to_string(),
+                format!("{:.1}%", a.phase_share(ph) * 100.0),
+                h.percentile(99.0).unwrap_or(0).to_string(),
+            ]);
+        }
+        t.print(&opts);
+    }
 
     if let Some(profile) = r.kernel_profile() {
         let mut t = Table::new("Sim-kernel profile", &["event", "count", "cycles"]);

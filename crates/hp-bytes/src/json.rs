@@ -1,11 +1,14 @@
-//! A minimal streaming JSON encoder.
+//! A minimal streaming JSON encoder and a matching parser.
 //!
 //! The observability sinks (JSONL metrics, Chrome `trace_event` exports)
 //! need machine-readable output, but the workspace is hermetic — no
 //! `serde`. [`JsonWriter`] is the hand-rolled substitute: an append-only
 //! encoder with correct string escaping and comma placement, enough to
 //! emit arbitrarily nested objects/arrays of the primitive types the
-//! simulator reports.
+//! simulator reports. [`parse`] is the read side: a small
+//! recursive-descent parser into [`JsonValue`] trees, enough for the
+//! run-diff tooling to load artifacts this crate wrote (the attribution
+//! schema in particular) without external dependencies.
 //!
 //! Non-finite floats encode as `null` (JSON has no NaN/Infinity), so a
 //! zero-sample run's `NaN` percentiles stay machine-parseable.
@@ -213,6 +216,330 @@ impl JsonWriter {
     }
 }
 
+/// A parsed JSON document node (see [`parse`]).
+///
+/// Numbers are kept as `f64` — the artifacts this parser targets encode
+/// counters well inside the 2^53 exactly-representable range. Object
+/// members preserve document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A rejected JSON document: byte offset and what went wrong there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What the parser expected or found.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Nesting bound: a document deeper than this is rejected rather than
+/// risking parser-stack exhaustion on adversarial input.
+const MAX_DEPTH: usize = 128;
+
+/// Parses a complete JSON document into a [`JsonValue`] tree.
+///
+/// # Errors
+///
+/// A [`JsonParseError`] locating the first malformed byte — including
+/// trailing garbage after the top-level value, unterminated containers,
+/// and nesting beyond an internal depth bound.
+pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &'static str) -> JsonParseError {
+        JsonParseError { at: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, msg: &'static str) -> Result<(), JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self
+                .literal("true", "expected 'true'")
+                .map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self
+                .literal("false", "expected 'false'")
+                .map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self
+                .literal("null", "expected 'null'")
+                .map(|()| JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The scanned run is valid UTF-8 (the input is &str and the
+            // run stops before any structural ASCII byte).
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is UTF-8"),
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Unpaired surrogates decode to the
+                            // replacement character; the writer never
+                            // emits them.
+                            out.push(char::from_u32(cp as u32).unwrap_or('\u{fffd}'));
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonParseError> {
+        let mut cp: u16 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => b - b'0',
+                Some(b @ b'a'..=b'f') => b - b'a' + 10,
+                Some(b @ b'A'..=b'F') => b - b'A' + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            cp = cp << 4 | d as u16;
+            self.pos += 1;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is UTF-8");
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| JsonParseError {
+                at: start,
+                msg: "malformed number",
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,5 +600,75 @@ mod tests {
         w.field_opt_f64("p50", Some(2.0));
         w.end_object();
         assert_eq!(w.finish(), r#"{"p99":null,"p50":2}"#);
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "a\"b\\c\nd");
+        w.field_u64("count", 42);
+        w.field_f64("mean", -1.5e3);
+        w.field_bool("ok", true);
+        w.key("p99");
+        w.null();
+        w.key("rows");
+        w.begin_array();
+        w.u64(1);
+        w.u64(2);
+        w.end_array();
+        w.end_object();
+        let v = parse(&w.finish()).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("mean").unwrap().as_f64(), Some(-1500.0));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("p99"), Some(&JsonValue::Null));
+        let rows = v.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_unicode_escapes() {
+        let v = parse(" { \"k\" : [ 1 , \"\\u0041\\u00e9\" , { } ] } ").unwrap();
+        let arr = v.get("k").unwrap().as_array().unwrap();
+        assert_eq!(arr[1].as_str(), Some("Aé"));
+        assert_eq!(arr[2], JsonValue::Obj(vec![]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\":1,}x",
+            "\"unterminated",
+            "01x",
+            "truest",
+            "[1] garbage",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_excessive_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse(&deep).unwrap_err();
+        assert_eq!(err.msg, "nesting too deep");
+        // A comfortably nested document still parses.
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn as_u64_guards_range_and_integrality() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_f64(), Some(1.5));
     }
 }

@@ -78,6 +78,10 @@ pub enum ConfigError {
     /// `trace_capacity` was `Some(0)` — an enabled tracer that can hold
     /// nothing is always a configuration mistake.
     ZeroTraceCapacity,
+    /// `attrib` was enabled with `attrib_exemplars == 0` — an attribution
+    /// run that can retain no tail exemplars is always a mistake (disable
+    /// attribution instead).
+    ZeroAttribExemplars,
     /// `metrics_window_cycles` was `Some(0)`.
     ZeroMetricsWindow,
 }
@@ -114,6 +118,9 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::ZeroWatchdogPeriod => write!(f, "watchdog period must be nonzero"),
             ConfigError::ZeroTraceCapacity => write!(f, "trace capacity must be nonzero"),
+            ConfigError::ZeroAttribExemplars => {
+                write!(f, "attribution needs a nonzero tail-exemplar bound")
+            }
             ConfigError::ZeroMetricsWindow => write!(f, "metrics window must be nonzero"),
         }
     }
@@ -366,6 +373,16 @@ pub struct ExperimentConfig {
     /// entirely (zero cost). Tracing is pure observation — a traced run
     /// is bit-identical to an untraced one.
     pub trace_capacity: Option<usize>,
+    /// Latency attribution (DESIGN.md §15): stream every lifecycle
+    /// record through the [`hp_sim::attrib::Attributor`] and attach the
+    /// phase-decomposition report to the result. Independent of
+    /// `trace_capacity` — attribution consumes records at emit time, so
+    /// it needs no ring buffer and ring truncation cannot bias it. Pure
+    /// observation: an attributed run is bit-identical to a bare one.
+    pub attrib: bool,
+    /// Bound on retained worst-case notifications in the attribution
+    /// report (the tail-exemplar set). Ignored unless `attrib` is on.
+    pub attrib_exemplars: usize,
     /// Windowed-metrics cadence in cycles: close a
     /// [`crate::metrics::WindowSample`] every this-many cycles. `None`
     /// disables the sampler. Like tracing, sampling never schedules
@@ -414,6 +431,8 @@ impl ExperimentConfig {
             watchdog_period_cycles: None,
             watchdog_abort: false,
             trace_capacity: None,
+            attrib: false,
+            attrib_exemplars: hp_sim::attrib::DEFAULT_EXEMPLARS,
             metrics_window_cycles: None,
         }
     }
@@ -484,6 +503,12 @@ impl ExperimentConfig {
     /// `capacity` records.
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Builder-style: enable streaming latency attribution.
+    pub fn with_attrib(mut self) -> Self {
+        self.attrib = true;
         self
     }
 
@@ -572,6 +597,9 @@ impl ExperimentConfig {
         }
         if self.trace_capacity == Some(0) {
             return Err(ConfigError::ZeroTraceCapacity);
+        }
+        if self.attrib && self.attrib_exemplars == 0 {
+            return Err(ConfigError::ZeroAttribExemplars);
         }
         if self.metrics_window_cycles == Some(0) {
             return Err(ConfigError::ZeroMetricsWindow);
@@ -730,8 +758,15 @@ mod tests {
             base.clone().with_metrics_window(0).validate(),
             Err(ConfigError::ZeroMetricsWindow)
         );
+        let mut zero_exemplars = base.clone().with_attrib();
+        zero_exemplars.attrib_exemplars = 0;
+        assert_eq!(
+            zero_exemplars.validate(),
+            Err(ConfigError::ZeroAttribExemplars)
+        );
         base.with_trace(4096)
             .with_metrics_window(100_000)
+            .with_attrib()
             .validate()
             .unwrap();
     }

@@ -36,6 +36,7 @@ use hp_mem::system::{LoadHint, MemSystem};
 use hp_mem::types::{AccessKind, Addr, CoreId, LineAddr};
 use hp_queues::sim::{QueueId, QueueLayout, SimQueue, WorkItem};
 use hp_rand::rngs::SmallRng;
+use hp_sim::attrib::Attributor;
 use hp_sim::audit::Auditor;
 use hp_sim::event::EventQueue;
 use hp_sim::faults::{DoorbellFate, FaultInjector};
@@ -321,6 +322,10 @@ pub struct Engine {
     /// draw randomness or schedule events, so enabling them leaves the
     /// run bit-identical (pinned by `tests/observability.rs`).
     tracer: Tracer,
+    /// Streaming latency attribution (pure observer; inert unless
+    /// `cfg.attrib`). Fed every lifecycle record at emit time via
+    /// [`Engine::note`], before the ring buffer can truncate it.
+    attrib: Attributor,
     metrics: Option<WindowedMetrics>,
     /// Mirror of `metrics.next_boundary()` (`u64::MAX` when sampling is
     /// off) so the hot loop's boundary check is one compare, no `Option`.
@@ -528,6 +533,11 @@ impl Engine {
                 Some(cap) => Tracer::with_capacity(cap),
                 None => Tracer::disabled(),
             },
+            attrib: if cfg.attrib {
+                Attributor::enabled(cfg.attrib_exemplars)
+            } else {
+                Attributor::disabled()
+            },
             metrics: cfg
                 .metrics_window_cycles
                 .map(|w| WindowedMetrics::new(w, clock, cfg.dp_cores)),
@@ -634,7 +644,7 @@ impl Engine {
                 Ev::DelayedSnoop { group, line } => {
                     if let Some(dev) = self.devices.get_mut(group) {
                         let hit = dev.snoop_getm(LineAddr(line));
-                        self.tracer.emit(
+                        self.note(
                             now,
                             TraceKind::GetmSnoop {
                                 group: group as u32,
@@ -642,8 +652,7 @@ impl Engine {
                             },
                         );
                         if let Some(qid) = hit {
-                            self.tracer
-                                .emit(now, TraceKind::ReadyInsert { queue: qid.0 });
+                            self.note(now, TraceKind::ReadyInsert { queue: qid.0 });
                             self.wake_one(now, group);
                         }
                     }
@@ -654,6 +663,16 @@ impl Engine {
             }
         }
         self.finish(wall_start.elapsed().as_secs_f64())
+    }
+
+    /// Emits one lifecycle record to both observers: the streaming
+    /// attributor first (it must see every record — ring truncation in
+    /// the tracer cannot be allowed to bias the attribution), then the
+    /// ring-buffer tracer. One branch each when disabled.
+    #[inline]
+    fn note(&mut self, at: SimTime, kind: TraceKind) {
+        self.attrib.observe(at, &kind);
+        self.tracer.emit(at, kind);
     }
 
     /// Timestamp of the next pending event, counting the batch tail the
@@ -783,7 +802,14 @@ impl Engine {
         .with_fastpath(self.mem.fastpath_stats())
         .with_profile(self.profile, wall_secs);
         if self.tracer.is_enabled() {
-            result = result.with_trace(self.tracer.records());
+            result = result.with_trace(
+                self.tracer.records(),
+                self.tracer.dropped(),
+                self.tracer.emitted(),
+            );
+        }
+        if self.attrib.is_enabled() {
+            result = result.with_attrib(self.attrib.finalize());
         }
         if let Some(m) = self.metrics {
             result = result.with_windows(m.into_samples());
@@ -851,7 +877,7 @@ impl Engine {
         self.queues[qi].enqueue(item);
         self.qrows[qi].depth += 1;
         debug_assert_eq!(self.qrows[qi].depth as usize, self.queues[qi].depth());
-        self.tracer.emit(
+        self.note(
             now,
             TraceKind::Enqueue {
                 queue: q.0,
@@ -875,8 +901,7 @@ impl Engine {
         let ring = self
             .mem
             .access(prod, self.qrows[qi].doorbell, AccessKind::Store);
-        self.tracer
-            .emit(now, TraceKind::DoorbellWrite { queue: q.0 });
+        self.note(now, TraceKind::DoorbellWrite { queue: q.0 });
 
         // Interrupt baseline: a doorbell write to an armed queue raises a
         // per-queue interrupt; delivery pays the kernel path cost.
@@ -902,8 +927,7 @@ impl Engine {
             if let Some(dev) = self.devices.get_mut(g) {
                 if dev.qwait_remove(q).is_some() {
                     self.faults.record_eviction();
-                    self.tracer
-                        .emit(now, TraceKind::FaultEvicted { queue: q.0 });
+                    self.note(now, TraceKind::FaultEvicted { queue: q.0 });
                 }
             }
         }
@@ -914,8 +938,7 @@ impl Engine {
             let victims = &self.queues_of_group[g];
             let victim = victims[self.faults.pick(victims.len())];
             self.devices[g].force_activate(victim);
-            self.tracer
-                .emit(now, TraceKind::FaultSpurious { queue: victim.0 });
+            self.note(now, TraceKind::FaultSpurious { queue: victim.0 });
             self.wake_one(now, g);
         }
 
@@ -926,7 +949,7 @@ impl Engine {
                 match self.faults.doorbell_fate() {
                     DoorbellFate::Deliver => {
                         let hit = dev.snoop_getm(line);
-                        self.tracer.emit(
+                        self.note(
                             now,
                             TraceKind::GetmSnoop {
                                 group: g as u32,
@@ -934,18 +957,16 @@ impl Engine {
                             },
                         );
                         if let Some(qid) = hit {
-                            self.tracer
-                                .emit(now, TraceKind::ReadyInsert { queue: qid.0 });
+                            self.note(now, TraceKind::ReadyInsert { queue: qid.0 });
                             self.wake_one(now, g);
                         }
                     }
                     // The wake-up is simply lost.
                     DoorbellFate::Drop => {
-                        self.tracer
-                            .emit(now, TraceKind::FaultDropped { queue: q.0 });
+                        self.note(now, TraceKind::FaultDropped { queue: q.0 });
                     }
                     DoorbellFate::Delay(d) => {
-                        self.tracer.emit(
+                        self.note(
                             now,
                             TraceKind::FaultDelayed {
                                 queue: q.0,
@@ -1001,7 +1022,7 @@ impl Engine {
     fn on_core_wake(&mut self, now: SimTime, c: usize) {
         debug_assert!(self.halted[c]);
         self.halted[c] = false;
-        self.tracer.emit(now, TraceKind::Wake { core: c as u32 });
+        self.note(now, TraceKind::Wake { core: c as u32 });
         self.trackers[c].resume(now, &mut self.telem[c]);
         // A real wake-up invalidates any armed re-poll timeout and
         // resets its backoff: the notification path is working.
@@ -1168,7 +1189,7 @@ impl Engine {
             // Idle: block in the kernel until the next interrupt.
             self.halted[c] = true;
             self.halted_by_group[group].push(c);
-            self.tracer.emit(now, TraceKind::Halt { core: c as u32 });
+            self.note(now, TraceKind::Halt { core: c as u32 });
             self.trackers[c].halt(now, HaltState::C0Halt);
             return;
         };
@@ -1266,8 +1287,7 @@ impl Engine {
             } else {
                 HaltState::C0Halt
             };
-            self.tracer
-                .emit(now + Cycles(total), TraceKind::Halt { core: c as u32 });
+            self.note(now + Cycles(total), TraceKind::Halt { core: c as u32 });
             self.trackers[c].halt(now + Cycles(total), state);
             self.arm_qwait_timeout(now + Cycles(total), c);
             return;
@@ -1377,11 +1397,10 @@ impl Engine {
         }
         let base = self.cfg.qwait_timeout_cycles.unwrap_or(0);
         self.telem[c].qwait_timeouts += 1;
-        self.tracer
-            .emit(now, TraceKind::WakeTimeout { core: c as u32 });
+        self.note(now, TraceKind::WakeTimeout { core: c as u32 });
         let group = self.core_group[c];
         let halted_at = self.trackers[c].halted_since();
-        let (found, sweep_cost, reregistered) = self.recovery_sweep(c, group);
+        let (found, sweep_cost, reregistered) = self.recovery_sweep(now, c, group);
         // The sweep runs on the briefly-resumed core: its cycles are
         // active, not halted.
         self.trackers[c].resume(now, &mut self.telem[c]);
@@ -1407,8 +1426,7 @@ impl Engine {
                 self.doorbell_recoveries += 1;
             }
             self.telem[c].recoveries += 1;
-            self.tracer
-                .emit(now, TraceKind::Recovery { core: c as u32 });
+            self.note(now, TraceKind::Recovery { core: c as u32 });
             self.qwait_backoff[c] = base;
             self.qwait_epoch[c] += 1;
             self.halted[c] = false;
@@ -1423,8 +1441,7 @@ impl Engine {
                 } => HaltState::C1,
                 _ => HaltState::C0Halt,
             };
-            self.tracer
-                .emit(now + Cycles(sweep_cost), TraceKind::Halt { core: c as u32 });
+            self.note(now + Cycles(sweep_cost), TraceKind::Halt { core: c as u32 });
             self.trackers[c].halt(now + Cycles(sweep_cost), state);
             self.qwait_backoff[c] = self.qwait_backoff[c]
                 .saturating_mul(2)
@@ -1441,7 +1458,7 @@ impl Engine {
     /// Returns whether any backlog was found, the cycles charged, and
     /// whether the sweep had to re-register an evicted monitoring entry
     /// (the eviction fault class, as opposed to a lost doorbell).
-    fn recovery_sweep(&mut self, c: usize, group: usize) -> (bool, u64, bool) {
+    fn recovery_sweep(&mut self, now: SimTime, c: usize, group: usize) -> (bool, u64, bool) {
         let core = self.dp_core(c);
         let mut cost = 0u64;
         let mut found = false;
@@ -1463,6 +1480,10 @@ impl Engine {
             }
             if self.qrows[qi].depth > 0 {
                 self.devices[group].force_activate(q);
+                // The forced activation is a ready-set insertion like any
+                // other; announcing it keeps the trace faithful and ends
+                // the queue's attribution dark time at the sweep instant.
+                self.note(now, TraceKind::ReadyInsert { queue: q.0 });
                 found = true;
             }
         }
@@ -1483,7 +1504,7 @@ impl Engine {
         let all_halted = self.halted.iter().all(|&h| h);
         if backlog > 0 && !progressed && all_halted {
             self.stall_events += 1;
-            self.tracer.emit(now, TraceKind::Stall);
+            self.note(now, TraceKind::Stall);
             if self.first_stall.is_none() {
                 self.first_stall = Some(now);
             }
@@ -1544,13 +1565,12 @@ impl Engine {
             let _ = self.devices[g].qwait_add(q, self.qrows[qi].doorbell.line());
         }
         self.churn_reallocations += 1;
-        self.tracer
-            .emit(now, TraceKind::FaultEvicted { queue: q.0 });
+        self.note(now, TraceKind::FaultEvicted { queue: q.0 });
         // Driver-side migration sync: backlog enqueued before the move
         // announced itself on the old line, so activate the new entry.
         if self.qrows[qi].depth > 0 {
             self.devices[g].force_activate(q);
-            self.tracer.emit(now, TraceKind::ReadyInsert { queue: q.0 });
+            self.note(now, TraceKind::ReadyInsert { queue: q.0 });
             self.wake_one(now, g);
         }
     }
@@ -1639,7 +1659,7 @@ impl Engine {
 
             // Completion + latency breakdown.
             let done_at = now + Cycles(base + total);
-            self.tracer.emit(
+            self.note(
                 deq_instant,
                 TraceKind::Dequeue {
                     queue: q.0,
@@ -1647,7 +1667,7 @@ impl Engine {
                     item: item.id,
                 },
             );
-            self.tracer.emit(
+            self.note(
                 done_at,
                 TraceKind::ServiceDone {
                     queue: q.0,
@@ -1655,6 +1675,21 @@ impl Engine {
                     item: item.id,
                 },
             );
+            // A completion that just entered the attribution exemplar set
+            // gets the fast-path counter snapshot attached (pure reads).
+            if self.attrib.wants_snapshot() {
+                let f = self.mem.fastpath_stats();
+                self.attrib.attach_snapshot([
+                    f.mru_hits,
+                    f.stable_hits,
+                    f.seq_replays,
+                    f.seq_replayed_accesses,
+                    f.s_state_peeks,
+                    f.stable_reloads,
+                    f.shared_joins,
+                    f.dir_hint_hits,
+                ]);
+            }
             self.notify_latency
                 .record(deq_instant.saturating_since(item.arrival).count());
             self.record_completion(done_at, *item, q);

@@ -5,6 +5,8 @@ use crate::config::ExperimentConfig;
 use crate::metrics::WindowSample;
 use crate::power::PowerModel;
 use crate::telemetry::{CoreTelemetry, SmtCoRunner};
+use hp_bytes::json::JsonWriter;
+use hp_sim::attrib::{AttributionReport, GroupAttrib, Phase, SNAPSHOT_LABELS};
 use hp_sim::audit::AuditReport;
 use hp_sim::faults::FaultCounters;
 use hp_sim::profile::KernelProfile;
@@ -110,9 +112,16 @@ pub struct ExperimentResult {
     audit: Option<AuditReport>,
     windows: Vec<WindowSample>,
     trace: Option<Vec<TraceRecord>>,
+    trace_dropped: u64,
+    trace_emitted: u64,
+    attrib: Option<AttributionReport>,
     profile: Option<KernelProfile>,
     fastpath: hp_mem::system::FastPathStats,
     wall_secs: f64,
+    workload_label: &'static str,
+    notifier_label: &'static str,
+    queues: u32,
+    seed: u64,
 }
 
 impl ExperimentResult {
@@ -144,9 +153,16 @@ impl ExperimentResult {
             audit: None,
             windows: Vec::new(),
             trace: None,
+            trace_dropped: 0,
+            trace_emitted: 0,
+            attrib: None,
             profile: None,
             fastpath: hp_mem::system::FastPathStats::default(),
             wall_secs: 0.0,
+            workload_label: cfg.workload.name(),
+            notifier_label: cfg.notifier.label(),
+            queues: cfg.queues,
+            seed: cfg.seed,
         }
     }
 
@@ -185,10 +201,42 @@ impl ExperimentResult {
         self
     }
 
-    /// Attaches the lifecycle trace (engine internal).
-    pub(crate) fn with_trace(mut self, trace: Vec<TraceRecord>) -> Self {
+    /// Attaches the lifecycle trace plus the tracer's drop accounting
+    /// (engine internal).
+    pub(crate) fn with_trace(
+        mut self,
+        trace: Vec<TraceRecord>,
+        dropped: u64,
+        emitted: u64,
+    ) -> Self {
         self.trace = Some(trace);
+        self.trace_dropped = dropped;
+        self.trace_emitted = emitted;
         self
+    }
+
+    /// Records evicted from the trace ring by capacity pressure. Nonzero
+    /// means the *trace file* is truncated — attribution is unaffected
+    /// (it streams ahead of the ring).
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
+    }
+
+    /// Total lifecycle records emitted to the tracer (kept + dropped).
+    pub fn trace_emitted(&self) -> u64 {
+        self.trace_emitted
+    }
+
+    /// Attaches the latency-attribution report (engine internal).
+    pub(crate) fn with_attrib(mut self, attrib: AttributionReport) -> Self {
+        self.attrib = Some(attrib);
+        self
+    }
+
+    /// The latency-attribution report (DESIGN.md §15), if `attrib` was
+    /// enabled for this run.
+    pub fn attrib_report(&self) -> Option<&AttributionReport> {
+        self.attrib.as_ref()
     }
 
     /// Attaches the sim-kernel profile and wall-clock runtime (engine
@@ -222,12 +270,24 @@ impl ExperimentResult {
     }
 
     /// The trace as Chrome `trace_event` JSON (loadable in
-    /// `ui.perfetto.dev`), if tracing was enabled.
+    /// `ui.perfetto.dev`), if tracing was enabled. When windowed metrics
+    /// were also collected, the export carries counter tracks (backlog
+    /// depth, event-queue depth, halted cores) sampled at window ends.
     pub fn chrome_trace_json(&self) -> Option<String> {
         let cycles_per_us = self.clock.ghz() * 1000.0;
-        self.trace
-            .as_ref()
-            .map(|t| hp_sim::trace::chrome_trace(t, cycles_per_us))
+        self.trace.as_ref().map(|t| {
+            let counters: Vec<hp_sim::trace::CounterPoint> = self
+                .windows
+                .iter()
+                .map(|w| hp_sim::trace::CounterPoint {
+                    at: SimTime(w.end),
+                    backlog: w.backlog,
+                    event_queue_depth: w.event_queue_depth,
+                    cores_halted: w.cores_halted,
+                })
+                .collect();
+            hp_sim::trace::chrome_trace_with_counters(t, &counters, cycles_per_us)
+        })
     }
 
     /// The sim-kernel profile: per-event-type counts and attributed
@@ -308,6 +368,74 @@ impl ExperimentResult {
             f.dir_hint_hits,
         ));
         Some(out)
+    }
+
+    /// The latency-attribution report as a JSON artifact (schema
+    /// `hp-attrib-v1`, the input format of `hp-bench attrib-diff`), if
+    /// attribution was enabled. Deterministic: same seed and config
+    /// produce byte-identical output.
+    pub fn attrib_json(&self) -> Option<String> {
+        let a = self.attrib.as_ref()?;
+        let mut w = JsonWriter::with_capacity(4096);
+        w.begin_object();
+        w.field_str("schema", "hp-attrib-v1");
+        w.field_str("workload", self.workload_label);
+        w.field_str("notifier", self.notifier_label);
+        w.field_u64("queues", u64::from(self.queues));
+        w.field_u64("seed", self.seed);
+        w.field_u64("completed", a.completed);
+        w.field_u64("incomplete", a.incomplete);
+        w.field_u64("violations", a.violations);
+        w.field_bool("conserved", a.conserved());
+        w.key("end_to_end");
+        attrib_hist_json(&mut w, &a.end_to_end, a.total_cycles);
+        w.key("phases");
+        w.begin_array();
+        for ph in Phase::ALL {
+            w.begin_object();
+            w.field_str("phase", ph.name());
+            let h = &a.phase_hists[ph as usize];
+            w.field_u64("total_cycles", a.phase_total(ph));
+            w.field_f64("share", a.phase_share(ph));
+            w.field_f64("mean_cycles", h.try_mean().unwrap_or(0.0));
+            w.field_u64("p50_cycles", h.percentile(50.0).unwrap_or(0));
+            w.field_u64("p99_cycles", h.percentile(99.0).unwrap_or(0));
+            w.field_u64("p999_cycles", h.percentile(99.9).unwrap_or(0));
+            w.field_u64("max_cycles", h.max());
+            w.end_object();
+        }
+        w.end_array();
+        w.key("per_queue");
+        attrib_groups_json(&mut w, "queue", &a.per_queue);
+        w.key("per_core");
+        attrib_groups_json(&mut w, "core", &a.per_core);
+        w.key("exemplars");
+        w.begin_array();
+        for e in &a.exemplars {
+            w.begin_object();
+            w.field_u64("item", e.item);
+            w.field_u64("queue", u64::from(e.queue));
+            w.field_u64("core", u64::from(e.core));
+            w.field_u64("enqueued_at_cycles", e.enqueued_at);
+            w.field_u64("latency_cycles", e.latency);
+            w.field_bool("faulted", e.faulted);
+            w.key("phase_cycles");
+            w.begin_array();
+            for &v in &e.phases {
+                w.u64(v);
+            }
+            w.end_array();
+            w.key("fast_path");
+            w.begin_object();
+            for (label, &v) in SNAPSHOT_LABELS.iter().zip(&e.counters) {
+                w.field_u64(label, v);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        Some(w.finish())
     }
 
     /// Attaches the notification-latency histogram (engine internal).
@@ -438,6 +566,38 @@ impl ExperimentResult {
         }
         self.per_core.iter().map(|t| smt.co_ipc(t)).sum::<f64>() / self.per_core.len() as f64
     }
+}
+
+/// One histogram summary object in the `hp-attrib-v1` schema.
+fn attrib_hist_json(w: &mut JsonWriter, h: &Histogram, total_cycles: u64) {
+    w.begin_object();
+    w.field_u64("count", h.count());
+    w.field_u64("total_cycles", total_cycles);
+    w.field_f64("mean_cycles", h.try_mean().unwrap_or(0.0));
+    w.field_u64("p50_cycles", h.percentile(50.0).unwrap_or(0));
+    w.field_u64("p99_cycles", h.percentile(99.0).unwrap_or(0));
+    w.field_u64("p999_cycles", h.percentile(99.9).unwrap_or(0));
+    w.field_u64("max_cycles", h.max());
+    w.end_object();
+}
+
+/// One per-queue / per-core aggregation array in the `hp-attrib-v1`
+/// schema; `id_key` names the grouping dimension.
+fn attrib_groups_json(w: &mut JsonWriter, id_key: &str, groups: &[GroupAttrib]) {
+    w.begin_array();
+    for g in groups {
+        w.begin_object();
+        w.field_u64(id_key, u64::from(g.id));
+        w.field_u64("count", g.count);
+        w.key("phase_cycles");
+        w.begin_array();
+        for &v in &g.phase_cycles {
+            w.u64(v);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
 }
 
 #[cfg(test)]

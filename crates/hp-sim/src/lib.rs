@@ -27,6 +27,9 @@
 //! * [`audit`] — the zero-cost-when-disabled [`audit::Auditor`]
 //!   notification-conservation observer (no lost wake-ups, no double
 //!   service).
+//! * [`attrib`] — the streaming [`attrib::Attributor`] latency-attribution
+//!   engine: per-notification causal span chains decomposed into additive
+//!   phase components, with tail-exemplar capture.
 //! * [`trace`] — the zero-cost-when-disabled [`trace::Tracer`] ring
 //!   buffer of typed lifecycle records, plus the Chrome
 //!   `trace_event` exporter [`trace::chrome_trace`].
@@ -80,6 +83,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod audit;
 pub mod chaos;
 pub mod event;

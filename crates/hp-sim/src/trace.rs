@@ -426,6 +426,33 @@ fn chrome_tid(kind: &TraceKind) -> (u64, &'static str) {
 /// `cycles_per_us` converts cycle timestamps to the microsecond `ts` unit
 /// the format requires (2000.0 for the default 2 GHz clock).
 pub fn chrome_trace(records: &[TraceRecord], cycles_per_us: f64) -> String {
+    chrome_trace_with_counters(records, &[], cycles_per_us)
+}
+
+/// One sample for the Perfetto counter tracks: instantaneous engine
+/// state at a known instant (the windowed-metrics boundary snapshots are
+/// the natural source).
+#[derive(Debug, Clone, Copy)]
+pub struct CounterPoint {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Total queue backlog (items) at the instant.
+    pub backlog: u64,
+    /// Simulator event-queue depth at the instant.
+    pub event_queue_depth: u64,
+    /// DP cores halted at the instant.
+    pub cores_halted: u64,
+}
+
+/// [`chrome_trace`] plus Perfetto counter tracks (`ph: "C"`): one
+/// `backlog` / `event queue` / `halted cores` sample per
+/// [`CounterPoint`], rendered as stacked counter charts above the span
+/// tracks in `ui.perfetto.dev`.
+pub fn chrome_trace_with_counters(
+    records: &[TraceRecord],
+    counters: &[CounterPoint],
+    cycles_per_us: f64,
+) -> String {
     let mut recs: Vec<&TraceRecord> = records.iter().collect();
     recs.sort_by_key(|r| (r.at, r.seq));
 
@@ -455,6 +482,30 @@ pub fn chrome_trace(records: &[TraceRecord], cycles_per_us: f64) -> String {
         w.field_str("name", &pretty);
         w.end_object();
         w.end_object();
+    }
+
+    // Counter tracks: one event per sample per counter, on the run
+    // track. Perfetto renders each distinct (name, pid) as its own
+    // stacked counter chart.
+    for p in counters {
+        let ts = p.at.since_start().count() as f64 / cycles_per_us;
+        for (name, value) in [
+            ("backlog", p.backlog),
+            ("event queue", p.event_queue_depth),
+            ("halted cores", p.cores_halted),
+        ] {
+            w.begin_object();
+            w.field_str("name", name);
+            w.field_str("ph", "C");
+            w.field_f64("ts", ts);
+            w.field_u64("pid", 0);
+            w.field_u64("tid", 0);
+            w.key("args");
+            w.begin_object();
+            w.field_u64(name, value);
+            w.end_object();
+            w.end_object();
+        }
     }
 
     for r in recs {
@@ -646,5 +697,36 @@ mod tests {
     #[should_panic(expected = "zero-capacity")]
     fn zero_capacity_is_rejected() {
         let _ = Tracer::with_capacity(0);
+    }
+
+    #[test]
+    fn chrome_export_renders_counter_tracks() {
+        let mut t = Tracer::with_capacity(8);
+        t.emit(SimTime(100), TraceKind::Enqueue { queue: 0, item: 1 });
+        let points = [
+            CounterPoint {
+                at: SimTime(200),
+                backlog: 3,
+                event_queue_depth: 5,
+                cores_halted: 1,
+            },
+            CounterPoint {
+                at: SimTime(400),
+                backlog: 0,
+                event_queue_depth: 2,
+                cores_halted: 4,
+            },
+        ];
+        let json = chrome_trace_with_counters(&t.records(), &points, 2000.0);
+        assert_eq!(
+            json.matches("\"ph\":\"C\"").count(),
+            6,
+            "3 tracks x 2 points"
+        );
+        assert!(json.contains("\"backlog\":3"));
+        assert!(json.contains("\"event queue\":5"));
+        assert!(json.contains("\"halted cores\":4"));
+        // Plain chrome_trace stays counter-free.
+        assert!(!chrome_trace(&t.records(), 2000.0).contains("\"ph\":\"C\""));
     }
 }

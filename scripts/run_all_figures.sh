@@ -53,6 +53,7 @@ if [ -n "$json" ]; then
   ./target/release/trace $quick $threads \
     --trace results/trace.json \
     --metrics results/metrics.jsonl \
+    --attrib results/attrib.json \
     --bench results/bench_trace.json | tee results/trace.txt
 fi
 

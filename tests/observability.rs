@@ -1,8 +1,10 @@
-//! Cross-crate tests of the observability plane: tracing and windowed
-//! metrics must be pure observers (bit-identical results with them on or
-//! off), the Chrome export must carry complete lifecycle spans, window
-//! timestamps must be monotonic, and zero-sample runs must report honest
-//! sentinels instead of fabricated zeros.
+//! Cross-crate tests of the observability plane: tracing, windowed
+//! metrics, and latency attribution must be pure observers (bit-identical
+//! results with them on or off), the Chrome export must carry complete
+//! lifecycle spans, window timestamps must be monotonic, zero-sample runs
+//! must report honest sentinels instead of fabricated zeros, and
+//! attributed phase components must sum exactly to end-to-end latency —
+//! including under fault recovery and full chaos.
 
 use hyperplane::prelude::*;
 use hyperplane::sdp::runner;
@@ -276,5 +278,178 @@ fn batch_pop_is_bit_identical_across_configs() {
             cfg.notifier.label(),
             cfg.shape.label()
         );
+    }
+}
+
+/// The attribution pin: the streaming attributor consumes no RNG draws
+/// and schedules no events, so a same-seed run is bit-identical with
+/// attribution on or off — and with it on, every completed chain's phase
+/// components sum exactly to the measured end-to-end total.
+#[test]
+fn attribution_is_a_pure_observer_and_conserves() {
+    use hyperplane::sim::attrib::Phase;
+    for notifier in [Notifier::hyperplane(), Notifier::Spinning] {
+        let bare = runner::run(base(notifier));
+        let attributed = runner::run(base(notifier).with_attrib());
+        assert_eq!(
+            digest(&bare),
+            digest(&attributed),
+            "attribution perturbed the {} simulation",
+            notifier.label()
+        );
+        assert!(bare.attrib_report().is_none());
+        let a = attributed.attrib_report().expect("attribution enabled");
+        assert!(a.completed > 0);
+        assert!(
+            a.conserved(),
+            "{}: phase totals do not sum to total cycles ({} violations)",
+            notifier.label(),
+            a.violations
+        );
+        let phase_sum: u64 = Phase::ALL.iter().map(|&p| a.phase_total(p)).sum();
+        assert_eq!(phase_sum, a.total_cycles);
+        // Every captured tail exemplar carries its own exact breakdown.
+        assert!(!a.exemplars.is_empty());
+        for e in &a.exemplars {
+            assert_eq!(
+                e.phases.iter().sum::<u64>(),
+                e.latency,
+                "exemplar {} phase sum != latency",
+                e.item
+            );
+        }
+        // Exemplars are the worst K, sorted worst-first.
+        for pair in a.exemplars.windows(2) {
+            assert!(pair[0].latency >= pair[1].latency);
+        }
+    }
+}
+
+/// Under a 100 % doorbell-drop plan with the QWAIT timeout armed, the
+/// additivity invariant must survive fault recovery — and the recovery
+/// cycles must land in the distinct `Recovery` phase, not be smeared
+/// into `Delivery`.
+#[test]
+fn attribution_conserves_under_fault_recovery() {
+    use hyperplane::sim::attrib::Phase;
+    let cfg = base(Notifier::hyperplane())
+        .with_attrib()
+        .with_faults(FaultPlan::parse("drop=1.0").unwrap())
+        .with_qwait_timeout(20_000)
+        .with_watchdog(4_000_000);
+    let r = runner::run(cfg);
+    assert!(r.completions >= 2_000, "fault run did not finish its work");
+    let f = r.fault_report().expect("faulty run carries a report");
+    assert!(f.recoveries > 0, "no recovery ever happened");
+    let a = r.attrib_report().expect("attribution enabled");
+    assert!(
+        a.conserved(),
+        "conservation violated under fault recovery ({} violations)",
+        a.violations
+    );
+    // Every doorbell was dropped: announce latency is recovery, and the
+    // clean delivery phase never observed anything.
+    assert!(
+        a.phase_total(Phase::Recovery) > 0,
+        "recovered items attributed no recovery cycles"
+    );
+    assert_eq!(
+        a.phase_total(Phase::Delivery),
+        0,
+        "dropped doorbells must not count as clean delivery"
+    );
+    // Recovery dominated by the timeout period: its p99 should be on the
+    // order of the 20k-cycle QWAIT timeout, far above clean delivery.
+    let p99 = a.phase_hists[Phase::Recovery as usize]
+        .percentile(99.0)
+        .expect("recovery histogram has samples");
+    assert!(p99 >= 1_000, "recovery p99 implausibly small: {p99}");
+}
+
+/// Full chaos — correlated bursts, a storm phase, live doorbell churn,
+/// silent evictions — with attribution, audit, and tracing all attached:
+/// phases still sum exactly, the run replays bit-identically, and the
+/// attribution artifact is byte-stable.
+#[test]
+fn attribution_conserves_under_chaos() {
+    use hyperplane::sim::chaos::ChaosSchedule;
+    let storm = FaultPlan::parse("drop=0.5,delay=0.2,evict=0.01,spurious=0.05").unwrap();
+    let mk = || {
+        base(Notifier::hyperplane())
+            .with_attrib()
+            .with_trace(16_384)
+            .with_audit()
+            .with_faults(storm.scaled(0.5))
+            .with_chaos(
+                ChaosSchedule::none()
+                    .with_burst(2_000_000, 500_000, 2.0)
+                    .with_phase(3_000_000, 6_000_000, storm.clone())
+                    .with_churn(2_500_000),
+            )
+            .with_silent_evictions()
+            .with_qwait_timeout(20_000)
+            .with_watchdog(4_000_000)
+            .with_seed(0xC4A0_5C4A)
+    };
+    let r = runner::run(mk());
+    assert!(r.audit_report().expect("audit enabled").ok());
+    let a = r.attrib_report().expect("attribution enabled");
+    assert!(
+        a.conserved(),
+        "conservation violated under chaos ({} violations)",
+        a.violations
+    );
+    assert!(a.completed > 0);
+    for e in &a.exemplars {
+        assert_eq!(e.phases.iter().sum::<u64>(), e.latency);
+    }
+    // The JSON artifact replays byte-identically with the same seed.
+    let r2 = runner::run(mk());
+    assert_eq!(r.attrib_json(), r2.attrib_json());
+}
+
+/// The `hp-attrib-v1` artifact round-trips through the hp-bytes parser:
+/// it is well-formed JSON whose headline fields match the in-memory
+/// report (the contract `attrib-diff` depends on).
+#[test]
+fn attrib_json_parses_and_matches_report() {
+    use hp_bytes::json::{parse, JsonValue};
+    let r = runner::run(base(Notifier::hyperplane()).with_attrib());
+    let a = r.attrib_report().expect("attribution enabled");
+    let json = r.attrib_json().expect("attribution enabled");
+    let doc = parse(&json).expect("artifact must parse");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("hp-attrib-v1")
+    );
+    assert_eq!(
+        doc.get("completed").and_then(JsonValue::as_u64),
+        Some(a.completed)
+    );
+    assert_eq!(
+        doc.get("conserved").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    let phases = doc.get("phases").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(phases.len(), hyperplane::sim::attrib::Phase::COUNT);
+    let total: u64 = phases
+        .iter()
+        .map(|p| p.get("total_cycles").and_then(JsonValue::as_u64).unwrap())
+        .sum();
+    assert_eq!(
+        doc.get("end_to_end")
+            .and_then(|e| e.get("total_cycles"))
+            .and_then(JsonValue::as_u64),
+        Some(total),
+        "serialized phase totals must sum to the serialized total"
+    );
+    // Exemplars carry the full fast-path counter snapshot.
+    let ex = doc.get("exemplars").and_then(JsonValue::as_array).unwrap();
+    assert!(!ex.is_empty());
+    for e in ex {
+        let fp = e.get("fast_path").expect("snapshot attached");
+        for label in hyperplane::sim::attrib::SNAPSHOT_LABELS {
+            assert!(fp.get(label).is_some(), "missing counter {label}");
+        }
     }
 }
