@@ -74,8 +74,104 @@ fn bench_summary(opts: &HarnessOpts) -> String {
     out
 }
 
+/// Intra-run worker scaling of the parallel engine (`--par-bench`): one
+/// four-group experiment run at 1, 2, and 4 workers, digests compared
+/// bit-for-bit, wall-clock speedups reported against the 1-worker run.
+///
+/// Wall clock is the honest axis here: the merged kernel profile counts
+/// replicated arrival/churn chain events once per lane, so the multi-lane
+/// `events_per_sec` figures are not directly comparable to the 1-worker
+/// one (they are reported anyway, labelled per-lane-inclusive).
+fn par_bench(opts: &HarnessOpts, path: &str) {
+    let mk = || {
+        let mut cfg =
+            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 64)
+                .with_cores(4, 1)
+                .with_notifier(Notifier::hyperplane());
+        cfg.target_completions = opts.completions(30_000);
+        cfg
+    };
+    let digest = |r: &hp_sdp::ExperimentResult| -> Vec<u64> {
+        let mut d = vec![
+            r.throughput_tps.to_bits(),
+            r.completions,
+            r.drops,
+            r.end.since_start().count(),
+            r.mean_latency_us().to_bits(),
+            r.latency_percentile_us(99.0).to_bits(),
+        ];
+        for c in &r.per_core {
+            d.extend([c.useful_instructions, c.completions, c.halt_c1_cycles]);
+        }
+        d
+    };
+
+    println!(
+        "par-bench: packet-encap / fb / 64 queues / hyperplane, 4 lanes, host_cpus={}",
+        hp_par::available_parallelism()
+    );
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    let mut digests: Vec<Vec<u64>> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let r = runner::run(mk().with_par_workers(workers));
+        digests.push(digest(&r));
+        rows.push((workers, r.wall_secs(), r.events_per_sec_wall()));
+    }
+    let identical = digests.iter().all(|d| d == &digests[0]);
+    let base_wall = rows[0].1;
+
+    let mut t = Table::new(
+        "Parallel engine scaling",
+        &["workers", "wall_s", "speedup", "events/s"],
+    );
+    for &(workers, wall, eps) in &rows {
+        t.row(vec![
+            workers.to_string(),
+            format!("{wall:.3}"),
+            format!("{:.2}x", base_wall / wall),
+            format!("{eps:.0}"),
+        ]);
+    }
+    t.print(opts);
+    println!("digest identical across worker counts: {identical}");
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("bench", "par-engine-scaling");
+    w.field_str(
+        "config",
+        "packet-encap/fb/64q/hyperplane, 4 lanes (dp_cores=4, cluster=1)",
+    );
+    w.field_u64("host_cpus", hp_par::available_parallelism() as u64);
+    w.field_bool("digest_identical", identical);
+    w.key("workers");
+    w.begin_array();
+    for &(workers, wall, eps) in &rows {
+        w.begin_object();
+        w.field_u64("workers", workers as u64);
+        w.field_f64("wall_secs", wall);
+        w.field_f64("speedup_vs_1", base_wall / wall);
+        w.field_f64("events_per_sec_per_lane_inclusive", eps);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
+    std::fs::write(path, &out).expect("write par-bench JSON");
+    println!("par-bench summary -> {path}");
+    assert!(
+        identical,
+        "parallel engine digests diverged across worker counts"
+    );
+}
+
 fn main() {
     let opts = HarnessOpts::from_args();
+    if let Some(path) = arg("--par-bench") {
+        par_bench(&opts, &path);
+        return;
+    }
     let trace_path = arg("--trace").unwrap_or_else(|| "trace.json".into());
     let metrics_path = arg("--metrics").unwrap_or_else(|| "metrics.jsonl".into());
     let bench_path = arg("--bench");

@@ -41,6 +41,10 @@ pub struct HarnessOpts {
     pub json: bool,
     /// Worker threads for fanning out independent sweep points.
     pub threads: usize,
+    /// Intra-run engine workers (`ExperimentConfig::par_workers`): the
+    /// parallel-fabric lane-to-thread mapping inside each single run.
+    /// Orthogonal to `threads`. Defaults to 1 (serial engine path).
+    pub par_workers: usize,
     /// Binary name (file stem of `argv[0]`), used for the JSONL path.
     pub bin: String,
 }
@@ -65,11 +69,23 @@ impl HarnessOpts {
                 }),
             None => hp_par::available_parallelism(),
         };
+        let par_workers = match args.iter().position(|a| a == "--par-workers") {
+            Some(i) => args
+                .get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("error: --par-workers requires a positive integer");
+                    std::process::exit(2);
+                }),
+            None => 1,
+        };
         HarnessOpts {
             quick: args.iter().any(|a| a == "--quick"),
             csv: args.iter().any(|a| a == "--csv"),
             json: args.iter().any(|a| a == "--json"),
             threads,
+            par_workers,
             bin,
         }
     }
@@ -114,7 +130,7 @@ pub fn experiment(
     shape: TrafficShape,
     queues: u32,
 ) -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::new(workload, shape, queues);
+    let mut cfg = ExperimentConfig::new(workload, shape, queues).with_par_workers(opts.par_workers);
     cfg.target_completions = opts.completions(12_000);
     cfg
 }
@@ -260,6 +276,7 @@ mod tests {
             csv: false,
             json: false,
             threads: 1,
+            par_workers: 1,
             bin: "test".to_string(),
         }
     }

@@ -16,6 +16,7 @@ fn opts(threads: usize) -> HarnessOpts {
         csv: false,
         json: true,
         threads,
+        par_workers: 1,
         bin: "sweep_jsonl_test".into(),
     }
 }

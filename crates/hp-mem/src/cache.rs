@@ -221,6 +221,12 @@ impl SetAssocCache {
         (self.set_mask as usize) + 1
     }
 
+    /// Associativity (ways per set).
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
     /// Slot holding `line`, if resident. No LRU or counter side effects.
     #[inline]
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
@@ -706,6 +712,34 @@ mod tests {
             fused.insert(LineAddr(4), MesiState::Shared),
             split.insert(LineAddr(4), MesiState::Shared)
         );
+    }
+
+    #[test]
+    fn planned_fill_matches_lookup_then_insert() {
+        // The fused miss scan + planned fill (the LLC miss-fill path)
+        // must book identically to a separate lookup followed by a full
+        // insert: same counters, same slot choices, same LRU decisions.
+        let mut a = tiny();
+        let mut b = tiny();
+        let mut x = 0xfeed_beef_u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let line = LineAddr((x >> 33) % 16);
+            match a.lookup_or_plan(line) {
+                Ok((state, _slot)) => {
+                    assert_eq!(b.lookup(line), Some(state));
+                }
+                Err(plan) => {
+                    assert_eq!(b.lookup(line), None);
+                    let ins = a.fill_planned(line, MesiState::Shared, plan);
+                    let (ins_b, slot_b) = b.insert_slot(line, MesiState::Shared);
+                    assert_eq!(ins, ins_b);
+                    assert_eq!(SetAssocCache::plan_slot(&plan), slot_b);
+                }
+            }
+            assert_eq!(a.counters(), b.counters());
+        }
+        assert_eq!(a.occupancy(), b.occupancy());
     }
 
     #[test]

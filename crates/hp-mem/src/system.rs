@@ -184,6 +184,10 @@ pub struct FastPathStats {
     pub stable_hits: u64,
     /// Memoized sequences replayed in O(1).
     pub seq_replays: u64,
+    /// Replay attempts on a sealed memo (hits plus validity-check
+    /// failures): `seq_replays / seq_replay_attempts` is the memo hit
+    /// rate surfaced by `trace --profile`.
+    pub seq_replay_attempts: u64,
     /// Individual accesses covered by those replays.
     pub seq_replayed_accesses: u64,
     /// Loads on a stably-shared LLC line resolved by the read-only
@@ -453,6 +457,27 @@ impl MemSystem {
         self.l1s[core.0].probe(addr.line()).is_some()
     }
 
+    /// L1 set index `addr` maps to (stable geometry fact, identical for
+    /// every core's L1). The engine uses this to precompute per-queue
+    /// poll-set pressure: how many distinct poll lines compete for each
+    /// L1 set decides whether a queue's memo can ever stay resident.
+    #[inline]
+    pub fn l1_set_index(&self, addr: Addr) -> usize {
+        self.l1s[0].set_index(addr.line())
+    }
+
+    /// L1 associativity (ways per set).
+    #[inline]
+    pub fn l1_ways(&self) -> usize {
+        self.l1s[0].ways()
+    }
+
+    /// Number of L1 sets (identical for every core's L1).
+    #[inline]
+    pub fn l1_sets(&self) -> usize {
+        self.l1_sets
+    }
+
     /// [`l1_resident`](Self::l1_resident) answered from a [`LoadHint`]'s
     /// L1 slot: a single tag compare instead of a set scan. The hint's
     /// slot is written back on every hinted-load and stable-hit exit, and
@@ -606,8 +631,18 @@ impl MemSystem {
                 return;
             }
         }
-        self.directory.entry_or_default(line.0).sharers |= 1 << core.0;
-        let ls = self.fill_llc_slot(line);
+        let entry = self.directory.entry_or_default(line.0);
+        entry.sharers |= 1 << core.0;
+        let hint = entry.llc_slot;
+        // Already LLC-resident (valid hint): refresh in place — the same
+        // tick advance and meta update `insert_slot`'s resident path would
+        // perform, minus the set scan.
+        let ls = if self.llc.hint_holds(hint, line) {
+            self.llc.refresh_at(hint as usize, MesiState::Shared);
+            hint
+        } else {
+            self.fill_llc_slot(line)
+        };
         if let Some(entry) = self.directory.get_mut(line.0) {
             entry.llc_slot = ls;
         }
@@ -719,6 +754,7 @@ impl MemSystem {
         }
 
         let mut llc_at = None;
+        let mut llc_plan = None;
         if self.llc.hint_holds(e.llc_slot, line) {
             llc_at = Some(e.llc_slot);
         }
@@ -745,15 +781,20 @@ impl MemSystem {
                     self.llc.hit_at(ls as usize);
                     HitLevel::Llc
                 }
-                None => {
-                    let (llc_hit, ls) = self.llc.lookup_slot(line);
-                    if llc_hit.is_some() {
+                // Fused probe + placement scan (the LLC twin of the L1's
+                // `lookup_or_plan`): a hit books identically to
+                // `lookup_slot`; a miss captures the placement plan the
+                // fill below applies, saving the second set scan.
+                None => match self.llc.lookup_or_plan(line) {
+                    Ok((_state, ls)) => {
                         llc_at = Some(ls as u32);
                         HitLevel::Llc
-                    } else {
+                    }
+                    Err(plan) => {
+                        llc_plan = Some(plan);
                         HitLevel::Memory
                     }
-                }
+                },
             }
         };
 
@@ -781,11 +822,16 @@ impl MemSystem {
                 (dslot as u32, Some(plan))
             }
             None => {
-                // `fill_llc_slot` may delete an entry (inclusive
+                // The LLC fill may delete an entry (inclusive
                 // back-invalidation), moving others; re-find the slot.
                 // The back-invalidation can also free a way in this
                 // core's target set, so the placement plan is stale.
-                let ls = self.fill_llc_slot(line);
+                let ls = match llc_plan {
+                    // Proven absent by the fused scan, set untouched
+                    // since: apply the captured plan.
+                    Some(plan) => self.fill_llc_planned(line, plan),
+                    None => self.fill_llc_slot(line),
+                };
                 let j = self
                     .directory
                     .find_slot(line.0)
@@ -869,6 +915,7 @@ impl MemSystem {
         let e = *self.directory.at(dslot);
         let remote_owner = e.owner().filter(|&o| o != core);
         let mut llc_at = None;
+        let mut llc_plan = None;
         if self.llc.hint_holds(e.llc_slot, line) {
             llc_at = Some(e.llc_slot);
         }
@@ -891,15 +938,17 @@ impl MemSystem {
                     self.llc.hit_at(ls as usize);
                     HitLevel::Llc
                 }
-                None => {
-                    let (llc_hit, ls) = self.llc.lookup_slot(line);
-                    if llc_hit.is_some() {
+                // Fused probe + placement scan, as on the load path.
+                None => match self.llc.lookup_or_plan(line) {
+                    Ok((_state, ls)) => {
                         llc_at = Some(ls as u32);
                         HitLevel::Llc
-                    } else {
+                    }
+                    Err(plan) => {
+                        llc_plan = Some(plan);
                         HitLevel::Memory
                     }
-                }
+                },
             };
             stale = self.invalidate_holders(core, line, e.sharers, e.owner());
             lvl
@@ -918,7 +967,10 @@ impl MemSystem {
             None => {
                 // LLC fill may back-invalidate into this core's target
                 // set: re-find the directory slot, drop the stale plan.
-                let ls = self.fill_llc_slot(line);
+                let ls = match llc_plan {
+                    Some(plan) => self.fill_llc_planned(line, plan),
+                    None => self.fill_llc_slot(line),
+                };
                 let j = self
                     .directory
                     .find_slot(line.0)
@@ -1112,33 +1164,52 @@ impl MemSystem {
     fn fill_llc_slot(&mut self, line: LineAddr) -> u32 {
         let (insert, slot) = self.llc.insert_slot(line, MesiState::Shared);
         if let Insert::Evicted(victim, _) = insert {
-            // Inclusive LLC: back-invalidate all private copies. The
-            // directory's sharer/owner view is a superset of actual
-            // holders (silent evictions leave stale bits, never missing
-            // ones), so walking its bits reaches every copy.
-            let holders = match self.directory.remove(victim.0) {
-                Some(e) => {
-                    e.sharers
-                        | if e.owner != NO_OWNER {
-                            1u64 << e.owner
-                        } else {
-                            0
-                        }
-                }
-                None => 0,
-            };
-            let mut mask = holders;
-            while mask != 0 {
-                let i = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                if self.l1s[i].invalidate(victim).is_some() {
-                    self.invalidations += 1;
-                    let ei = self.epoch_idx(i, victim);
-                    self.epochs[ei] += 1;
-                }
-            }
+            self.back_invalidate(victim);
         }
         slot as u32
+    }
+
+    /// [`fill_llc_slot`](Self::fill_llc_slot) for a line the caller's
+    /// fused `lookup_or_plan` scan just proved absent from the LLC, with
+    /// the placement plan that scan captured (nothing touches the LLC
+    /// between the scan and this fill, so the plan is still valid —
+    /// checked in debug builds by `fill_planned` recomputing it). One set
+    /// scan per LLC miss-fill, the same fusion PR 5 applied to the L1.
+    fn fill_llc_planned(&mut self, line: LineAddr, plan: PlacePlan) -> u32 {
+        let insert = self.llc.fill_planned(line, MesiState::Shared, plan);
+        let slot = SetAssocCache::plan_slot(&plan);
+        if let Insert::Evicted(victim, _) = insert {
+            self.back_invalidate(victim);
+        }
+        slot as u32
+    }
+
+    /// Inclusive back-invalidation of an LLC `victim`: kill all private
+    /// copies. The directory's sharer/owner view is a superset of actual
+    /// holders (silent evictions leave stale bits, never missing ones),
+    /// so walking its bits reaches every copy.
+    fn back_invalidate(&mut self, victim: LineAddr) {
+        let holders = match self.directory.remove(victim.0) {
+            Some(e) => {
+                e.sharers
+                    | if e.owner != NO_OWNER {
+                        1u64 << e.owner
+                    } else {
+                        0
+                    }
+            }
+            None => 0,
+        };
+        let mut mask = holders;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.l1s[i].invalidate(victim).is_some() {
+                self.invalidations += 1;
+                let ei = self.epoch_idx(i, victim);
+                self.epochs[ei] += 1;
+            }
+        }
     }
 
     // ---- Epoch-memoized access sequences -------------------------------
@@ -1199,6 +1270,7 @@ impl MemSystem {
         if !memo.ready || !self.fast_path || self.prefetch_degree != 0 {
             return None;
         }
+        self.fastpath.seq_replay_attempts += 1;
         let core = memo.core;
         let base = core * self.l1_sets;
         let l1 = &self.l1s[core];

@@ -132,6 +132,51 @@ impl ThreadPool {
     }
 }
 
+/// A reusable barrier for lockstep window loops, wrapping
+/// [`std::sync::Barrier`] and exposing the leader bit as a plain `bool`.
+///
+/// The parallel engine's workers rendezvous twice per synchronization
+/// window: once after pumping their lanes (the leader then folds lane
+/// reports into a run-control decision) and once more so every worker sees
+/// that decision before starting the next window.
+#[derive(Debug)]
+pub struct Rendezvous {
+    barrier: std::sync::Barrier,
+}
+
+impl Rendezvous {
+    /// A rendezvous point for `parties` threads.
+    pub fn new(parties: usize) -> Self {
+        Rendezvous {
+            barrier: std::sync::Barrier::new(parties),
+        }
+    }
+
+    /// Blocks until all parties arrive; returns `true` on exactly one of
+    /// them (the leader for this round).
+    pub fn wait(&self) -> bool {
+        self.barrier.wait().is_leader()
+    }
+}
+
+/// Merges per-lane timestamped streams into one deterministic sequence.
+///
+/// Each input stream carries `(time, payload)` pairs in the order its lane
+/// emitted them (which need not be time-sorted: a lane may note an event at
+/// a future completion time before noting an earlier one). The merge tags
+/// every record with its lane index and stable-sorts by `(time, lane)`, so
+/// same-time records order by lane, then by within-lane emission order —
+/// independent of worker count or OS scheduling.
+pub fn merge_timestamped<T>(streams: Vec<Vec<(u64, T)>>) -> Vec<(u64, usize, T)> {
+    let total = streams.iter().map(Vec::len).sum();
+    let mut merged: Vec<(u64, usize, T)> = Vec::with_capacity(total);
+    for (lane, stream) in streams.into_iter().enumerate() {
+        merged.extend(stream.into_iter().map(|(t, x)| (t, lane, x)));
+    }
+    merged.sort_by_key(|&(t, lane, _)| (t, lane));
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +232,45 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn rendezvous_elects_exactly_one_leader_per_round() {
+        let r = Rendezvous::new(4);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        if r.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                        // Second barrier keeps rounds from overlapping.
+                        r.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_lane_then_emission() {
+        // Lane streams need not be time-sorted.
+        let merged = merge_timestamped(vec![
+            vec![(5, "a0"), (2, "a1"), (5, "a2")],
+            vec![(2, "b0"), (5, "b1")],
+        ]);
+        assert_eq!(
+            merged,
+            vec![
+                (2, 0, "a1"),
+                (2, 1, "b0"),
+                (5, 0, "a0"),
+                (5, 0, "a2"),
+                (5, 1, "b1"),
+            ]
+        );
     }
 
     #[test]

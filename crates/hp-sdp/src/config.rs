@@ -84,6 +84,13 @@ pub enum ConfigError {
     ZeroAttribExemplars,
     /// `metrics_window_cycles` was `Some(0)`.
     ZeroMetricsWindow,
+    /// `sync_window_cycles` was zero — the parallel engine's lanes would
+    /// never advance.
+    ZeroSyncWindow,
+    /// `par_workers > 1` with work stealing across more than one sharing
+    /// group: stolen wake-ups couple partitions mid-window, which the
+    /// lane decomposition cannot represent.
+    ParallelWorkStealing,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -122,6 +129,11 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "attribution needs a nonzero tail-exemplar bound")
             }
             ConfigError::ZeroMetricsWindow => write!(f, "metrics window must be nonzero"),
+            ConfigError::ZeroSyncWindow => write!(f, "sync window must be nonzero"),
+            ConfigError::ParallelWorkStealing => write!(
+                f,
+                "par_workers > 1 is incompatible with work stealing across sharing groups"
+            ),
         }
     }
 }
@@ -388,6 +400,19 @@ pub struct ExperimentConfig {
     /// disables the sampler. Like tracing, sampling never schedules
     /// events or draws randomness.
     pub metrics_window_cycles: Option<u64>,
+    /// Worker threads for the partitioned parallel engine (DESIGN.md §16).
+    /// `1` (the default) runs the whole machine on the calling thread;
+    /// `> 1` partitions the sharing groups into per-group lanes pumped by
+    /// this many workers in bounded time windows. Same-seed results are
+    /// digest-identical for any worker count.
+    pub par_workers: usize,
+    /// Synchronization-window length in cycles for the parallel engine:
+    /// lanes run independently inside a window and exchange state only at
+    /// window boundaries. Run control (warmup, stop, watchdog, the cycle
+    /// ceiling) is evaluated at these boundaries in *every* engine, so the
+    /// window length is part of the experiment definition, not a tuning
+    /// knob that may change results across worker counts.
+    pub sync_window_cycles: u64,
 }
 
 impl ExperimentConfig {
@@ -434,6 +459,8 @@ impl ExperimentConfig {
             attrib: false,
             attrib_exemplars: hp_sim::attrib::DEFAULT_EXEMPLARS,
             metrics_window_cycles: None,
+            par_workers: 1,
+            sync_window_cycles: 65_536,
         }
     }
 
@@ -516,6 +543,18 @@ impl ExperimentConfig {
     /// `cycles` per window.
     pub fn with_metrics_window(mut self, cycles: u64) -> Self {
         self.metrics_window_cycles = Some(cycles);
+        self
+    }
+
+    /// Builder-style: set the parallel-engine worker count.
+    pub fn with_par_workers(mut self, workers: usize) -> Self {
+        self.par_workers = workers;
+        self
+    }
+
+    /// Builder-style: set the parallel-engine synchronization window.
+    pub fn with_sync_window(mut self, cycles: u64) -> Self {
+        self.sync_window_cycles = cycles;
         self
     }
 
@@ -603,6 +642,12 @@ impl ExperimentConfig {
         }
         if self.metrics_window_cycles == Some(0) {
             return Err(ConfigError::ZeroMetricsWindow);
+        }
+        if self.sync_window_cycles == 0 {
+            return Err(ConfigError::ZeroSyncWindow);
+        }
+        if self.par_workers > 1 && self.work_stealing && self.groups() > 1 {
+            return Err(ConfigError::ParallelWorkStealing);
         }
         Ok(())
     }
@@ -767,6 +812,29 @@ mod tests {
         base.with_trace(4096)
             .with_metrics_window(100_000)
             .with_attrib()
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn parallel_knobs_validate() {
+        let base =
+            ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 100);
+        assert_eq!(
+            base.clone().with_sync_window(0).validate(),
+            Err(ConfigError::ZeroSyncWindow)
+        );
+        let mut stealing = base.clone().with_cores(4, 1).with_par_workers(2);
+        stealing.work_stealing = true;
+        assert_eq!(stealing.validate(), Err(ConfigError::ParallelWorkStealing));
+        // Stealing within a single group is fine — there is nothing to steal
+        // across, so the lane decomposition is unaffected.
+        let mut one_group = base.clone().with_cores(4, 4).with_par_workers(2);
+        one_group.work_stealing = true;
+        one_group.validate().unwrap();
+        base.with_cores(4, 1)
+            .with_par_workers(4)
+            .with_sync_window(32_768)
             .validate()
             .unwrap();
     }

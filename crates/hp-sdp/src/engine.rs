@@ -21,13 +21,26 @@
 //!
 //! At low load a spinning core sweeps its whole partition finding nothing,
 //! millions of times. Once a core has observed a full empty sweep, the
-//! engine advances it directly to the next system event, bulk-accounting
+//! engine advances it directly to the next traffic arrival, bulk-accounting
 //! the skipped polls at the measured average poll cost. This is exact in
 //! distribution: the pointer phase advances by the number of skipped
-//! polls, and no state can change between events.
+//! polls, and only an arrival can add work to a spinning partition. The
+//! target is tracked locally (`next_arrival`) rather than peeked from the
+//! event queue so a partitioned lane — which does not see other lanes'
+//! events — fast-forwards identically to the serial engine.
+//!
+//! ## Lanes
+//!
+//! The engine doubles as one *lane* of the parallel fabric
+//! ([`crate::par_engine`]): built with `Engine::try_new_lane` it owns a
+//! single sharing group, replays the full arrival/churn chains for
+//! identical RNG draws, and materializes only its own group's work. Run
+//! control (warmup, stop, watchdog, `max_cycles`) is evaluated at
+//! synchronization-window boundaries in *every* engine — serial included —
+//! so a serial run is exactly a one-lane fabric.
 
 use crate::config::{ConfigError, ExperimentConfig, Load, Notifier};
-use crate::metrics::{WindowObservation, WindowedMetrics};
+use crate::metrics::{WindowObservation, WindowSample, WindowedMetrics};
 use crate::result::{ExperimentResult, FaultReport};
 use crate::telemetry::{CoreTelemetry, HaltState, HaltTracker};
 use hp_core::qwait::{HyperPlaneDevice, RearmAction};
@@ -36,15 +49,15 @@ use hp_mem::system::{LoadHint, MemSystem};
 use hp_mem::types::{AccessKind, Addr, CoreId, LineAddr};
 use hp_queues::sim::{QueueId, QueueLayout, SimQueue, WorkItem};
 use hp_rand::rngs::SmallRng;
-use hp_sim::attrib::Attributor;
-use hp_sim::audit::Auditor;
+use hp_sim::attrib::{AttributionReport, Attributor};
+use hp_sim::audit::{AuditReport, Auditor};
 use hp_sim::event::EventQueue;
-use hp_sim::faults::{DoorbellFate, FaultInjector};
+use hp_sim::faults::{DoorbellFate, FaultCounters, FaultInjector};
 use hp_sim::profile::KernelProfile;
 use hp_sim::rng::RngFactory;
 use hp_sim::stats::{Histogram, OnlineStats};
 use hp_sim::time::{Cycles, SimTime};
-use hp_sim::trace::{SpanId, TraceKind, Tracer};
+use hp_sim::trace::{SpanId, TraceKind, TraceRecord, Tracer};
 use hp_traffic::flows::FlowTrafficGenerator;
 use hp_traffic::generator::TrafficGenerator;
 use hp_traffic::partition_queues;
@@ -129,8 +142,6 @@ enum Ev {
         /// Halt-episode epoch the timeout was armed for.
         epoch: u64,
     },
-    /// Periodic no-progress watchdog tick.
-    Watchdog,
     /// Chaos-plane doorbell churn tick: the control plane re-homes one
     /// queue's doorbell through Algorithm 1 while traffic is live.
     Churn,
@@ -146,7 +157,9 @@ impl Ev {
             Ev::Reconsider { .. } => 3,
             Ev::DelayedSnoop { .. } => 4,
             Ev::QwaitTimeout { .. } => 5,
-            Ev::Watchdog => 6,
+            // Index 6 ("watchdog") is retired: the no-progress watchdog is
+            // evaluated at window boundaries, not as an event. The label
+            // stays so profile indices remain stable across artifacts.
             Ev::Churn => 7,
         }
     }
@@ -242,6 +255,18 @@ pub struct Engine {
     queues: Vec<SimQueue>,
     devices: Vec<HyperPlaneDevice>,
     queues_of_group: Vec<Vec<QueueId>>,
+    /// Sharing groups this engine materializes work for: all of them in a
+    /// serial run, exactly one in a parallel lane
+    /// ([`Engine::try_new_lane`]). Non-owned groups still replay the
+    /// arrival/churn draw chains (identical RNG consumption) but touch no
+    /// queue, device, or core state.
+    owned_groups: Vec<bool>,
+    /// Producer core per queue, precomputed so producers partition cleanly
+    /// by sharing group: group `g`'s queues stripe over a contiguous,
+    /// group-private slice of the producer cores (when there are at least
+    /// as many producers as groups), keeping every memory-system actor of
+    /// a lane private to it.
+    producer_of_queue: Vec<CoreId>,
     core_group: Vec<usize>,
     core_ptr: Vec<usize>,
     empty_streak: Vec<usize>,
@@ -263,9 +288,22 @@ pub struct Engine {
     /// loop consumes from here first, so per-event processing order is
     /// exactly single-pop order. Empty when `batch_pop` is off.
     pending: std::collections::VecDeque<Ev>,
+    /// An event popped by [`Engine::pump_window`] that lies at or past the
+    /// window boundary: held here (not re-inserted, which would perturb
+    /// insertion order) and consumed first by the next window's pump.
+    carry: Option<(SimTime, Ev)>,
+    /// Timestamp of the last event actually processed (the lane-local run
+    /// end; `ev.now()` may already sit at a carried future event).
+    last_processed: u64,
+    /// Timestamp of the next scheduled traffic arrival (the spinning
+    /// fast-forward target; see the module docs).
+    next_arrival: u64,
     latency: Histogram,
     notify_latency: Histogram,
-    poll_cost_ewma: f64,
+    /// Per-core average poll cost (feeds the fast-forward skip count;
+    /// per-core so one core's estimate is a function of its own schedule
+    /// only, independent of how other cores' steps interleave).
+    poll_cost_ewma: Vec<f64>,
     completions: u64,
     completions_measured: u64,
     drops: u64,
@@ -286,11 +324,28 @@ pub struct Engine {
     /// heuristic gate: replay and plain access are state-identical
     /// (shadow-check), so a stale clear bit only costs a replay miss.
     memo_ready: Vec<u64>,
+    /// Set-aware memo eligibility, indexed by qid: `true` when both of
+    /// the queue's poll lines map to L1 sets whose pressure from the
+    /// owning group's *entire* poll set fits the associativity — then the
+    /// sweep itself can never evict them, and a memo is worth recording
+    /// even when the line is not resident right now (first touch, or a
+    /// transient eviction by buffer streaming). Geometry-only and thus
+    /// deterministic; recomputed on churn re-homing.
+    memo_eligible: Vec<bool>,
     warmup_completions: u64,
     measure_start: Option<SimTime>,
+    /// Whether the measurement phase is open. Flipped by
+    /// [`Engine::begin_measure`] at a window boundary once *fabric-wide*
+    /// completions reach the warmup target — never by a lane-local count,
+    /// so every lane starts measuring at the same instant.
+    measuring: bool,
     saturation_rate: f64,
     /// Fault-decision stream (stream 3; inert when the plan is empty).
     faults: FaultInjector,
+    /// Per-core step counter keying straggler draws: each core's stall
+    /// sequence depends only on its own step index, never on how other
+    /// cores' events interleave.
+    straggler_step: Vec<u64>,
     /// Per-core halt-episode epoch; a `QwaitTimeout` event whose epoch
     /// does not match is stale (the core was woken since) and ignored.
     qwait_epoch: Vec<u64>,
@@ -305,18 +360,21 @@ pub struct Engine {
     eviction_recovery_latency: Histogram,
     doorbell_recovery_latency: Histogram,
     /// Chaos plane: next instant the effective fault plan can change
-    /// (`u64::MAX` when the schedule is inert), the next spare doorbell
-    /// index shared with Algorithm-1 conflict resolution at build time,
-    /// and completed churn reallocations.
+    /// (`u64::MAX` when the schedule is inert) and completed churn
+    /// reallocations.
     chaos_next: u64,
-    next_spare: u64,
+    /// First spare-doorbell index not consumed by Algorithm-1 conflict
+    /// resolution at build time; runtime churn draws from the remainder.
+    spare_base: u64,
+    /// Per-group churn spare cursor: group `g`'s `k`-th re-homing takes
+    /// spare `spare_base + g + k * groups` (a strided partition of the
+    /// remaining pool), so each group's spare sequence is a function of
+    /// its own churn history only — independent of how churn events in
+    /// other groups interleave.
+    next_spare: Vec<u64>,
     churn_reallocations: u64,
     /// Conservation auditor (pure observer; inert unless `cfg.audit`).
     audit: Auditor,
-    watchdog_last_completions: u64,
-    first_stall: Option<SimTime>,
-    stall_events: u64,
-    aborted_on_stall: bool,
     /// Observability plane: lifecycle tracer, windowed sampler, and the
     /// sim-kernel profile. All three are pure observers — they never
     /// draw randomness or schedule events, so enabling them leaves the
@@ -358,6 +416,19 @@ impl Engine {
     ///
     /// The [`ConfigError`] from [`ExperimentConfig::validate`].
     pub fn try_new(cfg: ExperimentConfig) -> Result<Self, ConfigError> {
+        Self::try_new_lane(cfg, None)
+    }
+
+    /// Builds an engine owning all sharing groups (`lane == None`, the
+    /// serial engine) or exactly one (`lane == Some(g)`, one lane of the
+    /// parallel fabric). Every lane performs the *identical* build —
+    /// including device registration and conflict-spare consumption for
+    /// groups it does not own — so lane-local state is bit-identical to
+    /// the serial engine's view of that group.
+    pub(crate) fn try_new_lane(
+        cfg: ExperimentConfig,
+        lane: Option<usize>,
+    ) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let rngs = RngFactory::new(cfg.seed);
         let clock = cfg.machine.clock;
@@ -424,6 +495,27 @@ impl Engine {
         }
 
         let core_group: Vec<usize> = (0..cfg.dp_cores).map(|c| c / cfg.cluster).collect();
+        let owned_groups: Vec<bool> = match lane {
+            None => vec![true; groups],
+            Some(g) => (0..groups).map(|i| i == g).collect(),
+        };
+
+        // Partition producer cores by sharing group: group `g`'s `i`-th
+        // queue (in qid order) stripes over producers
+        // `g*share .. (g+1)*share`. With `producers >= groups` the slices
+        // are disjoint, so no producer core ever writes into two groups —
+        // the property that lets each lane model its producers' caches
+        // privately. (With fewer producers than groups the fabric falls
+        // back to a single lane; see `par_engine::run`.)
+        let producers = cfg.machine.cores - cfg.dp_cores;
+        let share = (producers / groups).max(1);
+        let mut producer_of_queue: Vec<CoreId> = vec![CoreId(cfg.dp_cores); cfg.queues as usize];
+        for (g, group_queues) in queues_of_group.iter().enumerate() {
+            for (i, &q) in group_queues.iter().enumerate() {
+                let p = (g * share + i % share) % producers;
+                producer_of_queue[q.0 as usize] = CoreId(cfg.dp_cores + p);
+            }
+        }
 
         // Pack the per-queue hot scalars into rows (after conflict-spare
         // doorbell resolution so the stored address is final).
@@ -464,7 +556,7 @@ impl Engine {
         let warmup_completions = (cfg.target_completions / 5).max(1);
         // Faults draw from their own stream (3): the same seed produces
         // byte-identical arrival/service sequences with or without faults.
-        let mut faults = FaultInjector::from_rng(cfg.faults.clone(), rngs.stream(3));
+        let mut faults = FaultInjector::new(cfg.faults.clone(), rngs.stream_seed(3));
         // Chaos plane: install whatever plan the schedule dictates at t=0
         // (a phase or burst may open the run) and note the first instant
         // it can change. Swapping plans never touches the fault stream.
@@ -479,13 +571,15 @@ impl Engine {
             Auditor::disabled()
         };
 
-        Ok(Engine {
+        let mut engine = Engine {
             mem,
             layout,
             qrows,
             queues,
             devices,
             queues_of_group,
+            owned_groups,
+            producer_of_queue,
             core_group,
             core_ptr: vec![0; cfg.dp_cores],
             empty_streak: vec![0; cfg.dp_cores],
@@ -500,9 +594,12 @@ impl Engine {
             service_buf: std::collections::VecDeque::with_capacity(ARRIVAL_BLOCK),
             ev: EventQueue::new(),
             pending: std::collections::VecDeque::new(),
+            carry: None,
+            last_processed: 0,
+            next_arrival: 0,
             latency: Histogram::new(),
             notify_latency: Histogram::new(),
-            poll_cost_ewma: 20.0,
+            poll_cost_ewma: vec![20.0; cfg.dp_cores],
             completions: 0,
             completions_measured: 0,
             drops: 0,
@@ -510,10 +607,13 @@ impl Engine {
             deq_scratch: Vec::with_capacity(cfg.batch.max(IRQ_NAPI_BUDGET)),
             poll_memos: vec![SeqMemo::default(); n_queues],
             memo_ready: vec![0; n_queues.div_ceil(64)],
+            memo_eligible: vec![false; n_queues],
             warmup_completions,
             measure_start: None,
+            measuring: false,
             saturation_rate: rate,
             faults,
+            straggler_step: vec![0; cfg.dp_cores],
             qwait_epoch: vec![0; cfg.dp_cores],
             qwait_backoff: vec![timeout_base; cfg.dp_cores],
             recovery_latency: Histogram::new(),
@@ -522,13 +622,10 @@ impl Engine {
             eviction_recovery_latency: Histogram::new(),
             doorbell_recovery_latency: Histogram::new(),
             chaos_next,
-            next_spare,
+            spare_base: next_spare,
+            next_spare: vec![0; groups],
             churn_reallocations: 0,
             audit,
-            watchdog_last_completions: 0,
-            first_stall: None,
-            stall_events: 0,
-            aborted_on_stall: false,
             tracer: match cfg.trace_capacity {
                 Some(cap) => Tracer::with_capacity(cap),
                 None => Tracer::disabled(),
@@ -538,20 +635,64 @@ impl Engine {
             } else {
                 Attributor::disabled()
             },
-            metrics: cfg
-                .metrics_window_cycles
-                .map(|w| WindowedMetrics::new(w, clock, cfg.dp_cores)),
+            metrics: cfg.metrics_window_cycles.map(|w| {
+                let m = WindowedMetrics::new(w, clock, cfg.dp_cores);
+                // A lane keeps each window's raw latency histogram so the
+                // fabric merge can recompute exact percentiles.
+                if lane.is_some() {
+                    m.retain_hists()
+                } else {
+                    m
+                }
+            }),
             metrics_next: cfg.metrics_window_cycles.unwrap_or(u64::MAX),
             profile: KernelProfile::new(EV_LABELS),
             warmup_span: None,
             measure_span: None,
             cfg,
-        })
+        };
+        engine.recompute_memo_eligibility();
+        Ok(engine)
+    }
+
+    /// Recomputes the set-aware memo eligibility map (DESIGN.md §12): per
+    /// sharing group, count how many of the group's poll lines (doorbell
+    /// and descriptor per queue) land in each L1 set; a queue is eligible
+    /// iff both of its lines map to sets whose pressure fits within the
+    /// associativity. Such lines, once loaded, survive a full sweep lap
+    /// (the sweep itself cannot evict them), so the memo pays off even
+    /// when the aggregate poll set dwarfs the L1 — the class the plain
+    /// hint-residency gate never seals. Pure geometry (final doorbell
+    /// addresses and cache config), so the map is deterministic; both
+    /// gate outcomes issue identical simulated loads (shadow-check).
+    fn recompute_memo_eligibility(&mut self) {
+        let Self {
+            mem,
+            queues_of_group,
+            qrows,
+            memo_eligible,
+            ..
+        } = self;
+        let sets = mem.l1_sets();
+        let ways = mem.l1_ways() as u32;
+        let mut pressure = vec![0u32; sets];
+        for group_queues in queues_of_group.iter() {
+            pressure.iter_mut().for_each(|p| *p = 0);
+            for &q in group_queues {
+                let row = &qrows[q.0 as usize];
+                pressure[mem.l1_set_index(row.doorbell)] += 1;
+                pressure[mem.l1_set_index(row.descriptor)] += 1;
+            }
+            for &q in group_queues {
+                let row = &qrows[q.0 as usize];
+                memo_eligible[q.0 as usize] = pressure[mem.l1_set_index(row.doorbell)] <= ways
+                    && pressure[mem.l1_set_index(row.descriptor)] <= ways;
+            }
+        }
     }
 
     fn producer_core(&self, q: QueueId) -> CoreId {
-        let producers = self.cfg.machine.cores - self.cfg.dp_cores;
-        CoreId(self.cfg.dp_cores + (q.0 as usize % producers))
+        self.producer_of_queue[q.0 as usize]
     }
 
     fn dp_core(&self, c: usize) -> CoreId {
@@ -569,15 +710,26 @@ impl Engine {
     }
 
     /// Runs the experiment to completion and returns the results.
-    pub fn run(mut self) -> ExperimentResult {
-        let wall_start = std::time::Instant::now();
-        // Seed the event queue: first arrival; all DP cores start stepping.
+    ///
+    /// Delegates to the parallel fabric ([`crate::par_engine`]): with
+    /// `par_workers <= 1` (the default) this is the serial engine pumping
+    /// windows on the calling thread; with more workers the fabric
+    /// rebuilds one lane per sharing group and merges. Same seed, same
+    /// config ⇒ digest-identical results for any worker count.
+    pub fn run(self) -> ExperimentResult {
+        crate::par_engine::run(self)
+    }
+
+    /// Seeds the event queue for a run: the first arrival (every lane
+    /// replays the full arrival chain), core steps for *owned* cores only,
+    /// and the chaos churn tick. The no-progress watchdog is not an event
+    /// — it is evaluated at window boundaries by the fabric controller.
+    pub(crate) fn seed_events(&mut self) {
         self.ev.schedule_at(SimTime::ZERO, Ev::Arrival);
         for c in 0..self.cfg.dp_cores {
-            self.ev.schedule_at(SimTime::ZERO, Ev::CoreStep(c));
-        }
-        if let Some(period) = self.cfg.watchdog_period_cycles {
-            self.ev.schedule_at(SimTime(period), Ev::Watchdog);
+            if self.owned_groups[self.core_group[c]] {
+                self.ev.schedule_at(SimTime::ZERO, Ev::CoreStep(c));
+            }
         }
         if let Some(churn) = self.cfg.chaos.churn {
             if !self.devices.is_empty() {
@@ -585,37 +737,41 @@ impl Engine {
             }
         }
         self.warmup_span = Some(self.tracer.begin_span(SimTime::ZERO, "warmup"));
-        let stop_completions = self.cfg.target_completions + self.warmup_completions;
+    }
+
+    /// Pumps every event strictly before `boundary` (cycles), then stops.
+    /// The first event at or past the boundary is parked in `carry` —
+    /// popped but unprocessed — and consumed first by the next window.
+    /// Run control (stop, warmup, watchdog, `max_cycles`) lives with the
+    /// fabric controller between windows, never inside the pump, so a
+    /// lane's event processing is a pure function of its own event stream.
+    pub(crate) fn pump_window(&mut self, boundary: u64) {
         loop {
-            if self.completions >= stop_completions {
-                break;
-            }
-            if self.aborted_on_stall {
-                break;
-            }
-            // Take the next event: drain the pending same-instant run
-            // first, then pull the next run (or single event) from the
-            // wheel. Stop checks, the profile tally, and window closing
-            // below run per event either way, so the batch is purely a
-            // bucket-bookkeeping amortization.
-            let (now, ev) = match self.pending.pop_front() {
-                Some(ev) => (self.ev.now(), ev),
-                None if self.cfg.batch_pop => {
-                    let Some(pair) = self.ev.pop_batch(&mut self.pending) else {
-                        break; // cannot happen: arrivals self-perpetuate
-                    };
-                    pair
-                }
-                None => {
-                    let Some(pair) = self.ev.pop() else {
-                        break; // cannot happen: arrivals self-perpetuate
-                    };
-                    pair
-                }
+            // Take the next event: the carried boundary-crosser first,
+            // then the pending same-instant run, then the wheel.
+            let (now, ev) = match self.carry.take() {
+                Some(pair) => pair,
+                None => match self.pending.pop_front() {
+                    Some(ev) => (self.ev.now(), ev),
+                    None if self.cfg.batch_pop => {
+                        let Some(pair) = self.ev.pop_batch(&mut self.pending) else {
+                            break; // cannot happen: arrivals self-perpetuate
+                        };
+                        pair
+                    }
+                    None => {
+                        let Some(pair) = self.ev.pop() else {
+                            break; // cannot happen: arrivals self-perpetuate
+                        };
+                        pair
+                    }
+                },
             };
-            if now.since_start().count() > self.cfg.max_cycles {
+            if now.since_start().count() >= boundary {
+                self.carry = Some((now, ev));
                 break;
             }
+            self.last_processed = now.since_start().count();
             self.profile.tally(ev.profile_idx(), now);
             // Close any metrics windows whose boundary this event crossed
             // *before* handling it, so its effects land in the right
@@ -658,11 +814,51 @@ impl Engine {
                     }
                 }
                 Ev::QwaitTimeout { core, epoch } => self.on_qwait_timeout(now, core, epoch),
-                Ev::Watchdog => self.on_watchdog(now),
                 Ev::Churn => self.on_churn(now),
             }
         }
-        self.finish(wall_start.elapsed().as_secs_f64())
+    }
+
+    /// The lane's window-boundary report to the fabric controller:
+    /// completions so far, residual backlog, whether every *owned* DP core
+    /// is halted, and the lane-local end time.
+    pub(crate) fn lane_report(&self) -> crate::par_engine::LaneReport {
+        crate::par_engine::LaneReport {
+            completions: self.completions,
+            backlog: self.qrows.iter().map(|r| u64::from(r.depth)).sum(),
+            all_halted: (0..self.cfg.dp_cores)
+                .all(|c| !self.owned_groups[self.core_group[c]] || self.halted[c]),
+            last_processed: self.last_processed,
+        }
+    }
+
+    /// Opens the measurement phase at `at` (a window boundary chosen by
+    /// the fabric controller from fabric-wide completions).
+    pub(crate) fn begin_measure(&mut self, at: SimTime) {
+        self.measuring = true;
+        self.measure_start = Some(at);
+        if let Some(span) = self.warmup_span.take() {
+            self.tracer.end_span(at, span);
+        }
+        self.measure_span = Some(self.tracer.begin_span(at, "measure"));
+    }
+
+    /// Records a watchdog-detected stall in the lifecycle trace (the
+    /// fabric controller detects stalls; lane 0 carries the record).
+    pub(crate) fn note_stall(&mut self, at: SimTime) {
+        self.note(at, TraceKind::Stall);
+    }
+
+    /// The experiment configuration (the fabric reads knobs from it).
+    pub(crate) fn cfg(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// Completions required before measurement may begin (derived from
+    /// `target_completions` at construction; the fabric controller applies
+    /// it to *fabric-wide* completions).
+    pub(crate) fn warmup_completions(&self) -> u64 {
+        self.warmup_completions
     }
 
     /// Emits one lifecycle record to both observers: the streaming
@@ -673,19 +869,6 @@ impl Engine {
     fn note(&mut self, at: SimTime, kind: TraceKind) {
         self.attrib.observe(at, &kind);
         self.tracer.emit(at, kind);
-    }
-
-    /// Timestamp of the next pending event, counting the batch tail the
-    /// main loop has already drained from the wheel (those fire at the
-    /// current instant). Must be used instead of `ev.peek_time()` anywhere
-    /// inside event handling — the fast-forward path in particular — so
-    /// batch popping cannot make the future look emptier than it is.
-    fn next_event_time(&self) -> Option<SimTime> {
-        if self.pending.is_empty() {
-            self.ev.peek_time()
-        } else {
-            Some(self.ev.now())
-        }
     }
 
     /// Closes every metrics window whose nominal boundary is at or before
@@ -719,7 +902,9 @@ impl Engine {
             .collect();
         WindowObservation {
             backlog: self.qrows.iter().map(|r| r.depth as u64).sum(),
-            event_queue_depth: (self.ev.len() + self.pending.len()) as u64,
+            event_queue_depth: (self.ev.len()
+                + self.pending.len()
+                + usize::from(self.carry.is_some())) as u64,
             cores_halted: self.halted.iter().filter(|&&h| h).count() as u64,
             halt_cycles,
             spin_instructions: self.telem.iter().map(|t| t.spin_instructions).sum(),
@@ -727,8 +912,15 @@ impl Engine {
         }
     }
 
-    fn finish(mut self, wall_secs: f64) -> ExperimentResult {
-        let end = self.ev.now();
+    /// Assembles the single-lane result. `end` is the timestamp of the
+    /// last *processed* event (`ev.now()` may already sit at a carried
+    /// future event); `stalls` is the fabric controller's watchdog verdict.
+    pub(crate) fn finish(
+        mut self,
+        wall_secs: f64,
+        end: SimTime,
+        stalls: crate::par_engine::StallSummary,
+    ) -> ExperimentResult {
         // Close out the observability plane: full windows first, then the
         // final partial one; close whichever phase span is still open.
         if self.metrics.is_some() {
@@ -778,9 +970,9 @@ impl Engine {
             eviction_recovery_latency: self.eviction_recovery_latency.clone(),
             doorbell_recovery_latency: self.doorbell_recovery_latency.clone(),
             churn_reallocations: self.churn_reallocations,
-            first_stall: self.first_stall,
-            stall_events: self.stall_events,
-            aborted_on_stall: self.aborted_on_stall,
+            first_stall: stalls.first_stall,
+            stall_events: stalls.stall_events,
+            aborted_on_stall: stalls.aborted,
             queue_drops: self.queues.iter().map(|q| q.dropped()).sum(),
         });
         // Conservation reconciliation: the engine's own residual backlog,
@@ -831,8 +1023,43 @@ impl Engine {
         let (gap, q) = self.gen.next_arrival();
         // `next_arrival` gives the gap to the *next* one; enqueue now.
         self.ev.schedule_after(gap, Ev::Arrival);
+        // Mirror the next arrival's timestamp for the spinning
+        // fast-forward: it must not peek the event queue (a lane's queue
+        // lacks other lanes' events; the wheel's `peek` would also see
+        // unrelated event types).
+        self.next_arrival = (now + gap).since_start().count();
 
         let qi = q.0 as usize;
+        // Draw the item's identity and service demand *before* the cap
+        // check: a dropped arrival still burns both. This makes what the
+        // n-th arrival consumes a pure function of n — never of the
+        // backlog at delivery time — so every fault decision can be keyed
+        // by item id and a replicated arrival chain (the parallel engine)
+        // stays draw-identical without knowing whether the owner dropped.
+        let id = self.item_seq;
+        self.item_seq += 1;
+        let service = match self.service_buf.pop_front() {
+            Some(s) => s,
+            None => {
+                self.service.fill_samples(
+                    &mut self.service_rng,
+                    &mut self.service_buf,
+                    ARRIVAL_BLOCK,
+                );
+                self.service_buf
+                    .pop_front()
+                    .expect("block refill produced samples")
+            }
+        };
+        // Replicated-chain ownership gate: every lane ran the identical
+        // draw sequence above (gap, queue, id, service — pure functions of
+        // the arrival index), but only the lane owning this queue's
+        // sharing group materializes the item. Dropping out *before* the
+        // cap check keeps drop accounting with the owner.
+        let g = self.qrows[qi].group as usize;
+        if !self.owned_groups[g] {
+            return;
+        }
         // The fault plan may narrow the cap to force overflow drops. Read
         // the injector's *current* plan, not the base config, so chaos
         // phases that carry a cap take effect inside their windows.
@@ -849,31 +1076,16 @@ impl Engine {
         // The owning group's partition is no longer provably empty: its
         // spinning cores must complete a fresh full sweep before they may
         // fast-forward again.
-        let g = self.qrows[qi].group as usize;
         for c in 0..self.cfg.dp_cores {
             if self.core_group[c] == g {
                 self.empty_streak[c] = 0;
             }
         }
-        let service = match self.service_buf.pop_front() {
-            Some(s) => s,
-            None => {
-                self.service.fill_samples(
-                    &mut self.service_rng,
-                    &mut self.service_buf,
-                    ARRIVAL_BLOCK,
-                );
-                self.service_buf
-                    .pop_front()
-                    .expect("block refill produced samples")
-            }
-        };
         let item = WorkItem {
-            id: self.item_seq,
+            id,
             arrival: now,
             service,
         };
-        self.item_seq += 1;
         self.queues[qi].enqueue(item);
         self.qrows[qi].depth += 1;
         debug_assert_eq!(self.qrows[qi].depth as usize, self.queues[qi].depth());
@@ -923,7 +1135,7 @@ impl Engine {
         // the doorbell rings (capacity conflict / firmware shootdown).
         // The queue's notifications go dark until the recovery sweep
         // re-registers it.
-        if !self.devices.is_empty() && self.faults.evict_now() {
+        if !self.devices.is_empty() && self.faults.evict_now(id) {
             if let Some(dev) = self.devices.get_mut(g) {
                 if dev.qwait_remove(q).is_some() {
                     self.faults.record_eviction();
@@ -934,9 +1146,9 @@ impl Engine {
 
         // Fault: a spurious activation (false sharing on a doorbell line)
         // for a random queue of this group; QWAIT-VERIFY must filter it.
-        if !self.devices.is_empty() && self.faults.spurious_now() {
+        if !self.devices.is_empty() && self.faults.spurious_now(id) {
             let victims = &self.queues_of_group[g];
-            let victim = victims[self.faults.pick(victims.len())];
+            let victim = victims[self.faults.pick(id, victims.len())];
             self.devices[g].force_activate(victim);
             self.note(now, TraceKind::FaultSpurious { queue: victim.0 });
             self.wake_one(now, g);
@@ -946,7 +1158,7 @@ impl Engine {
         // fault plane loses or delays the notification in flight.
         if let Some(line) = ring.getm {
             if let Some(dev) = self.devices.get_mut(g) {
-                match self.faults.doorbell_fate() {
+                match self.faults.doorbell_fate(id) {
                     DoorbellFate::Deliver => {
                         let hit = dev.snoop_getm(line);
                         self.note(
@@ -1038,7 +1250,12 @@ impl Engine {
     fn on_core_step(&mut self, now: SimTime, c: usize) {
         // Fault: the core straggles (SMI / frequency dip / noisy
         // neighbor) — it burns the stall actively, then retries the step.
-        if let Some(stall) = self.faults.straggler_stall() {
+        let step = self.straggler_step[c];
+        self.straggler_step[c] += 1;
+        if let Some(stall) = self
+            .faults
+            .straggler_stall(((c as u64) << 32).wrapping_add(step))
+        {
             self.telem[c].active_cycles += stall.count();
             self.ev.schedule_at(now + stall, Ev::CoreStep(c));
             return;
@@ -1076,6 +1293,7 @@ impl Engine {
                 poll_memos,
                 qrows,
                 memo_ready,
+                memo_eligible,
                 ..
             } = self;
             let row = &mut qrows[qi];
@@ -1095,15 +1313,22 @@ impl Engine {
             };
             match replayed {
                 Some(cycles) => cycles.count(),
-                // Re-record only when the doorbell line is still L1-resident:
-                // then the pair will be L1 hits and the memo can replay on
-                // the next visit. When the poll set exceeds the L1 (sq500),
-                // the line was evicted since the last visit, the memo could
+                // Re-record when the doorbell line is still L1-resident
+                // (the pair will be L1 hits and the memo can replay on the
+                // next visit) — or when the queue is set-aware eligible:
+                // its poll lines map to L1 sets the sweep itself cannot
+                // overflow, so even after a transient eviction (buffer
+                // streaming, first touch) a record pass re-warms the lines
+                // and the memo seals one lap later. Everything else (the
+                // sq500 class whose per-set pressure exceeds the ways) could
                 // never survive a lap, and begin/record/seal every poll is
-                // pure churn — take the plain path. Residency is simulator
-                // state, so the gate is deterministic, and both paths issue
-                // the identical loads (pinned by shadow-check).
-                None if mem.l1_hint_resident(core, &row.db_hint, row.doorbell) => {
+                // pure churn — take the plain path. Eligibility is geometry
+                // and residency is simulator state, so the gate is
+                // deterministic, and both paths issue the identical loads
+                // (pinned by shadow-check).
+                None if memo_eligible[qi]
+                    || mem.l1_hint_resident(core, &row.db_hint, row.doorbell) =>
+                {
                     let m = &mut poll_memos[qi];
                     m.begin(core);
                     let poll = mem.record_access(m, core, row.doorbell, AccessKind::Load);
@@ -1131,7 +1356,7 @@ impl Engine {
             poll.latency.count() + desc.latency.count()
         };
         let poll_cost = self.cfg.poll_overhead_cycles + mem_lat;
-        self.poll_cost_ewma = 0.98 * self.poll_cost_ewma + 0.02 * poll_cost as f64;
+        self.poll_cost_ewma[c] = 0.98 * self.poll_cost_ewma[c] + 0.02 * poll_cost as f64;
 
         if self.qrows[qi].depth == 0 {
             self.telem[c].spin_instructions += POLL_INSTR;
@@ -1140,21 +1365,24 @@ impl Engine {
             self.core_ptr[c] = if ptr + 1 == qlist_len { 0 } else { ptr + 1 };
             self.empty_streak[c] += 1;
 
-            // Fast-forward: a full sweep found nothing; nothing can change
-            // until the next system event.
+            // Fast-forward: a full sweep found nothing; only the next
+            // traffic arrival can add work to this partition (siblings
+            // only remove work, and a spinning run schedules no device
+            // events), so jump straight to it. At the arrival instant the
+            // Arrival event was inserted earlier and therefore pops first,
+            // resetting the streak before this core's step runs.
             if self.empty_streak[c] >= qlist_len {
-                if let Some(t_next) = self.next_event_time() {
-                    let resume_at = now + Cycles(poll_cost);
-                    if t_next > resume_at {
-                        let dt = t_next.since(resume_at).count();
-                        let skipped = dt / self.poll_cost_ewma.max(1.0) as u64;
-                        self.telem[c].spin_instructions += skipped * POLL_INSTR;
-                        self.telem[c].active_cycles += dt;
-                        self.telem[c].empty_polls += skipped;
-                        self.core_ptr[c] = (ptr + 1 + skipped as usize) % qlist_len;
-                        self.ev.schedule_at(t_next, Ev::CoreStep(c));
-                        return;
-                    }
+                let t_next = SimTime(self.next_arrival);
+                let resume_at = now + Cycles(poll_cost);
+                if t_next > resume_at {
+                    let dt = t_next.since(resume_at).count();
+                    let skipped = dt / self.poll_cost_ewma[c].max(1.0) as u64;
+                    self.telem[c].spin_instructions += skipped * POLL_INSTR;
+                    self.telem[c].active_cycles += dt;
+                    self.telem[c].empty_polls += skipped;
+                    self.core_ptr[c] = (ptr + 1 + skipped as usize) % qlist_len;
+                    self.ev.schedule_at(t_next, Ev::CoreStep(c));
+                    return;
                 }
             }
             self.ev.schedule_after(Cycles(poll_cost), Ev::CoreStep(c));
@@ -1490,32 +1718,6 @@ impl Engine {
         (found, cost, reregistered)
     }
 
-    /// Periodic no-progress check: a stall is backlog with zero
-    /// completions since the previous tick while every DP core is halted
-    /// — the signature of a missed wake-up or livelock, since a working
-    /// notification path would have woken someone.
-    fn on_watchdog(&mut self, now: SimTime) {
-        let Some(period) = self.cfg.watchdog_period_cycles else {
-            return;
-        };
-        let backlog: usize = self.qrows.iter().map(|r| r.depth as usize).sum();
-        let progressed = self.completions > self.watchdog_last_completions;
-        self.watchdog_last_completions = self.completions;
-        let all_halted = self.halted.iter().all(|&h| h);
-        if backlog > 0 && !progressed && all_halted {
-            self.stall_events += 1;
-            self.note(now, TraceKind::Stall);
-            if self.first_stall.is_none() {
-                self.first_stall = Some(now);
-            }
-            if self.cfg.watchdog_abort {
-                self.aborted_on_stall = true;
-                return;
-            }
-        }
-        self.ev.schedule_at(now + Cycles(period), Ev::Watchdog);
-    }
-
     /// Chaos-plane doorbell churn: the control plane re-homes one live
     /// queue's doorbell to a fresh spare line through Algorithm 1's
     /// QWAIT-ADD retry — tear-down, reallocate, re-register — while
@@ -1532,20 +1734,35 @@ impl Engine {
         if self.devices.is_empty() {
             return;
         }
-        let qi = self.faults.pick(self.qrows.len());
+        let qi = self.faults.pick(self.churn_reallocations, self.qrows.len());
         let q = QueueId(qi as u32);
         let g = self.qrows[qi].group as usize;
+        // Replicated-chain ownership gate: every lane picked the identical
+        // victim (the pick is keyed by the churn counter), but only the
+        // owner re-homes it. Non-owners advance the counter — the key of
+        // the *next* pick — and touch nothing else.
+        if !self.owned_groups[g] {
+            self.churn_reallocations += 1;
+            return;
+        }
         // Tear down the current registration (it may already be gone if
         // the fault plane evicted it; the re-add below repairs that too).
         let _ = self.devices[g].qwait_remove(q);
         // Re-home to the next spare line, retrying past Cuckoo conflicts.
-        // Spares are a finite reserved range; once the driver has burned
-        // them all, churn degrades to re-registering the current line.
+        // Spares are a finite reserved range, strided per group so one
+        // group's consumption depends only on its own churn history; once
+        // the driver has burned a group's share, churn degrades to
+        // re-registering the current line.
         let spares = QueueLayout::spare_doorbells(self.cfg.queues);
+        let groups = self.queues_of_group.len() as u64;
         let mut rehomed = false;
-        while self.next_spare < spares {
-            let addr = self.layout.spare_doorbell(self.next_spare);
-            self.next_spare += 1;
+        loop {
+            let idx = self.spare_base + g as u64 + self.next_spare[g] * groups;
+            if idx >= spares {
+                break;
+            }
+            let addr = self.layout.spare_doorbell(idx);
+            self.next_spare[g] += 1;
             match self.devices[g].qwait_add(q, addr.line()) {
                 Ok(()) => {
                     self.qrows[qi].doorbell = addr;
@@ -1563,6 +1780,10 @@ impl Engine {
         }
         if !rehomed {
             let _ = self.devices[g].qwait_add(q, self.qrows[qi].doorbell.line());
+        } else {
+            // The doorbell moved to a different line, so the per-set poll
+            // pressure shifted; refresh the set-aware memo eligibility.
+            self.recompute_memo_eligibility();
         }
         self.churn_reallocations += 1;
         self.note(now, TraceKind::FaultEvicted { queue: q.0 });
@@ -1708,19 +1929,129 @@ impl Engine {
         if let Some(m) = self.metrics.as_mut() {
             m.record_completion(lat);
         }
-        if self.completions == self.warmup_completions {
-            self.measure_start = Some(done_at);
-            if let Some(span) = self.warmup_span.take() {
-                self.tracer.end_span(done_at, span);
-            }
-            self.measure_span = Some(self.tracer.begin_span(done_at, "measure"));
-        }
-        if self.measure_start.is_some() && self.completions > self.warmup_completions {
+        // The warmup→measure transition is a fabric-wide decision taken at
+        // a window boundary ([`Engine::begin_measure`]): a lane-local
+        // completion count would open measurement at different instants in
+        // different lanes and break serial/parallel digest equality.
+        if self.measuring {
             self.completions_measured += 1;
             self.latency.record(lat);
             self.qrows[q.0 as usize].latency.record(lat as f64);
         }
     }
+
+    /// Tears the lane down into its mergeable outputs. `end` is the
+    /// *fabric-wide* end (the maximum lane-local end), so every lane
+    /// closes its final metrics window and outstanding halt episodes at
+    /// the same instant and the merged window series line up one-for-one.
+    pub(crate) fn into_lane_output(mut self, end: SimTime) -> LaneOutput {
+        let end_cycles = end.since_start().count();
+        if self.metrics.is_some() {
+            self.close_metrics_windows(end_cycles);
+            let obs = self.window_observation(end_cycles);
+            self.metrics.as_mut().unwrap().close_final(end_cycles, &obs);
+        }
+        if let Some(span) = self.measure_span.take() {
+            self.tracer.end_span(end, span);
+        }
+        if let Some(span) = self.warmup_span.take() {
+            self.tracer.end_span(end, span);
+        }
+        for c in 0..self.cfg.dp_cores {
+            self.trackers[c].resume(end, &mut self.telem[c]);
+        }
+        let mut mem_stats = hp_mem::system::CoreMemStats::default();
+        for c in 0..self.cfg.dp_cores {
+            let s = self.mem.core_stats(CoreId(c));
+            mem_stats.l1_hits += s.l1_hits;
+            mem_stats.llc_hits += s.llc_hits;
+            mem_stats.remote_hits += s.remote_hits;
+            mem_stats.dram_fetches += s.dram_fetches;
+        }
+        let residual_backlog: u64 = self.qrows.iter().map(|r| u64::from(r.depth)).sum();
+        let queue_owned: Vec<bool> = self
+            .qrows
+            .iter()
+            .map(|r| self.owned_groups[r.group as usize])
+            .collect();
+        let core_owned: Vec<bool> = (0..self.cfg.dp_cores)
+            .map(|c| self.owned_groups[self.core_group[c]])
+            .collect();
+        let attrib = self.attrib.is_enabled().then(|| self.attrib.finalize());
+        let audit = self
+            .audit
+            .is_enabled()
+            .then(|| self.audit.finalize(residual_backlog));
+        LaneOutput {
+            completions: self.completions,
+            completions_measured: self.completions_measured,
+            drops: self.drops,
+            latency: self.latency,
+            notify_latency: self.notify_latency,
+            per_queue: self.qrows.into_iter().map(|r| r.latency).collect(),
+            queue_owned,
+            telem: self.telem,
+            core_owned,
+            mem_stats,
+            fastpath: self.mem.fastpath_stats(),
+            fault_counters: self.faults.counters(),
+            recovery_latency: self.recovery_latency,
+            eviction_recoveries: self.eviction_recoveries,
+            doorbell_recoveries: self.doorbell_recoveries,
+            eviction_recovery_latency: self.eviction_recovery_latency,
+            doorbell_recovery_latency: self.doorbell_recovery_latency,
+            churn_reallocations: self.churn_reallocations,
+            queue_drops: self.queues.iter().map(|q| q.dropped()).sum(),
+            trace_enabled: self.tracer.is_enabled(),
+            trace_records: self.tracer.records(),
+            trace_dropped: self.tracer.dropped(),
+            trace_emitted: self.tracer.emitted(),
+            attrib,
+            windows: self.metrics.map(|m| m.into_samples()),
+            audit,
+            profile: self.profile,
+            measure_start: self.measure_start,
+            saturation_rate: self.saturation_rate,
+        }
+    }
+}
+
+/// One lane's mergeable outputs ([`Engine::into_lane_output`]): everything
+/// the fabric needs to reassemble a whole-machine [`ExperimentResult`].
+/// Lane-disjoint collections (per-queue stats, per-core telemetry) carry
+/// ownership masks; cross-lane aggregates (histograms, counters, the
+/// profile) merge by summation.
+#[derive(Debug)]
+pub(crate) struct LaneOutput {
+    pub(crate) completions: u64,
+    pub(crate) completions_measured: u64,
+    pub(crate) drops: u64,
+    pub(crate) latency: Histogram,
+    pub(crate) notify_latency: Histogram,
+    pub(crate) per_queue: Vec<OnlineStats>,
+    pub(crate) queue_owned: Vec<bool>,
+    pub(crate) telem: Vec<CoreTelemetry>,
+    pub(crate) core_owned: Vec<bool>,
+    pub(crate) mem_stats: hp_mem::system::CoreMemStats,
+    pub(crate) fastpath: hp_mem::system::FastPathStats,
+    pub(crate) fault_counters: FaultCounters,
+    pub(crate) recovery_latency: Histogram,
+    pub(crate) eviction_recoveries: u64,
+    pub(crate) doorbell_recoveries: u64,
+    pub(crate) eviction_recovery_latency: Histogram,
+    pub(crate) doorbell_recovery_latency: Histogram,
+    pub(crate) churn_reallocations: u64,
+    pub(crate) queue_drops: u64,
+    pub(crate) trace_enabled: bool,
+    pub(crate) trace_records: Vec<TraceRecord>,
+    pub(crate) trace_dropped: u64,
+    pub(crate) trace_emitted: u64,
+    pub(crate) attrib: Option<AttributionReport>,
+    pub(crate) windows: Option<Vec<WindowSample>>,
+    pub(crate) audit: Option<AuditReport>,
+    pub(crate) profile: KernelProfile,
+    pub(crate) measure_start: Option<SimTime>,
+    pub(crate) saturation_rate: f64,
 }
 
 #[cfg(test)]

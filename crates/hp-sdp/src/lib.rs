@@ -41,6 +41,7 @@ pub mod analytic;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod par_engine;
 pub mod power;
 pub mod result;
 pub mod runner;

@@ -1,0 +1,626 @@
+//! # Parallel simulation fabric
+//!
+//! Runs one experiment as a set of *lanes* — one per sharing group — each
+//! owning the group's queues, its HyperPlane device, and the DP cores
+//! assigned to it, with a private calendar-wheel event queue. Lanes
+//! advance in lockstep over bounded synchronization windows
+//! (`sync_window_cycles`) and a fabric controller folds their
+//! window-boundary reports into run-control decisions (warmup, stop,
+//! watchdog, `max_cycles`).
+//!
+//! ## Why the partition is exact
+//!
+//! The simulated machine was *designed* around sharing groups: a group's
+//! queues, device, monitoring set, and consumer cores never touch another
+//! group's state, and the producer-side striping
+//! (`Engine::try_new_lane`) keeps each I/O core's arrivals within one
+//! group whenever `producers >= groups`. The only cross-group coupling is
+//! the global arrival *schedule* (one shared traffic process) — so every
+//! lane replays the full arrival and churn chains with identical RNG
+//! draws, and per-item ownership gates make only the owning lane
+//! materialize state. Cross-partition messages therefore degenerate to
+//! the replicated chains themselves; the window barrier only carries
+//! run-control metadata, never simulated events.
+//!
+//! ## Determinism contract
+//!
+//! A lane's event stream is a pure function of the experiment config and
+//! its group index — never of worker count or OS scheduling. `par_workers`
+//! only maps lanes onto threads (worker `w` pumps lanes `w`, `w + W`,
+//! ...), and the merge below folds lane outputs in lane order, so a
+//! same-seed run is digest-identical to the serial engine for any worker
+//! count. The serial engine *is* this fabric with a single lane owning
+//! every group: both paths share `Engine::pump_window` and
+//! `FabricCtrl`, so serial-vs-parallel equivalence is structural, not
+//! coincidental.
+//!
+//! Known merged-diagnostic deltas (documented, outside the digest): the
+//! kernel profile and window `event_queue_depth` count replicated
+//! arrival/churn chain events once per lane, and trace span ids are
+//! per-lane (merged records are re-sequenced by `(time, lane, emission
+//! order)`).
+
+use crate::config::ExperimentConfig;
+use crate::engine::{Engine, LaneOutput};
+use crate::metrics::WindowSample;
+use crate::result::{ExperimentResult, FaultReport};
+use crate::telemetry::CoreTelemetry;
+use hp_sim::attrib::AttributionReport;
+use hp_sim::audit::AuditReport;
+use hp_sim::faults::FaultCounters;
+use hp_sim::stats::{Histogram, OnlineStats};
+use hp_sim::time::{Cycles, SimTime};
+use hp_sim::trace::TraceRecord;
+use std::cmp::Reverse;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One lane's window-boundary report to the fabric controller.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneReport {
+    /// Completions so far (lifetime, owned items only).
+    pub(crate) completions: u64,
+    /// Residual backlog across the lane's owned queues.
+    pub(crate) backlog: u64,
+    /// Whether every owned DP core is halted.
+    pub(crate) all_halted: bool,
+    /// Timestamp of the last event the lane processed, cycles.
+    pub(crate) last_processed: u64,
+}
+
+/// The fabric controller's watchdog verdict, threaded into the final
+/// [`FaultReport`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StallSummary {
+    /// First stall detection instant.
+    pub(crate) first_stall: Option<SimTime>,
+    /// Watchdog rounds that found backlog with zero progress and all
+    /// cores halted.
+    pub(crate) stall_events: u64,
+    /// Whether the run was aborted on first stall (`watchdog_abort`).
+    pub(crate) aborted: bool,
+}
+
+/// The leader's per-window verdict, applied by every worker after the
+/// second rendezvous.
+#[derive(Debug, Default)]
+struct Decision {
+    /// Open the measurement phase at this boundary (all lanes).
+    begin_measure: Option<SimTime>,
+    /// Stall instants to record in the lifecycle trace (lane 0 carries
+    /// the records, mirroring the serial engine's single stream).
+    stall_notes: Vec<SimTime>,
+    /// Stop after this window.
+    stop: bool,
+}
+
+/// Fabric-wide run control, evaluated at window boundaries from summed
+/// lane reports. The serial engine uses the identical controller with a
+/// single lane, so warmup/stop/watchdog semantics cannot drift between
+/// the two paths. Relative to the pre-fabric serial engine, stop and
+/// warmup trigger at the first boundary *after* the threshold crossing —
+/// an overshoot of at most one window.
+struct FabricCtrl {
+    warmup_target: u64,
+    stop_target: u64,
+    max_cycles: u64,
+    watchdog_period: Option<u64>,
+    watchdog_abort: bool,
+    watchdog_next: u64,
+    watchdog_last_total: u64,
+    measuring: bool,
+    stalls: StallSummary,
+}
+
+impl FabricCtrl {
+    fn new(engine: &Engine) -> Self {
+        let cfg = engine.cfg();
+        let warmup = engine.warmup_completions();
+        FabricCtrl {
+            warmup_target: warmup,
+            stop_target: cfg.target_completions + warmup,
+            max_cycles: cfg.max_cycles,
+            watchdog_period: cfg.watchdog_period_cycles,
+            watchdog_abort: cfg.watchdog_abort,
+            watchdog_next: cfg.watchdog_period_cycles.unwrap_or(u64::MAX),
+            watchdog_last_total: 0,
+            measuring: false,
+            stalls: StallSummary::default(),
+        }
+    }
+
+    /// Folds the lanes' reports at `boundary` into this window's verdict.
+    fn decide(&mut self, boundary: u64, reports: &[LaneReport]) -> Decision {
+        let total: u64 = reports.iter().map(|r| r.completions).sum();
+        let backlog: u64 = reports.iter().map(|r| r.backlog).sum();
+        let all_halted = reports.iter().all(|r| r.all_halted);
+        let mut d = Decision::default();
+        // Watchdog rounds whose nominal instant fell inside this window.
+        // "Progress" compares against the total at the previous round,
+        // exactly like the event-driven watchdog compared per period.
+        if let Some(period) = self.watchdog_period {
+            while self.watchdog_next <= boundary {
+                if backlog > 0 && total == self.watchdog_last_total && all_halted {
+                    self.stalls.stall_events += 1;
+                    if self.stalls.first_stall.is_none() {
+                        self.stalls.first_stall = Some(SimTime(self.watchdog_next));
+                    }
+                    d.stall_notes.push(SimTime(self.watchdog_next));
+                    if self.watchdog_abort {
+                        self.stalls.aborted = true;
+                        d.stop = true;
+                    }
+                }
+                self.watchdog_last_total = total;
+                self.watchdog_next += period;
+            }
+        }
+        if !self.measuring && total >= self.warmup_target {
+            // Warmup done: measurement opens at this boundary. The stop
+            // check waits for the next window so at least one window is
+            // ever measured.
+            self.measuring = true;
+            d.begin_measure = Some(SimTime(boundary));
+        } else if self.measuring && total >= self.stop_target {
+            d.stop = true;
+        }
+        if boundary >= self.max_cycles {
+            d.stop = true;
+        }
+        d
+    }
+}
+
+/// Runs `engine` to completion, routing between the single-lane path and
+/// the multi-lane fabric. Called by [`Engine::run`].
+pub(crate) fn run(engine: Engine) -> ExperimentResult {
+    let wall_start = Instant::now();
+    let cfg = engine.cfg();
+    let groups = cfg.groups();
+    let producers = cfg.machine.cores - cfg.dp_cores;
+    // Single-lane fallback: one worker asked for, nothing to partition,
+    // or too few producer cores for a group-disjoint arrival striping.
+    if cfg.par_workers <= 1 || groups == 1 || producers < groups {
+        run_single(engine, wall_start)
+    } else {
+        let workers = cfg.par_workers.min(groups);
+        run_fabric(engine, wall_start, workers)
+    }
+}
+
+/// The one-lane fabric: this engine owns every group; run control still
+/// lives with [`FabricCtrl`] at window boundaries.
+fn run_single(mut engine: Engine, wall_start: Instant) -> ExperimentResult {
+    let window = engine.cfg().sync_window_cycles;
+    let mut ctrl = FabricCtrl::new(&engine);
+    engine.seed_events();
+    let mut boundary = window;
+    loop {
+        engine.pump_window(boundary);
+        let report = engine.lane_report();
+        let d = ctrl.decide(boundary, std::slice::from_ref(&report));
+        for &at in &d.stall_notes {
+            engine.note_stall(at);
+        }
+        if let Some(at) = d.begin_measure {
+            engine.begin_measure(at);
+        }
+        if d.stop {
+            break;
+        }
+        boundary += window;
+    }
+    let end = SimTime(engine.lane_report().last_processed);
+    engine.finish(wall_start.elapsed().as_secs_f64(), end, ctrl.stalls)
+}
+
+/// The multi-lane fabric: one lane per sharing group, pumped by
+/// `workers` threads in lockstep windows, merged in lane order.
+fn run_fabric(engine: Engine, wall_start: Instant, workers: usize) -> ExperimentResult {
+    let cfg = engine.cfg().clone();
+    let window = cfg.sync_window_cycles;
+    let groups = cfg.groups();
+    let ctrl = Mutex::new(FabricCtrl::new(&engine));
+    drop(engine);
+
+    let mut per_worker: Vec<Vec<(usize, Engine)>> = (0..workers).map(|_| Vec::new()).collect();
+    for g in 0..groups {
+        let mut lane = Engine::try_new_lane(cfg.clone(), Some(g))
+            .expect("lane config is the already-validated fabric config");
+        lane.seed_events();
+        per_worker[g % workers].push((g, lane));
+    }
+
+    let reports: Mutex<Vec<Option<LaneReport>>> = Mutex::new(vec![None; groups]);
+    let decision: Mutex<Decision> = Mutex::new(Decision::default());
+    let rendezvous = hp_par::Rendezvous::new(workers);
+    let done: Mutex<Vec<Option<Engine>>> = Mutex::new((0..groups).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for mut my_lanes in per_worker {
+            let (reports, decision, ctrl, rendezvous, done) =
+                (&reports, &decision, &ctrl, &rendezvous, &done);
+            scope.spawn(move || {
+                let mut boundary = window;
+                loop {
+                    for (_, lane) in my_lanes.iter_mut() {
+                        lane.pump_window(boundary);
+                    }
+                    {
+                        let mut slots = reports.lock().unwrap();
+                        for (g, lane) in my_lanes.iter() {
+                            slots[*g] = Some(lane.lane_report());
+                        }
+                    }
+                    if rendezvous.wait() {
+                        // Leader folds the reports into this window's
+                        // verdict; followers are parked at the second
+                        // barrier until it lands.
+                        let collected: Vec<LaneReport> = reports
+                            .lock()
+                            .unwrap()
+                            .iter()
+                            .map(|r| r.expect("every lane reported"))
+                            .collect();
+                        let d = ctrl.lock().unwrap().decide(boundary, &collected);
+                        *decision.lock().unwrap() = d;
+                    }
+                    rendezvous.wait();
+                    let stop = {
+                        let d = decision.lock().unwrap();
+                        for (g, lane) in my_lanes.iter_mut() {
+                            if *g == 0 {
+                                for &at in &d.stall_notes {
+                                    lane.note_stall(at);
+                                }
+                            }
+                            if let Some(at) = d.begin_measure {
+                                lane.begin_measure(at);
+                            }
+                        }
+                        d.stop
+                    };
+                    if stop {
+                        break;
+                    }
+                    boundary += window;
+                }
+                let mut slots = done.lock().unwrap();
+                for (g, lane) in my_lanes {
+                    slots[g] = Some(lane);
+                }
+            });
+        }
+    });
+
+    let lanes: Vec<Engine> = done
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|l| l.expect("every lane returned"))
+        .collect();
+    let stalls = ctrl.into_inner().unwrap().stalls;
+    merge(&cfg, lanes, wall_start.elapsed().as_secs_f64(), stalls)
+}
+
+/// Folds lane outputs into one whole-machine [`ExperimentResult`],
+/// mirroring the single-lane `Engine::finish` field for field: exact
+/// histogram merges for latency distributions, take-from-owner for
+/// lane-disjoint state (per-queue stats, per-core telemetry), sums for
+/// machine-wide counters.
+fn merge(
+    cfg: &ExperimentConfig,
+    lanes: Vec<Engine>,
+    wall_secs: f64,
+    stalls: StallSummary,
+) -> ExperimentResult {
+    // Global end: the latest event any lane processed. Every lane closes
+    // its metrics windows and halt episodes at this shared instant.
+    let end = SimTime(
+        lanes
+            .iter()
+            .map(|l| l.lane_report().last_processed)
+            .max()
+            .unwrap_or(0),
+    );
+    let mut outs: Vec<LaneOutput> = lanes.into_iter().map(|l| l.into_lane_output(end)).collect();
+
+    let clock = cfg.machine.clock;
+    let dp_cores = cfg.dp_cores;
+    let n_queues = cfg.queues as usize;
+
+    // Measurement window: every lane opened it at the same fabric-chosen
+    // boundary (or never).
+    let measure_start = outs[0].measure_start;
+    debug_assert!(outs.iter().all(|o| o.measure_start == measure_start));
+    let completions_measured: u64 = outs.iter().map(|o| o.completions_measured).sum();
+    let span = match measure_start {
+        Some(s) => end.saturating_since(s),
+        None => end.since_start(),
+    };
+    let throughput = clock.rate_per_sec(completions_measured, span);
+
+    let completions: u64 = outs.iter().map(|o| o.completions).sum();
+    let drops: u64 = outs.iter().map(|o| o.drops).sum();
+
+    let mut latency = Histogram::new();
+    let mut notify_latency = Histogram::new();
+    for o in &outs {
+        latency.merge(&o.latency);
+        notify_latency.merge(&o.notify_latency);
+    }
+
+    // Lane-disjoint state: exactly one lane owns each core and queue.
+    let core_owner: Vec<usize> = (0..dp_cores)
+        .map(|c| {
+            outs.iter()
+                .position(|o| o.core_owned[c])
+                .expect("every DP core has an owner lane")
+        })
+        .collect();
+    let telem: Vec<CoreTelemetry> = (0..dp_cores)
+        .map(|c| outs[core_owner[c]].telem[c])
+        .collect();
+    let per_queue: Vec<OnlineStats> = (0..n_queues)
+        .map(|q| {
+            let owner = outs
+                .iter()
+                .position(|o| o.queue_owned[q])
+                .expect("every queue has an owner lane");
+            outs[owner].per_queue[q]
+        })
+        .collect();
+
+    // Machine-wide counters: non-owners contribute zero, so sums equal
+    // the serial engine's whole-machine totals.
+    let mut mem_stats = hp_mem::system::CoreMemStats::default();
+    let mut fastpath = hp_mem::system::FastPathStats::default();
+    let mut injected = FaultCounters::default();
+    let mut recovery_latency = Histogram::new();
+    let mut eviction_recovery_latency = Histogram::new();
+    let mut doorbell_recovery_latency = Histogram::new();
+    let mut eviction_recoveries = 0u64;
+    let mut doorbell_recoveries = 0u64;
+    let mut queue_drops = 0u64;
+    for o in &outs {
+        mem_stats.l1_hits += o.mem_stats.l1_hits;
+        mem_stats.llc_hits += o.mem_stats.llc_hits;
+        mem_stats.remote_hits += o.mem_stats.remote_hits;
+        mem_stats.dram_fetches += o.mem_stats.dram_fetches;
+        fastpath.mru_hits += o.fastpath.mru_hits;
+        fastpath.stable_hits += o.fastpath.stable_hits;
+        fastpath.seq_replays += o.fastpath.seq_replays;
+        fastpath.seq_replay_attempts += o.fastpath.seq_replay_attempts;
+        fastpath.seq_replayed_accesses += o.fastpath.seq_replayed_accesses;
+        fastpath.s_state_peeks += o.fastpath.s_state_peeks;
+        fastpath.stable_reloads += o.fastpath.stable_reloads;
+        fastpath.shared_joins += o.fastpath.shared_joins;
+        fastpath.dir_hint_hits += o.fastpath.dir_hint_hits;
+        injected.doorbells_dropped += o.fault_counters.doorbells_dropped;
+        injected.doorbells_delayed += o.fault_counters.doorbells_delayed;
+        injected.evictions += o.fault_counters.evictions;
+        injected.spurious_injected += o.fault_counters.spurious_injected;
+        injected.straggler_stalls += o.fault_counters.straggler_stalls;
+        recovery_latency.merge(&o.recovery_latency);
+        eviction_recovery_latency.merge(&o.eviction_recovery_latency);
+        doorbell_recovery_latency.merge(&o.doorbell_recovery_latency);
+        eviction_recoveries += o.eviction_recoveries;
+        doorbell_recoveries += o.doorbell_recoveries;
+        queue_drops += o.queue_drops;
+    }
+    // Every lane replays the full churn chain, so the counter is
+    // replicated, not partitioned.
+    let churn_reallocations = outs[0].churn_reallocations;
+    debug_assert!(outs
+        .iter()
+        .all(|o| o.churn_reallocations == churn_reallocations));
+
+    let mut result = ExperimentResult::new(
+        cfg,
+        throughput,
+        latency,
+        telem.clone(),
+        completions,
+        drops,
+        outs[0].saturation_rate,
+        end,
+    )
+    .with_per_queue(per_queue)
+    .with_notify_latency(notify_latency)
+    .with_mem_stats(mem_stats)
+    .with_fastpath(fastpath)
+    .with_profile(
+        {
+            let mut p = outs[0].profile.clone();
+            for o in &outs[1..] {
+                p.merge(&o.profile);
+            }
+            p
+        },
+        wall_secs,
+    );
+
+    if outs[0].trace_enabled {
+        // Deterministic merge: (time, lane, within-lane emission order),
+        // then re-sequence so exporters sorting by (at, seq) reproduce
+        // exactly this order. Span ids stay lane-local.
+        let streams: Vec<Vec<(u64, TraceRecord)>> = outs
+            .iter_mut()
+            .map(|o| {
+                std::mem::take(&mut o.trace_records)
+                    .into_iter()
+                    .map(|r| (r.at.since_start().count(), r))
+                    .collect()
+            })
+            .collect();
+        let records: Vec<TraceRecord> = hp_par::merge_timestamped(streams)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, _, mut r))| {
+                r.seq = i as u64;
+                r
+            })
+            .collect();
+        let dropped: u64 = outs.iter().map(|o| o.trace_dropped).sum();
+        let emitted: u64 = outs.iter().map(|o| o.trace_emitted).sum();
+        result = result.with_trace(records, dropped, emitted);
+    }
+
+    let attribs: Vec<AttributionReport> = outs.iter_mut().filter_map(|o| o.attrib.take()).collect();
+    if !attribs.is_empty() {
+        result = result.with_attrib(merge_attrib(attribs, cfg.attrib_exemplars));
+    }
+
+    if outs[0].windows.is_some() {
+        let lane_windows: Vec<Vec<WindowSample>> = outs
+            .iter_mut()
+            .map(|o| o.windows.take().expect("all lanes sample windows"))
+            .collect();
+        result = result.with_windows(merge_windows(cfg, &core_owner, lane_windows));
+    }
+
+    if cfg.faults.is_active()
+        || cfg.chaos.is_active()
+        || cfg.qwait_timeout_cycles.is_some()
+        || cfg.watchdog_period_cycles.is_some()
+    {
+        result = result.with_faults(FaultReport {
+            injected,
+            qwait_timeouts: telem.iter().map(|t| t.qwait_timeouts).sum(),
+            recoveries: telem.iter().map(|t| t.recoveries).sum(),
+            recovery_latency_cycles: recovery_latency,
+            eviction_recoveries,
+            doorbell_recoveries,
+            eviction_recovery_latency,
+            doorbell_recovery_latency,
+            churn_reallocations,
+            first_stall: stalls.first_stall,
+            stall_events: stalls.stall_events,
+            aborted_on_stall: stalls.aborted,
+            queue_drops,
+        });
+    }
+
+    let audits: Vec<AuditReport> = outs.iter_mut().filter_map(|o| o.audit.take()).collect();
+    if !audits.is_empty() {
+        result = result.with_audit(merge_audit(&audits));
+    }
+
+    result
+}
+
+/// Folds per-lane attribution reports: conservation counters and phase
+/// totals sum (lanes attribute disjoint item sets), histograms merge
+/// exactly, per-queue/per-core groups concatenate (lane-disjoint keys),
+/// and the exemplar pool is re-ranked worst-first and re-truncated.
+fn merge_attrib(reports: Vec<AttributionReport>, keep_exemplars: usize) -> AttributionReport {
+    let mut it = reports.into_iter();
+    let mut out = it.next().expect("at least one lane");
+    for r in it {
+        out.completed += r.completed;
+        out.incomplete += r.incomplete;
+        out.violations += r.violations;
+        out.total_cycles += r.total_cycles;
+        for (mine, theirs) in out.phase_totals.iter_mut().zip(&r.phase_totals) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in out.phase_hists.iter_mut().zip(&r.phase_hists) {
+            mine.merge(theirs);
+        }
+        out.end_to_end.merge(&r.end_to_end);
+        out.per_queue.extend(r.per_queue);
+        out.per_core.extend(r.per_core);
+        out.exemplars.extend(r.exemplars);
+    }
+    out.per_queue.sort_by_key(|g| g.id);
+    out.per_core.sort_by_key(|g| g.id);
+    out.exemplars.sort_by_key(|e| (Reverse(e.latency), e.item));
+    out.exemplars.truncate(keep_exemplars);
+    out
+}
+
+/// Folds per-lane window series element-wise. Lanes share window
+/// boundaries (same cadence, same global close instant), so series
+/// lengths and `(start, end)` pairs line up one-for-one; percentiles are
+/// recomputed exactly from the lanes' retained per-window histograms.
+fn merge_windows(
+    cfg: &ExperimentConfig,
+    core_owner: &[usize],
+    lane_windows: Vec<Vec<WindowSample>>,
+) -> Vec<WindowSample> {
+    let clock = cfg.machine.clock;
+    let n = lane_windows[0].len();
+    for w in &lane_windows {
+        assert_eq!(w.len(), n, "lanes closed different window counts");
+    }
+    (0..n)
+        .map(|i| {
+            let first = &lane_windows[0][i];
+            let (start, end) = (first.start, first.end);
+            let mut completions = 0u64;
+            let mut drops = 0u64;
+            let mut backlog = 0u64;
+            let mut event_queue_depth = 0u64;
+            let mut cores_halted = 0u64;
+            let mut spin_instructions = 0u64;
+            let mut hist = Histogram::new();
+            for w in &lane_windows {
+                let s = &w[i];
+                debug_assert_eq!((s.start, s.end), (start, end));
+                completions += s.completions;
+                drops += s.drops;
+                backlog += s.backlog;
+                event_queue_depth += s.event_queue_depth;
+                cores_halted += s.cores_halted;
+                spin_instructions += s.spin_instructions;
+                hist.merge(s.hist.as_ref().expect("lanes retain window hists"));
+            }
+            let halt_frac: Vec<f64> = core_owner
+                .iter()
+                .enumerate()
+                .map(|(c, &owner)| lane_windows[owner][i].halt_frac[c])
+                .collect();
+            let to_us = |cyc: u64| clock.cycles_to_micros(Cycles(cyc));
+            WindowSample {
+                index: i as u64,
+                start,
+                end,
+                completions,
+                drops,
+                throughput_tps: clock.rate_per_sec(completions, Cycles(end - start)),
+                mean_us: hist.try_mean().map(|c| to_us(c as u64)),
+                p50_us: hist.percentile(50.0).map(to_us),
+                p99_us: hist.percentile(99.0).map(to_us),
+                backlog,
+                event_queue_depth,
+                cores_halted,
+                halt_frac,
+                spin_instructions,
+                hist: None,
+            }
+        })
+        .collect()
+}
+
+/// Folds per-lane conservation audits: lifecycle totals sum (each lane
+/// audits a disjoint item set), the worst-case enqueue-to-service bound
+/// is the max over lanes.
+fn merge_audit(reports: &[AuditReport]) -> AuditReport {
+    let mut out = AuditReport::default();
+    for r in reports {
+        out.enqueued += r.enqueued;
+        out.dequeued += r.dequeued;
+        out.serviced += r.serviced;
+        out.still_enqueued += r.still_enqueued;
+        out.in_flight += r.in_flight;
+        out.residual_backlog += r.residual_backlog;
+        out.lost += r.lost;
+        out.double_dequeues += r.double_dequeues;
+        out.double_services += r.double_services;
+        out.phantoms += r.phantoms;
+        out.max_enqueue_to_service_cycles = out
+            .max_enqueue_to_service_cycles
+            .max(r.max_enqueue_to_service_cycles);
+    }
+    out
+}

@@ -349,12 +349,18 @@ impl ExperimentResult {
             ));
         }
         let f = &self.fastpath;
+        let memo_hit_rate = if f.seq_replay_attempts > 0 {
+            f.seq_replays as f64 / f.seq_replay_attempts as f64
+        } else {
+            0.0
+        };
         out.push_str(&format!(
             "],\"total_events\":{},\"wall_secs\":{:.6},\"events_per_sec\":{:.0},\
              \"fast_path\":{{\"mru_hits\":{},\"stable_hits\":{},\
              \"seq_replays\":{},\"seq_replayed_accesses\":{},\
              \"s_state_peeks\":{},\"stable_reloads\":{},\
-             \"shared_joins\":{},\"dir_hint_hits\":{}}}}}",
+             \"shared_joins\":{},\"dir_hint_hits\":{},\
+             \"seq_replay_attempts\":{},\"memo_hit_rate\":{:.4}}}}}",
             p.total_events(),
             self.wall_secs,
             self.events_per_sec_wall(),
@@ -366,6 +372,8 @@ impl ExperimentResult {
             f.stable_reloads,
             f.shared_joins,
             f.dir_hint_hits,
+            f.seq_replay_attempts,
+            memo_hit_rate,
         ));
         Some(out)
     }

@@ -27,13 +27,19 @@
 //! * **Queue-cap override** — shrink the per-queue backlog cap to force
 //!   overflow; drops are accounted by the engine.
 //!
-//! Each decision method consumes randomness *only when its fault class is
-//! enabled*, so switching one class on or off does not shift the draws of
-//! the others.
+//! Decisions are *key-addressed*, not stream-sequential: every draw is a
+//! pure hash of `(stream seed, fault class, caller key)` — the caller
+//! keys doorbell/eviction/spurious decisions by the work item's id,
+//! straggler decisions by `(core, step counter)`, and churn picks by the
+//! churn index. This makes each decision independent of how many *other*
+//! decisions were drawn before it, which buys two guarantees at once:
+//! switching one fault class on or off never shifts the draws of the
+//! others, and a partitioned (parallel) engine that evaluates decisions
+//! from different execution orders — or skips the decisions another
+//! partition owns — still reproduces the serial engine's draws exactly.
 
+use crate::rng::splitmix64;
 use crate::time::Cycles;
-use hp_rand::rngs::SmallRng;
-use hp_rand::{Rng, SeedableRng};
 
 /// What the injector decided to do with one doorbell notification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,31 +308,34 @@ impl FaultCounters {
     }
 }
 
-/// Draws concrete fault decisions per the plan, from a dedicated RNG
-/// stream, and counts what it injected.
+/// Decision classes, hashed into the draw so distinct classes keyed by
+/// the same value (e.g. one item id) get independent decisions.
+const CLASS_DROP: u64 = 1;
+const CLASS_DELAY: u64 = 2;
+const CLASS_EVICT: u64 = 3;
+const CLASS_SPURIOUS: u64 = 4;
+const CLASS_STRAGGLER: u64 = 5;
+const CLASS_PICK: u64 = 6;
+
+/// Draws concrete fault decisions per the plan — each a pure hash of
+/// `(stream seed, fault class, caller key)` — and counts what it
+/// injected.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    rng: SmallRng,
+    seed: u64,
     counters: FaultCounters,
 }
 
 impl FaultInjector {
-    /// Builds an injector for `plan` seeded by `stream_seed` (callers
+    /// Builds an injector for `plan` keyed by `stream_seed` (callers
     /// should derive the seed from the experiment's root seed via
-    /// [`crate::rng::RngFactory`] / `splitmix64` so fault draws are
+    /// [`crate::rng::RngFactory::stream_seed`] so fault draws are
     /// independent of the workload streams).
     pub fn new(plan: FaultPlan, stream_seed: u64) -> Self {
-        Self::from_rng(plan, SmallRng::seed_from_u64(stream_seed))
-    }
-
-    /// Builds an injector drawing from an already-derived stream (e.g.
-    /// `RngFactory::stream(3)` — the stream id the engine reserves for
-    /// faults).
-    pub fn from_rng(plan: FaultPlan, rng: SmallRng) -> Self {
         FaultInjector {
             plan,
-            rng,
+            seed: stream_seed,
             counters: FaultCounters::default(),
         }
     }
@@ -336,16 +345,12 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Swaps the active plan without touching the RNG stream or counters.
+    /// Swaps the active plan without touching the seed or counters.
     ///
     /// This is how a chaos schedule (see [`crate::chaos`]) modulates fault
-    /// intensity mid-run: the draw sequence stays a pure function of
-    /// `(stream seed, call sequence)`, only the thresholds move. Note the
-    /// class-independence guarantee weakens across a swap — a class that
-    /// toggles between zero and non-zero rates starts or stops consuming
-    /// draws at the swap boundary, which is deterministic but does shift
-    /// later draws of other classes. Schedules are part of the seed-stable
-    /// configuration, so replays remain bit-identical.
+    /// intensity mid-run: every decision stays a pure function of
+    /// `(stream seed, class, key)`, only the thresholds move — so a plan
+    /// swap can never shift any other decision, enabled classes included.
     pub fn set_plan(&mut self, plan: FaultPlan) {
         self.plan = plan;
     }
@@ -355,24 +360,44 @@ impl FaultInjector {
         self.counters
     }
 
-    /// Decides the fate of one doorbell GetM notification.
-    pub fn doorbell_fate(&mut self) -> DoorbellFate {
-        if self.plan.doorbell_drop > 0.0 && self.rng.random_bool(self.plan.doorbell_drop) {
+    /// The raw draw: a well-mixed word for `(seed, class, key)`.
+    #[inline]
+    fn word(&self, class: u64, key: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(class ^ splitmix64(key)))
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    #[inline]
+    fn unit(&self, class: u64, key: u64) -> f64 {
+        (self.word(class, key) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial at probability `p` for `(class, key)`.
+    #[inline]
+    fn hit(&self, p: f64, class: u64, key: u64) -> bool {
+        p > 0.0 && self.unit(class, key) < p
+    }
+
+    /// Decides the fate of the doorbell GetM notification for the work
+    /// item `key`.
+    pub fn doorbell_fate(&mut self, key: u64) -> DoorbellFate {
+        if self.hit(self.plan.doorbell_drop, CLASS_DROP, key) {
             self.counters.doorbells_dropped += 1;
             return DoorbellFate::Drop;
         }
-        if self.plan.doorbell_delay > 0.0 && self.rng.random_bool(self.plan.doorbell_delay) {
+        if self.hit(self.plan.doorbell_delay, CLASS_DELAY, key) {
             self.counters.doorbells_delayed += 1;
             return DoorbellFate::Delay(Cycles(self.plan.delay_cycles));
         }
         DoorbellFate::Deliver
     }
 
-    /// Whether to evict the arriving queue's monitoring entry now. The
-    /// caller reports whether an entry was actually present (so counters
-    /// reflect real evictions, not no-ops) via [`Self::record_eviction`].
-    pub fn evict_now(&mut self) -> bool {
-        self.plan.eviction > 0.0 && self.rng.random_bool(self.plan.eviction)
+    /// Whether to evict the monitoring entry of the queue receiving work
+    /// item `key`. The caller reports whether an entry was actually
+    /// present (so counters reflect real evictions, not no-ops) via
+    /// [`Self::record_eviction`].
+    pub fn evict_now(&mut self, key: u64) -> bool {
+        self.hit(self.plan.eviction, CLASS_EVICT, key)
     }
 
     /// Records one realized monitoring-set eviction.
@@ -380,29 +405,35 @@ impl FaultInjector {
         self.counters.evictions += 1;
     }
 
-    /// Whether to inject a spurious ready-set activation now.
-    pub fn spurious_now(&mut self) -> bool {
-        if self.plan.spurious > 0.0 && self.rng.random_bool(self.plan.spurious) {
+    /// Whether to inject a spurious ready-set activation on the arrival
+    /// of work item `key`.
+    pub fn spurious_now(&mut self, key: u64) -> bool {
+        if self.hit(self.plan.spurious, CLASS_SPURIOUS, key) {
             self.counters.spurious_injected += 1;
             return true;
         }
         false
     }
 
-    /// Draws a straggler stall for one core step, if any.
-    pub fn straggler_stall(&mut self) -> Option<Cycles> {
-        if self.plan.straggler > 0.0 && self.rng.random_bool(self.plan.straggler) {
+    /// Draws a straggler stall for one core step, if any. Callers key by
+    /// the stepping core and its per-core step counter (e.g.
+    /// `(core << 32) + step`) so each core's stall sequence is
+    /// independent of every other core's schedule.
+    pub fn straggler_stall(&mut self, key: u64) -> Option<Cycles> {
+        if self.hit(self.plan.straggler, CLASS_STRAGGLER, key) {
             self.counters.straggler_stalls += 1;
             return Some(Cycles(self.plan.stall_cycles));
         }
         None
     }
 
-    /// Uniform pick in `[0, n)` from the fault stream (used to choose the
-    /// victim queue of a spurious activation).
-    pub fn pick(&mut self, n: usize) -> usize {
+    /// Uniform pick in `[0, n)` for `key` (used to choose the victim
+    /// queue of a spurious activation, keyed by item id, and the churn
+    /// target, keyed by churn index).
+    pub fn pick(&mut self, key: u64, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.rng.random_range(0..n)
+        // Widening multiply maps the word onto [0, n) without modulo bias.
+        ((self.word(CLASS_PICK, key) as u128 * n as u128) >> 64) as usize
     }
 }
 
@@ -416,11 +447,11 @@ mod tests {
         assert!(!plan.is_active());
         plan.validate().unwrap();
         let mut inj = FaultInjector::new(plan, 42);
-        for _ in 0..100 {
-            assert_eq!(inj.doorbell_fate(), DoorbellFate::Deliver);
-            assert!(!inj.evict_now());
-            assert!(!inj.spurious_now());
-            assert_eq!(inj.straggler_stall(), None);
+        for k in 0..100 {
+            assert_eq!(inj.doorbell_fate(k), DoorbellFate::Deliver);
+            assert!(!inj.evict_now(k));
+            assert!(!inj.spurious_now(k));
+            assert_eq!(inj.straggler_stall(k), None);
         }
         assert_eq!(inj.counters().total(), 0);
     }
@@ -436,10 +467,10 @@ mod tests {
         };
         let mut a = FaultInjector::new(plan.clone(), 7);
         let mut b = FaultInjector::new(plan, 7);
-        for _ in 0..1000 {
-            assert_eq!(a.doorbell_fate(), b.doorbell_fate());
-            assert_eq!(a.spurious_now(), b.spurious_now());
-            assert_eq!(a.straggler_stall(), b.straggler_stall());
+        for k in 0..1000 {
+            assert_eq!(a.doorbell_fate(k), b.doorbell_fate(k));
+            assert_eq!(a.spurious_now(k), b.spurious_now(k));
+            assert_eq!(a.straggler_stall(k), b.straggler_stall(k));
         }
         assert_eq!(a.counters(), b.counters());
     }
@@ -452,8 +483,8 @@ mod tests {
         };
         let mut inj = FaultInjector::new(plan, 3);
         let n = 100_000;
-        for _ in 0..n {
-            inj.doorbell_fate();
+        for k in 0..n {
+            inj.doorbell_fate(k);
         }
         let frac = inj.counters().doorbells_dropped as f64 / n as f64;
         assert!((frac - 0.25).abs() < 0.01, "drop fraction {frac}");
@@ -466,34 +497,32 @@ mod tests {
             ..FaultPlan::none()
         };
         let mut inj = FaultInjector::new(plan, 1);
-        for _ in 0..100 {
-            assert_eq!(inj.doorbell_fate(), DoorbellFate::Drop);
+        for k in 0..100 {
+            assert_eq!(inj.doorbell_fate(k), DoorbellFate::Drop);
         }
     }
 
     #[test]
     fn disabling_one_class_does_not_shift_another() {
         // Straggler draws must be identical whether or not doorbell
-        // faults are configured, because fate draws consume randomness
-        // only when enabled... and vice versa: a plan with only
-        // stragglers sees the same straggler sequence as a plan with
-        // stragglers plus a zero-rate drop knob.
+        // faults are configured: decisions are keyed, not sequential, so
+        // enabling drops cannot shift the straggler sequence — even when
+        // the drop rate is non-zero and fate calls are skipped entirely.
         let only = FaultPlan {
             straggler: 0.5,
             ..FaultPlan::none()
         };
-        let with_zero_drop = FaultPlan {
+        let with_drops = FaultPlan {
             straggler: 0.5,
-            doorbell_drop: 0.0,
+            doorbell_drop: 0.7,
             ..FaultPlan::none()
         };
         let mut a = FaultInjector::new(only, 11);
-        let mut b = FaultInjector::new(with_zero_drop, 11);
-        for _ in 0..500 {
-            // Interleave a fate call (no-op draw for both).
-            a.doorbell_fate();
-            b.doorbell_fate();
-            assert_eq!(a.straggler_stall(), b.straggler_stall());
+        let mut b = FaultInjector::new(with_drops, 11);
+        for k in 0..500 {
+            // `a` interleaves fate calls; `b` never draws a fate at all.
+            a.doorbell_fate(k);
+            assert_eq!(a.straggler_stall(k), b.straggler_stall(k));
         }
     }
 
@@ -601,22 +630,67 @@ mod tests {
     }
 
     #[test]
-    fn set_plan_keeps_stream_position() {
-        // Two injectors on the same seed: one swaps to an identical plan
-        // mid-sequence, the other never swaps. Draws must agree.
+    fn set_plan_never_shifts_decisions() {
+        // Two injectors on the same seed: one swaps plans mid-sequence
+        // (including through a fully different plan and back), the other
+        // never swaps. Decisions for the same key must agree whenever the
+        // active plans agree.
         let plan = FaultPlan {
             doorbell_drop: 0.3,
             ..FaultPlan::none()
         };
+        let storm = FaultPlan {
+            doorbell_drop: 0.9,
+            spurious: 0.5,
+            ..FaultPlan::none()
+        };
         let mut a = FaultInjector::new(plan.clone(), 9);
         let mut b = FaultInjector::new(plan.clone(), 9);
-        for i in 0..400 {
+        for i in 0..400u64 {
+            if i == 100 {
+                a.set_plan(storm.clone());
+            }
             if i == 200 {
                 a.set_plan(plan.clone());
             }
-            assert_eq!(a.doorbell_fate(), b.doorbell_fate());
+            if !(100..200).contains(&i) {
+                assert_eq!(a.doorbell_fate(i), b.doorbell_fate(i));
+            }
         }
-        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn decisions_are_key_addressed_not_sequential() {
+        // The same key yields the same decision no matter how many other
+        // draws happened in between, and regardless of evaluation order —
+        // the property the partitioned engine relies on.
+        let plan = FaultPlan {
+            doorbell_drop: 0.4,
+            straggler: 0.2,
+            spurious: 0.3,
+            ..FaultPlan::none()
+        };
+        let mut a = FaultInjector::new(plan.clone(), 21);
+        let mut b = FaultInjector::new(plan, 21);
+        let forward: Vec<_> = (0..300).map(|k| a.doorbell_fate(k)).collect();
+        let backward: Vec<_> = (0..300).rev().map(|k| b.doorbell_fate(k)).collect();
+        for (k, fate) in forward.iter().enumerate() {
+            assert_eq!(*fate, backward[299 - k]);
+        }
+        // Interleaving other classes changes nothing either.
+        for k in 0..300 {
+            b.straggler_stall(k);
+            b.spurious_now(k);
+        }
+        for k in 0..300u64 {
+            assert_eq!(b.doorbell_fate(k), forward[k as usize]);
+        }
+        // Picks are in range and deterministic per key.
+        for k in 0..100 {
+            let p = a.pick(k, 7);
+            assert!(p < 7);
+            assert_eq!(p, b.pick(k, 7));
+        }
     }
 
     #[test]

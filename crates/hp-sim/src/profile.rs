@@ -81,6 +81,28 @@ impl KernelProfile {
         self.total
     }
 
+    /// Folds another profile over the same label set into this one.
+    ///
+    /// Used by the parallel engine to merge per-lane profiles: counts,
+    /// attributed cycles, and totals add; per-lane clock attribution is
+    /// already exact within each lane, so the sum is the whole-machine
+    /// event mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two profiles were built over different label sets.
+    pub fn merge(&mut self, other: &KernelProfile) {
+        assert_eq!(self.labels, other.labels, "profiles cover different events");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.advanced.iter_mut().zip(&other.advanced) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.last_now = self.last_now.max(other.last_now);
+    }
+
     /// `(label, count, cycles)` rows, in label order.
     pub fn rows(&self) -> Vec<(&'static str, u64, u64)> {
         self.labels
@@ -107,5 +129,20 @@ mod tests {
         assert_eq!(p.cycles(1), 30);
         assert_eq!(p.total_events(), 3);
         assert_eq!(p.rows(), vec![("a", 1, 10), ("b", 2, 30)]);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_cycles() {
+        static LABELS: &[&str] = &["a", "b"];
+        let mut p = KernelProfile::new(LABELS);
+        p.tally(0, SimTime(10));
+        let mut q = KernelProfile::new(LABELS);
+        q.tally(1, SimTime(25));
+        q.tally(1, SimTime(30));
+        p.merge(&q);
+        assert_eq!(p.count(0), 1);
+        assert_eq!(p.count(1), 2);
+        assert_eq!(p.cycles(1), 30);
+        assert_eq!(p.total_events(), 3);
     }
 }

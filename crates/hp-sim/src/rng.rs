@@ -45,9 +45,15 @@ impl RngFactory {
     /// `(root_seed, stream_id)` pair through a SplitMix64 finalizer before
     /// seeding.
     pub fn stream(&self, stream_id: u64) -> SmallRng {
-        SmallRng::seed_from_u64(splitmix64(
-            self.root_seed ^ splitmix64(stream_id.wrapping_add(0x9E37_79B9_7F4A_7C15)),
-        ))
+        SmallRng::seed_from_u64(self.stream_seed(stream_id))
+    }
+
+    /// The derived `u64` seed behind [`stream`](Self::stream), for
+    /// consumers that hash per-decision keys against a stream-scoped seed
+    /// instead of drawing sequentially (e.g.
+    /// [`crate::faults::FaultInjector`]).
+    pub fn stream_seed(&self, stream_id: u64) -> u64 {
+        splitmix64(self.root_seed ^ splitmix64(stream_id.wrapping_add(0x9E37_79B9_7F4A_7C15)))
     }
 }
 

@@ -1,0 +1,206 @@
+//! The parallel-fabric determinism pins: a same-seed run must be
+//! digest-identical to the serial engine for any worker count, across
+//! notifier styles, the Fig. 10 imbalanced multicore shape, and full
+//! chaos with every observer attached — plus the windowed event-queue
+//! merge primitive checked against a single-queue oracle.
+
+use hyperplane::prelude::*;
+use hyperplane::sdp::runner;
+use hyperplane::sim::chaos::ChaosSchedule;
+use hyperplane::sim::event::EventQueue;
+use hyperplane::sim::faults::FaultPlan;
+
+/// A digest of everything the simulation itself computes (mirrors
+/// `tests/observability.rs`): headline metrics plus the full per-core
+/// telemetry, bit-exact.
+fn digest(r: &ExperimentResult) -> Vec<u64> {
+    let mut d = vec![
+        r.throughput_tps.to_bits(),
+        r.offered_tps.to_bits(),
+        r.completions,
+        r.drops,
+        r.end.since_start().count(),
+        r.mean_latency_us().to_bits(),
+        r.latency_percentile_us(50.0).to_bits(),
+        r.latency_percentile_us(99.0).to_bits(),
+        r.mean_notification_us().to_bits(),
+    ];
+    for c in &r.per_core {
+        d.extend([
+            c.useful_instructions,
+            c.spin_instructions,
+            c.background_instructions,
+            c.active_cycles,
+            c.halt_c0_cycles,
+            c.halt_c1_cycles,
+            c.completions,
+            c.empty_polls,
+            c.spurious,
+            c.qwait_timeouts,
+            c.recoveries,
+        ]);
+    }
+    d
+}
+
+/// Four DP cores in single-core clusters: four sharing groups, so the
+/// multi-lane fabric actually engages (one group would fall back to the
+/// single-lane path and the test would be vacuous).
+fn base(notifier: Notifier) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 64)
+        .with_cores(4, 1)
+        .with_notifier(notifier)
+        .with_seed(0x0B5E_41E5);
+    cfg.target_completions = 2_000;
+    cfg
+}
+
+/// The Fig. 10-style imbalanced variant: concentrated traffic over 400
+/// queues, 10% imbalance across the four groups.
+fn fig10() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(
+        WorkloadKind::PacketEncap,
+        TrafficShape::ProportionallyConcentrated,
+        400,
+    )
+    .with_cores(4, 1)
+    .with_notifier(Notifier::hyperplane())
+    .with_seed(0x0B5E_41E5);
+    cfg.imbalance = 0.10;
+    cfg.target_completions = 2_000;
+    cfg
+}
+
+/// Attaches every observer the engine supports.
+fn observed(cfg: ExperimentConfig) -> ExperimentConfig {
+    cfg.with_trace(16_384)
+        .with_attrib()
+        .with_audit()
+        .with_metrics_window(500_000)
+}
+
+fn assert_worker_invariant(label: &str, mk: impl Fn() -> ExperimentConfig) {
+    let serial = runner::run(mk().with_par_workers(1));
+    let d0 = digest(&serial);
+    for workers in [2, 4] {
+        let par = runner::run(mk().with_par_workers(workers));
+        assert_eq!(
+            d0,
+            digest(&par),
+            "{label}: digest diverged at {workers} workers"
+        );
+    }
+}
+
+/// Clean runs (no faults) with tracing, attribution, audit, and windowed
+/// metrics attached: spinning, HyperPlane, and the Fig. 10 imbalance.
+#[test]
+fn parallel_digest_matches_serial_across_configs() {
+    assert_worker_invariant("spinning", || observed(base(Notifier::Spinning)));
+    assert_worker_invariant("hyperplane", || observed(base(Notifier::hyperplane())));
+    assert_worker_invariant("fig10-imbalance", || observed(fig10()));
+}
+
+/// Full chaos — correlated bursts, a storm phase, live doorbell churn,
+/// silent evictions, timeouts, a watchdog — with every observer attached:
+/// still digest-identical for any worker count.
+#[test]
+fn parallel_digest_matches_serial_under_chaos() {
+    let storm = FaultPlan::parse("drop=0.5,delay=0.2,evict=0.01,spurious=0.05").unwrap();
+    let mk = || {
+        observed(base(Notifier::hyperplane()))
+            .with_faults(storm.scaled(0.5))
+            .with_chaos(
+                ChaosSchedule::none()
+                    .with_burst(2_000_000, 500_000, 2.0)
+                    .with_phase(3_000_000, 6_000_000, storm.clone())
+                    .with_churn(2_500_000),
+            )
+            .with_silent_evictions()
+            .with_qwait_timeout(20_000)
+            .with_watchdog(4_000_000)
+            .with_seed(0xC4A0_5C4A)
+    };
+    assert_worker_invariant("chaos", mk);
+
+    // Attribution conservation and the audit must also survive the merge.
+    let par = runner::run(mk().with_par_workers(4));
+    let a = par.attrib_report().expect("attribution enabled");
+    assert!(a.conserved(), "merged attribution violated conservation");
+    assert!(par.audit_report().expect("audit enabled").ok());
+}
+
+/// The worker count maps lanes onto threads and nothing else: worker
+/// counts that exceed the lane count, or don't divide it, change nothing.
+#[test]
+fn worker_count_beyond_lane_count_is_inert() {
+    let d0 = digest(&runner::run(
+        base(Notifier::hyperplane()).with_par_workers(1),
+    ));
+    for workers in [3, 5, 64] {
+        let d = digest(&runner::run(
+            base(Notifier::hyperplane()).with_par_workers(workers),
+        ));
+        assert_eq!(d0, d, "digest diverged at {workers} workers");
+    }
+}
+
+/// The sync window is a scheduling granularity, not a semantic knob —
+/// but run control is evaluated at window boundaries, so the *same*
+/// window must be used when comparing worker counts (pinned here), and
+/// different windows must still agree between serial and parallel.
+#[test]
+fn sync_window_choice_is_worker_invariant() {
+    for window in [10_000u64, 65_536, 1_000_000] {
+        let mk = || base(Notifier::hyperplane()).with_sync_window(window);
+        let serial = digest(&runner::run(mk().with_par_workers(1)));
+        let par = digest(&runner::run(mk().with_par_workers(2)));
+        assert_eq!(serial, par, "window {window}: serial vs parallel diverged");
+    }
+}
+
+/// Property test for the fabric's merge primitive: merging N per-lane
+/// timestamped streams must reproduce a single event queue's pop order
+/// exactly, when the oracle queue is fed in lane-major insertion order
+/// (the serial engine's tie-break is insertion order; the merge's is
+/// `(time, lane, within-lane order)` — identical under that feeding).
+#[test]
+fn windowed_stream_merge_matches_single_queue_oracle() {
+    // Deterministic pseudo-random workload: times cluster heavily so
+    // same-instant tie-breaks are exercised, not just hit by luck.
+    let mut state = 0x9E37_79B9_97F4_A7C5u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for lanes in [1usize, 2, 3, 8] {
+        let mut streams: Vec<Vec<(u64, u64)>> = vec![Vec::new(); lanes];
+        for i in 0..2_000u64 {
+            let t = next() % 97; // dense collisions
+            streams[(next() % lanes as u64) as usize].push((t, i));
+        }
+        // Per-lane streams must be time-sorted here (a real lane pops in
+        // time order); keep each lane's relative emission order for ties.
+        for s in &mut streams {
+            s.sort_by_key(|&(t, _)| t);
+        }
+        // Oracle: one event queue, fed lane-major.
+        let mut oracle: EventQueue<u64> = EventQueue::new();
+        for s in &streams {
+            for &(t, id) in s {
+                oracle.schedule_at(SimTime(t), id);
+            }
+        }
+        let mut expect = Vec::new();
+        while let Some((at, id)) = oracle.pop() {
+            expect.push((at.since_start().count(), id));
+        }
+        let merged: Vec<(u64, u64)> = hp_par::merge_timestamped(streams)
+            .into_iter()
+            .map(|(t, _, id)| (t, id))
+            .collect();
+        assert_eq!(merged, expect, "{lanes} lanes diverged from the oracle");
+    }
+}
