@@ -10,8 +10,11 @@
 
 use hp_bench::microbench::Criterion;
 use hp_bench::{criterion_group, criterion_main};
+use hp_core::monitoring::{BankedMonitoringSet, MonitoringSet};
+use hp_core::ready_set::{PpaKind, ReadySet, ServicePolicy};
 use hp_mem::system::{MemSystem, MemSystemConfig};
-use hp_mem::types::{AccessKind, Addr, CoreId};
+use hp_mem::types::{AccessKind, Addr, CoreId, LineAddr};
+use hp_queues::sim::QueueId;
 use hp_rand::rngs::SmallRng;
 use hp_rand::{Rng, SeedableRng};
 use hp_sim::event::EventQueue;
@@ -245,11 +248,87 @@ fn bench_alias_sampler(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_ready_select_hier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ready_select_hier");
+
+    // Select + reactivate over a sparse ready population: 64 ready QIDs
+    // spread across the whole space, so every select climbs the summary
+    // pyramid (O(log64 N) words) instead of scanning leaves. The 1k
+    // variant is the paper's design point, where the hierarchy
+    // degenerates to the flat scan (16 leaf words, no summary levels).
+    for (label, n) in [("select_1m", 1usize << 20), ("select_1k", 1024)] {
+        g.bench_function(label, |b| {
+            let mut rs = ReadySet::new(n, ServicePolicy::RoundRobin, PpaKind::BrentKung);
+            let stride = (n / 64).max(1);
+            for i in 0..64 {
+                rs.activate(QueueId((i * stride % n) as u32));
+            }
+            b.iter(|| {
+                let q = rs.select().expect("population is reactivated");
+                rs.activate(q);
+                black_box(q)
+            })
+        });
+    }
+
+    // Worst-case single-bit find: one ready QID at the far end, selected
+    // and re-activated — the longest climb-and-descend path.
+    g.bench_function("select_far_bit_1m", |b| {
+        let n = 1usize << 20;
+        let mut rs = ReadySet::new(n, ServicePolicy::RoundRobin, PpaKind::BrentKung);
+        rs.activate(QueueId(n as u32 - 1));
+        b.iter(|| {
+            let q = rs.select().expect("bit is reactivated");
+            rs.activate(q);
+            black_box(q)
+        })
+    });
+    g.finish();
+}
+
+fn bench_monitoring_shard_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitoring_shard_probe");
+
+    // GetM snoop + re-arm against a fully populated 1M-QID monitoring
+    // set: hashed 32-bank sharding (one-bank probe, DESIGN.md §17) vs
+    // the monolithic table the paper sizes for 1024 QIDs.
+    let n: usize = 1 << 20;
+    let mk = |banks: usize| {
+        let mut ms = if banks > 1 {
+            BankedMonitoringSet::sharded(n + n / 8, banks, MonitoringSet::DEFAULT_WAYS)
+        } else {
+            BankedMonitoringSet::new(n + n / 8, 1)
+        };
+        ms.reserve_qids(n);
+        for q in 0..n as u32 {
+            let _ = ms.insert(QueueId(q), LineAddr(0x1000 + q as u64));
+        }
+        ms
+    };
+    for (label, banks) in [("snoop_hashed_32banks", 32usize), ("snoop_monolithic", 1)] {
+        g.bench_function(label, |b| {
+            let mut ms = mk(banks);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let hit = ms.snoop(LineAddr(0x1000 + (i % n as u64)));
+                if let Some(q) = hit {
+                    ms.arm(q);
+                }
+                black_box(hit)
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_mem_access,
     bench_calendar_wheel,
     bench_soa_rows,
-    bench_alias_sampler
+    bench_alias_sampler,
+    bench_ready_select_hier,
+    bench_monitoring_shard_probe
 );
 criterion_main!(benches);

@@ -56,6 +56,13 @@ pub struct MonitoringStats {
     pub snoop_hits: u64,
     /// Snoop probes that matched nothing (or a disarmed entry).
     pub snoop_misses: u64,
+    /// Snoop misses rejected by the per-shard doorbell line-range filter
+    /// before any way was probed (a subset of `snoop_misses`).
+    pub snoop_filtered: u64,
+    /// Reverse-index (`by_qid`) growth events past the pre-sized
+    /// capacity. Zero when the driver sized the index from its config;
+    /// nonzero means a QID arrived that the configuration never promised.
+    pub spill_resizes: u64,
 }
 
 /// The Cuckoo-hashed monitoring set.
@@ -84,9 +91,16 @@ pub struct MonitoringSet {
     ways: Vec<Vec<Option<Entry>>>,
     rows: usize,
     /// QID -> (way, row) reverse index (hardware would address by QID RAM;
-    /// this keeps arm/disarm O(1) like the real structure).
+    /// this keeps arm/disarm O(1) like the real structure). Pre-sized via
+    /// [`Self::reserve_qids`]; lazy growth past that is counted as a
+    /// spill-resize in the stats.
     by_qid: Vec<Option<(u8, u32)>>,
     max_kicks: usize,
+    /// Watermarks of doorbell lines ever inserted: the shard's snoop-range
+    /// register. Monotone (removal never shrinks them), so the filter is
+    /// conservative — it can only reject lines no entry ever carried.
+    line_lo: u64,
+    line_hi: u64,
     stats: MonitoringStats,
 }
 
@@ -130,8 +144,27 @@ impl MonitoringSet {
             rows,
             by_qid: Vec::new(),
             max_kicks: Self::DEFAULT_MAX_KICKS,
+            line_lo: u64::MAX,
+            line_hi: 0,
             stats: MonitoringStats::default(),
         }
+    }
+
+    /// Pre-sizes the QID reverse index for `qids` queues, making its
+    /// growth explicit instead of a lazy `resize` on the first touch of a
+    /// high QID. Touches past this capacity still work but are counted as
+    /// spill-resizes (surfaced by `trace --profile`).
+    pub fn reserve_qids(&mut self, qids: usize) {
+        if qids > self.by_qid.len() {
+            self.by_qid.resize(qids, None);
+        }
+    }
+
+    /// The shard's snoop-range register: the inclusive range of doorbell
+    /// lines ever inserted, or `None` before the first insert. GetM
+    /// snoops outside it are rejected without probing any way.
+    pub fn snoop_line_range(&self) -> Option<(LineAddr, LineAddr)> {
+        (self.line_lo <= self.line_hi).then_some((LineAddr(self.line_lo), LineAddr(self.line_hi)))
     }
 
     /// Number of hash ways.
@@ -164,6 +197,7 @@ impl MonitoringSet {
         let i = qid.0 as usize;
         if i >= self.by_qid.len() {
             self.by_qid.resize(i + 1, None);
+            self.stats.spill_resizes += 1;
         }
         self.by_qid[i] = loc;
     }
@@ -215,6 +249,8 @@ impl MonitoringSet {
             if placed {
                 self.stats.inserts += 1;
                 self.stats.relocations += walk.len() as u64;
+                self.line_lo = self.line_lo.min(line.0);
+                self.line_hi = self.line_hi.max(line.0);
                 return Ok(());
             }
             // All full: displace from a pseudo-random way (random-walk
@@ -314,6 +350,14 @@ impl MonitoringSet {
     /// entry, the entry is disarmed and its QID returned (to be activated
     /// in the ready set). An O(ways) parallel lookup, as in hardware.
     pub fn snoop(&mut self, line: LineAddr) -> Option<QueueId> {
+        // Per-shard snoop-range register: lines no entry ever carried are
+        // rejected before any way is probed. Behaviour-neutral (a probe
+        // would miss anyway); the filter only saves the way lookups.
+        if line.0 < self.line_lo || line.0 > self.line_hi {
+            self.stats.snoop_filtered += 1;
+            self.stats.snoop_misses += 1;
+            return None;
+        }
         for way in 0..self.ways.len() {
             let row = self.row(way, line);
             if let Some(e) = &mut self.ways[way][row as usize] {
@@ -329,13 +373,33 @@ impl MonitoringSet {
     }
 }
 
-/// A banked monitoring set for distributed-directory systems (§IV-A).
+/// How a doorbell line is routed to its monitoring-set bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BankAddressing {
+    /// `line % banks` — directory banks are physically line-interleaved,
+    /// so the co-located monitoring banks inherit that routing (§IV-A).
+    #[default]
+    Interleaved,
+    /// `splitmix64(line) % banks` — the million-queue scale-out shards:
+    /// routing by line *hash* decouples bank balance from the driver's
+    /// doorbell allocation pattern (a strided or clustered layout cannot
+    /// alias every doorbell into one shard, the failure mode the modulo
+    /// interleave has under skewed allocations).
+    Hashed,
+}
+
+/// A banked monitoring set for distributed-directory systems (§IV-A) and
+/// the million-queue sharded scale-out (DESIGN.md §17).
 ///
 /// "In the case of distributed directories, the monitoring set must also
 /// be banked, attached to individual directory banks. In such cases, the
 /// driver must spread doorbell addresses across banks." Banks are
-/// line-interleaved, so the driver's natural one-line-per-doorbell layout
-/// spreads QIDs evenly.
+/// line-interleaved by default, so the driver's natural
+/// one-line-per-doorbell layout spreads QIDs evenly; the sharded variant
+/// ([`Self::sharded`]) routes by line hash instead. Either way every
+/// QWAIT-ADD/REMOVE and GetM snoop touches exactly one bank, and each
+/// bank keeps its own ways/rows and snoop-range register
+/// ([`MonitoringSet::snoop_line_range`]).
 ///
 /// # Examples
 ///
@@ -354,8 +418,12 @@ impl MonitoringSet {
 #[derive(Debug)]
 pub struct BankedMonitoringSet {
     banks: Vec<MonitoringSet>,
-    /// QID -> owning bank (driver bookkeeping; hardware routes by address).
+    addressing: BankAddressing,
+    /// QID -> owning bank (driver bookkeeping; hardware routes by
+    /// address). Pre-sized by [`Self::reserve_qids`]; growth past that is
+    /// a counted spill, like the per-bank reverse index.
     bank_of_qid: Vec<Option<u8>>,
+    spill_resizes: u64,
 }
 
 impl BankedMonitoringSet {
@@ -367,15 +435,42 @@ impl BankedMonitoringSet {
     /// Panics if `banks` is zero, exceeds 256, or leaves a bank with
     /// fewer entries than its way count.
     pub fn new(entries: usize, banks: usize) -> Self {
+        Self::with_addressing(
+            entries,
+            banks,
+            MonitoringSet::DEFAULT_WAYS,
+            BankAddressing::Interleaved,
+        )
+    }
+
+    /// Creates a hash-addressed sharded set: `banks` shards sharing
+    /// `entries` total capacity, each with its own `ways` (and derived
+    /// rows), routed by doorbell-line hash.
+    ///
+    /// # Panics
+    ///
+    /// Same bounds as [`Self::new`], plus `ways >= 2` per shard.
+    pub fn sharded(entries: usize, banks: usize, ways: usize) -> Self {
+        Self::with_addressing(entries, banks, ways, BankAddressing::Hashed)
+    }
+
+    fn with_addressing(
+        entries: usize,
+        banks: usize,
+        ways: usize,
+        addressing: BankAddressing,
+    ) -> Self {
         assert!(
             (1..=256).contains(&banks),
             "bank count must be in 1..=256, got {banks}"
         );
         BankedMonitoringSet {
             banks: (0..banks)
-                .map(|_| MonitoringSet::new(entries / banks))
+                .map(|_| MonitoringSet::with_ways(entries / banks, ways))
                 .collect(),
+            addressing,
             bank_of_qid: Vec::new(),
+            spill_resizes: 0,
         }
     }
 
@@ -384,10 +479,39 @@ impl BankedMonitoringSet {
         self.banks.len()
     }
 
+    /// The bank-routing mode.
+    pub fn addressing(&self) -> BankAddressing {
+        self.addressing
+    }
+
+    /// Pre-sizes every reverse index (the per-bank `by_qid` RAMs and the
+    /// driver's QID→bank map) for `qids` queues.
+    pub fn reserve_qids(&mut self, qids: usize) {
+        if qids > self.bank_of_qid.len() {
+            self.bank_of_qid.resize(qids, None);
+        }
+        for b in &mut self.banks {
+            b.reserve_qids(qids);
+        }
+    }
+
+    /// The bank a doorbell line routes to. Public so the driver
+    /// (Algorithm 1 and the churn re-homing path) can prefer spare lines
+    /// that stay within a queue's current shard before spilling to
+    /// another one.
+    #[inline]
+    pub fn bank_of_line(&self, line: LineAddr) -> usize {
+        self.bank_index(line)
+    }
+
     #[inline]
     fn bank_index(&self, line: LineAddr) -> usize {
-        // Line-interleaved banking, as directory banks are.
-        (line.0 % self.banks.len() as u64) as usize
+        let n = self.banks.len() as u64;
+        match self.addressing {
+            // Line-interleaved banking, as directory banks are.
+            BankAddressing::Interleaved => (line.0 % n) as usize,
+            BankAddressing::Hashed => (splitmix64(line.0 ^ 0x9E37_79B9_7F4A_7C15) % n) as usize,
+        }
     }
 
     fn qid_bank(&self, qid: QueueId) -> Option<usize> {
@@ -410,6 +534,7 @@ impl BankedMonitoringSet {
         let i = qid.0 as usize;
         if i >= self.bank_of_qid.len() {
             self.bank_of_qid.resize(i + 1, None);
+            self.spill_resizes += 1;
         }
         self.bank_of_qid[i] = Some(b as u8);
         Ok(())
@@ -469,7 +594,8 @@ impl BankedMonitoringSet {
         self.banks.iter().map(|b| b.occupancy()).collect()
     }
 
-    /// Aggregated statistics across banks.
+    /// Aggregated statistics across banks (plus the wrapper's own
+    /// QID→bank spill-resizes).
     pub fn stats(&self) -> MonitoringStats {
         let mut agg = MonitoringStats::default();
         for b in &self.banks {
@@ -479,7 +605,10 @@ impl BankedMonitoringSet {
             agg.relocations += s.relocations;
             agg.snoop_hits += s.snoop_hits;
             agg.snoop_misses += s.snoop_misses;
+            agg.snoop_filtered += s.snoop_filtered;
+            agg.spill_resizes += s.spill_resizes;
         }
+        agg.spill_resizes += self.spill_resizes;
         agg
     }
 }
@@ -553,6 +682,92 @@ mod banked_tests {
             );
         }
         assert_eq!(banked.occupancy(), flat.occupancy());
+    }
+
+    #[test]
+    fn hashed_addressing_balances_strided_lines() {
+        // All lines ≡ 0 mod 4: modulo interleaving piles everything into
+        // bank 0 (see `skewed_addresses_overload_one_bank`); the hashed
+        // shard function must still spread them.
+        let mut ms = BankedMonitoringSet::sharded(1024, 4, MonitoringSet::DEFAULT_WAYS);
+        assert_eq!(ms.addressing(), BankAddressing::Hashed);
+        for q in 0..256u32 {
+            ms.insert(QueueId(q), LineAddr(q as u64 * 4)).unwrap();
+        }
+        let per_bank = ms.occupancy_per_bank();
+        assert_eq!(per_bank.iter().sum::<usize>(), 256);
+        for (b, &occ) in per_bank.iter().enumerate() {
+            assert!(
+                (32..=96).contains(&occ),
+                "bank {b} holds {occ}/256 under hashed addressing"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_trace_matches_monolithic() {
+        // Same insert/snoop/remove trace against a hashed 8-bank set and a
+        // single flat set: every observable must agree.
+        let mut sharded = BankedMonitoringSet::sharded(2048, 8, MonitoringSet::DEFAULT_WAYS);
+        let mut flat = MonitoringSet::new(2048);
+        for q in 0..512u32 {
+            let line = LineAddr(0x4000 + q as u64 * 64);
+            assert_eq!(
+                sharded.insert(QueueId(q), line).is_ok(),
+                flat.insert(QueueId(q), line).is_ok()
+            );
+        }
+        for q in (0..512u32).step_by(3) {
+            let line = LineAddr(0x4000 + q as u64 * 64);
+            assert_eq!(sharded.snoop(line), flat.snoop(line));
+            assert_eq!(sharded.is_armed(QueueId(q)), flat.is_armed(QueueId(q)));
+        }
+        for q in (0..512u32).step_by(5) {
+            assert_eq!(sharded.remove(QueueId(q)), flat.remove(QueueId(q)));
+        }
+        assert_eq!(sharded.occupancy(), flat.occupancy());
+    }
+
+    #[test]
+    fn reserve_qids_preempts_spill_resizes() {
+        let mut ms = BankedMonitoringSet::sharded(256, 2, MonitoringSet::DEFAULT_WAYS);
+        ms.reserve_qids(128);
+        for q in 0..128u32 {
+            ms.insert(QueueId(q), LineAddr(q as u64 * 9 + 1)).unwrap();
+        }
+        assert_eq!(
+            ms.stats().spill_resizes,
+            0,
+            "pre-sized index must not spill"
+        );
+
+        let mut lazy = BankedMonitoringSet::sharded(256, 2, MonitoringSet::DEFAULT_WAYS);
+        for q in 0..128u32 {
+            lazy.insert(QueueId(q), LineAddr(q as u64 * 9 + 1)).unwrap();
+        }
+        assert!(
+            lazy.stats().spill_resizes > 0,
+            "lazy growth is a counted spill"
+        );
+    }
+
+    #[test]
+    fn snoop_range_filter_is_behavior_neutral() {
+        let mut ms = MonitoringSet::new(64);
+        assert_eq!(ms.snoop_line_range(), None, "empty set has no range");
+        ms.insert(QueueId(0), LineAddr(100)).unwrap();
+        ms.insert(QueueId(1), LineAddr(200)).unwrap();
+        assert_eq!(ms.snoop_line_range(), Some((LineAddr(100), LineAddr(200))));
+        // Out-of-range snoops are filtered without probing a row, but the
+        // observable result (a miss) is identical.
+        assert_eq!(ms.snoop(LineAddr(50)), None);
+        assert_eq!(ms.snoop(LineAddr(300)), None);
+        // In-range but absent: probed, still a miss.
+        assert_eq!(ms.snoop(LineAddr(150)), None);
+        let s = ms.stats();
+        assert_eq!(s.snoop_filtered, 2);
+        assert_eq!(s.snoop_misses, 3);
+        assert_eq!(ms.snoop(LineAddr(200)), Some(QueueId(1)));
     }
 }
 

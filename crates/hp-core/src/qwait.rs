@@ -12,7 +12,7 @@
 //! §III-A) hold by construction: no arrival can interleave between the
 //! emptiness check and the re-arm within one call.
 
-use crate::monitoring::{BankedMonitoringSet, InsertConflict};
+use crate::monitoring::{BankAddressing, BankedMonitoringSet, InsertConflict, MonitoringSet};
 use crate::ready_set::{PpaKind, ReadySet, ReadySetStats, ServicePolicy};
 use hp_mem::types::{AddrRange, LineAddr};
 use hp_queues::sim::QueueId;
@@ -51,6 +51,11 @@ pub struct HyperPlaneConfig {
     /// Monitoring-set banks (§IV-A: banked alongside distributed
     /// directory banks; 1 = the unified set of Table I).
     pub monitoring_banks: usize,
+    /// How doorbell lines are routed to monitoring banks.
+    /// [`BankAddressing::Interleaved`] is the directory-bank layout of
+    /// §IV-A; [`BankAddressing::Hashed`] is the scale-out sharding
+    /// (DESIGN.md §17) that stays balanced under strided doorbells.
+    pub monitoring_addressing: BankAddressing,
     /// Ready-set size in QIDs (Table I: 1024).
     pub ready_qids: usize,
     /// Service policy.
@@ -62,16 +67,44 @@ pub struct HyperPlaneConfig {
 }
 
 impl HyperPlaneConfig {
+    /// QIDs homed per monitoring shard in [`Self::scaled`]. 32k QIDs per
+    /// bank keeps each bank's row array L2-resident while capping the
+    /// bank count at 32 for 1M queues.
+    pub const QIDS_PER_SHARD: usize = 32_768;
+
     /// The Table I configuration: 1024-entry monitoring and ready sets,
     /// round-robin service, Brent–Kung PPA.
     pub fn table1() -> Self {
         HyperPlaneConfig {
             monitoring_entries: 1024,
             monitoring_banks: 1,
+            monitoring_addressing: BankAddressing::Interleaved,
             ready_qids: 1024,
             policy: ServicePolicy::RoundRobin,
             ppa: PpaKind::BrentKung,
             timing: DeviceTiming::default(),
+        }
+    }
+
+    /// A configuration sized for `queues` QIDs. At or below the paper's
+    /// 1024-QID design point this is exactly [`Self::table1`] (so every
+    /// committed artifact is untouched); above it, the ready set grows to
+    /// `queues`, the monitoring set is over-provisioned by 12.5 % and
+    /// sharded into hashed banks of [`Self::QIDS_PER_SHARD`] QIDs each.
+    pub fn scaled(queues: usize) -> Self {
+        if queues <= 1024 {
+            return Self::table1();
+        }
+        let banks = queues
+            .div_ceil(Self::QIDS_PER_SHARD)
+            .next_power_of_two()
+            .clamp(1, 256);
+        HyperPlaneConfig {
+            monitoring_entries: queues + queues / 8,
+            monitoring_banks: banks,
+            monitoring_addressing: BankAddressing::Hashed,
+            ready_qids: queues,
+            ..Self::table1()
         }
     }
 }
@@ -152,11 +185,21 @@ impl HyperPlaneDevice {
     /// Creates a device snooping `doorbell_range`, with `QWAIT_init`
     /// semantics (address range + service policy).
     pub fn new(config: HyperPlaneConfig, doorbell_range: AddrRange) -> Self {
-        HyperPlaneDevice {
-            monitoring: BankedMonitoringSet::new(
+        let mut monitoring = match config.monitoring_addressing {
+            BankAddressing::Interleaved => {
+                BankedMonitoringSet::new(config.monitoring_entries, config.monitoring_banks)
+            }
+            BankAddressing::Hashed => BankedMonitoringSet::sharded(
                 config.monitoring_entries,
                 config.monitoring_banks,
+                MonitoringSet::DEFAULT_WAYS,
             ),
+        };
+        // Pre-size the reverse indexes for the configured QID space so the
+        // steady state never pays a spill-resize (ISSUE 9 satellite).
+        monitoring.reserve_qids(config.ready_qids);
+        HyperPlaneDevice {
+            monitoring,
             ready: ReadySet::new(config.ready_qids, config.policy, config.ppa),
             snoop_range: doorbell_range,
             timing: config.timing,
@@ -306,6 +349,18 @@ impl HyperPlaneDevice {
     pub fn monitoring_stats(&self) -> crate::monitoring::MonitoringStats {
         self.monitoring.stats()
     }
+
+    /// The monitoring bank a doorbell line homes to. Drivers that prefer
+    /// same-bank reallocation on churn (DESIGN.md §17) use this to pick
+    /// spare doorbells without cross-bank traffic.
+    pub fn monitoring_bank_of(&self, line: LineAddr) -> usize {
+        self.monitoring.bank_of_line(line)
+    }
+
+    /// Number of monitoring banks.
+    pub fn monitoring_banks(&self) -> usize {
+        self.monitoring.banks()
+    }
 }
 
 #[cfg(test)]
@@ -454,6 +509,51 @@ mod tests {
         let dev = device(2);
         assert_eq!(dev.line_of(QueueId(1)), Some(Addr(0x1_0000 + 64).line()));
         assert_eq!(dev.line_of(QueueId(7)), None);
+    }
+
+    #[test]
+    fn scaled_config_degenerates_to_table1_at_paper_sizes() {
+        for q in [1, 64, 1000, 1024] {
+            let c = HyperPlaneConfig::scaled(q);
+            assert_eq!(c.monitoring_entries, 1024);
+            assert_eq!(c.monitoring_banks, 1);
+            assert_eq!(c.monitoring_addressing, BankAddressing::Interleaved);
+            assert_eq!(c.ready_qids, 1024);
+        }
+    }
+
+    #[test]
+    fn scaled_config_derives_shards_above_the_ceiling() {
+        let c = HyperPlaneConfig::scaled(65_536);
+        assert_eq!(c.ready_qids, 65_536);
+        assert_eq!(c.monitoring_entries, 65_536 + 65_536 / 8);
+        assert_eq!(c.monitoring_banks, 2);
+        assert_eq!(c.monitoring_addressing, BankAddressing::Hashed);
+
+        let c = HyperPlaneConfig::scaled(1_048_576);
+        assert_eq!(c.monitoring_banks, 32);
+        assert_eq!(c.ready_qids, 1_048_576);
+
+        // Just above the ceiling still gets one hashed bank.
+        let c = HyperPlaneConfig::scaled(2000);
+        assert_eq!(c.monitoring_banks, 1);
+        assert_eq!(c.monitoring_addressing, BankAddressing::Hashed);
+    }
+
+    #[test]
+    fn scaled_device_registers_a_million_doorbells() {
+        let n = 1 << 20;
+        let range = AddrRange::new(Addr(0x100_0000), Addr(0x100_0000 + n as u64 * 64));
+        let mut dev = HyperPlaneDevice::new(HyperPlaneConfig::scaled(n), range);
+        assert_eq!(dev.monitoring_banks(), 32);
+        for q in (0..n as u32).step_by(4096) {
+            dev.qwait_add(QueueId(q), Addr(0x100_0000 + q as u64 * 64).line())
+                .unwrap();
+        }
+        dev.snoop_getm(Addr(0x100_0000 + (n as u64 - 4096) * 64).line());
+        assert_eq!(dev.ready_count(), 1);
+        assert_eq!(dev.qwait_select(), Some(QueueId(n as u32 - 4096)));
+        assert_eq!(dev.monitoring_stats().spill_resizes, 0);
     }
 
     #[test]

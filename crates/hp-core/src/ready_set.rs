@@ -14,11 +14,37 @@
 //! Both must select the same QID on every input — a property the test
 //! suite checks exhaustively and by randomized search. Because they agree,
 //! the simulated [`ReadySet::select`] computes the shared function — a
-//! circular first-fit — directly over packed 64-bit ready/mask words
-//! (one `trailing_zeros` per word); the gate-level models remain as the
-//! behavioural oracle and for [`PpaKind::gate_levels`] ablations.
+//! circular first-fit — directly over packed 64-bit ready/mask words.
+//!
+//! # Million-queue scale-out (DESIGN.md §17)
+//!
+//! The packed words are capped by a pyramid of *summary words*: bit `w` of
+//! summary level 0 is the OR of live word `w` (`ready & mask`), and each
+//! higher level ORs 64 words of the level below, until a single root word
+//! remains. Selection descends the pyramid with one `trailing_zeros` per
+//! level — O(log64 N) instead of the O(N/64) word scan — and activations /
+//! grants / mask flips maintain the pyramid incrementally (they touch it
+//! only when a word transitions between zero and nonzero). At ≤ 64 leaf
+//! words (≤ 4096 QIDs — the paper's 1024-QID Table I point is 16 words)
+//! the pyramid is a single root word and the hierarchical select visits
+//! exactly the words the flat scan would, returning the identical index
+//! for every (ready, mask, position) input; the flat scan itself stays
+//! available as [`ReadySet::flat_first_fit`], the behavioural oracle the
+//! property suite pins the hierarchy against. The gate-level models remain
+//! for [`PpaKind::gate_levels`] / [`PpaKind::banked_gate_levels`]
+//! ablations.
 
 use hp_queues::sim::QueueId;
+
+/// `ceil(log2(n))` for the arbiter-depth formulas; 0 for `n <= 1`.
+#[inline]
+fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        (n - 1).ilog2() + 1
+    }
+}
 
 /// Which PPA hardware model computes the select vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,15 +62,45 @@ impl PpaKind {
     /// Ripple priority propagates through every bit slice (≈2 gates per
     /// slice, doubled by the wrap-around unroll); Brent–Kung needs an
     /// up-sweep and a down-sweep of `ceil(log2 n)` levels each plus the
-    /// thermometer mask and grant AND.
+    /// thermometer mask and grant AND. Non-power-of-two arbiters pad to
+    /// the next power of two, so the depth uses the *ceiling* log — an
+    /// exact match for the measured network depth at every `n` (see the
+    /// exhaustive small-`n` test), including `n == 1` (no combine levels,
+    /// mask and grant stages only).
     pub fn gate_levels(self, n: usize) -> u32 {
         match self {
             PpaKind::Ripple => (2 * n.max(1) * 2) as u32,
-            PpaKind::BrentKung => {
-                let log = usize::BITS - n.next_power_of_two().leading_zeros() - 1;
-                2 * log + 3
-            }
+            PpaKind::BrentKung => 2 * ceil_log2(n.max(1)) + 3,
         }
+    }
+
+    /// Critical path of a *banked* PPA: `bank`-wide arbiters arranged in
+    /// a tree — one per leaf word, then one per summary word of each
+    /// level, mirroring the hierarchical ready set — with the stage count
+    /// `ceil(log_bank(n))`. Each stage pays one `bank`-wide arbiter.
+    ///
+    /// Degenerates to [`Self::gate_levels`] when `n <= bank` (one stage,
+    /// arbiter sized to the actual width), so the Table I point is
+    /// unchanged; at a million QIDs a 64-wide banked Brent–Kung PPA pays
+    /// `ceil(log64 2^20) = 4` stages of 15 levels instead of one 43-level
+    /// monolith with million-bit wiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank < 2` (a 1-wide arbiter tree never terminates).
+    pub fn banked_gate_levels(self, n: usize, bank: usize) -> u32 {
+        assert!(bank >= 2, "banked PPA needs banks at least 2 wide");
+        let n = n.max(1);
+        if n <= bank {
+            return self.gate_levels(n);
+        }
+        let mut stages = 1u32;
+        let mut span = bank;
+        while span < n {
+            span = span.saturating_mul(bank);
+            stages += 1;
+        }
+        stages * self.gate_levels(bank)
     }
 }
 
@@ -163,6 +219,15 @@ pub struct ReadySet {
     ready: Vec<u64>,
     /// Enable-mask bits, packed the same way (tail bits stay zero).
     mask: Vec<u64>,
+    /// Summary pyramid over the live words (`ready & mask`): bit `w` of
+    /// `summaries[0]` is set iff live word `w` is nonzero; bit `i` of
+    /// `summaries[l]` iff word `i` of `summaries[l-1]` is nonzero. Built
+    /// until one root word remains; empty when there is a single leaf
+    /// word (the word is its own summary).
+    summaries: Vec<Vec<u64>>,
+    /// Population count of the live words, maintained incrementally so
+    /// [`Self::ready_count`] is O(1) at any size.
+    live: usize,
     policy: ServicePolicy,
     ppa: PpaKind,
     /// Next-priority position for round-robin.
@@ -196,10 +261,18 @@ impl ReadySet {
         if tail != 0 {
             mask[words - 1] = (1u64 << tail) - 1;
         }
+        let mut summaries = Vec::new();
+        let mut len = words;
+        while len > 1 {
+            len = len.div_ceil(64);
+            summaries.push(vec![0u64; len]);
+        }
         ReadySet {
             n,
             ready: vec![0u64; words],
             mask,
+            summaries,
+            live: 0,
             policy,
             ppa,
             rr_next: 0,
@@ -237,6 +310,44 @@ impl ReadySet {
         );
     }
 
+    /// The live (selectable) bits of leaf word `w`.
+    #[inline]
+    fn live_word(&self, w: usize) -> u64 {
+        self.ready[w] & self.mask[w]
+    }
+
+    /// Propagates "leaf word `idx` became nonzero" up the pyramid,
+    /// stopping at the first level already aware of it.
+    fn summarize_set(&mut self, mut idx: usize) {
+        for level in &mut self.summaries {
+            let (w, b) = (idx / 64, idx % 64);
+            let word = &mut level[w];
+            if *word & (1 << b) != 0 {
+                return;
+            }
+            let was_empty = *word == 0;
+            *word |= 1 << b;
+            if !was_empty {
+                return;
+            }
+            idx = w;
+        }
+    }
+
+    /// Propagates "leaf word `idx` became zero" up the pyramid, stopping
+    /// at the first summary word that stays nonzero.
+    fn summarize_clear(&mut self, mut idx: usize) {
+        for level in &mut self.summaries {
+            let (w, b) = (idx / 64, idx % 64);
+            let word = &mut level[w];
+            *word &= !(1u64 << b);
+            if *word != 0 {
+                return;
+            }
+            idx = w;
+        }
+    }
+
     /// Sets `qid`'s ready bit (activation from the monitoring set or from
     /// `QWAIT-RECONSIDER`).
     ///
@@ -248,8 +359,15 @@ impl ReadySet {
         let (w, b) = (qid.0 as usize / 64, qid.0 as usize % 64);
         if self.ready[w] & (1 << b) == 0 {
             self.stats.activations += 1;
+            let was_dead = self.live_word(w) == 0;
+            self.ready[w] |= 1 << b;
+            if self.mask[w] & (1 << b) != 0 {
+                self.live += 1;
+                if was_dead {
+                    self.summarize_set(w);
+                }
+            }
         }
-        self.ready[w] |= 1 << b;
     }
 
     /// Whether `qid`'s ready bit is set.
@@ -258,13 +376,10 @@ impl ReadySet {
         self.ready[qid.0 as usize / 64] & (1 << (qid.0 as usize % 64)) != 0
     }
 
-    /// Number of QIDs currently ready and unmasked.
+    /// Number of QIDs currently ready and unmasked. O(1): the count is
+    /// maintained across activations, grants, and mask flips.
     pub fn ready_count(&self) -> usize {
-        self.ready
-            .iter()
-            .zip(&self.mask)
-            .map(|(r, m)| (r & m).count_ones() as usize)
-            .sum()
+        self.live
     }
 
     /// `QWAIT-ENABLE`: allow `qid` to be selected again.
@@ -274,7 +389,17 @@ impl ReadySet {
     /// Panics if `qid` is out of range.
     pub fn enable(&mut self, qid: QueueId) {
         self.check(qid);
-        self.mask[qid.0 as usize / 64] |= 1 << (qid.0 as usize % 64);
+        let (w, b) = (qid.0 as usize / 64, qid.0 as usize % 64);
+        if self.mask[w] & (1 << b) == 0 {
+            let was_dead = self.live_word(w) == 0;
+            self.mask[w] |= 1 << b;
+            if self.ready[w] & (1 << b) != 0 {
+                self.live += 1;
+                if was_dead {
+                    self.summarize_set(w);
+                }
+            }
+        }
     }
 
     /// `QWAIT-DISABLE`: temporarily inhibit `qid` (e.g. rate limiting /
@@ -285,7 +410,16 @@ impl ReadySet {
     /// Panics if `qid` is out of range.
     pub fn disable(&mut self, qid: QueueId) {
         self.check(qid);
-        self.mask[qid.0 as usize / 64] &= !(1 << (qid.0 as usize % 64));
+        let (w, b) = (qid.0 as usize / 64, qid.0 as usize % 64);
+        if self.mask[w] & (1 << b) != 0 {
+            self.mask[w] &= !(1u64 << b);
+            if self.ready[w] & (1 << b) != 0 {
+                self.live -= 1;
+                if self.live_word(w) == 0 {
+                    self.summarize_clear(w);
+                }
+            }
+        }
     }
 
     /// Whether `qid` is currently enabled.
@@ -294,13 +428,63 @@ impl ReadySet {
         self.mask[qid.0 as usize / 64] & (1 << (qid.0 as usize % 64)) != 0
     }
 
-    /// First ready-and-unmasked index at or after `pos`, wrapping — the
-    /// circular first-fit both gate-level PPA models compute (they agree
-    /// on every input; see the exhaustive/randomized agreement tests).
-    /// One `trailing_zeros` per 64-QID word instead of the former
-    /// per-select `Vec<bool>` materialisation + prefix network: this is
-    /// the QWAIT hot path, run once per data-plane grant.
-    fn scan_from(&self, pos: usize) -> Option<usize> {
+    /// First live index at or after `pos` (no wrap): check `pos`'s own
+    /// leaf word, then descend the summary pyramid to the next live word.
+    fn find_from(&self, pos: usize) -> Option<usize> {
+        let w0 = pos / 64;
+        let v = self.live_word(w0) & (!0u64 << (pos % 64));
+        if v != 0 {
+            return Some(w0 * 64 + v.trailing_zeros() as usize);
+        }
+        let w = self.next_live_word_after(w0)?;
+        Some(w * 64 + self.live_word(w).trailing_zeros() as usize)
+    }
+
+    /// Index of the first nonzero live word strictly after `w0`, found by
+    /// climbing the pyramid until a summary word has a sibling bit past
+    /// the current position, then descending first-fit: O(log64 N)
+    /// `trailing_zeros` steps total.
+    fn next_live_word_after(&self, w0: usize) -> Option<usize> {
+        let mut idx = w0;
+        for l in 0..self.summaries.len() {
+            let (w, b) = (idx / 64, idx % 64);
+            // Sibling bits strictly above `b` within this summary word.
+            let v = self.summaries[l][w] & (!0u64 << b) & !(1u64 << b);
+            if v != 0 {
+                let mut child = w * 64 + v.trailing_zeros() as usize;
+                for level in self.summaries[..l].iter().rev() {
+                    child = child * 64 + level[child].trailing_zeros() as usize;
+                }
+                return Some(child);
+            }
+            idx = w;
+        }
+        None
+    }
+
+    /// The circular first-fit the PPA computes: first live index at or
+    /// after `pos`, wrapping to `[0, pos)` — via the summary pyramid.
+    fn first_fit(&self, pos: usize) -> Option<usize> {
+        if let Some(idx) = self.find_from(pos) {
+            return Some(idx);
+        }
+        if pos == 0 {
+            return None;
+        }
+        // Wrap-around: any remaining live bit is below `pos`.
+        match self.find_from(0) {
+            Some(idx) if idx < pos => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// The flat packed-word circular scan (one `trailing_zeros` per
+    /// 64-QID word) — the pre-hierarchy select, kept as the behavioural
+    /// oracle `first_fit`'s pyramid descent is pinned against by
+    /// the property suite. At ≤ 64 leaf words the two visit the same
+    /// words; beyond that only the search order differs, never the
+    /// result.
+    pub fn flat_first_fit(&self, pos: usize) -> Option<usize> {
         let words = self.ready.len();
         let (w0, b0) = (pos / 64, pos % 64);
         // `off == 0` keeps only bits at/after pos; `off == words` wraps
@@ -335,11 +519,16 @@ impl ReadySet {
                 }
             }
         };
-        let Some(idx) = self.scan_from(pos) else {
+        let Some(idx) = self.first_fit(pos) else {
             self.stats.empty_polls += 1;
             return None;
         };
-        self.ready[idx / 64] &= !(1u64 << (idx % 64));
+        let w = idx / 64;
+        self.ready[w] &= !(1u64 << (idx % 64));
+        self.live -= 1;
+        if self.live_word(w) == 0 {
+            self.summarize_clear(w);
+        }
         match &self.policy {
             ServicePolicy::StrictPriority => {}
             ServicePolicy::RoundRobin => self.rr_next = (idx + 1) % self.n,
@@ -431,16 +620,117 @@ mod tests {
                 .collect();
             let pos = (splitmix64(trial + 555) % n as u64) as usize;
             assert_eq!(
-                rs.scan_from(pos),
+                rs.flat_first_fit(pos),
                 ripple_select(&eff, pos),
                 "n={n} pos={pos}"
             );
             assert_eq!(
-                rs.scan_from(pos),
+                rs.flat_first_fit(pos),
                 brent_kung_select(&eff, pos),
                 "n={n} pos={pos}"
             );
+            assert_eq!(
+                rs.first_fit(pos),
+                rs.flat_first_fit(pos),
+                "hier vs flat: n={n} pos={pos}"
+            );
         }
+    }
+
+    /// Rebuilds the summary pyramid from scratch and compares it with the
+    /// incrementally maintained one, plus the live count.
+    fn assert_pyramid_consistent(rs: &ReadySet) {
+        let words = rs.ready.len();
+        let live: Vec<u64> = (0..words).map(|w| rs.live_word(w)).collect();
+        assert_eq!(
+            rs.live,
+            live.iter().map(|v| v.count_ones() as usize).sum::<usize>()
+        );
+        let mut below: Vec<u64> = live;
+        for level in &rs.summaries {
+            let mut expect = vec![0u64; below.len().div_ceil(64)];
+            for (i, &v) in below.iter().enumerate() {
+                if v != 0 {
+                    expect[i / 64] |= 1 << (i % 64);
+                }
+            }
+            assert_eq!(level, &expect);
+            below = expect;
+        }
+        assert!(below.len() <= 1, "pyramid must terminate at one root word");
+    }
+
+    #[test]
+    fn summary_pyramid_tracks_mutation_churn() {
+        use hp_sim::rng::splitmix64;
+        // Sizes straddling the word and summary-level boundaries.
+        for n in [1usize, 63, 64, 65, 4096, 4097, 300_000] {
+            let mut rs = ReadySet::new(n, ServicePolicy::RoundRobin, PpaKind::BrentKung);
+            for step in 0..600u64 {
+                let r = splitmix64(n as u64 * 1_000_003 + step);
+                let q = QueueId((r % n as u64) as u32);
+                match (r >> 32) % 4 {
+                    0 => rs.activate(q),
+                    1 => rs.disable(q),
+                    2 => rs.enable(q),
+                    _ => {
+                        let _ = rs.select();
+                    }
+                }
+            }
+            assert_pyramid_consistent(&rs);
+            // Drain: every live bit must be reachable by select.
+            let mut drained = 0;
+            while rs.select().is_some() {
+                drained += 1;
+                assert!(drained <= n, "select must terminate");
+            }
+            assert_eq!(rs.ready_count(), 0);
+            assert_pyramid_consistent(&rs);
+        }
+    }
+
+    #[test]
+    fn hierarchical_select_is_sublinear_in_words_touched() {
+        // A million-QID set with one live bit near the end: the pyramid
+        // finds it from position 0 in O(log64 N) steps. This is a
+        // behavioural proxy (the structural claim is the pyramid depth).
+        let n = 1 << 20;
+        let mut rs = ReadySet::new(n, ServicePolicy::RoundRobin, PpaKind::BrentKung);
+        assert_eq!(rs.summaries.len(), 3, "2^20 QIDs need three summary levels");
+        rs.activate(QueueId((n - 2) as u32));
+        assert_eq!(rs.first_fit(0), Some(n - 2));
+        assert_eq!(rs.flat_first_fit(0), Some(n - 2));
+        assert_eq!(rs.select(), Some(QueueId((n - 2) as u32)));
+        assert_eq!(rs.select(), None);
+        // Wrap-around across the root word.
+        rs.activate(QueueId(3));
+        assert_eq!(rs.first_fit(n - 1), Some(3));
+        assert_eq!(rs.flat_first_fit(n - 1), Some(3));
+    }
+
+    #[test]
+    fn ready_count_is_maintained_incrementally() {
+        let mut rs = ReadySet::new(200, ServicePolicy::RoundRobin, PpaKind::BrentKung);
+        rs.activate(QueueId(7));
+        rs.activate(QueueId(100));
+        rs.activate(QueueId(199));
+        assert_eq!(rs.ready_count(), 3);
+        rs.disable(QueueId(100));
+        assert_eq!(rs.ready_count(), 2);
+        rs.enable(QueueId(100));
+        assert_eq!(rs.ready_count(), 3);
+        rs.select();
+        assert_eq!(rs.ready_count(), 2);
+        // Re-activating an already-ready QID does not double-count.
+        rs.activate(QueueId(100));
+        assert_eq!(rs.ready_count(), 2);
+        // Activating while masked contributes only once enabled.
+        rs.disable(QueueId(50));
+        rs.activate(QueueId(50));
+        assert_eq!(rs.ready_count(), 2);
+        rs.enable(QueueId(50));
+        assert_eq!(rs.ready_count(), 3);
     }
 
     #[test]
@@ -532,6 +822,57 @@ mod tests {
         let bk = PpaKind::BrentKung.gate_levels(1024);
         assert!(bk <= 25, "Brent-Kung depth for 1024 bits was {bk}");
         assert!(PpaKind::BrentKung.gate_levels(4096) > bk);
+    }
+
+    #[test]
+    fn gate_levels_exact_for_all_small_n() {
+        // The documented formula (up-sweep + down-sweep + mask + grant)
+        // must match the *measured* combine depth of the prefix network
+        // for every width, power of two or not, including n == 1.
+        for n in 1..=300usize {
+            let x = vec![false; n];
+            let (_, measured) = brent_kung_exclusive_prefix_or(&x);
+            assert_eq!(
+                PpaKind::BrentKung.gate_levels(n),
+                measured + 3,
+                "n={n}: formula disagrees with measured network depth"
+            );
+            assert_eq!(measured, 2 * ceil_log2(n), "n={n}");
+            assert_eq!(PpaKind::Ripple.gate_levels(n), 4 * n as u32, "n={n}");
+        }
+        assert_eq!(PpaKind::BrentKung.gate_levels(1), 3);
+        assert_eq!(PpaKind::BrentKung.gate_levels(0), 3);
+        assert_eq!(PpaKind::Ripple.gate_levels(0), 4);
+    }
+
+    #[test]
+    fn banked_gate_levels_degenerate_and_scale() {
+        // One bank: identical to the monolithic arbiter (Table I point).
+        for n in [1usize, 7, 64, 1000, 1024] {
+            assert_eq!(
+                PpaKind::BrentKung.banked_gate_levels(n, 1024),
+                PpaKind::BrentKung.gate_levels(n),
+                "n={n}"
+            );
+        }
+        // A million QIDs over 64-wide banks: ceil(log64 2^20) = 4 stages.
+        let per_bank = PpaKind::BrentKung.gate_levels(64);
+        assert_eq!(
+            PpaKind::BrentKung.banked_gate_levels(1 << 20, 64),
+            4 * per_bank
+        );
+        // Stage count grows with log, not linearly.
+        assert_eq!(
+            PpaKind::BrentKung.banked_gate_levels(1 << 26, 64),
+            5 * per_bank
+        );
+        assert_eq!(PpaKind::Ripple.banked_gate_levels(4096, 64), 2 * 4 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 wide")]
+    fn banked_gate_levels_reject_degenerate_banks() {
+        let _ = PpaKind::BrentKung.banked_gate_levels(64, 1);
     }
 
     #[test]

@@ -435,7 +435,12 @@ impl ExperimentConfig {
             target_completions: 30_000,
             max_cycles: 4_000_000_000,
             queue_cap: 256,
-            hp: HyperPlaneConfig::table1(),
+            // Table I exactly at ≤1024 queues; above that the device
+            // scales with the queue count (hierarchical ready set +
+            // hashed monitoring shards, DESIGN.md §17). A config may
+            // still shrink `hp.ready_qids` by hand, in which case
+            // `validate` reports `ReadySetOverflow`.
+            hp: HyperPlaneConfig::scaled(queues as usize),
             wake_us: 0.5,
             poll_overhead_cycles: 10,
             work_stealing: false,
@@ -722,6 +727,24 @@ mod tests {
                 ready_qids: 1024
             })
         );
+    }
+
+    #[test]
+    fn scaled_queue_counts_validate_without_manual_hp_tuning() {
+        // The fixed 1024 ceiling is gone: a million-queue config derives
+        // its ready set and monitoring shards from `queues`.
+        let c = ExperimentConfig::new(
+            WorkloadKind::PacketEncap,
+            TrafficShape::FullyBalanced,
+            1_048_576,
+        );
+        c.validate().unwrap();
+        assert_eq!(c.hp.ready_qids, 1_048_576);
+        assert_eq!(c.hp.monitoring_banks, 32);
+        // At or below the paper's design point nothing changes.
+        let c = ExperimentConfig::new(WorkloadKind::PacketEncap, TrafficShape::FullyBalanced, 1024);
+        assert_eq!(c.hp.ready_qids, 1024);
+        assert_eq!(c.hp.monitoring_banks, 1);
     }
 
     #[test]

@@ -41,7 +41,7 @@
 
 use crate::config::{ConfigError, ExperimentConfig, Load, Notifier};
 use crate::metrics::{WindowObservation, WindowSample, WindowedMetrics};
-use crate::result::{ExperimentResult, FaultReport};
+use crate::result::{DeviceStats, ExperimentResult, FaultReport};
 use crate::telemetry::{CoreTelemetry, HaltState, HaltTracker};
 use hp_core::qwait::{HyperPlaneDevice, RearmAction};
 use hp_mem::seq::SeqMemo;
@@ -207,6 +207,34 @@ impl ArrivalStream {
     }
 }
 
+/// Bank-aware spare-doorbell selection (Algorithm 1 with the DESIGN.md
+/// §17 homing rule). Preference order: (1) a previously deferred spare
+/// already known to home to `want`; (2) fresh draws from `cursor`,
+/// deferring each other-bank draw into its home bank's pool; (3) once the
+/// range is exhausted, spill across banks from the lowest-numbered
+/// non-empty pool. Returns `None` only when every spare is consumed.
+fn take_spare(
+    want: usize,
+    pool: &mut [std::collections::VecDeque<u64>],
+    cursor: &mut u64,
+    total: u64,
+    bank_of: impl Fn(u64) -> usize,
+) -> Option<u64> {
+    if let Some(i) = pool[want].pop_front() {
+        return Some(i);
+    }
+    while *cursor < total {
+        let i = *cursor;
+        *cursor += 1;
+        let b = bank_of(i);
+        if b == want {
+            return Some(i);
+        }
+        pool[b].push_back(i);
+    }
+    pool.iter_mut().find_map(|p| p.pop_front())
+}
+
 /// Per-queue hot row: every per-qid scalar the engine touches on an
 /// arrival, poll, dequeue, or completion, packed into one struct so the
 /// whole set is one host cache line instead of 5–6 scattered `Vec`
@@ -307,6 +335,11 @@ pub struct Engine {
     completions: u64,
     completions_measured: u64,
     drops: u64,
+    /// Total residual backlog (`Σ qrows[q].depth`), maintained at the two
+    /// depth-mutation sites so window-boundary reports are O(1) instead of
+    /// an O(N) row sweep — at 1M queues that sweep would dominate every
+    /// sync window (DESIGN.md §17).
+    backlog: u64,
     item_seq: u64,
     /// Reusable dequeue buffer: filled by `dequeue_batch`, borrowed by
     /// `process_items`, retained across steps so the hot loop never
@@ -332,6 +365,14 @@ pub struct Engine {
     /// transient eviction by buffer streaming). Geometry-only and thus
     /// deterministic; recomputed on churn re-homing.
     memo_eligible: Vec<bool>,
+    /// Persistent per-group L1 set-pressure counts backing the memo
+    /// eligibility map (group → set → poll lines homed there). Built by
+    /// the full recompute, updated in O(1) on churn re-homing.
+    l1_pressure: Vec<Vec<u32>>,
+    /// Inverse index: per group and L1 set, the QIDs with a poll line in
+    /// that set (a queue appears once per line). Lets a churn re-home
+    /// re-evaluate only the two affected sets' queues.
+    l1_set_queues: Vec<Vec<Vec<u32>>>,
     warmup_completions: u64,
     measure_start: Option<SimTime>,
     /// Whether the measurement phase is open. Flipped by
@@ -372,6 +413,12 @@ pub struct Engine {
     /// its own churn history only — independent of how churn events in
     /// other groups interleave.
     next_spare: Vec<u64>,
+    /// Per-group, per-bank pools of deferred churn spares: stride draws
+    /// that homed to a different monitoring bank than the one being
+    /// re-homed wait here until that bank needs one (same-bank-first rule,
+    /// DESIGN.md §17). Lane-deterministic: fed and drained only by the
+    /// owning group's churn events. Always empty with one bank.
+    churn_spare_pool: Vec<Vec<std::collections::VecDeque<u64>>>,
     churn_reallocations: u64,
     /// Conservation auditor (pure observer; inert unless `cfg.audit`).
     audit: Auditor,
@@ -469,8 +516,18 @@ impl Engine {
 
         // One HyperPlane device per group (the scale-out/up-2 partitioned
         // ready-set variants of Fig. 10); unused for spinning.
+        //
+        // Conflict reallocation is bank-aware (DESIGN.md §17): the driver
+        // prefers a spare line homing to the *same* monitoring bank as the
+        // conflicted doorbell, deferring other-bank spares into per-bank
+        // pools and spilling across banks only once the stride is dry.
+        // With one bank (every ≤1024-queue config) the pools never fill
+        // and the consumption order is exactly the historical one.
         let mut devices = Vec::new();
         let mut next_spare = 0u64;
+        let build_banks = cfg.hp.monitoring_banks.max(1);
+        let mut spare_pool: Vec<std::collections::VecDeque<u64>> =
+            vec![std::collections::VecDeque::new(); build_banks];
         if matches!(cfg.notifier, Notifier::HyperPlane { .. }) {
             for group_queues in queues_of_group.iter().take(groups) {
                 let mut dev = HyperPlaneDevice::new(cfg.hp.clone(), layout.doorbell_range());
@@ -479,12 +536,16 @@ impl Engine {
                         match dev.qwait_add(q, doorbell[q.0 as usize].line()) {
                             Ok(()) => break,
                             Err(hp_core::qwait::QwaitError::Conflict(_)) => {
-                                assert!(
-                                    next_spare < QueueLayout::spare_doorbells(cfg.queues),
-                                    "driver exhausted spare doorbell addresses"
-                                );
-                                doorbell[q.0 as usize] = layout.spare_doorbell(next_spare);
-                                next_spare += 1;
+                                let want = dev.monitoring_bank_of(doorbell[q.0 as usize].line());
+                                let idx = take_spare(
+                                    want,
+                                    &mut spare_pool,
+                                    &mut next_spare,
+                                    QueueLayout::spare_doorbells(cfg.queues),
+                                    |i| dev.monitoring_bank_of(layout.spare_doorbell(i).line()),
+                                )
+                                .expect("driver exhausted spare doorbell addresses");
+                                doorbell[q.0 as usize] = layout.spare_doorbell(idx);
                             }
                             Err(e) => panic!("doorbell registration failed: {e}"),
                         }
@@ -603,11 +664,14 @@ impl Engine {
             completions: 0,
             completions_measured: 0,
             drops: 0,
+            backlog: 0,
             item_seq: 0,
             deq_scratch: Vec::with_capacity(cfg.batch.max(IRQ_NAPI_BUDGET)),
             poll_memos: vec![SeqMemo::default(); n_queues],
             memo_ready: vec![0; n_queues.div_ceil(64)],
             memo_eligible: vec![false; n_queues],
+            l1_pressure: Vec::new(),
+            l1_set_queues: Vec::new(),
             warmup_completions,
             measure_start: None,
             measuring: false,
@@ -624,6 +688,7 @@ impl Engine {
             chaos_next,
             spare_base: next_spare,
             next_spare: vec![0; groups],
+            churn_spare_pool: vec![vec![std::collections::VecDeque::new(); build_banks]; groups],
             churn_reallocations: 0,
             audit,
             tracer: match cfg.trace_capacity {
@@ -671,23 +736,75 @@ impl Engine {
             queues_of_group,
             qrows,
             memo_eligible,
+            l1_pressure,
+            l1_set_queues,
             ..
         } = self;
         let sets = mem.l1_sets();
         let ways = mem.l1_ways() as u32;
-        let mut pressure = vec![0u32; sets];
-        for group_queues in queues_of_group.iter() {
-            pressure.iter_mut().for_each(|p| *p = 0);
+        *l1_pressure = vec![vec![0u32; sets]; queues_of_group.len()];
+        *l1_set_queues = vec![vec![Vec::new(); sets]; queues_of_group.len()];
+        for (g, group_queues) in queues_of_group.iter().enumerate() {
             for &q in group_queues {
                 let row = &qrows[q.0 as usize];
-                pressure[mem.l1_set_index(row.doorbell)] += 1;
-                pressure[mem.l1_set_index(row.descriptor)] += 1;
+                let ds = mem.l1_set_index(row.doorbell);
+                let cs = mem.l1_set_index(row.descriptor);
+                l1_pressure[g][ds] += 1;
+                l1_pressure[g][cs] += 1;
+                l1_set_queues[g][ds].push(q.0);
+                l1_set_queues[g][cs].push(q.0);
             }
             for &q in group_queues {
                 let row = &qrows[q.0 as usize];
-                memo_eligible[q.0 as usize] = pressure[mem.l1_set_index(row.doorbell)] <= ways
-                    && pressure[mem.l1_set_index(row.descriptor)] <= ways;
+                memo_eligible[q.0 as usize] = l1_pressure[g][mem.l1_set_index(row.doorbell)]
+                    <= ways
+                    && l1_pressure[g][mem.l1_set_index(row.descriptor)] <= ways;
             }
+        }
+    }
+
+    /// Incremental form of [`Self::recompute_memo_eligibility`] for a
+    /// churn re-home of queue `qi` whose doorbell moved off `old_db`:
+    /// only the two affected L1 sets' pressure changes, so only queues
+    /// with a poll line in those sets can flip eligibility. Exactly
+    /// equivalent to the full recompute (asserted in debug builds) but
+    /// O(set bucket) instead of O(N) per churn event — the difference
+    /// between 1024 and 1,000,000 queues (DESIGN.md §17).
+    fn rehome_memo_eligibility(&mut self, qi: usize, old_db: Addr) {
+        let g = self.qrows[qi].group as usize;
+        let a = self.mem.l1_set_index(old_db);
+        let b = self.mem.l1_set_index(self.qrows[qi].doorbell);
+        if a != b {
+            self.l1_pressure[g][a] -= 1;
+            self.l1_pressure[g][b] += 1;
+            let bucket = &mut self.l1_set_queues[g][a];
+            let pos = bucket
+                .iter()
+                .position(|&x| x == qi as u32)
+                .expect("re-homed queue tracked in its old set bucket");
+            // Buckets are membership lists (a queue appears once per poll
+            // line mapping into the set); order is irrelevant.
+            bucket.swap_remove(pos);
+            self.l1_set_queues[g][b].push(qi as u32);
+            let ways = self.mem.l1_ways() as u32;
+            for s in [a, b] {
+                for i in 0..self.l1_set_queues[g][s].len() {
+                    let q = self.l1_set_queues[g][s][i] as usize;
+                    let row = &self.qrows[q];
+                    self.memo_eligible[q] =
+                        self.l1_pressure[g][self.mem.l1_set_index(row.doorbell)] <= ways
+                            && self.l1_pressure[g][self.mem.l1_set_index(row.descriptor)] <= ways;
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let before = self.memo_eligible.clone();
+            self.recompute_memo_eligibility();
+            debug_assert_eq!(
+                before, self.memo_eligible,
+                "incremental memo-eligibility update diverged from full recompute"
+            );
         }
     }
 
@@ -823,9 +940,13 @@ impl Engine {
     /// completions so far, residual backlog, whether every *owned* DP core
     /// is halted, and the lane-local end time.
     pub(crate) fn lane_report(&self) -> crate::par_engine::LaneReport {
+        debug_assert_eq!(
+            self.backlog,
+            self.qrows.iter().map(|r| u64::from(r.depth)).sum::<u64>()
+        );
         crate::par_engine::LaneReport {
             completions: self.completions,
-            backlog: self.qrows.iter().map(|r| u64::from(r.depth)).sum(),
+            backlog: self.backlog,
             all_halted: (0..self.cfg.dp_cores)
                 .all(|c| !self.owned_groups[self.core_group[c]] || self.halted[c]),
             last_processed: self.last_processed,
@@ -901,7 +1022,7 @@ impl Engine {
             })
             .collect();
         WindowObservation {
-            backlog: self.qrows.iter().map(|r| r.depth as u64).sum(),
+            backlog: self.backlog,
             event_queue_depth: (self.ev.len()
                 + self.pending.len()
                 + usize::from(self.carry.is_some())) as u64,
@@ -910,6 +1031,26 @@ impl Engine {
             spin_instructions: self.telem.iter().map(|t| t.spin_instructions).sum(),
             drops: self.drops,
         }
+    }
+
+    /// Aggregates device-plane counters over this engine's *owned*
+    /// devices. Each sharing group is owned by exactly one lane, so
+    /// summing lane aggregates reassembles the serial totals (build-time
+    /// registration runs in every lane but is counted only by the owner).
+    fn device_stats(&self) -> Option<DeviceStats> {
+        if self.devices.is_empty() {
+            return None;
+        }
+        let mut d = DeviceStats {
+            monitoring_banks: self.devices[0].monitoring_banks() as u64,
+            ..DeviceStats::default()
+        };
+        for (g, dev) in self.devices.iter().enumerate() {
+            if self.owned_groups[g] {
+                d.absorb(dev.monitoring_stats(), dev.spurious_wakeups());
+            }
+        }
+        Some(d)
     }
 
     /// Assembles the single-lane result. `end` is the timestamp of the
@@ -975,9 +1116,10 @@ impl Engine {
             aborted_on_stall: stalls.aborted,
             queue_drops: self.queues.iter().map(|q| q.dropped()).sum(),
         });
-        // Conservation reconciliation: the engine's own residual backlog,
-        // read before the per-queue stats move out of `qrows`.
-        let residual_backlog: u64 = self.qrows.iter().map(|r| r.depth as u64).sum();
+        // Conservation reconciliation: the engine's own residual backlog
+        // (the incrementally maintained counter).
+        let residual_backlog: u64 = self.backlog;
+        let device = self.device_stats();
         let mut result = ExperimentResult::new(
             &self.cfg,
             throughput,
@@ -993,6 +1135,9 @@ impl Engine {
         .with_mem_stats(mem_stats)
         .with_fastpath(self.mem.fastpath_stats())
         .with_profile(self.profile, wall_secs);
+        if let Some(d) = device {
+            result = result.with_device(d);
+        }
         if self.tracer.is_enabled() {
             result = result.with_trace(
                 self.tracer.records(),
@@ -1088,6 +1233,7 @@ impl Engine {
         };
         self.queues[qi].enqueue(item);
         self.qrows[qi].depth += 1;
+        self.backlog += 1;
         debug_assert_eq!(self.qrows[qi].depth as usize, self.queues[qi].depth());
         self.note(
             now,
@@ -1752,17 +1898,45 @@ impl Engine {
         // Spares are a finite reserved range, strided per group so one
         // group's consumption depends only on its own churn history; once
         // the driver has burned a group's share, churn degrades to
-        // re-registering the current line.
+        // re-registering the current line. Sharded monitoring re-homes
+        // within the old line's bank first (same rule as build-time
+        // conflict resolution; see `take_spare`).
         let spares = QueueLayout::spare_doorbells(self.cfg.queues);
         let groups = self.queues_of_group.len() as u64;
+        let old_db = self.qrows[qi].doorbell;
+        let want = self.devices[g].monitoring_bank_of(old_db.line());
         let mut rehomed = false;
         loop {
-            let idx = self.spare_base + g as u64 + self.next_spare[g] * groups;
-            if idx >= spares {
-                break;
-            }
+            // Same-bank pool first, then fresh stride draws (deferring
+            // other-bank draws), then cross-bank spill.
+            let idx = if let Some(i) = self.churn_spare_pool[g][want].pop_front() {
+                i
+            } else {
+                let mut fresh = None;
+                loop {
+                    let i = self.spare_base + g as u64 + self.next_spare[g] * groups;
+                    if i >= spares {
+                        break;
+                    }
+                    self.next_spare[g] += 1;
+                    let b =
+                        self.devices[g].monitoring_bank_of(self.layout.spare_doorbell(i).line());
+                    if b == want {
+                        fresh = Some(i);
+                        break;
+                    }
+                    self.churn_spare_pool[g][b].push_back(i);
+                }
+                match fresh.or_else(|| {
+                    self.churn_spare_pool[g]
+                        .iter_mut()
+                        .find_map(|p| p.pop_front())
+                }) {
+                    Some(i) => i,
+                    None => break,
+                }
+            };
             let addr = self.layout.spare_doorbell(idx);
-            self.next_spare[g] += 1;
             match self.devices[g].qwait_add(q, addr.line()) {
                 Ok(()) => {
                     self.qrows[qi].doorbell = addr;
@@ -1782,8 +1956,9 @@ impl Engine {
             let _ = self.devices[g].qwait_add(q, self.qrows[qi].doorbell.line());
         } else {
             // The doorbell moved to a different line, so the per-set poll
-            // pressure shifted; refresh the set-aware memo eligibility.
-            self.recompute_memo_eligibility();
+            // pressure shifted; refresh the set-aware memo eligibility for
+            // the two affected L1 sets only.
+            self.rehome_memo_eligibility(qi, old_db);
         }
         self.churn_reallocations += 1;
         self.note(now, TraceKind::FaultEvicted { queue: q.0 });
@@ -1830,6 +2005,7 @@ impl Engine {
             }
         }
         self.qrows[qi].depth -= self.deq_scratch.len() as u32;
+        self.backlog -= self.deq_scratch.len() as u64;
         debug_assert_eq!(self.qrows[qi].depth as usize, self.queues[qi].depth());
         cost
     }
@@ -1968,7 +2144,7 @@ impl Engine {
             mem_stats.remote_hits += s.remote_hits;
             mem_stats.dram_fetches += s.dram_fetches;
         }
-        let residual_backlog: u64 = self.qrows.iter().map(|r| u64::from(r.depth)).sum();
+        let residual_backlog: u64 = self.backlog;
         let queue_owned: Vec<bool> = self
             .qrows
             .iter()
@@ -1977,6 +2153,7 @@ impl Engine {
         let core_owned: Vec<bool> = (0..self.cfg.dp_cores)
             .map(|c| self.owned_groups[self.core_group[c]])
             .collect();
+        let device = self.device_stats();
         let attrib = self.attrib.is_enabled().then(|| self.attrib.finalize());
         let audit = self
             .audit
@@ -2010,6 +2187,7 @@ impl Engine {
             windows: self.metrics.map(|m| m.into_samples()),
             audit,
             profile: self.profile,
+            device,
             measure_start: self.measure_start,
             saturation_rate: self.saturation_rate,
         }
@@ -2050,6 +2228,7 @@ pub(crate) struct LaneOutput {
     pub(crate) windows: Option<Vec<WindowSample>>,
     pub(crate) audit: Option<AuditReport>,
     pub(crate) profile: KernelProfile,
+    pub(crate) device: Option<DeviceStats>,
     pub(crate) measure_start: Option<SimTime>,
     pub(crate) saturation_rate: f64,
 }

@@ -408,6 +408,15 @@ fn merge(
         doorbell_recoveries += o.doorbell_recoveries;
         queue_drops += o.queue_drops;
     }
+    // Device counters: each group's device is mutated only by its owning
+    // lane, so summing the per-lane owned aggregates reassembles the
+    // serial totals.
+    let mut device: Option<crate::result::DeviceStats> = None;
+    for o in &outs {
+        if let Some(d) = &o.device {
+            device.get_or_insert_with(Default::default).merge(d);
+        }
+    }
     // Every lane replays the full churn chain, so the counter is
     // replicated, not partitioned.
     let churn_reallocations = outs[0].churn_reallocations;
@@ -439,6 +448,9 @@ fn merge(
         },
         wall_secs,
     );
+    if let Some(d) = device {
+        result = result.with_device(d);
+    }
 
     if outs[0].trace_enabled {
         // Deterministic merge: (time, lane, within-lane emission order),

@@ -87,6 +87,39 @@ impl FaultReport {
     }
 }
 
+/// Device-plane counters aggregated over the run's HyperPlane devices
+/// (one per sharing group; zeroed/absent for spinning or interrupt
+/// baselines). Feeds the `trace --profile` `"device"` section.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceStats {
+    /// Aggregated monitoring-set counters across groups and banks.
+    pub monitoring: hp_core::monitoring::MonitoringStats,
+    /// Monitoring banks per device (the shard count, DESIGN.md §17).
+    pub monitoring_banks: u64,
+    /// Spurious wake-ups filtered by QWAIT-VERIFY, summed over groups.
+    pub spurious_wakeups: u64,
+}
+
+impl DeviceStats {
+    /// Folds another device's counters into this aggregate.
+    pub(crate) fn absorb(&mut self, m: hp_core::monitoring::MonitoringStats, spurious: u64) {
+        self.monitoring.inserts += m.inserts;
+        self.monitoring.conflicts += m.conflicts;
+        self.monitoring.relocations += m.relocations;
+        self.monitoring.snoop_hits += m.snoop_hits;
+        self.monitoring.snoop_misses += m.snoop_misses;
+        self.monitoring.snoop_filtered += m.snoop_filtered;
+        self.monitoring.spill_resizes += m.spill_resizes;
+        self.spurious_wakeups += spurious;
+    }
+
+    /// Merges a lane's aggregate (parallel fabric).
+    pub(crate) fn merge(&mut self, other: &DeviceStats) {
+        self.absorb(other.monitoring, other.spurious_wakeups);
+        self.monitoring_banks = self.monitoring_banks.max(other.monitoring_banks);
+    }
+}
+
 /// The outcome of one engine run.
 #[derive(Debug)]
 pub struct ExperimentResult {
@@ -117,6 +150,7 @@ pub struct ExperimentResult {
     attrib: Option<AttributionReport>,
     profile: Option<KernelProfile>,
     fastpath: hp_mem::system::FastPathStats,
+    device: Option<DeviceStats>,
     wall_secs: f64,
     workload_label: &'static str,
     notifier_label: &'static str,
@@ -158,6 +192,7 @@ impl ExperimentResult {
             attrib: None,
             profile: None,
             fastpath: hp_mem::system::FastPathStats::default(),
+            device: None,
             wall_secs: 0.0,
             workload_label: cfg.workload.name(),
             notifier_label: cfg.notifier.label(),
@@ -333,6 +368,18 @@ impl ExperimentResult {
         self.fastpath
     }
 
+    /// Attaches device-plane counters (engine internal).
+    pub(crate) fn with_device(mut self, device: DeviceStats) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Device-plane counters (monitoring-set inserts/conflicts/snoops and
+    /// reverse-index spill-resizes), if the run used HyperPlane devices.
+    pub fn device_stats(&self) -> Option<DeviceStats> {
+        self.device
+    }
+
     /// The sim-kernel profile plus the fast-path counters as a JSON
     /// object (the `trace --profile` payload): per-event-type counts and
     /// attributed simulated cycles, total events, wall seconds, and
@@ -360,7 +407,7 @@ impl ExperimentResult {
              \"seq_replays\":{},\"seq_replayed_accesses\":{},\
              \"s_state_peeks\":{},\"stable_reloads\":{},\
              \"shared_joins\":{},\"dir_hint_hits\":{},\
-             \"seq_replay_attempts\":{},\"memo_hit_rate\":{:.4}}}}}",
+             \"seq_replay_attempts\":{},\"memo_hit_rate\":{:.4}}}",
             p.total_events(),
             self.wall_secs,
             self.events_per_sec_wall(),
@@ -375,6 +422,25 @@ impl ExperimentResult {
             f.seq_replay_attempts,
             memo_hit_rate,
         ));
+        if let Some(d) = &self.device {
+            let m = &d.monitoring;
+            out.push_str(&format!(
+                ",\"device\":{{\"monitoring_banks\":{},\"inserts\":{},\
+                 \"conflicts\":{},\"relocations\":{},\"snoop_hits\":{},\
+                 \"snoop_misses\":{},\"snoop_filtered\":{},\
+                 \"spill_resizes\":{},\"spurious_wakeups\":{}}}",
+                d.monitoring_banks,
+                m.inserts,
+                m.conflicts,
+                m.relocations,
+                m.snoop_hits,
+                m.snoop_misses,
+                m.snoop_filtered,
+                m.spill_resizes,
+                d.spurious_wakeups,
+            ));
+        }
+        out.push('}');
         Some(out)
     }
 

@@ -294,6 +294,190 @@ fn mesi_no_stale_copies() {
     }
 }
 
+/// The hierarchical summary-pyramid select returns exactly what the flat
+/// packed-word circular scan (the pre-hierarchy oracle) computes, at
+/// every scale tier from one leaf word to a million QIDs. `rr_next` is
+/// mirrored externally: round-robin advances to `granted + 1` after
+/// every grant, so the mirrored position feeds the oracle the same
+/// priority point the pyramid descends from.
+#[test]
+fn hierarchical_select_matches_flat_scan_across_scales() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E50A);
+    for &n in &[64usize, 1024, 65_536, 1_048_576] {
+        let cases = if n > 100_000 { 3 } else { 15 };
+        for _case in 0..cases {
+            let mut rs = ReadySet::new(n, ServicePolicy::RoundRobin, PpaKind::BrentKung);
+            let mut pos = 0usize; // external mirror of rr_next
+            for _ in 0..400 {
+                match rng.random_range(0..6u8) {
+                    0..=2 => {
+                        // Activate: scattered, or hugging a leaf-word
+                        // boundary (the summary set/clear edges).
+                        let q = if rng.random::<bool>() {
+                            rng.random_range(0..n as u64)
+                        } else {
+                            let word = rng.random_range(0..n as u64 / 64) * 64;
+                            (word + [0, 1, 63][rng.random_range(0..3usize)]).min(n as u64 - 1)
+                        };
+                        rs.activate(QueueId(q as u32));
+                    }
+                    3 => rs.disable(QueueId(rng.random_range(0..n as u64) as u32)),
+                    4 => rs.enable(QueueId(rng.random_range(0..n as u64) as u32)),
+                    _ => {
+                        let expect = rs.flat_first_fit(pos);
+                        let got = rs.select();
+                        assert_eq!(got.map(|q| q.0 as usize), expect, "n={n} pos={pos}");
+                        if let Some(idx) = expect {
+                            pos = (idx + 1) % n;
+                        }
+                    }
+                }
+            }
+            // Drain: every remaining live bit comes out in flat-scan order.
+            loop {
+                let expect = rs.flat_first_fit(pos);
+                let got = rs.select();
+                assert_eq!(got.map(|q| q.0 as usize), expect, "drain n={n} pos={pos}");
+                match expect {
+                    Some(idx) => pos = (idx + 1) % n,
+                    None => break,
+                }
+            }
+            assert_eq!(rs.ready_count(), 0, "n={n}: drain left live bits");
+        }
+    }
+}
+
+/// PPA gate-level estimates match naive oracles at the scale tiers and
+/// at random widths: Brent–Kung pays `2*ceil(log2 n) + 3` levels, ripple
+/// `4n`, and the banked arbiter tree pays `ceil(log_bank n)` stages of a
+/// `bank`-wide arbiter — degenerating to the monolithic arbiter at
+/// `n <= bank`, so the Table I hardware point is untouched.
+#[test]
+fn ppa_gate_level_models_match_oracles() {
+    let naive_ceil_log2 = |n: usize| {
+        let mut levels = 0u32;
+        let mut span = 1usize;
+        while span < n {
+            span *= 2;
+            levels += 1;
+        }
+        levels
+    };
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E50B);
+    let mut widths = vec![1usize, 64, 1024, 65_536, 1_048_576];
+    for _ in 0..200 {
+        widths.push(rng.random_range(1..100_000usize));
+    }
+    for &n in &widths {
+        assert_eq!(
+            PpaKind::BrentKung.gate_levels(n),
+            2 * naive_ceil_log2(n) + 3,
+            "n={n}"
+        );
+        assert_eq!(PpaKind::Ripple.gate_levels(n), 4 * n as u32, "n={n}");
+        for bank in [2usize, 8, 64] {
+            let banked = PpaKind::BrentKung.banked_gate_levels(n, bank);
+            if n <= bank {
+                assert_eq!(
+                    banked,
+                    PpaKind::BrentKung.gate_levels(n),
+                    "n={n} bank={bank}"
+                );
+            } else {
+                let mut stages = 0u32;
+                let mut span = 1usize;
+                while span < n {
+                    span = span.saturating_mul(bank);
+                    stages += 1;
+                }
+                assert_eq!(
+                    banked,
+                    stages * PpaKind::BrentKung.gate_levels(bank),
+                    "n={n} bank={bank}"
+                );
+            }
+        }
+    }
+}
+
+/// A hashed-bank sharded monitoring set is observationally identical to
+/// the monolithic table under random insert/remove/churn/snoop/arm
+/// sequences: bank homing changes where an entry lives, never what the
+/// protocol sees. Churn re-homes a queue's doorbell to a fresh line
+/// (Algorithm 1), the sequence both sets must track in lockstep.
+#[test]
+fn sharded_monitoring_set_matches_monolithic_trace() {
+    use hyperplane::device::monitoring::BankedMonitoringSet;
+    use hyperplane::mem::types::LineAddr;
+    let mut rng = SmallRng::seed_from_u64(0xA11C_E50C);
+    for case in 0..60 {
+        let mut mono = BankedMonitoringSet::new(4096, 1);
+        let mut shard = BankedMonitoringSet::sharded(4096, 8, 4);
+        mono.reserve_qids(256);
+        shard.reserve_qids(256);
+        // Queue q's doorbell in its current generation: unique per
+        // (qid, generation), so churn never reuses a line.
+        let mut generation = vec![0u64; 256];
+        let line =
+            |q: u32, generation: &[u64]| LineAddr(0x5000 + q as u64 + 256 * generation[q as usize]);
+        let mut present: HashSet<u32> = HashSet::new();
+        for _ in 0..rng.random_range(1..400usize) {
+            let q = rng.random_range(0..256u32);
+            match rng.random_range(0..5u8) {
+                0 => {
+                    // Insert if absent; at 6 % occupancy neither table
+                    // can conflict, so both must accept.
+                    if !present.contains(&q) {
+                        mono.insert(QueueId(q), line(q, &generation))
+                            .expect("case {case}: monolithic insert at low occupancy");
+                        shard
+                            .insert(QueueId(q), line(q, &generation))
+                            .expect("case {case}: sharded insert at low occupancy");
+                        present.insert(q);
+                    }
+                }
+                1 => {
+                    let (a, b) = (mono.remove(QueueId(q)), shard.remove(QueueId(q)));
+                    assert_eq!(a, b, "case {case}: remove diverged for q{q}");
+                    present.remove(&q);
+                }
+                2 => {
+                    let l = line(q, &generation);
+                    let (a, b) = (mono.snoop(l), shard.snoop(l));
+                    assert_eq!(a, b, "case {case}: snoop diverged for q{q}");
+                }
+                3 => {
+                    let (a, b) = (mono.arm(QueueId(q)), shard.arm(QueueId(q)));
+                    assert_eq!(a, b, "case {case}: arm diverged for q{q}");
+                }
+                _ => {
+                    // Churn: re-home the doorbell to a fresh line.
+                    if present.contains(&q) {
+                        let (a, b) = (mono.remove(QueueId(q)), shard.remove(QueueId(q)));
+                        assert_eq!(a, b, "case {case}: churn remove diverged for q{q}");
+                        generation[q as usize] += 1;
+                        mono.insert(QueueId(q), line(q, &generation))
+                            .expect("churn re-insert (monolithic)");
+                        shard
+                            .insert(QueueId(q), line(q, &generation))
+                            .expect("churn re-insert (sharded)");
+                    }
+                }
+            }
+        }
+        // The op trace was identical, so the observable counters must be
+        // too (the snoop-range filter only reclassifies misses, and both
+        // sides count a filtered miss as a miss).
+        let (ms, ss) = (mono.stats(), shard.stats());
+        assert_eq!(ms.inserts, ss.inserts, "case {case}");
+        assert_eq!(ms.snoop_hits, ss.snoop_hits, "case {case}");
+        assert_eq!(ms.snoop_misses, ss.snoop_misses, "case {case}");
+        assert_eq!(ms.spill_resizes, 0, "case {case}: monolithic spilled");
+        assert_eq!(ss.spill_resizes, 0, "case {case}: sharded spilled");
+    }
+}
+
 /// Deterministic supplementary check: a store by core A makes core B's
 /// next load miss (explicit staleness test, no sampling noise).
 #[test]
