@@ -14,6 +14,7 @@ use hp_core::monitoring::{BankedMonitoringSet, MonitoringSet};
 use hp_core::ready_set::{PpaKind, ReadySet, ServicePolicy};
 use hp_mem::system::{MemSystem, MemSystemConfig};
 use hp_mem::types::{AccessKind, Addr, CoreId, LineAddr};
+use hp_par::Rendezvous;
 use hp_queues::sim::QueueId;
 use hp_rand::rngs::SmallRng;
 use hp_rand::{Rng, SeedableRng};
@@ -21,6 +22,7 @@ use hp_sim::event::EventQueue;
 use hp_sim::time::{Cycles, SimTime};
 use hp_traffic::alias::AliasTable;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn bench_mem_access(c: &mut Criterion) {
     let mut g = c.benchmark_group("mem_access");
@@ -322,6 +324,52 @@ fn bench_monitoring_shard_probe(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_rendezvous_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rendezvous_cycle");
+
+    // Uncontended baseline: a single party is always leader, so this is
+    // the raw atomic cost of one two-barrier window cycle.
+    g.bench_function("two_barriers_1_party", |b| {
+        let r = Rendezvous::new(1);
+        b.iter(|| {
+            black_box(r.wait());
+            black_box(r.wait());
+        })
+    });
+
+    // Contended: siblings run the same two-barrier loop the parallel
+    // engine's window protocol runs, so one iter is one full rendezvous
+    // round across all parties (arrive → leader decision point → release).
+    for parties in [2usize, 4] {
+        let name = format!("two_barriers_{parties}_parties");
+        let r = Rendezvous::new(parties);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let (r, stop) = (&r, &stop);
+            for _ in 0..parties - 1 {
+                scope.spawn(move || loop {
+                    r.wait();
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    r.wait();
+                });
+            }
+            g.bench_function(&name, |b| {
+                b.iter(|| {
+                    black_box(r.wait());
+                    black_box(r.wait());
+                })
+            });
+            // Wind down: siblings observe the flag right after the first
+            // barrier of the next cycle and exit without the second.
+            stop.store(true, Ordering::Relaxed);
+            r.wait();
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_mem_access,
@@ -329,6 +377,7 @@ criterion_group!(
     bench_soa_rows,
     bench_alias_sampler,
     bench_ready_select_hier,
-    bench_monitoring_shard_probe
+    bench_monitoring_shard_probe,
+    bench_rendezvous_cycle
 );
 criterion_main!(benches);

@@ -78,10 +78,12 @@ fn bench_summary(opts: &HarnessOpts) -> String {
 /// four-group experiment run at 1, 2, and 4 workers, digests compared
 /// bit-for-bit, wall-clock speedups reported against the 1-worker run.
 ///
-/// Wall clock is the honest axis here: the merged kernel profile counts
-/// replicated arrival/churn chain events once per lane, so the multi-lane
-/// `events_per_sec` figures are not directly comparable to the 1-worker
-/// one (they are reported anyway, labelled per-lane-inclusive).
+/// Under the default keyed RNG streams every lane generates only its own
+/// groups' stimulus, so total kernel events are worker-count-invariant
+/// (the 4-lane/serial ratio is gated at ≤ 1.1 here and in CI) and the
+/// `events_per_sec` figures compare directly across worker counts. The
+/// report also contrasts rendezvous counts under auto-lookahead windows
+/// against fixed 64 Ki windows at 4 workers.
 fn par_bench(opts: &HarnessOpts, path: &str) {
     let mk = || {
         let mut cfg =
@@ -110,30 +112,69 @@ fn par_bench(opts: &HarnessOpts, path: &str) {
         "par-bench: packet-encap / fb / 64 queues / hyperplane, 4 lanes, host_cpus={}",
         hp_par::available_parallelism()
     );
-    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    struct Row {
+        workers: usize,
+        wall: f64,
+        eps: f64,
+        kernel_events: u64,
+        sync_rounds: u64,
+        replicated: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
     let mut digests: Vec<Vec<u64>> = Vec::new();
     for workers in [1usize, 2, 4] {
         let r = runner::run(mk().with_par_workers(workers));
         digests.push(digest(&r));
-        rows.push((workers, r.wall_secs(), r.events_per_sec_wall()));
+        rows.push(Row {
+            workers,
+            wall: r.wall_secs(),
+            eps: r.events_per_sec_wall(),
+            kernel_events: r.kernel_profile().expect("profiling is on").total_events(),
+            sync_rounds: r.sync_rounds(),
+            replicated: r.replicated_chain_events(),
+        });
     }
     let identical = digests.iter().all(|d| d == &digests[0]);
-    let base_wall = rows[0].1;
+    let base_wall = rows[0].wall;
+    let event_ratio = rows[2].kernel_events as f64 / rows[0].kernel_events as f64;
+
+    // Barrier-count comparison: the same 4-worker run under PR 8's fixed
+    // 64 Ki lockstep windows vs the default lookahead schedule.
+    let fixed = runner::run(mk().with_par_workers(4).with_sync_window(65_536));
+    let rounds_fixed = fixed.sync_rounds();
+    let rounds_auto = rows[2].sync_rounds;
 
     let mut t = Table::new(
         "Parallel engine scaling",
-        &["workers", "wall_s", "speedup", "events/s"],
+        &[
+            "workers",
+            "wall_s",
+            "speedup",
+            "events/s",
+            "kernel_ev",
+            "rounds",
+            "replicated",
+        ],
     );
-    for &(workers, wall, eps) in &rows {
+    for r in &rows {
         t.row(vec![
-            workers.to_string(),
-            format!("{wall:.3}"),
-            format!("{:.2}x", base_wall / wall),
-            format!("{eps:.0}"),
+            r.workers.to_string(),
+            format!("{:.3}", r.wall),
+            format!("{:.2}x", base_wall / r.wall),
+            format!("{:.0}", r.eps),
+            r.kernel_events.to_string(),
+            r.sync_rounds.to_string(),
+            r.replicated.to_string(),
         ]);
     }
     t.print(opts);
     println!("digest identical across worker counts: {identical}");
+    println!("kernel events at 4 lanes vs serial: {event_ratio:.3}x");
+    println!(
+        "rendezvous rounds at 4 workers: fixed-64Ki {rounds_fixed} -> lookahead {rounds_auto} \
+         ({:.1}x fewer barriers)",
+        rounds_fixed as f64 / rounds_auto.max(1) as f64
+    );
 
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -144,14 +185,20 @@ fn par_bench(opts: &HarnessOpts, path: &str) {
     );
     w.field_u64("host_cpus", hp_par::available_parallelism() as u64);
     w.field_bool("digest_identical", identical);
+    w.field_f64("kernel_event_ratio_4_vs_1", event_ratio);
+    w.field_u64("sync_rounds_fixed_64k", rounds_fixed);
+    w.field_u64("sync_rounds_lookahead", rounds_auto);
     w.key("workers");
     w.begin_array();
-    for &(workers, wall, eps) in &rows {
+    for r in &rows {
         w.begin_object();
-        w.field_u64("workers", workers as u64);
-        w.field_f64("wall_secs", wall);
-        w.field_f64("speedup_vs_1", base_wall / wall);
-        w.field_f64("events_per_sec_per_lane_inclusive", eps);
+        w.field_u64("workers", r.workers as u64);
+        w.field_f64("wall_secs", r.wall);
+        w.field_f64("speedup_vs_1", base_wall / r.wall);
+        w.field_f64("events_per_sec", r.eps);
+        w.field_u64("kernel_events", r.kernel_events);
+        w.field_u64("sync_rounds", r.sync_rounds);
+        w.field_u64("replicated_chain_events", r.replicated);
         w.end_object();
     }
     w.end_array();
@@ -163,6 +210,15 @@ fn par_bench(opts: &HarnessOpts, path: &str) {
     assert!(
         identical,
         "parallel engine digests diverged across worker counts"
+    );
+    assert!(
+        event_ratio <= 1.1,
+        "replicated-chain tax regressed: 4-lane kernel events {event_ratio:.3}x serial"
+    );
+    assert!(
+        rounds_auto < rounds_fixed,
+        "lookahead windows did not reduce rendezvous count \
+         (auto {rounds_auto} >= fixed {rounds_fixed})"
     );
 }
 
@@ -273,6 +329,12 @@ fn main() {
             profile.total_events(),
             r.wall_secs(),
             r.events_per_sec_wall()
+        );
+        println!(
+            "sync rounds: {}   replicated chain events: {}   generated arrivals/lane: {:?}",
+            r.sync_rounds(),
+            r.replicated_chain_events(),
+            r.lane_generated_arrivals()
         );
     }
 

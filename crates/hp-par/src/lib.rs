@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of hardware threads available to this process (1 if unknown).
@@ -132,30 +133,66 @@ impl ThreadPool {
     }
 }
 
-/// A reusable barrier for lockstep window loops, wrapping
-/// [`std::sync::Barrier`] and exposing the leader bit as a plain `bool`.
+/// A reusable barrier for lockstep window loops: a sense-reversing atomic
+/// barrier with bounded spin-then-yield waiting, exposing the leader bit
+/// as a plain `bool`.
 ///
 /// The parallel engine's workers rendezvous twice per synchronization
 /// window: once after pumping their lanes (the leader then folds lane
 /// reports into a run-control decision) and once more so every worker sees
-/// that decision before starting the next window.
+/// that decision before starting the next window. Lookahead windows make
+/// rendezvous rare but long-lived, so the wait path spins briefly (the
+/// common case: siblings arrive within microseconds of each other) and
+/// then falls back to [`std::thread::yield_now`] so a straggler lane never
+/// pins sibling cores at 100% — unlike an unconditional spin loop, and
+/// without the mutex/condvar wakeup cost of [`std::sync::Barrier`].
 #[derive(Debug)]
 pub struct Rendezvous {
-    barrier: std::sync::Barrier,
+    parties: usize,
+    arrived: AtomicUsize,
+    sense: AtomicUsize,
 }
+
+/// Iterations of [`std::hint::spin_loop`] before a waiting party starts
+/// yielding its timeslice. Sized for "siblings are a few microseconds
+/// behind", the common case under balanced lanes.
+const SPIN_LIMIT: u32 = 4_096;
 
 impl Rendezvous {
     /// A rendezvous point for `parties` threads.
     pub fn new(parties: usize) -> Self {
         Rendezvous {
-            barrier: std::sync::Barrier::new(parties),
+            parties,
+            arrived: AtomicUsize::new(0),
+            sense: AtomicUsize::new(0),
         }
     }
 
     /// Blocks until all parties arrive; returns `true` on exactly one of
     /// them (the leader for this round).
+    ///
+    /// The last arrival becomes leader: it resets the arrival count and
+    /// then flips the round sense, releasing the waiters. A waiter only
+    /// re-enters the next round after observing the flip, so the reset
+    /// cannot race with next-round arrivals.
     pub fn wait(&self) -> bool {
-        self.barrier.wait().is_leader()
+        let sense = self.sense.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.arrived.store(0, Ordering::Release);
+            self.sense.store(sense.wrapping_add(1), Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) == sense {
+                if spins < SPIN_LIMIT {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            false
+        }
     }
 }
 
@@ -252,6 +289,40 @@ mod tests {
             }
         });
         assert_eq!(leaders.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn rendezvous_single_party_is_always_leader() {
+        let r = Rendezvous::new(1);
+        for _ in 0..1000 {
+            assert!(r.wait());
+        }
+    }
+
+    #[test]
+    fn rendezvous_rounds_never_overlap_under_stress() {
+        // A counter incremented once per (party, round) pair must land on
+        // exactly parties*rounds: a reset racing next-round arrivals would
+        // deadlock or let a party slip a round.
+        let parties = 8;
+        let rounds = 2_000;
+        let r = Rendezvous::new(parties);
+        let ticks = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..parties {
+                scope.spawn(|| {
+                    for i in 0..rounds {
+                        ticks.fetch_add(1, Ordering::SeqCst);
+                        r.wait();
+                        // Between the two barriers every party has ticked
+                        // this round exactly once.
+                        assert_eq!(ticks.load(Ordering::SeqCst), parties * (i + 1));
+                        r.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(ticks.load(Ordering::SeqCst), parties * rounds);
     }
 
     #[test]

@@ -174,19 +174,135 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
 }
 
-/// SplitMix64 step: advances `*state` and returns a well-mixed output.
-/// Used for seed expansion (its intended role in the xoshiro papers).
-fn splitmix64_next(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
+/// Weyl increment used by SplitMix64 (the golden-ratio constant).
+const SPLITMIX_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 output finalizer applied to a raw Weyl-sequence state word.
+/// Exposed so key-derivation chains (stream seeds, per-decision hashes)
+/// share the exact mixing function the generators use.
+#[inline]
+pub fn splitmix64_mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
+/// SplitMix64 as a u64 → u64 hash: one Weyl step plus the finalizer.
+/// Identical to `hp_sim::rng::splitmix64` (duplicated because `hp-rand`
+/// sits below `hp-sim` in the dependency graph).
+#[inline]
+pub fn splitmix64_hash(x: u64) -> u64 {
+    splitmix64_mix(x.wrapping_add(SPLITMIX_GOLDEN))
+}
+
+/// SplitMix64 step: advances `*state` and returns a well-mixed output.
+/// Used for seed expansion (its intended role in the xoshiro papers).
+fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(SPLITMIX_GOLDEN);
+    splitmix64_mix(*state)
+}
+
 /// Concrete generator types.
 pub mod rngs {
-    use super::{splitmix64_next, RngCore, SeedableRng};
+    use super::{
+        splitmix64_hash, splitmix64_mix, splitmix64_next, RngCore, SeedableRng, SPLITMIX_GOLDEN,
+    };
+
+    /// Counter-based splittable generator: SplitMix64 with O(1) random
+    /// access.
+    ///
+    /// The n-th output is a **pure function of `(key, n)`** — the state is
+    /// just a counter, so a consumer can jump to any position, skip a
+    /// foreign range of draws in O(1), or evaluate a single indexed draw
+    /// without owning a stream at all. That is exactly what a partitioned
+    /// simulator needs: each lane draws only the items it owns, yet every
+    /// lane agrees bit-for-bit on what the n-th draw *would be*.
+    ///
+    /// Keys derive from a `(seed, stream, index)` triple through the same
+    /// chained SplitMix64 finalizers the workspace's `RngFactory` uses, so
+    /// distinct streams are decorrelated by construction. The output
+    /// sequence for a given key is the canonical SplitMix64 sequence
+    /// (Weyl increment + finalizer), which passes BigCrush.
+    ///
+    /// ```
+    /// use hp_rand::rngs::CounterRng;
+    /// use hp_rand::RngCore;
+    ///
+    /// let mut a = CounterRng::keyed(7, 1, 0);
+    /// let _ = a.next_u64(); // draw #0
+    /// let b = CounterRng::keyed(7, 1, 0);
+    /// assert_eq!(a.next_u64(), b.at(1)); // random access == sequential
+    /// ```
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct CounterRng {
+        key: u64,
+        ctr: u64,
+    }
+
+    impl CounterRng {
+        /// Builds a generator directly from a raw key, positioned at
+        /// draw 0. Any key is valid (there is no forbidden state).
+        pub fn from_key(key: u64) -> Self {
+            CounterRng { key, ctr: 0 }
+        }
+
+        /// Derives a decorrelated generator for the `(seed, stream,
+        /// index)` triple: `stream` names the purpose (arrivals, service,
+        /// …) and `index` the sub-stream (a sharing group, an item id).
+        /// Both levels pass through independent SplitMix64 finalizer
+        /// chains, mirroring the `RngFactory::stream_seed` construction.
+        pub fn keyed(seed: u64, stream: u64, index: u64) -> Self {
+            let scoped =
+                splitmix64_mix(seed ^ splitmix64_hash(stream.wrapping_add(SPLITMIX_GOLDEN)));
+            CounterRng {
+                key: scoped,
+                ctr: 0,
+            }
+            .split(index)
+        }
+
+        /// Derives a decorrelated child stream for `index`, leaving this
+        /// generator untouched. Children of distinct indices are mutually
+        /// decorrelated and decorrelated from the parent — the splittable
+        /// half of the splittable-counter design (per-item sub-streams
+        /// whose draw counts need not be fixed).
+        pub fn split(&self, index: u64) -> Self {
+            let key =
+                splitmix64_mix(self.key ^ splitmix64_hash(index.wrapping_add(SPLITMIX_GOLDEN)));
+            CounterRng { key, ctr: 0 }
+        }
+
+        /// The `n`-th draw of this stream (0-based), without touching the
+        /// cursor — O(1) random access.
+        #[inline]
+        pub fn at(&self, n: u64) -> u64 {
+            splitmix64_mix(
+                self.key
+                    .wrapping_add(n.wrapping_add(1).wrapping_mul(SPLITMIX_GOLDEN)),
+            )
+        }
+
+        /// Repositions the cursor so the next sequential draw is draw
+        /// `n` — an O(1) skip over any number of foreign draws.
+        #[inline]
+        pub fn seek(&mut self, n: u64) {
+            self.ctr = n;
+        }
+
+        /// The index of the next sequential draw.
+        pub fn position(&self) -> u64 {
+            self.ctr
+        }
+    }
+
+    impl RngCore for CounterRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.at(self.ctr);
+            self.ctr += 1;
+            out
+        }
+    }
 
     /// xoshiro256++ — the workspace's small, fast, deterministic PRNG.
     ///
@@ -243,8 +359,104 @@ pub mod rngs {
 
 #[cfg(test)]
 mod tests {
-    use super::rngs::SmallRng;
+    use super::rngs::{CounterRng, SmallRng};
     use super::*;
+
+    #[test]
+    fn counter_rng_random_access_matches_sequential() {
+        let mut seq = CounterRng::keyed(0x5EED, 9, 3);
+        let raw = CounterRng::keyed(0x5EED, 9, 3);
+        for n in 0..1000u64 {
+            assert_eq!(seq.next_u64(), raw.at(n), "draw {n}");
+        }
+    }
+
+    #[test]
+    fn counter_rng_seek_skips_in_o1() {
+        let mut a = CounterRng::keyed(1, 2, 3);
+        for _ in 0..777 {
+            let _ = a.next_u64();
+        }
+        let mut b = CounterRng::keyed(1, 2, 3);
+        b.seek(777);
+        assert_eq!(a.position(), b.position());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn counter_rng_matches_canonical_splitmix64_sequence() {
+        // The keyed stream must be *the* SplitMix64 sequence for its key,
+        // not a lookalike: pin it against the seed-expansion stepper.
+        let key = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut state = key;
+        let rng = CounterRng::from_key(key);
+        for n in 0..64u64 {
+            assert_eq!(rng.at(n), splitmix64_next(&mut state), "draw {n}");
+        }
+    }
+
+    #[test]
+    fn counter_rng_distinct_streams_and_indices_diverge() {
+        let a = CounterRng::keyed(7, 1, 0);
+        let b = CounterRng::keyed(7, 2, 0);
+        let c = CounterRng::keyed(7, 1, 1);
+        let ab = (0..64).filter(|&n| a.at(n) == b.at(n)).count();
+        let ac = (0..64).filter(|&n| a.at(n) == c.at(n)).count();
+        assert_eq!(ab + ac, 0);
+    }
+
+    #[test]
+    fn counter_rng_uniformity_chi_square() {
+        // 256-bin chi-square on the top byte, per stream and across a
+        // pair of sibling streams interleaved (cross-correlation smoke).
+        let n = 131_072u64;
+        for (label, draws) in [
+            (
+                "single",
+                (0..n)
+                    .map(|k| CounterRng::keyed(3, 5, 0).at(k))
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "interleaved siblings",
+                (0..n)
+                    .map(|k| CounterRng::keyed(3, 5, k % 4).at(k / 4))
+                    .collect::<Vec<_>>(),
+            ),
+        ] {
+            let mut bins = [0u64; 256];
+            for d in &draws {
+                bins[(d >> 56) as usize] += 1;
+            }
+            let expect = n as f64 / 256.0;
+            let chi2: f64 = bins
+                .iter()
+                .map(|&c| (c as f64 - expect).powi(2) / expect)
+                .sum();
+            // 255 dof: mean 255, sd ~22.6; 340 is ~ +3.8 sd.
+            assert!(chi2 < 340.0, "{label}: chi2 {chi2}");
+        }
+    }
+
+    #[test]
+    fn counter_rng_f64_mean_and_bit_balance() {
+        let mut rng = CounterRng::keyed(11, 0, 0);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut ones = 0u64;
+        for _ in 0..n {
+            ones += rng.at(rng.position()).count_ones() as u64;
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let bit_frac = ones as f64 / (n as f64 * 64.0);
+        assert!((bit_frac - 0.5).abs() < 0.005, "bit fraction {bit_frac}");
+    }
 
     #[test]
     fn same_seed_same_stream() {

@@ -84,8 +84,8 @@ pub enum ConfigError {
     ZeroAttribExemplars,
     /// `metrics_window_cycles` was `Some(0)`.
     ZeroMetricsWindow,
-    /// `sync_window_cycles` was zero — the parallel engine's lanes would
-    /// never advance.
+    /// The sync window was pinned to `Fixed(0)` — the parallel engine's
+    /// lanes would never advance.
     ZeroSyncWindow,
     /// `par_workers > 1` with work stealing across more than one sharing
     /// group: stolen wake-ups couple partitions mid-window, which the
@@ -259,6 +259,38 @@ pub enum Load {
     Saturation,
 }
 
+/// How the experiment's random draws are organized (DESIGN.md §18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RngStreamMode {
+    /// One shared sequential arrival/service stream. Every parallel lane
+    /// must replay the full chains to stay draw-aligned, burning foreign
+    /// draws (~`groups`× the kernel events of a serial run). Retained for
+    /// A/B comparison against pre-keyed baselines.
+    Sequential,
+    /// Counter-based keyed streams (the default): every draw is a pure
+    /// function of `(seed, stream, item index)`, arrivals and churn
+    /// partition per sharing group, and a lane generates only what it
+    /// owns. Statistically equivalent to `Sequential` (same distributions,
+    /// decorrelated streams), but a different — equally valid — sampled
+    /// instance of the experiment.
+    Keyed,
+}
+
+/// Parallel-engine window policy: how far lanes run between rendezvous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncWindow {
+    /// Fixed window length in cycles (PR 8's lockstep behaviour).
+    Fixed(u64),
+    /// Conservative-PDES lookahead (the default): window lengths derive
+    /// from run progress toward the stop target, growing geometrically
+    /// from a floor of a few coherence round-trips up to a bounded
+    /// maximum. The schedule is computed identically by the serial and
+    /// parallel fabric controllers from boundary-synchronized state, so
+    /// it is part of the experiment definition and digests stay
+    /// worker-count-invariant.
+    Lookahead,
+}
+
 /// One experiment's full parameterization.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -406,13 +438,17 @@ pub struct ExperimentConfig {
     /// this many workers in bounded time windows. Same-seed results are
     /// digest-identical for any worker count.
     pub par_workers: usize,
-    /// Synchronization-window length in cycles for the parallel engine:
-    /// lanes run independently inside a window and exchange state only at
-    /// window boundaries. Run control (warmup, stop, watchdog, the cycle
+    /// Synchronization-window policy for the parallel engine: lanes run
+    /// independently inside a window and exchange state only at window
+    /// boundaries. Run control (warmup, stop, watchdog, the cycle
     /// ceiling) is evaluated at these boundaries in *every* engine, so the
-    /// window length is part of the experiment definition, not a tuning
+    /// window schedule is part of the experiment definition, not a tuning
     /// knob that may change results across worker counts.
-    pub sync_window_cycles: u64,
+    pub sync_window: SyncWindow,
+    /// How random draws are organized: keyed counter-based streams (the
+    /// default; arrivals/churn partition across lanes) or one shared
+    /// sequential stream (lanes replay the full chains).
+    pub rng_stream_mode: RngStreamMode,
 }
 
 impl ExperimentConfig {
@@ -465,7 +501,8 @@ impl ExperimentConfig {
             attrib_exemplars: hp_sim::attrib::DEFAULT_EXEMPLARS,
             metrics_window_cycles: None,
             par_workers: 1,
-            sync_window_cycles: 65_536,
+            sync_window: SyncWindow::Lookahead,
+            rng_stream_mode: RngStreamMode::Keyed,
         }
     }
 
@@ -557,9 +594,22 @@ impl ExperimentConfig {
         self
     }
 
-    /// Builder-style: set the parallel-engine synchronization window.
+    /// Builder-style: pin the parallel-engine synchronization window to a
+    /// fixed length (replacing the default lookahead schedule).
     pub fn with_sync_window(mut self, cycles: u64) -> Self {
-        self.sync_window_cycles = cycles;
+        self.sync_window = SyncWindow::Fixed(cycles);
+        self
+    }
+
+    /// Builder-style: set the synchronization-window policy.
+    pub fn with_sync_window_mode(mut self, mode: SyncWindow) -> Self {
+        self.sync_window = mode;
+        self
+    }
+
+    /// Builder-style: set the RNG stream organization.
+    pub fn with_rng_stream_mode(mut self, mode: RngStreamMode) -> Self {
+        self.rng_stream_mode = mode;
         self
     }
 
@@ -648,7 +698,7 @@ impl ExperimentConfig {
         if self.metrics_window_cycles == Some(0) {
             return Err(ConfigError::ZeroMetricsWindow);
         }
-        if self.sync_window_cycles == 0 {
+        if self.sync_window == SyncWindow::Fixed(0) {
             return Err(ConfigError::ZeroSyncWindow);
         }
         if self.par_workers > 1 && self.work_stealing && self.groups() > 1 {

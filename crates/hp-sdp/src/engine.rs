@@ -25,21 +25,33 @@
 //! the skipped polls at the measured average poll cost. This is exact in
 //! distribution: the pointer phase advances by the number of skipped
 //! polls, and only an arrival can add work to a spinning partition. The
-//! target is tracked locally (`next_arrival`) rather than peeked from the
-//! event queue so a partitioned lane — which does not see other lanes'
-//! events — fast-forwards identically to the serial engine.
+//! target is tracked locally (`next_arrival` in sequential RNG mode,
+//! `group_next_arrival` per sharing group in keyed mode) rather than
+//! peeked from the event queue so a partitioned lane — which does not see
+//! other lanes' events — fast-forwards identically to the serial engine.
 //!
 //! ## Lanes
 //!
 //! The engine doubles as one *lane* of the parallel fabric
 //! ([`crate::par_engine`]): built with `Engine::try_new_lane` it owns a
-//! single sharing group, replays the full arrival/churn chains for
-//! identical RNG draws, and materializes only its own group's work. Run
-//! control (warmup, stop, watchdog, `max_cycles`) is evaluated at
+//! single sharing group and materializes only that group's work. How the
+//! stimulus chains partition depends on `rng_stream_mode` (DESIGN.md §18):
+//!
+//! - **Keyed** (the default): every draw is a pure function of
+//!   `(seed, stream, item index)` through counter-based sub-streams
+//!   ([`hp_rand::rngs::CounterRng`]), so each lane generates *only its own
+//!   groups' arrivals and churn ticks* — no foreign chain is replayed and
+//!   a lane's event count scales with owned load, not total load.
+//! - **Sequential**: every lane replays the full arrival/churn chains for
+//!   identical RNG draws and gates foreign items off; the replayed-and-
+//!   gated events are counted in `replicated_chain_events` (the
+//!   replication tax keyed mode eliminates).
+//!
+//! Run control (warmup, stop, watchdog, `max_cycles`) is evaluated at
 //! synchronization-window boundaries in *every* engine — serial included —
 //! so a serial run is exactly a one-lane fabric.
 
-use crate::config::{ConfigError, ExperimentConfig, Load, Notifier};
+use crate::config::{ConfigError, ExperimentConfig, Load, Notifier, RngStreamMode};
 use crate::metrics::{WindowObservation, WindowSample, WindowedMetrics};
 use crate::result::{DeviceStats, ExperimentResult, FaultReport};
 use crate::telemetry::{CoreTelemetry, HaltState, HaltTracker};
@@ -48,7 +60,7 @@ use hp_mem::seq::SeqMemo;
 use hp_mem::system::{LoadHint, MemSystem};
 use hp_mem::types::{AccessKind, Addr, CoreId, LineAddr};
 use hp_queues::sim::{QueueId, QueueLayout, SimQueue, WorkItem};
-use hp_rand::rngs::SmallRng;
+use hp_rand::rngs::{CounterRng, SmallRng};
 use hp_sim::attrib::{AttributionReport, Attributor};
 use hp_sim::audit::{AuditReport, Auditor};
 use hp_sim::event::EventQueue;
@@ -59,7 +71,7 @@ use hp_sim::stats::{Histogram, OnlineStats};
 use hp_sim::time::{Cycles, SimTime};
 use hp_sim::trace::{SpanId, TraceKind, TraceRecord, Tracer};
 use hp_traffic::flows::FlowTrafficGenerator;
-use hp_traffic::generator::TrafficGenerator;
+use hp_traffic::generator::{KeyedArrivals, TrafficGenerator};
 use hp_traffic::partition_queues;
 use hp_workloads::service::ServiceModel;
 
@@ -145,13 +157,28 @@ enum Ev {
     /// Chaos-plane doorbell churn tick: the control plane re-homes one
     /// queue's doorbell through Algorithm 1 while traffic is live.
     Churn,
+    /// Keyed-mode arrival: the next item of one sharing group's partition
+    /// stream. Replaces [`Ev::Arrival`] under `rng_stream_mode = keyed` —
+    /// a lane schedules these only for groups it owns, so no foreign
+    /// chain is ever replayed.
+    GroupArrival(u32),
+    /// Keyed-mode churn: tick `tick` of the global churn schedule, known
+    /// at schedule time to victimize a queue of `group` (the victim is a
+    /// pure function of the tick index). Replaces [`Ev::Churn`] under
+    /// `rng_stream_mode = keyed`.
+    GroupChurn {
+        /// Sharing group owning the victim queue.
+        group: u32,
+        /// Global churn tick index (fires at `(tick + 1) * period`).
+        tick: u64,
+    },
 }
 
 impl Ev {
     /// Index into [`EV_LABELS`] for the kernel profile.
     fn profile_idx(&self) -> usize {
         match self {
-            Ev::Arrival => 0,
+            Ev::Arrival | Ev::GroupArrival(_) => 0,
             Ev::CoreStep(_) => 1,
             Ev::CoreWake(_) => 2,
             Ev::Reconsider { .. } => 3,
@@ -160,7 +187,7 @@ impl Ev {
             // Index 6 ("watchdog") is retired: the no-progress watchdog is
             // evaluated at window boundaries, not as an event. The label
             // stays so profile indices remain stable across artifacts.
-            Ev::Churn => 7,
+            Ev::Churn | Ev::GroupChurn { .. } => 7,
         }
     }
 }
@@ -311,6 +338,33 @@ pub struct Engine {
     /// Prebuffered service demands (same block-refill scheme as
     /// [`ArrivalStream`]; draws are bit-identical to per-item sampling).
     service_buf: std::collections::VecDeque<Cycles>,
+    /// Whether this run uses keyed (counter-based) stimulus streams: the
+    /// config knob resolved against the traffic source (flow-structured
+    /// traffic is single-group by validation and stays sequential).
+    keyed: bool,
+    /// Keyed mode: per-group partition arrival streams. `None` for
+    /// non-owned groups (never drawn from) and for partitions with zero
+    /// offered mass (no arrival can ever target them).
+    keyed_arrivals: Vec<Option<KeyedArrivals>>,
+    /// Keyed mode: arrivals drawn so far per group — the next arrival
+    /// index `k`, and the per-group half of the item id `g + k * groups`.
+    group_arrival_count: Vec<u64>,
+    /// Keyed mode: timestamp of each group's next scheduled arrival
+    /// (`u64::MAX` for a group with no stream) — the per-group spinning
+    /// fast-forward target.
+    group_next_arrival: Vec<u64>,
+    /// Keyed mode: counter-based service stream; item `id`'s demand is
+    /// drawn from `service_keyed.split(id)` — a pure function of the id,
+    /// so lanes never share or replay service-stream state.
+    service_keyed: CounterRng,
+    /// Foreign chain events this engine replayed and gated off: the
+    /// sequential-mode replication tax (always zero in keyed mode, where
+    /// foreign chains are skipped instead of replayed).
+    replicated_chain_events: u64,
+    /// Arrivals this engine generated for its *own* groups (foreign
+    /// replayed draws excluded), so lane sums equal the serial count in
+    /// both RNG stream modes.
+    generated_arrivals: u64,
     ev: EventQueue<Ev>,
     /// Tail of the same-instant event run `pop_batch` drained: the main
     /// loop consumes from here first, so per-event processing order is
@@ -612,6 +666,42 @@ impl Engine {
             ),
         };
 
+        // Keyed (counter-based) stimulus streams: stream ids mirror the
+        // sequential assignment (1 = traffic, 2 = service, 3 = faults),
+        // with per-group arrival sub-streams split off stream 1 and the
+        // per-item service demand split off stream 2 by item id. Only
+        // *owned* groups get an arrival stream — that is the whole point:
+        // a lane draws nothing for foreign groups.
+        let keyed = cfg.rng_stream_mode == RngStreamMode::Keyed
+            && matches!(cfg.traffic, crate::config::TrafficSource::Shape);
+        let mut keyed_arrivals: Vec<Option<KeyedArrivals>> = Vec::with_capacity(groups);
+        let mut group_next_arrival: Vec<u64> = Vec::with_capacity(groups);
+        if keyed {
+            let base = CounterRng::from_key(rngs.stream_seed(1));
+            for (g, &owned) in owned_groups.iter().enumerate() {
+                let stream = if owned {
+                    KeyedArrivals::for_partition(
+                        cfg.shape,
+                        cfg.queues,
+                        rate,
+                        clock,
+                        &group_of_queue,
+                        g,
+                        base.split(g as u64),
+                    )
+                    .expect("validated configuration")
+                } else {
+                    None
+                };
+                group_next_arrival.push(if stream.is_some() { 0 } else { u64::MAX });
+                keyed_arrivals.push(stream);
+            }
+        } else {
+            keyed_arrivals.resize_with(groups, || None);
+            group_next_arrival.resize(groups, u64::MAX);
+        }
+        let service_keyed = CounterRng::from_key(rngs.stream_seed(2));
+
         let service = ServiceModel::new(cfg.workload, cfg.service_dist, clock);
         let n_queues = cfg.queues as usize;
         let warmup_completions = (cfg.target_completions / 5).max(1);
@@ -653,6 +743,13 @@ impl Engine {
             service,
             service_rng: rngs.stream(2),
             service_buf: std::collections::VecDeque::with_capacity(ARRIVAL_BLOCK),
+            keyed,
+            keyed_arrivals,
+            group_arrival_count: vec![0; groups],
+            group_next_arrival,
+            service_keyed,
+            replicated_chain_events: 0,
+            generated_arrivals: 0,
             ev: EventQueue::new(),
             pending: std::collections::VecDeque::new(),
             carry: None,
@@ -837,12 +934,23 @@ impl Engine {
         crate::par_engine::run(self)
     }
 
-    /// Seeds the event queue for a run: the first arrival (every lane
-    /// replays the full arrival chain), core steps for *owned* cores only,
-    /// and the chaos churn tick. The no-progress watchdog is not an event
-    /// — it is evaluated at window boundaries by the fabric controller.
+    /// Seeds the event queue for a run: the first arrival(s), core steps
+    /// for *owned* cores only, and the chaos churn chain. In keyed mode
+    /// each owned group's partition stream and churn chain is seeded
+    /// independently; in sequential mode one shared arrival/churn chain is
+    /// replayed by every lane. The no-progress watchdog is not an event —
+    /// it is evaluated at window boundaries by the fabric controller.
     pub(crate) fn seed_events(&mut self) {
-        self.ev.schedule_at(SimTime::ZERO, Ev::Arrival);
+        if self.keyed {
+            for g in 0..self.keyed_arrivals.len() {
+                if self.keyed_arrivals[g].is_some() {
+                    self.ev
+                        .schedule_at(SimTime::ZERO, Ev::GroupArrival(g as u32));
+                }
+            }
+        } else {
+            self.ev.schedule_at(SimTime::ZERO, Ev::Arrival);
+        }
         for c in 0..self.cfg.dp_cores {
             if self.owned_groups[self.core_group[c]] {
                 self.ev.schedule_at(SimTime::ZERO, Ev::CoreStep(c));
@@ -850,7 +958,15 @@ impl Engine {
         }
         if let Some(churn) = self.cfg.chaos.churn {
             if !self.devices.is_empty() {
-                self.ev.schedule_at(SimTime(churn.period), Ev::Churn);
+                if self.keyed {
+                    for g in 0..self.queues_of_group.len() {
+                        if self.owned_groups[g] {
+                            self.schedule_next_group_churn(g, 0, churn.period);
+                        }
+                    }
+                } else {
+                    self.ev.schedule_at(SimTime(churn.period), Ev::Churn);
+                }
             }
         }
         self.warmup_span = Some(self.tracer.begin_span(SimTime::ZERO, "warmup"));
@@ -895,7 +1011,7 @@ impl Engine {
             // window. State cannot change between events, so the snapshot
             // taken now is exact at the boundary.
             if now.since_start().count() >= self.metrics_next {
-                self.close_metrics_windows(now.since_start().count());
+                self.close_metrics_windows(now.since_start().count(), true);
             }
             // Chaos regime change: swap the effective fault plan at the
             // boundary, before handling the event, mirroring the metrics
@@ -932,6 +1048,8 @@ impl Engine {
                 }
                 Ev::QwaitTimeout { core, epoch } => self.on_qwait_timeout(now, core, epoch),
                 Ev::Churn => self.on_churn(now),
+                Ev::GroupArrival(g) => self.on_group_arrival(now, g as usize),
+                Ev::GroupChurn { group, tick } => self.on_group_churn(now, group as usize, tick),
             }
         }
     }
@@ -994,9 +1112,14 @@ impl Engine {
 
     /// Closes every metrics window whose nominal boundary is at or before
     /// `now_cycles` (lazy closing — see [`crate::metrics`]).
-    fn close_metrics_windows(&mut self, now_cycles: u64) {
+    /// `in_flight` marks a popped-but-unhandled trigger event (the pump
+    /// closes windows lazily, mid-event): counting it keeps the depth
+    /// sample worker-count-invariant — every engine crossing a window
+    /// boundary has exactly one such event, so serial (one crossing)
+    /// and N lanes (N crossings) observe the same outstanding-event set.
+    fn close_metrics_windows(&mut self, now_cycles: u64, in_flight: bool) {
         while self.metrics_next <= now_cycles {
-            let obs = self.window_observation(self.metrics_next);
+            let obs = self.window_observation(self.metrics_next, in_flight);
             let m = self
                 .metrics
                 .as_mut()
@@ -1010,7 +1133,7 @@ impl Engine {
     /// event-queue / halt state, plus cumulative counters up to
     /// `boundary`. In-progress halt episodes (credited only at resume)
     /// are counted up to the boundary explicitly.
-    fn window_observation(&self, boundary: u64) -> WindowObservation {
+    fn window_observation(&self, boundary: u64, in_flight: bool) -> WindowObservation {
         let halt_cycles = (0..self.cfg.dp_cores)
             .map(|c| {
                 let credited = self.telem[c].halt_c0_cycles + self.telem[c].halt_c1_cycles;
@@ -1025,7 +1148,8 @@ impl Engine {
             backlog: self.backlog,
             event_queue_depth: (self.ev.len()
                 + self.pending.len()
-                + usize::from(self.carry.is_some())) as u64,
+                + usize::from(self.carry.is_some())
+                + usize::from(in_flight)) as u64,
             cores_halted: self.halted.iter().filter(|&&h| h).count() as u64,
             halt_cycles,
             spin_instructions: self.telem.iter().map(|t| t.spin_instructions).sum(),
@@ -1065,8 +1189,8 @@ impl Engine {
         // Close out the observability plane: full windows first, then the
         // final partial one; close whichever phase span is still open.
         if self.metrics.is_some() {
-            self.close_metrics_windows(end.since_start().count());
-            let obs = self.window_observation(end.since_start().count());
+            self.close_metrics_windows(end.since_start().count(), false);
+            let obs = self.window_observation(end.since_start().count(), false);
             self.metrics
                 .as_mut()
                 .unwrap()
@@ -1134,7 +1258,9 @@ impl Engine {
         .with_notify_latency(self.notify_latency)
         .with_mem_stats(mem_stats)
         .with_fastpath(self.mem.fastpath_stats())
-        .with_profile(self.profile, wall_secs);
+        .with_profile(self.profile, wall_secs)
+        .with_replicated_chain_events(self.replicated_chain_events)
+        .with_lane_generated(vec![self.generated_arrivals]);
         if let Some(d) = device {
             result = result.with_device(d);
         }
@@ -1203,8 +1329,47 @@ impl Engine {
         // cap check keeps drop accounting with the owner.
         let g = self.qrows[qi].group as usize;
         if !self.owned_groups[g] {
+            self.replicated_chain_events += 1;
             return;
         }
+        self.deliver_arrival(now, q, id, service);
+    }
+
+    /// Keyed-mode arrival: the `k`-th item of group `g`'s partition
+    /// stream. The gap/queue pair is a pure function of `(seed, g, k)`
+    /// and the service demand a pure function of the item id
+    /// `g + k * groups` (a dense, collision-free renumbering of the
+    /// per-group sequences), so a lane that never sees other groups'
+    /// arrivals still produces bit-identical items for its own.
+    fn on_group_arrival(&mut self, now: SimTime, g: usize) {
+        let k = self.group_arrival_count[g];
+        self.group_arrival_count[g] = k + 1;
+        let a = self.keyed_arrivals[g]
+            .as_ref()
+            .expect("scheduled only for groups with a live partition stream")
+            .arrival(k);
+        self.ev.schedule_after(a.gap, Ev::GroupArrival(g as u32));
+        self.group_next_arrival[g] = (now + a.gap).since_start().count();
+        let groups = self.queues_of_group.len() as u64;
+        let id = g as u64 + k * groups;
+        let service = {
+            let mut rng = self.service_keyed.split(id);
+            self.service.sample(&mut rng)
+        };
+        self.deliver_arrival(now, a.queue, id, service);
+    }
+
+    /// Materializes one arrival on its (owned) queue: everything
+    /// downstream of the stimulus draws — cap check and drop accounting,
+    /// enqueue, producer stores and doorbell ring, interrupt arming,
+    /// fault injection, and the monitoring-set snoop. Shared verbatim by
+    /// both RNG modes, which differ only in how `(q, id, service)` and
+    /// the next arrival's schedule are derived.
+    fn deliver_arrival(&mut self, now: SimTime, q: QueueId, id: u64, service: Cycles) {
+        let qi = q.0 as usize;
+        let g = self.qrows[qi].group as usize;
+        debug_assert!(self.owned_groups[g]);
+        self.generated_arrivals += 1;
         // The fault plan may narrow the cap to force overflow drops. Read
         // the injector's *current* plan, not the base config, so chaos
         // phases that carry a cap take effect inside their windows.
@@ -1518,7 +1683,22 @@ impl Engine {
             // Arrival event was inserted earlier and therefore pops first,
             // resetting the streak before this core's step runs.
             if self.empty_streak[c] >= qlist_len {
-                let t_next = SimTime(self.next_arrival);
+                // Keyed mode tracks the fast-forward target per group
+                // (only this group's stream can feed this partition);
+                // sequential mode tracks the one shared chain.
+                let target = if self.keyed {
+                    self.group_next_arrival[group]
+                } else {
+                    self.next_arrival
+                };
+                if target == u64::MAX {
+                    // Keyed zero-mass partition: no arrival can ever add
+                    // work here, so the core quiesces instead of spinning
+                    // to the end of time. Identical in serial and lane
+                    // runs (the stream map is build-deterministic).
+                    return;
+                }
+                let t_next = SimTime(target);
                 let resume_at = now + Cycles(poll_cost);
                 if t_next > resume_at {
                     let dt = t_next.since(resume_at).count();
@@ -1881,16 +2061,75 @@ impl Engine {
             return;
         }
         let qi = self.faults.pick(self.churn_reallocations, self.qrows.len());
-        let q = QueueId(qi as u32);
         let g = self.qrows[qi].group as usize;
         // Replicated-chain ownership gate: every lane picked the identical
-        // victim (the pick is keyed by the churn counter), but only the
-        // owner re-homes it. Non-owners advance the counter — the key of
-        // the *next* pick — and touch nothing else.
+        // victim (the pick is keyed by the churn counter, which here
+        // equals the global tick index), but only the owner re-homes it.
+        // Non-owners advance the counter — the key of the *next* pick —
+        // and touch nothing else.
         if !self.owned_groups[g] {
             self.churn_reallocations += 1;
+            self.replicated_chain_events += 1;
             return;
         }
+        self.churn_rehome(now, qi);
+        self.churn_reallocations += 1;
+    }
+
+    /// Keyed-mode churn: processes tick `tick` (this group's turn in the
+    /// global schedule — the victim pick is re-derived and asserted) and
+    /// schedules the group's next owned tick.
+    fn on_group_churn(&mut self, now: SimTime, g: usize, tick: u64) {
+        let Some(churn) = self.cfg.chaos.churn else {
+            return;
+        };
+        let qi = self.faults.pick(tick, self.qrows.len());
+        debug_assert_eq!(
+            self.qrows[qi].group as usize, g,
+            "keyed churn tick scheduled for the wrong group"
+        );
+        self.churn_rehome(now, qi);
+        // Per-lane the counter counts *owned* re-homings only; the fabric
+        // merge sums lanes, matching the sequential global count.
+        self.churn_reallocations += 1;
+        self.schedule_next_group_churn(g, tick + 1, churn.period);
+    }
+
+    /// Schedules group `g`'s next churn tick at or after `from_tick`.
+    /// Tick `j` fires at `(j + 1) * period` and victimizes
+    /// `pick(j, queues)` — a pure, stateless function of the tick index —
+    /// so the owner scans forward to its next owned tick and schedules
+    /// exactly that one. Foreign ticks are skipped in O(1) each, without
+    /// replaying any chain event; the scan is bounded by `max_cycles`
+    /// (ticks past it can never be processed).
+    fn schedule_next_group_churn(&mut self, g: usize, from_tick: u64, period: u64) {
+        let n = self.qrows.len();
+        let mut j = from_tick;
+        loop {
+            let at = match (j + 1).checked_mul(period) {
+                Some(at) if at <= self.cfg.max_cycles => at,
+                _ => return,
+            };
+            if self.qrows[self.faults.pick(j, n)].group as usize == g {
+                self.ev.schedule_at(
+                    SimTime(at),
+                    Ev::GroupChurn {
+                        group: g as u32,
+                        tick: j,
+                    },
+                );
+                return;
+            }
+            j += 1;
+        }
+    }
+
+    /// Re-homes queue `qi`'s doorbell through Algorithm 1 (the body of a
+    /// churn tick, shared by both RNG modes — spare selection is strided
+    /// per group, so it depends only on the group's own churn history).
+    fn churn_rehome(&mut self, now: SimTime, qi: usize) {
+        let q = QueueId(qi as u32);
+        let g = self.qrows[qi].group as usize;
         // Tear down the current registration (it may already be gone if
         // the fault plane evicted it; the re-add below repairs that too).
         let _ = self.devices[g].qwait_remove(q);
@@ -1960,7 +2199,6 @@ impl Engine {
             // the two affected L1 sets only.
             self.rehome_memo_eligibility(qi, old_db);
         }
-        self.churn_reallocations += 1;
         self.note(now, TraceKind::FaultEvicted { queue: q.0 });
         // Driver-side migration sync: backlog enqueued before the move
         // announced itself on the old line, so activate the new entry.
@@ -2123,8 +2361,8 @@ impl Engine {
     pub(crate) fn into_lane_output(mut self, end: SimTime) -> LaneOutput {
         let end_cycles = end.since_start().count();
         if self.metrics.is_some() {
-            self.close_metrics_windows(end_cycles);
-            let obs = self.window_observation(end_cycles);
+            self.close_metrics_windows(end_cycles, false);
+            let obs = self.window_observation(end_cycles, false);
             self.metrics.as_mut().unwrap().close_final(end_cycles, &obs);
         }
         if let Some(span) = self.measure_span.take() {
@@ -2178,6 +2416,8 @@ impl Engine {
             eviction_recovery_latency: self.eviction_recovery_latency,
             doorbell_recovery_latency: self.doorbell_recovery_latency,
             churn_reallocations: self.churn_reallocations,
+            replicated_chain_events: self.replicated_chain_events,
+            generated_arrivals: self.generated_arrivals,
             queue_drops: self.queues.iter().map(|q| q.dropped()).sum(),
             trace_enabled: self.tracer.is_enabled(),
             trace_records: self.tracer.records(),
@@ -2219,6 +2459,8 @@ pub(crate) struct LaneOutput {
     pub(crate) eviction_recovery_latency: Histogram,
     pub(crate) doorbell_recovery_latency: Histogram,
     pub(crate) churn_reallocations: u64,
+    pub(crate) replicated_chain_events: u64,
+    pub(crate) generated_arrivals: u64,
     pub(crate) queue_drops: u64,
     pub(crate) trace_enabled: bool,
     pub(crate) trace_records: Vec<TraceRecord>,

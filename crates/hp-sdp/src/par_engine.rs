@@ -3,10 +3,10 @@
 //! Runs one experiment as a set of *lanes* — one per sharing group — each
 //! owning the group's queues, its HyperPlane device, and the DP cores
 //! assigned to it, with a private calendar-wheel event queue. Lanes
-//! advance in lockstep over bounded synchronization windows
-//! (`sync_window_cycles`) and a fabric controller folds their
-//! window-boundary reports into run-control decisions (warmup, stop,
-//! watchdog, `max_cycles`).
+//! advance in lockstep over bounded synchronization windows (fixed-size
+//! or lookahead-derived, `sync_window`) and a fabric controller folds
+//! their window-boundary reports into run-control decisions (warmup,
+//! stop, watchdog, `max_cycles`).
 //!
 //! ## Why the partition is exact
 //!
@@ -15,12 +15,16 @@
 //! group's state, and the producer-side striping
 //! (`Engine::try_new_lane`) keeps each I/O core's arrivals within one
 //! group whenever `producers >= groups`. The only cross-group coupling is
-//! the global arrival *schedule* (one shared traffic process) — so every
-//! lane replays the full arrival and churn chains with identical RNG
-//! draws, and per-item ownership gates make only the owning lane
-//! materialize state. Cross-partition messages therefore degenerate to
-//! the replicated chains themselves; the window barrier only carries
-//! run-control metadata, never simulated events.
+//! the global arrival *schedule* (one shared traffic process). Under
+//! keyed RNG streams (the default) that schedule partitions exactly: a
+//! Poisson superposition splits into independent per-group streams whose
+//! every draw is a pure function of `(seed, group, item index)`, so each
+//! lane generates *only its own* stimulus (DESIGN.md §18). Under
+//! `rng_stream_mode = sequential` every lane instead replays the full
+//! arrival and churn chains with identical RNG draws, and per-item
+//! ownership gates make only the owning lane materialize state. Either
+//! way, cross-partition messages do not exist; the window barrier only
+//! carries run-control metadata, never simulated events.
 //!
 //! ## Determinism contract
 //!
@@ -34,13 +38,34 @@
 //! `FabricCtrl`, so serial-vs-parallel equivalence is structural, not
 //! coincidental.
 //!
-//! Known merged-diagnostic deltas (documented, outside the digest): the
-//! kernel profile and window `event_queue_depth` count replicated
-//! arrival/churn chain events once per lane, and trace span ids are
-//! per-lane (merged records are re-sequenced by `(time, lane, emission
-//! order)`).
+//! In keyed mode every simulated event is group-local, so the merged
+//! kernel profile's per-event counts and the window `event_queue_depth`
+//! series are worker-count-invariant too (asserted in
+//! `tests/par_digest.rs`). In sequential mode those two diagnostics count
+//! replicated arrival/churn chain events once per lane (documented,
+//! outside the digest; the tax is surfaced as
+//! `replicated_chain_events`). Trace span ids are per-lane in both modes
+//! (merged records are re-sequenced by `(time, lane, emission order)`).
+//!
+//! ## Lookahead windows
+//!
+//! Lanes exchange no simulated events, so the classic conservative-PDES
+//! lookahead bound — run ahead to the earliest instant another lane could
+//! affect you — is *infinite* for the simulation state itself. What does
+//! couple lanes is run control: stop, warmup, and the watchdog are
+//! fabric-wide decisions whose fidelity degrades with window size (each
+//! triggers at the first boundary after its threshold). `SyncWindow::
+//! Lookahead` therefore sizes each window from the controller's own
+//! horizon: the estimated time to the next run-control threshold
+//! (remaining completions at the observed completion rate), clamped
+//! between a floor of a few coherence round-trips and a 1 Mi-cycle cap,
+//! and never past the next watchdog period. Early windows stay small
+//! (cheap, accurate warmup detection), steady-state windows grow toward
+//! the cap, and barrier count drops by an order of magnitude versus fixed
+//! 64 Ki windows while preserving the one-watchdog-period-per-window
+//! stall semantics.
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, RngStreamMode, SyncWindow, TrafficSource};
 use crate::engine::{Engine, LaneOutput};
 use crate::metrics::WindowSample;
 use crate::result::{ExperimentResult, FaultReport};
@@ -92,6 +117,9 @@ struct Decision {
     stall_notes: Vec<SimTime>,
     /// Stop after this window.
     stop: bool,
+    /// The next window's boundary (fixed stride or lookahead-derived;
+    /// ignored when `stop` is set).
+    next_boundary: u64,
 }
 
 /// Fabric-wide run control, evaluated at window boundaries from summed
@@ -110,7 +138,26 @@ struct FabricCtrl {
     watchdog_last_total: u64,
     measuring: bool,
     stalls: StallSummary,
+    /// Window-sizing policy (fixed stride or lookahead-derived).
+    sync_window: SyncWindow,
+    /// Previous boundary / fabric-wide completion total, feeding the
+    /// lookahead rate estimate.
+    prev_boundary: u64,
+    prev_total: u64,
+    /// The last lookahead window chosen (the geometric-ramp fallback when
+    /// a window completes nothing).
+    prev_window: u64,
+    /// Synchronization rounds run (one `decide` per window boundary).
+    rounds: u64,
 }
+
+/// Smallest lookahead window: a few coherence round-trips, so run-control
+/// reaction time never degrades below what the simulated fabric itself
+/// could resolve.
+const LOOKAHEAD_FLOOR: u64 = 4_096;
+/// Largest lookahead window: bounds run-control overshoot (stop, warmup,
+/// and watchdog trigger at the first boundary past their thresholds).
+const LOOKAHEAD_MAX: u64 = 1 << 20;
 
 impl FabricCtrl {
     fn new(engine: &Engine) -> Self {
@@ -126,6 +173,57 @@ impl FabricCtrl {
             watchdog_last_total: 0,
             measuring: false,
             stalls: StallSummary::default(),
+            sync_window: cfg.sync_window,
+            prev_boundary: 0,
+            prev_total: 0,
+            prev_window: LOOKAHEAD_FLOOR,
+            rounds: 0,
+        }
+    }
+
+    /// The first window's boundary: the fixed stride, or the lookahead
+    /// floor (no completion-rate signal exists yet).
+    fn first_boundary(&self) -> u64 {
+        match self.sync_window {
+            SyncWindow::Fixed(n) => n,
+            SyncWindow::Lookahead => LOOKAHEAD_FLOOR.min(self.watchdog_next),
+        }
+    }
+
+    /// Chooses the boundary after `boundary` (see the module docs): fixed
+    /// mode strides; lookahead mode extrapolates the time to the next
+    /// run-control threshold from the last window's completion rate,
+    /// clamped to `[LOOKAHEAD_FLOOR, LOOKAHEAD_MAX]`, never past the next
+    /// watchdog period, and never skipping the `max_cycles` stop boundary.
+    fn next_boundary(&mut self, boundary: u64, total: u64) -> u64 {
+        match self.sync_window {
+            SyncWindow::Fixed(n) => boundary + n,
+            SyncWindow::Lookahead => {
+                let dt = boundary - self.prev_boundary;
+                let dc = total.saturating_sub(self.prev_total);
+                let target = if self.measuring {
+                    self.stop_target
+                } else {
+                    self.warmup_target
+                };
+                let remaining = target.saturating_sub(total).max(1);
+                let horizon = if dc == 0 || dt == 0 {
+                    // No progress signal this window: ramp geometrically
+                    // rather than re-probing at the floor forever.
+                    self.prev_window.saturating_mul(2)
+                } else {
+                    ((remaining as u128 * dt as u128) / dc as u128).min(u128::from(u64::MAX)) as u64
+                };
+                let w = horizon.clamp(LOOKAHEAD_FLOOR, LOOKAHEAD_MAX);
+                self.prev_window = w;
+                // `decide` leaves `watchdog_next > boundary`, so both
+                // clamps keep the schedule strictly advancing.
+                let mut next = boundary.saturating_add(w).min(self.watchdog_next);
+                if boundary < self.max_cycles {
+                    next = next.min(self.max_cycles);
+                }
+                next
+            }
         }
     }
 
@@ -167,6 +265,10 @@ impl FabricCtrl {
         if boundary >= self.max_cycles {
             d.stop = true;
         }
+        d.next_boundary = self.next_boundary(boundary, total);
+        self.prev_boundary = boundary;
+        self.prev_total = total;
+        self.rounds += 1;
         d
     }
 }
@@ -191,10 +293,9 @@ pub(crate) fn run(engine: Engine) -> ExperimentResult {
 /// The one-lane fabric: this engine owns every group; run control still
 /// lives with [`FabricCtrl`] at window boundaries.
 fn run_single(mut engine: Engine, wall_start: Instant) -> ExperimentResult {
-    let window = engine.cfg().sync_window_cycles;
     let mut ctrl = FabricCtrl::new(&engine);
     engine.seed_events();
-    let mut boundary = window;
+    let mut boundary = ctrl.first_boundary();
     loop {
         engine.pump_window(boundary);
         let report = engine.lane_report();
@@ -208,19 +309,31 @@ fn run_single(mut engine: Engine, wall_start: Instant) -> ExperimentResult {
         if d.stop {
             break;
         }
-        boundary += window;
+        boundary = d.next_boundary;
     }
-    let end = SimTime(engine.lane_report().last_processed);
-    engine.finish(wall_start.elapsed().as_secs_f64(), end, ctrl.stalls)
+    let mut end = SimTime(engine.lane_report().last_processed);
+    // An abort ends the run at the watchdog tick that observed the stall;
+    // a lookahead boundary clamped to that tick processes strictly before
+    // it, so the last event can sit just short of the detection instant.
+    if ctrl.stalls.aborted {
+        if let Some(at) = ctrl.stalls.first_stall {
+            end = end.max(at);
+        }
+    }
+    let rounds = ctrl.rounds;
+    engine
+        .finish(wall_start.elapsed().as_secs_f64(), end, ctrl.stalls)
+        .with_sync_rounds(rounds)
 }
 
 /// The multi-lane fabric: one lane per sharing group, pumped by
 /// `workers` threads in lockstep windows, merged in lane order.
 fn run_fabric(engine: Engine, wall_start: Instant, workers: usize) -> ExperimentResult {
     let cfg = engine.cfg().clone();
-    let window = cfg.sync_window_cycles;
     let groups = cfg.groups();
-    let ctrl = Mutex::new(FabricCtrl::new(&engine));
+    let ctrl = FabricCtrl::new(&engine);
+    let first_boundary = ctrl.first_boundary();
+    let ctrl = Mutex::new(ctrl);
     drop(engine);
 
     let mut per_worker: Vec<Vec<(usize, Engine)>> = (0..workers).map(|_| Vec::new()).collect();
@@ -241,7 +354,7 @@ fn run_fabric(engine: Engine, wall_start: Instant, workers: usize) -> Experiment
             let (reports, decision, ctrl, rendezvous, done) =
                 (&reports, &decision, &ctrl, &rendezvous, &done);
             scope.spawn(move || {
-                let mut boundary = window;
+                let mut boundary = first_boundary;
                 loop {
                     for (_, lane) in my_lanes.iter_mut() {
                         lane.pump_window(boundary);
@@ -266,7 +379,7 @@ fn run_fabric(engine: Engine, wall_start: Instant, workers: usize) -> Experiment
                         *decision.lock().unwrap() = d;
                     }
                     rendezvous.wait();
-                    let stop = {
+                    let (stop, next_boundary) = {
                         let d = decision.lock().unwrap();
                         for (g, lane) in my_lanes.iter_mut() {
                             if *g == 0 {
@@ -278,12 +391,12 @@ fn run_fabric(engine: Engine, wall_start: Instant, workers: usize) -> Experiment
                                 lane.begin_measure(at);
                             }
                         }
-                        d.stop
+                        (d.stop, d.next_boundary)
                     };
                     if stop {
                         break;
                     }
-                    boundary += window;
+                    boundary = next_boundary;
                 }
                 let mut slots = done.lock().unwrap();
                 for (g, lane) in my_lanes {
@@ -299,8 +412,9 @@ fn run_fabric(engine: Engine, wall_start: Instant, workers: usize) -> Experiment
         .into_iter()
         .map(|l| l.expect("every lane returned"))
         .collect();
-    let stalls = ctrl.into_inner().unwrap().stalls;
-    merge(&cfg, lanes, wall_start.elapsed().as_secs_f64(), stalls)
+    let ctrl = ctrl.into_inner().unwrap();
+    merge(&cfg, lanes, wall_start.elapsed().as_secs_f64(), ctrl.stalls)
+        .with_sync_rounds(ctrl.rounds)
 }
 
 /// Folds lane outputs into one whole-machine [`ExperimentResult`],
@@ -315,14 +429,22 @@ fn merge(
     stalls: StallSummary,
 ) -> ExperimentResult {
     // Global end: the latest event any lane processed. Every lane closes
-    // its metrics windows and halt episodes at this shared instant.
-    let end = SimTime(
+    // its metrics windows and halt episodes at this shared instant. An
+    // abort ends the run no earlier than the watchdog tick that observed
+    // the stall (lookahead boundaries clamp to that tick and pump
+    // strictly before it).
+    let mut end = SimTime(
         lanes
             .iter()
             .map(|l| l.lane_report().last_processed)
             .max()
             .unwrap_or(0),
     );
+    if stalls.aborted {
+        if let Some(at) = stalls.first_stall {
+            end = end.max(at);
+        }
+    }
     let mut outs: Vec<LaneOutput> = lanes.into_iter().map(|l| l.into_lane_output(end)).collect();
 
     let clock = cfg.machine.clock;
@@ -417,12 +539,20 @@ fn merge(
             device.get_or_insert_with(Default::default).merge(d);
         }
     }
-    // Every lane replays the full churn chain, so the counter is
-    // replicated, not partitioned.
-    let churn_reallocations = outs[0].churn_reallocations;
-    debug_assert!(outs
-        .iter()
-        .all(|o| o.churn_reallocations == churn_reallocations));
+    // Keyed mode partitions the churn chain (each lane counts its owned
+    // ticks; sum reassembles the global count). Sequential mode replicates
+    // it — every lane counted every tick, so take one copy.
+    let keyed =
+        cfg.rng_stream_mode == RngStreamMode::Keyed && matches!(cfg.traffic, TrafficSource::Shape);
+    let churn_reallocations = if keyed {
+        outs.iter().map(|o| o.churn_reallocations).sum()
+    } else {
+        let c = outs[0].churn_reallocations;
+        debug_assert!(outs.iter().all(|o| o.churn_reallocations == c));
+        c
+    };
+    // The replication tax (zero in keyed mode) sums over lanes.
+    let replicated_chain_events: u64 = outs.iter().map(|o| o.replicated_chain_events).sum();
 
     let mut result = ExperimentResult::new(
         cfg,
@@ -447,7 +577,9 @@ fn merge(
             p
         },
         wall_secs,
-    );
+    )
+    .with_replicated_chain_events(replicated_chain_events)
+    .with_lane_generated(outs.iter().map(|o| o.generated_arrivals).collect());
     if let Some(d) = device {
         result = result.with_device(d);
     }

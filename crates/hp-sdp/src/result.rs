@@ -152,6 +152,9 @@ pub struct ExperimentResult {
     fastpath: hp_mem::system::FastPathStats,
     device: Option<DeviceStats>,
     wall_secs: f64,
+    sync_rounds: u64,
+    replicated_chain_events: u64,
+    lane_generated_arrivals: Vec<u64>,
     workload_label: &'static str,
     notifier_label: &'static str,
     queues: u32,
@@ -194,6 +197,9 @@ impl ExperimentResult {
             fastpath: hp_mem::system::FastPathStats::default(),
             device: None,
             wall_secs: 0.0,
+            sync_rounds: 0,
+            replicated_chain_events: 0,
+            lane_generated_arrivals: Vec::new(),
             workload_label: cfg.workload.name(),
             notifier_label: cfg.notifier.label(),
             queues: cfg.queues,
@@ -280,6 +286,51 @@ impl ExperimentResult {
         self.profile = Some(profile);
         self.wall_secs = wall_secs;
         self
+    }
+
+    /// Attaches the fabric controller's synchronization-round count
+    /// (engine internal; set by the parallel fabric for serial and
+    /// parallel runs alike — a serial run is a one-lane fabric).
+    pub(crate) fn with_sync_rounds(mut self, rounds: u64) -> Self {
+        self.sync_rounds = rounds;
+        self
+    }
+
+    /// Synchronization rounds the fabric controller ran: the number of
+    /// window-boundary rendezvous (two barriers each in a multi-lane
+    /// run). Under lookahead windows this is the barrier-count metric the
+    /// `trace --par-bench` report compares against fixed windows.
+    pub fn sync_rounds(&self) -> u64 {
+        self.sync_rounds
+    }
+
+    /// Attaches the replicated-chain event count (engine internal).
+    pub(crate) fn with_replicated_chain_events(mut self, events: u64) -> Self {
+        self.replicated_chain_events = events;
+        self
+    }
+
+    /// Foreign stimulus-chain events this run replayed and gated off,
+    /// summed over lanes: the sequential-RNG-mode replication tax. Zero
+    /// for serial runs and for `rng_stream_mode = keyed`, where lanes
+    /// generate only their own groups' stimulus.
+    pub fn replicated_chain_events(&self) -> u64 {
+        self.replicated_chain_events
+    }
+
+    /// Attaches the per-lane generation counters (engine internal).
+    pub(crate) fn with_lane_generated(mut self, counts: Vec<u64>) -> Self {
+        self.lane_generated_arrivals = counts;
+        self
+    }
+
+    /// Arrivals each lane *generated* (delivered into its own groups'
+    /// queues), in lane order; a serial run reports one entry. Unlike the
+    /// kernel profile's arrival-event count, this never includes foreign
+    /// chain events replayed under `rng_stream_mode = sequential`, so the
+    /// per-lane sum equals the serial count in both modes.
+    pub fn lane_generated_arrivals(&self) -> &[u64] {
+        &self.lane_generated_arrivals
     }
 
     /// The windowed-metrics time series (empty unless
@@ -403,6 +454,8 @@ impl ExperimentResult {
         };
         out.push_str(&format!(
             "],\"total_events\":{},\"wall_secs\":{:.6},\"events_per_sec\":{:.0},\
+             \"sync_rounds\":{},\"replicated_chain_events\":{},\
+             \"lane_generated_arrivals\":[{}],\
              \"fast_path\":{{\"mru_hits\":{},\"stable_hits\":{},\
              \"seq_replays\":{},\"seq_replayed_accesses\":{},\
              \"s_state_peeks\":{},\"stable_reloads\":{},\
@@ -411,6 +464,13 @@ impl ExperimentResult {
             p.total_events(),
             self.wall_secs,
             self.events_per_sec_wall(),
+            self.sync_rounds,
+            self.replicated_chain_events,
+            self.lane_generated_arrivals
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
             f.mru_hits,
             f.stable_hits,
             f.seq_replays,

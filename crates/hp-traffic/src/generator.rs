@@ -10,7 +10,7 @@
 use crate::alias::AliasTable;
 use crate::shape::TrafficShape;
 use hp_queues::sim::QueueId;
-use hp_rand::rngs::SmallRng;
+use hp_rand::rngs::{CounterRng, SmallRng};
 use hp_sim::rng::sample_exp;
 use hp_sim::time::{Clock, Cycles};
 
@@ -127,6 +127,109 @@ impl TrafficGenerator {
     /// Arrivals generated so far.
     pub fn generated(&self) -> u64 {
         self.generated
+    }
+}
+
+/// Keyed per-partition Poisson arrival stream: the distributed-generation
+/// counterpart of [`TrafficGenerator`].
+///
+/// A Poisson process split by independent queue picks is a superposition of
+/// independent per-partition Poisson processes, so instead of one shared
+/// stream that every simulation lane must replay (burning foreign draws),
+/// each partition runs its *own* exponential-gap stream at the partition's
+/// share of the offered rate, with the destination queue drawn from the
+/// partition's renormalized weight table. Arrival `k` of a partition is a
+/// **pure function of `(seed, stream, partition, k)`** — every draw comes
+/// from a [`CounterRng`] sub-stream split per arrival index — so any
+/// observer (a serial engine running all partitions, or a lane running one)
+/// reconstructs the identical arrival bit-for-bit without sharing RNG
+/// state.
+#[derive(Debug)]
+pub struct KeyedArrivals {
+    table: AliasTable,
+    queue_ids: Vec<QueueId>,
+    mean_gap_cycles: f64,
+    rng: CounterRng,
+}
+
+impl KeyedArrivals {
+    /// Builds the arrival stream for `partition` under `owner` (the
+    /// queue→partition map from [`partition_queues`]). `rate_per_sec` is
+    /// the *total* offered rate; the partition's stream runs at its weight
+    /// share of it. Returns `Ok(None)` for a partition with zero traffic
+    /// mass (e.g. every partition but one under a single-queue shape) —
+    /// such a partition has no arrival process at all.
+    ///
+    /// `rng` scopes the randomness; derive it per partition, e.g.
+    /// `CounterRng::keyed(seed, stream_id, partition as u64)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the total rate is not positive.
+    pub fn for_partition(
+        shape: TrafficShape,
+        queues: u32,
+        rate_per_sec: f64,
+        clock: Clock,
+        owner: &[usize],
+        partition: usize,
+        rng: CounterRng,
+    ) -> Result<Option<Self>, String> {
+        if !(rate_per_sec.is_finite() && rate_per_sec > 0.0) {
+            return Err(format!("offered rate must be positive, got {rate_per_sec}"));
+        }
+        assert_eq!(owner.len(), queues as usize, "owner map length mismatch");
+        let weights = shape.weights(queues);
+        let total_mass: f64 = weights.iter().sum();
+        let mut local = Vec::new();
+        let mut queue_ids = Vec::new();
+        for (q, &w) in weights.iter().enumerate() {
+            if owner[q] == partition && w > 0.0 {
+                local.push(w);
+                queue_ids.push(QueueId(q as u32));
+            }
+        }
+        let local_mass: f64 = local.iter().sum();
+        if local_mass <= 0.0 {
+            return Ok(None);
+        }
+        let table = AliasTable::new(&local).map_err(|e| e.to_string())?;
+        let cycles_per_sec = clock.ghz() * 1e9;
+        // Thinning a rate-λ Poisson process with probability p yields a
+        // rate-λp process: the partition's mean gap is the total mean gap
+        // scaled up by the inverse of its weight share.
+        let mean_gap_cycles = cycles_per_sec / (rate_per_sec * local_mass / total_mass);
+        Ok(Some(KeyedArrivals {
+            table,
+            queue_ids,
+            mean_gap_cycles,
+            rng,
+        }))
+    }
+
+    /// The `k`-th arrival of this partition's stream (0-based): the gap to
+    /// the *next* arrival and the destination queue of *this* one —
+    /// mirroring [`TrafficGenerator::next_arrival`]'s contract. Pure in
+    /// `k`: each index gets its own split sub-stream, so the (variable)
+    /// number of underlying draws per arrival never shifts later indices.
+    pub fn arrival(&self, k: u64) -> Arrival {
+        let mut rng = self.rng.split(k);
+        let gap = sample_exp(&mut rng, self.mean_gap_cycles).round().max(1.0) as u64;
+        let queue = self.queue_ids[self.table.sample(&mut rng)];
+        Arrival {
+            gap: Cycles(gap),
+            queue,
+        }
+    }
+
+    /// Mean inter-arrival gap of this partition's stream, in cycles.
+    pub fn mean_gap_cycles(&self) -> f64 {
+        self.mean_gap_cycles
+    }
+
+    /// The queues this partition's stream can target.
+    pub fn queue_ids(&self) -> &[QueueId] {
+        &self.queue_ids
     }
 }
 
@@ -311,5 +414,103 @@ mod tests {
     #[should_panic(expected = "fewer queues than cores")]
     fn partition_rejects_too_few_queues() {
         let _ = partition_queues(TrafficShape::FullyBalanced, 2, 4, 0.0);
+    }
+
+    fn keyed(shape: TrafficShape, queues: u32, parts: usize, p: usize) -> Option<KeyedArrivals> {
+        let owner = partition_queues(shape, queues, parts, 0.0);
+        KeyedArrivals::for_partition(
+            shape,
+            queues,
+            1_000_000.0,
+            Clock::default(),
+            &owner,
+            p,
+            CounterRng::keyed(11, 1, p as u64),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keyed_arrivals_are_pure_in_index() {
+        let ka = keyed(TrafficShape::FullyBalanced, 16, 4, 2).unwrap();
+        for k in [0u64, 1, 7, 1000, 123_456] {
+            assert_eq!(ka.arrival(k), ka.arrival(k));
+        }
+        assert_ne!(ka.arrival(0), ka.arrival(1));
+    }
+
+    #[test]
+    fn keyed_arrivals_only_target_owned_queues() {
+        let owner = partition_queues(TrafficShape::ProportionallyConcentrated, 100, 4, 0.0);
+        for p in 0..4 {
+            let ka = keyed(TrafficShape::ProportionallyConcentrated, 100, 4, p).unwrap();
+            for k in 0..2000 {
+                assert_eq!(owner[ka.arrival(k).queue.0 as usize], p);
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_superposition_matches_total_rate_and_weights() {
+        // Sum of per-partition rates must equal the offered rate, and the
+        // superposed per-queue frequencies must match the shape weights —
+        // the statistical-equivalence contract with the sequential stream.
+        let shape = TrafficShape::ProportionallyConcentrated;
+        let queues = 100u32;
+        let weights = shape.weights(queues);
+        let total_mass: f64 = weights.iter().sum();
+        let mut rate_sum = 0.0;
+        let mut counts = vec![0u64; queues as usize];
+        let n_per = 50_000u64;
+        for p in 0..4 {
+            let ka = keyed(shape, queues, 4, p).unwrap();
+            // Partition rate = clock / mean gap.
+            rate_sum += Clock::default().ghz() * 1e9 / ka.mean_gap_cycles();
+            for k in 0..n_per {
+                counts[ka.arrival(k).queue.0 as usize] += 1;
+            }
+        }
+        assert!((rate_sum - 1_000_000.0).abs() < 1.0, "rate sum {rate_sum}");
+        // Each partition contributed samples proportional to its share in
+        // the long run; weight check within partitions: hot queues of a
+        // partition should see ~20x a cold queue of the same partition.
+        let owner = partition_queues(shape, queues, 4, 0.0);
+        for p in 0..4 {
+            let hot: Vec<u64> = (0..queues as usize)
+                .filter(|&q| owner[q] == p && weights[q] == 1.0)
+                .map(|q| counts[q])
+                .collect();
+            let cold: Vec<u64> = (0..queues as usize)
+                .filter(|&q| owner[q] == p && weights[q] < 1.0)
+                .map(|q| counts[q])
+                .collect();
+            let hot_mean = hot.iter().sum::<u64>() as f64 / hot.len() as f64;
+            let cold_mean = cold.iter().sum::<u64>() as f64 / cold.len() as f64;
+            let ratio = hot_mean / cold_mean;
+            assert!((ratio - 20.0).abs() < 2.0, "partition {p} ratio {ratio}");
+        }
+        let _ = total_mass;
+    }
+
+    #[test]
+    fn keyed_gap_mean_converges() {
+        let ka = keyed(TrafficShape::FullyBalanced, 8, 2, 0).unwrap();
+        let n = 100_000u64;
+        let total: u64 = (0..n).map(|k| ka.arrival(k).gap.count()).sum();
+        let mean = total as f64 / n as f64;
+        // Half the queues => half the rate => 4000-cycle mean gap.
+        assert!((mean - 4000.0).abs() < 60.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn keyed_zero_mass_partition_has_no_stream() {
+        // SQ sends everything to queue 0; partitions not owning it get no
+        // arrival process.
+        let owner = partition_queues(TrafficShape::SingleQueue, 8, 4, 0.0);
+        let q0_owner = owner[0];
+        for p in 0..4 {
+            let ka = keyed(TrafficShape::SingleQueue, 8, 4, p);
+            assert_eq!(ka.is_some(), p == q0_owner, "partition {p}");
+        }
     }
 }
